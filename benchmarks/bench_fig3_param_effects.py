@@ -1,0 +1,58 @@
+"""Figure 3 — effect of the cohesion threshold α and TCS pre-filter ε.
+
+Paper panels (a,e,i): time cost of TCFI / TCFA / TCS(ε) vs α on BK, GW,
+AMINER samples. Panels (b-d, f-h, j-l): NP / NV / NE vs α, showing that
+TCFA = TCFI exactly while TCS loses trusses at small α.
+
+The benchmark times the full sweep per dataset; correctness assertions
+check the paper's qualitative claims on every run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import experiment_fig3
+from benchmarks.conftest import write_report
+
+#: per-dataset sample sizes, scaled down from the paper's 10k/10k/5k edges
+SAMPLE_EDGES = {"BK": 100, "GW": 100, "AMINER": 80}
+
+
+@pytest.mark.parametrize("dataset", ["BK", "GW", "AMINER"])
+def test_fig3_alpha_epsilon_sweep(benchmark, report_dir, dataset):
+    rows, report = benchmark.pedantic(
+        experiment_fig3,
+        kwargs={
+            "dataset": dataset,
+            "scale": "tiny",
+            "sample_edges": SAMPLE_EDGES[dataset],
+            "max_length": 3,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    write_report(report_dir, f"fig3_{dataset}", report)
+
+    by_key = {(r["run"], r["alpha"]): r for r in rows}
+    alphas = sorted({r["alpha"] for r in rows})
+
+    for alpha in alphas:
+        tcfi_row = by_key[("tcfi", alpha)]
+        tcfa_row = by_key[("tcfa", alpha)]
+        # TCFA and TCFI produce the same exact results for all α (§7.1).
+        assert tcfi_row["NP"] == tcfa_row["NP"]
+        assert tcfi_row["NV"] == tcfa_row["NV"]
+        assert tcfi_row["NE"] == tcfa_row["NE"]
+        # TCS never finds more than the exact methods.
+        for eps in (0.1, 0.2, 0.3):
+            assert by_key[(f"tcs(eps={eps})", alpha)]["NP"] <= tcfi_row["NP"]
+
+    # NP decreases monotonically in α (larger threshold, fewer trusses).
+    np_series = [by_key[("tcfi", a)]["NP"] for a in alphas]
+    assert np_series == sorted(np_series, reverse=True)
+
+    # TCS at the smallest α must actually lose trusses for some ε — the
+    # accuracy/efficiency trade-off of Section 4.2.
+    exact_np = by_key[("tcfi", alphas[0])]["NP"]
+    assert by_key[("tcs(eps=0.3)", alphas[0])]["NP"] < exact_np

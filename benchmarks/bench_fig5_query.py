@@ -1,0 +1,77 @@
+"""Figure 5 — TC-Tree query performance (QBA and QBP).
+
+Paper: (a-d) query-by-alpha — both query time and retrieved nodes (RN)
+decrease as α_q grows; (e-h) query-by-pattern — both increase with query
+pattern length. Query times are averaged over repeated runs, as in the
+paper (1000 runs there, fewer here).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    experiment_fig5_qba,
+    experiment_fig5_qbp,
+    experiment_table3,
+)
+from repro.bench.plots import ascii_plot
+from repro.index.query import query_by_alpha
+from benchmarks.conftest import write_report
+
+
+#: All four datasets, as in the paper's panels (a-d) / (e-h).
+DATASETS = ("BK", "GW", "AMINER", "SYN")
+
+
+@pytest.fixture(scope="module")
+def trees():
+    _, _, built = experiment_table3(
+        scale="tiny", datasets=DATASETS, max_length=3
+    )
+    return built
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig5_query_by_alpha(benchmark, report_dir, trees, dataset):
+    tree = trees[dataset]
+    rows, report = experiment_fig5_qba(tree, dataset, repeats=5)
+    chart = ascii_plot(
+        [r["alpha"] for r in rows],
+        {
+            "query_time_s": [r["seconds"] for r in rows],
+            "retrieved_nodes": [r["retrieved_nodes"] for r in rows],
+        },
+        title=f"Figure 5 (QBA) shape on {dataset}",
+    )
+    write_report(report_dir, f"fig5_qba_{dataset}", report + "\n\n" + chart)
+
+    # RN decreases monotonically in α_q — paper panels (a-d).
+    rn = [r["retrieved_nodes"] for r in rows]
+    assert rn == sorted(rn, reverse=True)
+    assert rn[-1] == 0  # the sweep ends when the answer is empty
+
+    # The benchmarked unit: one full-index QBA at α = 0 (the worst case).
+    answer = benchmark(query_by_alpha, tree, 0.0)
+    assert answer.retrieved_nodes == tree.num_nodes
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig5_query_by_pattern(benchmark, report_dir, trees, dataset):
+    tree = trees[dataset]
+    rows, report = experiment_fig5_qbp(
+        tree, dataset, patterns_per_length=5, repeats=5
+    )
+    write_report(report_dir, f"fig5_qbp_{dataset}", report)
+
+    # RN grows with query pattern length — paper panels (e-h): a longer
+    # query pattern has more sub-patterns to retrieve.
+    rn = [r["retrieved_nodes"] for r in rows]
+    assert rn == sorted(rn)
+
+    # Benchmarked unit: QBP with the deepest indexed pattern.
+    deepest = max(tree.patterns(), key=len)
+    from repro.index.query import query_by_pattern
+
+    answer = benchmark(query_by_pattern, tree, deepest)
+    assert answer.retrieved_nodes >= len(deepest)

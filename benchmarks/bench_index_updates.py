@@ -1,0 +1,68 @@
+"""Ablation — incremental TC-Tree maintenance vs full rebuild.
+
+The warehouse is built once and queried many times; when vertex databases
+change, rebuilding everything discards all unaffected work. This
+benchmark measures the incremental path of
+:mod:`repro.index.updates` against a from-scratch rebuild after a
+single-vertex update, and asserts the two trees are identical.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+
+from repro.bench.experiments import make_bk
+from repro.bench.reporting import format_table
+from repro.index.tctree import build_tc_tree
+from repro.index.updates import update_vertex_database
+from benchmarks.conftest import write_report
+
+
+def test_incremental_update_vs_rebuild(benchmark, report_dir):
+    base_network = make_bk("tiny")
+    tree = build_tc_tree(base_network, max_length=3)
+    vertex = sorted(base_network.databases)[0]
+    new_transactions = [[0, 1], [0]]
+
+    def incremental():
+        network = copy.deepcopy(base_network)
+        return network, update_vertex_database(
+            network, tree, vertex, copy.deepcopy(new_transactions),
+            max_length=3,
+        )
+
+    network, updated = benchmark.pedantic(
+        incremental, rounds=1, iterations=1
+    )
+
+    start = time.perf_counter()
+    scratch = build_tc_tree(network, max_length=3)
+    scratch_seconds = time.perf_counter() - start
+
+    assert updated.patterns() == scratch.patterns()
+    for pattern in scratch.patterns():
+        a = updated.find_node(pattern).decomposition
+        b = scratch.find_node(pattern).decomposition
+        assert sorted(a.edges_at(0.0)) == sorted(b.edges_at(0.0))
+
+    reused = sum(
+        1
+        for node in updated.iter_nodes()
+        if tree.find_node(node.pattern) is not None
+        and node.decomposition is tree.find_node(node.pattern).decomposition
+    )
+    rows = [
+        {
+            "path": "incremental",
+            "nodes": updated.num_nodes,
+            "reused_decompositions": reused,
+            "scratch_seconds": round(scratch_seconds, 4),
+        }
+    ]
+    write_report(
+        report_dir,
+        "index_updates",
+        format_table(rows, title="Incremental TC-Tree maintenance (BK tiny)"),
+    )
+    assert reused > 0  # the point of the incremental path

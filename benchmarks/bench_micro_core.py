@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the core primitives.
+
+Not a paper figure — these isolate the units the figures are built from
+(MPTD peeling, truss decomposition, theme-network induction, cohesion
+table) so performance regressions can be localized.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cohesion import edge_cohesion_table
+from repro.core.mptd import maximal_pattern_truss
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.index.decomposition import decompose_network_pattern
+from repro.network.theme import induce_theme_network
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    return powerlaw_cluster_graph(300, 4, 0.7, seed=1)
+
+
+@pytest.fixture(scope="module")
+def unit_frequencies(dense_graph):
+    return {v: 1.0 for v in dense_graph}
+
+
+def test_micro_cohesion_table(benchmark, dense_graph, unit_frequencies):
+    table = benchmark(edge_cohesion_table, dense_graph, unit_frequencies)
+    assert len(table) == dense_graph.num_edges
+
+
+def test_micro_mptd_peel(benchmark, dense_graph, unit_frequencies):
+    truss, _ = benchmark(
+        maximal_pattern_truss, dense_graph, unit_frequencies, 1.0
+    )
+    assert truss.num_edges > 0
+
+
+def test_micro_mptd_full_peel(benchmark, dense_graph, unit_frequencies):
+    """Worst case: α high enough to remove every edge."""
+    truss, _ = benchmark(
+        maximal_pattern_truss, dense_graph, unit_frequencies, 1e9
+    )
+    assert truss.num_edges == 0
+
+
+def test_micro_theme_induction(benchmark, bk_tiny):
+    item = bk_tiny.item_universe()[0]
+    graph, freqs = benchmark(induce_theme_network, bk_tiny, (item,))
+    assert graph.num_vertices == len(freqs)
+
+
+def test_micro_decomposition(benchmark, bk_tiny):
+    items = bk_tiny.item_universe()
+
+    def decompose_all():
+        return [
+            decompose_network_pattern(bk_tiny, (item,)) for item in items
+        ]
+
+    decompositions = benchmark(decompose_all)
+    assert any(not d.is_empty() for d in decompositions)

@@ -1,0 +1,24 @@
+"""Table 2 — statistics of the database networks.
+
+Paper: BK/GW/AMINER/SYN sizes (vertices, edges, transactions, items).
+Ours: the surrogate datasets at benchmark scale; the benchmark times the
+statistics pass itself (a full scan of every vertex database).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_table2
+from benchmarks.conftest import write_report
+
+
+def test_table2_dataset_statistics(benchmark, report_dir):
+    rows, report = benchmark.pedantic(
+        experiment_table2, args=("tiny",), rounds=1, iterations=1
+    )
+    write_report(report_dir, "table2", report)
+    assert len(rows) == 4
+    # Shape check mirroring the paper: every dataset is non-trivial and the
+    # item universe is much smaller than total item occurrences.
+    for row in rows:
+        assert row["#Edges"] > 0
+        assert row["#Items (total)"] > row["#Items (unique)"]

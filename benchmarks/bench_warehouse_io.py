@@ -1,0 +1,43 @@
+"""Warehouse persistence — save/load round-trip cost and index size.
+
+Supports the Section 6 warehouse story: the index is built once and
+shipped; loading must be much cheaper than rebuilding. The benchmark
+times load and compares against build, and reports the on-disk size.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.experiments import make_bk
+from repro.bench.reporting import format_table
+from repro.index.warehouse import ThemeCommunityWarehouse
+from benchmarks.conftest import write_report
+
+
+def test_warehouse_save_load(benchmark, report_dir, tmp_path):
+    network = make_bk("tiny")
+
+    start = time.perf_counter()
+    warehouse = ThemeCommunityWarehouse.build(network, max_length=3)
+    build_seconds = time.perf_counter() - start
+
+    path = tmp_path / "bk.tctree.json"
+    warehouse.save(path)
+    size_kib = path.stat().st_size / 1024
+
+    loaded = benchmark(ThemeCommunityWarehouse.load, path)
+
+    assert loaded.tree.patterns() == warehouse.tree.patterns()
+    rows = [
+        {
+            "build_seconds": round(build_seconds, 4),
+            "index_KiB": round(size_kib, 1),
+            "trusses": warehouse.num_indexed_trusses,
+        }
+    ]
+    write_report(
+        report_dir,
+        "warehouse_io",
+        format_table(rows, title="Warehouse persistence (BK tiny)"),
+    )

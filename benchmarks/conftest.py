@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper via the
+drivers in :mod:`repro.bench.experiments`, times a representative unit with
+pytest-benchmark, and writes the full ASCII report to
+``benchmarks/reports/`` so EXPERIMENTS.md can reference the measured
+numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import experiments
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR
+
+
+def write_report(report_dir: Path, name: str, text: str) -> None:
+    """Persist one experiment report (overwrites previous runs)."""
+    (report_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def bk_tiny():
+    return experiments.make_bk("tiny")
+
+
+@pytest.fixture(scope="session")
+def gw_tiny():
+    return experiments.make_gw("tiny")
+
+
+@pytest.fixture(scope="session")
+def aminer_tiny():
+    return experiments.make_aminer("tiny")
+
+
+@pytest.fixture(scope="session")
+def syn_tiny():
+    return experiments.make_syn("tiny")

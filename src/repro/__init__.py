@@ -1,0 +1,125 @@
+"""repro — theme communities in database networks.
+
+A complete reproduction of *"Finding Theme Communities from Database
+Networks: from Mining to Indexing and Query Answering"* (Chu et al., VLDB
+2019 / arXiv:1709.08083): the database-network data model, the exact
+mining algorithms (MPTD, TCS, TCFA, TCFI), the TC-Tree index with
+decomposition-based query answering, every substrate they stand on
+(graphs, k-truss/k-core, frequent-pattern mining, transaction databases),
+the evaluation datasets, and the experiment harness.
+
+Quickstart::
+
+    from repro import ThemeCommunityFinder, toy_database_network
+
+    network = toy_database_network()
+    finder = ThemeCommunityFinder(network)
+    for community in finder.find_communities(alpha=0.1):
+        print(community.theme_labels(network), sorted(community.members))
+
+Index once, query many times::
+
+    from repro import ThemeCommunityWarehouse
+
+    warehouse = ThemeCommunityWarehouse.build(network)
+    answer = warehouse.query(alpha=0.2)
+"""
+
+from repro._ordering import Pattern, make_pattern
+from repro.core.communities import ThemeCommunity, extract_theme_communities
+from repro.core.finder import ThemeCommunityFinder
+from repro.core.mptd import maximal_pattern_truss
+from repro.core.results import MiningResult
+from repro.core.tcfa import tcfa
+from repro.core.tcfi import tcfi
+from repro.core.tcs import tcs
+from repro.core.truss import PatternTruss
+from repro.datasets.checkin import generate_checkin_network
+from repro.datasets.coauthor import generate_coauthor_network
+from repro.datasets.synthetic import generate_synthetic_network
+from repro.datasets.toy import toy_database_network
+from repro.errors import (
+    DatabaseError,
+    GraphError,
+    MiningError,
+    NetworkFormatError,
+    ReproError,
+    TCIndexError,
+)
+from repro.graphs.graph import Graph
+from repro.edgenet.finder import EdgeThemeCommunityFinder, edge_tcfi
+from repro.edgenet.network import EdgeDatabaseNetwork
+from repro.index.decomposition import TrussDecomposition, decompose_network_pattern
+from repro.index.query import QueryAnswer, query_by_alpha, query_by_pattern
+from repro.index.tctree import TCTree, build_tc_tree
+from repro.index.updates import update_vertex_database
+from repro.index.warehouse import ThemeCommunityWarehouse
+from repro.search.topk import top_k_communities
+from repro.search.vertex import (
+    communities_containing_vertex,
+    strongest_themes_of_vertex,
+)
+from repro.network.builder import DatabaseNetworkBuilder
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.network.io import load_network, save_network
+from repro.network.sampling import bfs_edge_sample
+from repro.network.stats import network_statistics
+from repro.txdb.database import TransactionDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # data model
+    "Graph",
+    "TransactionDatabase",
+    "DatabaseNetwork",
+    "DatabaseNetworkBuilder",
+    "Pattern",
+    "make_pattern",
+    # mining
+    "maximal_pattern_truss",
+    "PatternTruss",
+    "MiningResult",
+    "tcs",
+    "tcfa",
+    "tcfi",
+    "ThemeCommunity",
+    "extract_theme_communities",
+    "ThemeCommunityFinder",
+    # indexing / querying
+    "TrussDecomposition",
+    "decompose_network_pattern",
+    "TCTree",
+    "build_tc_tree",
+    "QueryAnswer",
+    "query_by_alpha",
+    "query_by_pattern",
+    "ThemeCommunityWarehouse",
+    "update_vertex_database",
+    # search
+    "communities_containing_vertex",
+    "strongest_themes_of_vertex",
+    "top_k_communities",
+    # edge database networks (the paper's future-work extension)
+    "EdgeDatabaseNetwork",
+    "edge_tcfi",
+    "EdgeThemeCommunityFinder",
+    # datasets
+    "toy_database_network",
+    "generate_synthetic_network",
+    "generate_checkin_network",
+    "generate_coauthor_network",
+    # io / utilities
+    "save_network",
+    "load_network",
+    "bfs_edge_sample",
+    "network_statistics",
+    # errors
+    "ReproError",
+    "GraphError",
+    "DatabaseError",
+    "NetworkFormatError",
+    "MiningError",
+    "TCIndexError",
+    "__version__",
+]

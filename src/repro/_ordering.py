@@ -1,0 +1,71 @@
+"""Canonical pattern representation and the total order ``≺`` on items.
+
+The paper's set-enumeration tree (Section 6.2) assumes a total order on the
+item universe ``S`` so every subset of ``S`` has a unique ordered spelling.
+We use dense integer item identifiers and natural integer order, so a pattern
+is canonically represented as a strictly increasing tuple of item ids.
+
+These helpers are shared by the mining algorithms (Apriori joins require the
+prefix test) and by the TC-Tree (child generation combines ordered siblings).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+Pattern = tuple[int, ...]
+
+EMPTY_PATTERN: Pattern = ()
+
+
+def make_pattern(items: Iterable[int]) -> Pattern:
+    """Return the canonical (sorted, deduplicated) tuple form of ``items``."""
+    return tuple(sorted(set(items)))
+
+
+def is_canonical(pattern: Pattern) -> bool:
+    """Check that ``pattern`` is strictly increasing (canonical form)."""
+    return all(a < b for a, b in zip(pattern, pattern[1:]))
+
+
+def pattern_union(first: Pattern, second: Pattern) -> Pattern:
+    """Union of two canonical patterns, in canonical form."""
+    if not first:
+        return second
+    if not second:
+        return first
+    return tuple(sorted(set(first) | set(second)))
+
+
+def is_subpattern(small: Pattern, big: Pattern) -> bool:
+    """Return True when ``small ⊆ big`` (both canonical tuples)."""
+    big_set = set(big)
+    return all(item in big_set for item in small)
+
+
+def subpatterns_one_shorter(pattern: Pattern) -> list[Pattern]:
+    """All sub-patterns obtained by dropping exactly one item.
+
+    Used by Apriori candidate verification: a length-k candidate survives only
+    when every one of its k length-(k-1) sub-patterns is qualified.
+    """
+    return [pattern[:i] + pattern[i + 1:] for i in range(len(pattern))]
+
+
+def joinable_prefix(first: Pattern, second: Pattern) -> bool:
+    """True when two length-k patterns share their first k-1 items.
+
+    This is the classic Apriori join condition: two canonical length-k
+    patterns whose union has length k+1 *and* whose prefixes agree produce
+    each candidate exactly once.
+    """
+    if len(first) != len(second) or not first:
+        return False
+    return first[:-1] == second[:-1] and first[-1] != second[-1]
+
+
+def join_patterns(first: Pattern, second: Pattern) -> Pattern:
+    """Join two prefix-compatible length-k patterns into a length-k+1 one."""
+    if first[-1] < second[-1]:
+        return first + (second[-1],)
+    return second + (first[-1],)

@@ -1,0 +1,28 @@
+"""Baselines from the related work (Section 2), for comparison.
+
+- :mod:`repro.baselines.attributed` — a vertex-attributed community
+  detector in the CoPaM/ABACUS family: it collapses each vertex database
+  to a flat attribute set and mines cohesive subgraphs sharing attribute
+  sets. It exists to make the paper's first challenge *measurable*:
+  flattening "wastes the valuable information of item co-occurrence and
+  pattern frequency" (Section 1), so this baseline over-reports
+  communities that theme-community mining correctly rejects.
+- :mod:`repro.baselines` also re-exports the classic k-truss / k-core
+  detectors from :mod:`repro.graphs` (the structure-only baselines).
+"""
+
+from repro.baselines.attributed import (
+    AttributedCommunity,
+    attributed_communities,
+    flatten_to_attributes,
+)
+from repro.graphs.kcore import k_core
+from repro.graphs.ktruss import k_truss
+
+__all__ = [
+    "flatten_to_attributes",
+    "attributed_communities",
+    "AttributedCommunity",
+    "k_truss",
+    "k_core",
+]

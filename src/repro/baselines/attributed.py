@@ -1,0 +1,144 @@
+"""Vertex-attributed community detection (CoPaM / ABACUS family).
+
+The methods reviewed in Section 2.2 attach a single *set* of items to each
+vertex and look for cohesive subgraphs whose vertices share items. To run
+them on a database network one must flatten every transaction database to
+the set of items it mentions — exactly the transformation Section 1 warns
+about: it "wastes the valuable information of item co-occurrence and
+pattern frequency".
+
+``attributed_communities`` implements the family's common core:
+
+1. flatten each vertex database to its attribute set;
+2. enumerate attribute sets shared by enough vertices (frequent patterns
+   over the vertex-attribute relation, mined level-wise);
+3. for each shared set, induce the subgraph of vertices containing it and
+   keep the k-truss communities inside.
+
+The result is deliberately comparable to theme communities: same output
+shape (pattern + vertex set), no frequency information. The benchmark
+``bench_baseline_attributed`` quantifies the difference: the flattened
+baseline reports communities whose "shared" pattern is rare in the actual
+transactions (a single stray transaction is enough to count), which theme
+community mining correctly rejects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._ordering import Pattern
+from repro.core.candidates import generate_candidates
+from repro.errors import MiningError
+from repro.graphs.components import connected_components
+from repro.graphs.ktruss import k_truss
+from repro.network.dbnetwork import DatabaseNetwork
+
+
+def flatten_to_attributes(network: DatabaseNetwork) -> dict[int, frozenset[int]]:
+    """Collapse every vertex database to its flat item set.
+
+    This is the lossy step: a user with one stray check-in at a place gets
+    the same attribute as a user who goes daily.
+    """
+    return {
+        v: frozenset(db.items()) for v, db in network.databases.items()
+    }
+
+
+@dataclass(frozen=True)
+class AttributedCommunity:
+    """One baseline community: a shared attribute set + a cohesive group."""
+
+    pattern: Pattern
+    members: frozenset[int]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+def attributed_communities(
+    network: DatabaseNetwork,
+    k: int = 3,
+    min_vertices: int = 3,
+    max_length: int | None = None,
+) -> list[AttributedCommunity]:
+    """Communities of vertices sharing attribute sets (flattened model).
+
+    ``k`` is the truss order of the cohesion check; ``min_vertices`` the
+    minimum number of vertices that must carry an attribute set for it to
+    be considered (the support threshold of the frequent-pattern step).
+    """
+    if k < 2:
+        raise MiningError(f"k must be >= 2, got {k}")
+    if min_vertices < 1:
+        raise MiningError(f"min_vertices must be >= 1, got {min_vertices}")
+    attributes = flatten_to_attributes(network)
+
+    # Level 1: attributes carried by enough vertices.
+    carriers: dict[Pattern, set[int]] = {}
+    for vertex, items in attributes.items():
+        for item in items:
+            carriers.setdefault((item,), set()).add(vertex)
+    level = {
+        pattern: vertices
+        for pattern, vertices in carriers.items()
+        if len(vertices) >= min_vertices
+    }
+
+    communities: list[AttributedCommunity] = []
+
+    def harvest(pattern: Pattern, vertices: set[int]) -> None:
+        subgraph = network.graph.subgraph(vertices)
+        truss = k_truss(subgraph, k)
+        for component in connected_components(truss):
+            if len(component) >= min_vertices:
+                communities.append(
+                    AttributedCommunity(pattern, frozenset(component))
+                )
+
+    for pattern, vertices in level.items():
+        harvest(pattern, vertices)
+
+    depth = 2
+    while level and (max_length is None or depth <= max_length):
+        next_level: dict[Pattern, set[int]] = {}
+        for candidate in generate_candidates(sorted(level)):
+            vertices = (
+                level[candidate.left_parent] & level[candidate.right_parent]
+            )
+            if len(vertices) >= min_vertices:
+                next_level[candidate.pattern] = vertices
+                harvest(candidate.pattern, vertices)
+        level = next_level
+        depth += 1
+
+    communities.sort(key=lambda c: (-c.size, c.pattern, sorted(c.members)))
+    return communities
+
+
+def false_theme_rate(
+    network: DatabaseNetwork,
+    communities: list[AttributedCommunity],
+    frequency_threshold: float = 0.1,
+) -> float:
+    """Fraction of baseline communities whose pattern is actually rare.
+
+    A baseline community is a *false theme* when the median member
+    frequency of its pattern is below ``frequency_threshold`` — members
+    technically mention the items but do not frequently co-use them. This
+    is the paper's Challenge-1 information loss, quantified.
+    """
+    if not communities:
+        return 0.0
+    false = 0
+    for community in communities:
+        frequencies = sorted(
+            network.frequency(v, community.pattern)
+            for v in community.members
+        )
+        median = frequencies[len(frequencies) // 2]
+        if median < frequency_threshold:
+            false += 1
+    return false / len(communities)

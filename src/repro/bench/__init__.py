@@ -1,0 +1,23 @@
+"""Experiment harness reproducing the paper's evaluation (Section 7).
+
+- :mod:`repro.bench.metrics` — wall-clock and peak-memory measurement;
+- :mod:`repro.bench.runner` — one measured mining / indexing / query run;
+- :mod:`repro.bench.experiments` — the per-table / per-figure drivers;
+- :mod:`repro.bench.reporting` — ASCII tables and series matching the
+  paper's plots.
+"""
+
+from repro.bench.metrics import MeasuredRun, measure_memory, measure_time
+from repro.bench.runner import run_indexing, run_mining, run_query
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "MeasuredRun",
+    "measure_time",
+    "measure_memory",
+    "run_mining",
+    "run_indexing",
+    "run_query",
+    "format_table",
+    "format_series",
+]

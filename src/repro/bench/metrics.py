@@ -1,0 +1,67 @@
+"""Measurement primitives for the experiment harness.
+
+The paper reports wall-clock "Time Cost" and, for Table 3, peak memory
+during TC-Tree construction. We measure time with ``perf_counter`` and
+memory with ``tracemalloc`` (the Python-level analogue of the paper's peak
+process memory).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MeasuredRun:
+    """One measured run: elapsed seconds, optional peak bytes, metrics."""
+
+    label: str
+    seconds: float = 0.0
+    peak_bytes: int = 0
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def peak_megabytes(self) -> float:
+        return self.peak_bytes / (1024.0 * 1024.0)
+
+    def as_row(self) -> dict[str, float | str]:
+        row: dict[str, float | str] = {"run": self.label,
+                                       "seconds": round(self.seconds, 6)}
+        if self.peak_bytes:
+            row["peak_MB"] = round(self.peak_megabytes, 3)
+        row.update(self.metrics)
+        return row
+
+
+@contextmanager
+def measure_time(run: MeasuredRun):
+    """Context manager accumulating wall-clock time into ``run``."""
+    start = time.perf_counter()
+    try:
+        yield run
+    finally:
+        run.seconds += time.perf_counter() - start
+
+
+@contextmanager
+def measure_memory(run: MeasuredRun):
+    """Context manager recording tracemalloc peak into ``run``.
+
+    Nested use is safe: the snapshot baseline is taken at entry so only
+    allocations inside the block count.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    baseline, _ = tracemalloc.get_traced_memory()
+    try:
+        yield run
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        run.peak_bytes = max(run.peak_bytes, peak - baseline)
+        if not was_tracing:
+            tracemalloc.stop()

@@ -1,0 +1,111 @@
+"""ASCII line plots for benchmark series.
+
+The paper's figures are log-scale line plots; benchmarks run headless, so
+this renders the same series as terminal charts — enough to eyeball
+slopes and crossovers next to the numeric tables in
+``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log_positions(
+    values: Sequence[float], cells: int, log: bool
+) -> list[int | None]:
+    """Map values to integer cell positions (None for non-positive on a
+    log axis)."""
+    finite = [
+        v for v in values if v is not None and (v > 0 or not log)
+    ]
+    if not finite:
+        return [None] * len(values)
+    if log:
+        low = math.log10(min(finite))
+        high = math.log10(max(finite))
+    else:
+        low = min(finite)
+        high = max(finite)
+    span = high - low or 1.0
+
+    positions: list[int | None] = []
+    for v in values:
+        if v is None or (log and v <= 0):
+            positions.append(None)
+            continue
+        x = math.log10(v) if log else v
+        positions.append(
+            min(cells - 1, max(0, round((x - low) / span * (cells - 1))))
+        )
+    return positions
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = True,
+    title: str | None = None,
+) -> str:
+    """Render named y-series over shared x-values as an ASCII chart.
+
+    ``log_y`` mirrors the paper's log-scale axes; zero/negative points are
+    skipped on a log axis (the paper notes it "could not draw zero" in
+    log-scale figures either).
+    """
+    columns = _log_positions(list(x_values), width, log=False)
+    grid = [[" "] * width for _ in range(height)]
+
+    all_y = [
+        v
+        for values in series.values()
+        for v in values
+        if v is not None and (v > 0 or not log_y)
+    ]
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        if not all_y:
+            continue
+        rows = _log_positions(
+            [
+                v if (v is None or v > 0 or not log_y) else None
+                for v in values
+            ],
+            height,
+            log=log_y,
+        )
+        # Re-scale rows against the global y range, not per-series.
+        if log_y:
+            low = math.log10(min(all_y))
+            high = math.log10(max(all_y))
+        else:
+            low = min(all_y)
+            high = max(all_y)
+        span = high - low or 1.0
+        for col, v in zip(columns, values):
+            if col is None or v is None or (log_y and v <= 0):
+                continue
+            y = math.log10(v) if log_y else v
+            row = round((y - low) / span * (height - 1))
+            row = min(height - 1, max(0, row))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"  x: {min(x_values)} .. {max(x_values)}   "
+        f"y({'log' if log_y else 'lin'}): "
+        + (f"{min(all_y):.3g} .. {max(all_y):.3g}" if all_y else "(empty)")
+    )
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Plain-text reporting for experiment results.
+
+The paper presents results as tables (Tables 2-4) and log-scale line plots
+(Figures 3-5). Benchmarks run headless, so we render tables as aligned
+ASCII and series as one row per x-value — enough to read off orderings,
+slopes, and crossovers, which is what the reproduction checks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows of dicts as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+        for row in rows[1:]:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    cells = [
+        [_format_value(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for line in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render named series over shared x-values (one figure panel)."""
+    rows = []
+    for i, x in enumerate(x_values):
+        row: dict[str, object] = {x_name: x}
+        for name, values in series.items():
+            row[name] = values[i] if i < len(values) else ""
+        rows.append(row)
+    return format_table(rows, title=title)

@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands::
+
+    repro generate --dataset BK --scale small --out bk.json
+    repro stats bk.json
+    repro mine bk.json --alpha 0.2 --method tcfi
+    repro index bk.json --out bk.tctree.json
+    repro query bk.tctree.json --alpha 0.2 [--pattern 3,7]
+    repro search bk.json --vertex 12 --alpha 0.2 [--top 5]
+    repro export bk.json --format graphml --out bk.graphml [--alpha 0.2]
+    repro experiment table2 --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table
+from repro.core.finder import ThemeCommunityFinder
+from repro.index.warehouse import ThemeCommunityWarehouse
+from repro.network.io import load_network, save_network
+from repro.network.stats import network_statistics
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    maker = experiments.DATASET_MAKERS.get(args.dataset.upper())
+    if maker is None:
+        print(
+            f"unknown dataset {args.dataset!r}; choose from "
+            f"{sorted(experiments.DATASET_MAKERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    network = maker(args.scale)
+    save_network(network, args.out)
+    stats = network_statistics(network, count_triangles_too=False)
+    print(f"wrote {args.out}: {stats.as_row()}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    stats = network_statistics(network)
+    rows = [dict(stats.as_row(), **{"#Triangles": stats.num_triangles})]
+    print(format_table(rows, title=f"statistics of {args.network}"))
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    finder = ThemeCommunityFinder(network)
+    communities = finder.find_communities(
+        alpha=args.alpha,
+        method=args.method,
+        epsilon=args.epsilon,
+        max_length=args.max_length,
+    )
+    print(
+        f"found {len(communities)} theme communities "
+        f"(alpha={args.alpha}, method={args.method})"
+    )
+    for community in communities[: args.top]:
+        theme = ",".join(str(x) for x in community.theme_labels(network))
+        members = ",".join(
+            str(m) for m in community.member_labels(network)[:10]
+        )
+        suffix = "..." if community.size > 10 else ""
+        print(f"  theme=[{theme}] size={community.size}: {members}{suffix}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    warehouse = ThemeCommunityWarehouse.build(
+        network, max_length=args.max_length, workers=args.workers
+    )
+    warehouse.save(args.out)
+    low, high = warehouse.alpha_range()
+    print(
+        f"wrote {args.out}: {warehouse.num_indexed_trusses} trusses, "
+        f"non-trivial alpha range [{low}, {high:.4g})"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    warehouse = ThemeCommunityWarehouse.load(args.index)
+    pattern = None
+    if args.pattern:
+        pattern = tuple(int(x) for x in args.pattern.split(","))
+    answer = warehouse.query(pattern=pattern, alpha=args.alpha)
+    print(
+        f"retrieved {answer.retrieved_nodes} trusses "
+        f"(visited {answer.visited_nodes} nodes)"
+    )
+    for truss in answer.trusses[: args.top]:
+        print(
+            f"  pattern={truss.pattern} |V|={truss.num_vertices} "
+            f"|E|={truss.num_edges} communities={len(truss.communities())}"
+        )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.network.validate import has_errors, validate_network
+
+    network = load_network(args.network)
+    issues = validate_network(network)
+    if not issues:
+        print("ok: no issues found")
+        return 0
+    for issue in issues:
+        print(str(issue))
+    return 1 if has_errors(issues) else 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.core.tcfi import tcfi
+    from repro.search.topk import top_k_communities
+    from repro.search.vertex import communities_containing_vertex
+
+    network = load_network(args.network)
+    result = tcfi(network, args.alpha, max_length=args.max_length)
+    if args.vertex is not None:
+        communities = communities_containing_vertex(result, args.vertex)
+        print(
+            f"vertex {args.vertex} belongs to {len(communities)} "
+            f"theme communities (alpha={args.alpha})"
+        )
+    else:
+        communities = top_k_communities(result, args.top)
+        print(f"top {len(communities)} theme communities (alpha={args.alpha})")
+    for community in communities[: args.top]:
+        theme = ",".join(str(x) for x in community.theme_labels(network))
+        print(f"  theme=[{theme}] size={community.size}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.core.finder import ThemeCommunityFinder
+    from repro.export.dot import network_to_dot
+    from repro.export.graphml import write_graphml
+
+    network = load_network(args.network)
+    communities = None
+    if args.alpha is not None:
+        communities = ThemeCommunityFinder(network).find_communities(
+            alpha=args.alpha, max_length=args.max_length
+        )
+    if args.format == "graphml":
+        write_graphml(network, args.out, communities)
+    else:
+        highlight = set()
+        for community in communities or []:
+            highlight |= community.members
+        text = network_to_dot(network, highlight=highlight)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    print(f"wrote {args.out} ({args.format})")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name == "all":
+        for name in sorted(experiments.ALL_EXPERIMENTS):
+            print(f"=== {name} ===")
+            print(experiments.ALL_EXPERIMENTS[name](args.scale))
+            print()
+        return 0
+    driver = experiments.ALL_EXPERIMENTS.get(args.name)
+    if driver is None:
+        print(
+            f"unknown experiment {args.name!r}; choose from "
+            f"{sorted(experiments.ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(driver(args.scale))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Theme communities in database networks (Chu et al.)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate an evaluation dataset")
+    p.add_argument("--dataset", default="BK")
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "medium"))
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("stats", help="print network statistics (Table 2)")
+    p.add_argument("network")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("mine", help="find theme communities")
+    p.add_argument("network")
+    p.add_argument("--alpha", type=float, default=0.0)
+    p.add_argument("--method", default="tcfi",
+                   choices=("tcfi", "tcfa", "tcs"))
+    p.add_argument("--epsilon", type=float, default=0.1)
+    p.add_argument("--max-length", type=int, default=None)
+    p.add_argument("--top", type=int, default=20)
+    p.set_defaults(func=_cmd_mine)
+
+    p = sub.add_parser("index", help="build and save a TC-Tree")
+    p.add_argument("network")
+    p.add_argument("--out", required=True)
+    p.add_argument("--max-length", type=int, default=None)
+    p.add_argument("--workers", type=int, default=1)
+    p.set_defaults(func=_cmd_index)
+
+    p = sub.add_parser("query", help="query a saved TC-Tree")
+    p.add_argument("index")
+    p.add_argument("--alpha", type=float, default=0.0)
+    p.add_argument("--pattern", default=None,
+                   help="comma-separated item ids (default: all items)")
+    p.add_argument("--top", type=int, default=20)
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("validate", help="check a network for problems")
+    p.add_argument("network")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser(
+        "search", help="community search (by vertex or top-k)"
+    )
+    p.add_argument("network")
+    p.add_argument("--vertex", type=int, default=None)
+    p.add_argument("--alpha", type=float, default=0.0)
+    p.add_argument("--max-length", type=int, default=None)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("export", help="export a network (GraphML / DOT)")
+    p.add_argument("network")
+    p.add_argument("--format", default="graphml",
+                   choices=("graphml", "dot"))
+    p.add_argument("--out", required=True)
+    p.add_argument("--alpha", type=float, default=None,
+                   help="also mine communities and attach memberships")
+    p.add_argument("--max-length", type=int, default=None)
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument("name")
+    p.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "medium"))
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Core theme-community mining algorithms (Sections 3-5 of the paper).
+
+Contents:
+
+- :mod:`repro.core.cohesion` — edge cohesion (Definition 3.1);
+- :mod:`repro.core.mptd` — Maximal Pattern Truss Detector (Algorithm 1);
+- :mod:`repro.core.truss` — the :class:`PatternTruss` result container;
+- :mod:`repro.core.tcs` — the Theme Community Scanner baseline (Section 4.2);
+- :mod:`repro.core.candidates` — Apriori candidate generation (Algorithm 2);
+- :mod:`repro.core.tcfa` — Theme Community Finder Apriori (Algorithm 3);
+- :mod:`repro.core.tcfi` — Theme Community Finder Intersection (Section 5.3);
+- :mod:`repro.core.communities` — theme-community extraction (Def. 3.5);
+- :mod:`repro.core.finder` — the high-level facade.
+"""
+
+from repro.core.cohesion import edge_cohesion, edge_cohesion_table
+from repro.core.communities import ThemeCommunity, extract_theme_communities
+from repro.core.finder import ThemeCommunityFinder
+from repro.core.mptd import maximal_pattern_truss
+from repro.core.results import MiningResult
+from repro.core.tcfa import tcfa
+from repro.core.tcfi import tcfi
+from repro.core.tcs import tcs
+from repro.core.truss import PatternTruss
+
+__all__ = [
+    "edge_cohesion",
+    "edge_cohesion_table",
+    "maximal_pattern_truss",
+    "PatternTruss",
+    "MiningResult",
+    "tcs",
+    "tcfa",
+    "tcfi",
+    "ThemeCommunity",
+    "extract_theme_communities",
+    "ThemeCommunityFinder",
+]

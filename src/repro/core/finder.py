@@ -1,0 +1,78 @@
+"""High-level facade over the mining algorithms.
+
+:class:`ThemeCommunityFinder` is the entry point most applications want: it
+wraps a database network and exposes ``find`` (maximal pattern trusses) and
+``find_communities`` (theme communities) with a method selector.
+
+    >>> finder = ThemeCommunityFinder(network)
+    >>> result = finder.find(alpha=0.2)               # TCFI, exact
+    >>> communities = finder.find_communities(alpha=0.2)
+"""
+
+from __future__ import annotations
+
+from repro.core.communities import ThemeCommunity, extract_theme_communities
+from repro.core.results import MiningResult
+from repro.core.tcfa import tcfa
+from repro.core.tcfi import tcfi
+from repro.core.tcs import tcs
+from repro.errors import MiningError
+from repro.network.dbnetwork import DatabaseNetwork
+
+_METHODS = ("tcfi", "tcfa", "tcs")
+
+
+class ThemeCommunityFinder:
+    """Find theme communities in a database network.
+
+    ``method`` selects the algorithm:
+
+    - ``"tcfi"`` (default) — exact, intersection-pruned (Section 5.3);
+    - ``"tcfa"`` — exact, Apriori-pruned only (Algorithm 3);
+    - ``"tcs"`` — approximate baseline with frequency pre-filter ``epsilon``
+      (Section 4.2).
+    """
+
+    def __init__(self, network: DatabaseNetwork) -> None:
+        self.network = network
+
+    def find(
+        self,
+        alpha: float,
+        method: str = "tcfi",
+        epsilon: float = 0.1,
+        max_length: int | None = None,
+        workers: int = 1,
+    ) -> MiningResult:
+        """All non-empty maximal pattern trusses w.r.t. ``alpha``."""
+        if method not in _METHODS:
+            raise MiningError(
+                f"unknown method {method!r}; expected one of {_METHODS}"
+            )
+        if method == "tcfi":
+            return tcfi(self.network, alpha, max_length, workers)
+        if method == "tcfa":
+            return tcfa(self.network, alpha, max_length, workers)
+        return tcs(self.network, alpha, epsilon, max_length)
+
+    def find_communities(
+        self,
+        alpha: float,
+        method: str = "tcfi",
+        epsilon: float = 0.1,
+        max_length: int | None = None,
+        min_size: int = 3,
+        workers: int = 1,
+    ) -> list[ThemeCommunity]:
+        """All theme communities w.r.t. ``alpha``, largest-first.
+
+        ``min_size`` filters trivial components; a truss edge implies a
+        triangle, so 3 is the smallest possible community and the default
+        keeps everything.
+        """
+        result = self.find(alpha, method, epsilon, max_length, workers)
+        return [
+            c
+            for c in extract_theme_communities(result)
+            if c.size >= min_size
+        ]

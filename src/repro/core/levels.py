@@ -1,0 +1,54 @@
+"""Shared level-1 computation for the level-wise finders.
+
+TCFA and TCFI both start by running MPTD on the theme network of every
+single item (Line 1 of Algorithm 3). The paper parallelizes this layer
+(OpenMP, 4 threads) when building the TC-Tree; we expose an optional thread
+pool with the same semantics.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro._ordering import Pattern
+from repro.core.mptd import maximal_pattern_truss
+from repro.core.truss import PatternTruss
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.network.theme import induce_theme_network
+
+
+def single_item_truss(
+    network: DatabaseNetwork, item: int, alpha: float
+) -> PatternTruss:
+    """MPTD on the theme network of one single-item pattern."""
+    pattern: Pattern = (item,)
+    graph, frequencies = induce_theme_network(network, pattern)
+    truss_graph, _ = maximal_pattern_truss(graph, frequencies, alpha)
+    return PatternTruss(pattern, truss_graph, frequencies, alpha)
+
+
+def single_item_trusses(
+    network: DatabaseNetwork,
+    alpha: float,
+    items: list[int] | None = None,
+    workers: int = 1,
+) -> dict[Pattern, PatternTruss]:
+    """Non-empty single-item maximal pattern trusses.
+
+    ``items`` defaults to the full item universe ``S``. With ``workers > 1``
+    the per-item MPTD runs are dispatched to a thread pool — independent
+    theme networks, as the paper notes, are embarrassingly parallel.
+    """
+    if items is None:
+        items = network.item_universe()
+    if workers > 1 and len(items) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            trusses = list(
+                pool.map(
+                    lambda item: single_item_truss(network, item, alpha),
+                    items,
+                )
+            )
+    else:
+        trusses = [single_item_truss(network, item, alpha) for item in items]
+    return {t.pattern: t for t in trusses if not t.is_empty()}

@@ -1,0 +1,107 @@
+"""Maximal Pattern Truss Detector — MPTD (Algorithm 1).
+
+Given a theme network (graph + frequency map) and a cohesion threshold
+``α``, repeatedly remove *unqualified* edges — those with cohesion
+``<= α`` — cascading the cohesion updates of the triangles each removal
+destroys. What remains is the maximal pattern truss ``C*_p(α)``: the union
+of all pattern trusses of ``G_p`` w.r.t. ``α`` (Definition 3.4).
+
+Complexity ``O(Σ_v d(v)²)`` as analysed in Section 4.1: Phase 1 computes
+all edge cohesions, Phase 2 charges each removal to the common
+neighbourhood of the removed edge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import MiningError
+from repro.graphs.graph import Edge, Graph, Vertex, edge_key
+from repro.graphs.triangles import common_neighbors
+from repro.core.cohesion import FrequencyMap, edge_cohesion_table
+
+#: Tolerance for cohesion-vs-threshold comparisons. Cohesions are sums of
+#: frequency minima maintained incrementally during peeling; without a
+#: tolerance, float drift between the incremental value and a fresh
+#: recomputation can flip an exact-boundary comparison (e.g. cohesion
+#: 0.1 + 0.1 against α = 0.2) and break idempotence and the
+#: decomposition/reconstruction equivalence. Real frequency data is never
+#: within 1e-9 of a threshold by anything but intent, so edges within the
+#: tolerance of α are treated as unqualified (the paper's "not larger
+#: than α").
+COHESION_TOLERANCE = 1e-9
+
+
+def peel_to_threshold(
+    graph: Graph,
+    frequencies: FrequencyMap,
+    alpha: float,
+    cohesion: dict[Edge, float],
+    removed_sink: list[Edge] | None = None,
+) -> None:
+    """Phase 2 of Algorithm 1, in place.
+
+    Removes every edge whose cohesion is ``<= alpha`` from ``graph``,
+    maintaining ``cohesion`` incrementally. Removed edges are appended to
+    ``removed_sink`` (in removal order) when provided — the decomposition
+    algorithm uses this to collect the per-threshold removed sets
+    ``R_p(α_k)`` without re-running Phase 1.
+
+    ``graph`` and ``cohesion`` are mutated; entries of removed edges are
+    deleted from ``cohesion``.
+    """
+    bound = alpha + COHESION_TOLERANCE
+    queue: deque[Edge] = deque(
+        e for e, value in cohesion.items() if value <= bound
+    )
+    queued = set(queue)
+    while queue:
+        edge = queue.popleft()
+        u, v = edge
+        if not graph.has_edge(u, v):
+            continue
+        f_u = frequencies.get(u, 0.0)
+        f_v = frequencies.get(v, 0.0)
+        base = f_u if f_u < f_v else f_v
+        for w in common_neighbors(graph, u, v):
+            f_w = frequencies.get(w, 0.0)
+            contribution = base if base < f_w else f_w
+            for other in (edge_key(u, w), edge_key(v, w)):
+                new_value = cohesion[other] - contribution
+                cohesion[other] = new_value
+                if new_value <= bound and other not in queued:
+                    queued.add(other)
+                    queue.append(other)
+        graph.remove_edge(u, v)
+        del cohesion[edge]
+        if removed_sink is not None:
+            removed_sink.append(edge)
+
+
+def maximal_pattern_truss(
+    graph: Graph,
+    frequencies: FrequencyMap,
+    alpha: float,
+) -> tuple[Graph, dict[Edge, float]]:
+    """Run MPTD on a theme network; the inputs are not mutated.
+
+    Returns the maximal pattern truss as a graph (isolated vertices
+    dropped) together with the final cohesion of each surviving edge. The
+    cohesion table is what the decomposition (Section 6.1) continues
+    peeling from.
+
+    ``alpha`` must be >= 0: Definition 3.3 requires strictly positive
+    cohesion already at α = 0.
+    """
+    if alpha < 0.0:
+        raise MiningError(f"alpha must be >= 0, got {alpha}")
+    work = graph.copy()
+    cohesion = edge_cohesion_table(work, frequencies)
+    peel_to_threshold(work, frequencies, alpha, cohesion)
+    work.discard_isolated_vertices()
+    return work, cohesion
+
+
+def truss_vertices(graph: Graph) -> set[Vertex]:
+    """Vertices of an edge-induced truss (every vertex has an edge)."""
+    return {v for v in graph if graph.degree(v) > 0}

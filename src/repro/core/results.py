@@ -1,0 +1,103 @@
+"""Mining result container and the paper's evaluation metrics.
+
+The evaluation (Section 7) measures, per run: Time Cost, NP (#patterns =
+#maximal pattern trusses), NV (total vertex memberships over all trusses),
+and NE (total edge memberships). A vertex/edge in k trusses counts k times.
+:class:`MiningResult` stores the pattern → truss map and computes those
+aggregates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro._ordering import Pattern
+from repro.core.truss import PatternTruss
+
+
+class MiningResult(Mapping[Pattern, PatternTruss]):
+    """The set of non-empty maximal pattern trusses found by a mining run."""
+
+    def __init__(self, alpha: float) -> None:
+        self.alpha = alpha
+        self._trusses: dict[Pattern, PatternTruss] = {}
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+    def __getitem__(self, pattern: Pattern) -> PatternTruss:
+        return self._trusses[pattern]
+
+    def __iter__(self) -> Iterator[Pattern]:
+        return iter(self._trusses)
+
+    def __len__(self) -> int:
+        return len(self._trusses)
+
+    # ------------------------------------------------------------------
+    def add(self, truss: PatternTruss) -> None:
+        """Record a non-empty truss; empty trusses are silently skipped."""
+        if truss.is_empty():
+            return
+        self._trusses[truss.pattern] = truss
+
+    def patterns(self) -> list[Pattern]:
+        return sorted(self._trusses)
+
+    def patterns_of_length(self, k: int) -> list[Pattern]:
+        return sorted(p for p in self._trusses if len(p) == k)
+
+    def max_pattern_length(self) -> int:
+        return max((len(p) for p in self._trusses), default=0)
+
+    # ------------------------------------------------------------------
+    # paper metrics
+    # ------------------------------------------------------------------
+    @property
+    def num_patterns(self) -> int:
+        """NP: number of maximal pattern trusses (= number of patterns)."""
+        return len(self._trusses)
+
+    @property
+    def num_vertices(self) -> int:
+        """NV: vertex memberships summed over all trusses."""
+        return sum(t.num_vertices for t in self._trusses.values())
+
+    @property
+    def num_edges(self) -> int:
+        """NE: edge memberships summed over all trusses."""
+        return sum(t.num_edges for t in self._trusses.values())
+
+    def metrics(self) -> dict[str, float]:
+        np_ = self.num_patterns
+        return {
+            "NP": np_,
+            "NV": self.num_vertices,
+            "NE": self.num_edges,
+            "NV/NP": self.num_vertices / np_ if np_ else 0.0,
+            "NE/NP": self.num_edges / np_ if np_ else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    def same_trusses_as(self, other: "MiningResult") -> bool:
+        """Exact-result comparison (TCFA and TCFI must agree; TCS ⊆)."""
+        if set(self._trusses) != set(other._trusses):
+            return False
+        return all(
+            self._trusses[p].edges() == other._trusses[p].edges()
+            for p in self._trusses
+        )
+
+    def is_subset_of(self, other: "MiningResult") -> bool:
+        """True when every truss here appears identically in ``other``."""
+        return all(
+            p in other._trusses
+            and self._trusses[p].edges() == other._trusses[p].edges()
+            for p in self._trusses
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MiningResult(alpha={self.alpha}, NP={self.num_patterns}, "
+            f"NV={self.num_vertices}, NE={self.num_edges})"
+        )

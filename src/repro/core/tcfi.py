@@ -1,0 +1,72 @@
+"""Theme Community Finder Intersection — TCFI (Section 5.3).
+
+TCFI is TCFA with one changed line (Line 6 of Algorithm 3): instead of
+inducing the candidate's theme network from the whole database network, it
+is induced from ``C*_{p}(α) ∩ C*_{q}(α)``, the intersection of the two
+parent trusses. By the graph-intersection property (Proposition 5.3) the
+candidate's maximal pattern truss lives inside that intersection, so:
+
+- candidates whose parents' trusses do not intersect are pruned with *no*
+  MPTD call at all;
+- surviving candidates run MPTD on a tiny local subgraph rather than the
+  whole network.
+
+Because most maximal pattern trusses are small local subgraphs that do not
+intersect (Section 7.2), this prunes the vast majority of candidates and is
+the source of TCFI's two-orders-of-magnitude speedup.
+"""
+
+from __future__ import annotations
+
+from repro.core.candidates import generate_candidates
+from repro.core.levels import single_item_trusses
+from repro.core.mptd import maximal_pattern_truss
+from repro.core.results import MiningResult
+from repro.core.truss import PatternTruss
+from repro.errors import MiningError
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.network.theme import intersect_graphs, theme_network_within
+
+
+def tcfi(
+    network: DatabaseNetwork,
+    alpha: float,
+    max_length: int | None = None,
+    workers: int = 1,
+) -> MiningResult:
+    """Run TCFI; exact — produces the same result as TCFA.
+
+    See :func:`repro.core.tcfa.tcfa` for the shared parameters.
+    """
+    if alpha < 0.0:
+        raise MiningError(f"alpha must be >= 0, got {alpha}")
+    result = MiningResult(alpha)
+    level = single_item_trusses(network, alpha, workers=workers)
+    for truss in level.values():
+        result.add(truss)
+
+    k = 2
+    while level and (max_length is None or k <= max_length):
+        next_level: dict = {}
+        for candidate in generate_candidates(sorted(level)):
+            carrier = intersect_graphs(
+                level[candidate.left_parent].graph,
+                level[candidate.right_parent].graph,
+            )
+            if carrier.num_edges == 0:
+                continue  # pruned with no MPTD call (Proposition 5.3)
+            graph, frequencies = theme_network_within(
+                network, candidate.pattern, carrier
+            )
+            if graph.num_edges == 0:
+                continue
+            truss_graph, _ = maximal_pattern_truss(graph, frequencies, alpha)
+            truss = PatternTruss(
+                candidate.pattern, truss_graph, frequencies, alpha
+            )
+            if not truss.is_empty():
+                next_level[truss.pattern] = truss
+                result.add(truss)
+        level = next_level
+        k += 1
+    return result

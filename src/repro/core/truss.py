@@ -1,0 +1,85 @@
+"""The :class:`PatternTruss` result container.
+
+A maximal pattern truss ``C*_p(α)`` is an edge-induced subgraph of a theme
+network together with the pattern, the threshold, and the per-vertex
+frequencies (kept because decomposition and community reporting both need
+them). Instances are immutable by convention: algorithms build a fresh
+graph and hand it over.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro._ordering import Pattern
+from repro.graphs.components import connected_components
+from repro.graphs.graph import Edge, Graph, Vertex
+
+
+class PatternTruss:
+    """A (maximal) pattern truss: pattern + subgraph + frequencies + α."""
+
+    __slots__ = ("pattern", "graph", "frequencies", "alpha")
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        graph: Graph,
+        frequencies: dict[Vertex, float],
+        alpha: float,
+    ) -> None:
+        self.pattern = pattern
+        self.graph = graph
+        # Keep only frequencies of surviving vertices: the truss is
+        # self-contained for decomposition and reporting.
+        self.frequencies = {
+            v: frequencies[v] for v in graph if v in frequencies
+        }
+        self.alpha = alpha
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def is_empty(self) -> bool:
+        return self.graph.num_edges == 0
+
+    def vertices(self) -> set[Vertex]:
+        return set(self.graph.vertices())
+
+    def edges(self) -> set[Edge]:
+        return set(self.graph.iter_edges())
+
+    def communities(self) -> list[set[Vertex]]:
+        """Theme communities: maximal connected subgraphs (Definition 3.5)."""
+        return connected_components(self.graph)
+
+    def iter_communities(self) -> Iterator[set[Vertex]]:
+        yield from self.communities()
+
+    def contains_subgraph(self, other: "PatternTruss") -> bool:
+        """True when ``other``'s edge set is a subset of ours.
+
+        This is the containment of Theorem 5.1 (graph anti-monotonicity):
+        longer patterns have smaller trusses.
+        """
+        return all(self.graph.has_edge(u, v) for u, v in other.graph.iter_edges())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternTruss):
+            return NotImplemented
+        return (
+            self.pattern == other.pattern
+            and self.graph == other.graph
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PatternTruss(pattern={self.pattern}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, alpha={self.alpha})"
+        )

@@ -1,0 +1,126 @@
+"""Independent verification of mining results.
+
+Downstream users who modify the miners (new pruning rules, approximate
+variants) need a way to check results against the definitions rather than
+against another implementation. This module re-derives everything from
+Definitions 3.3-3.5 directly:
+
+- every truss is a pattern truss (all edge cohesions > α, recomputed from
+  the vertex databases — not from any cached frequency map);
+- every truss is maximal (no removed edge of its theme network can be
+  added back);
+- optionally, *completeness* against a brute-force enumeration (viable
+  only for small item universes — it is exponential by Theorem 3.8).
+
+All functions return lists of human-readable violation strings; empty
+means verified.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.cohesion import edge_cohesion_table
+from repro.core.mptd import COHESION_TOLERANCE, maximal_pattern_truss
+from repro.core.results import MiningResult
+from repro.core.truss import PatternTruss
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.network.theme import induce_theme_network
+
+
+def verify_pattern_truss(
+    network: DatabaseNetwork,
+    truss: PatternTruss,
+    alpha: float,
+) -> list[str]:
+    """Check one truss against Definitions 3.3/3.4. Returns violations."""
+    violations: list[str] = []
+    pattern = truss.pattern
+
+    # Frequencies must match the databases exactly.
+    for v in truss.graph:
+        actual = network.frequency(v, pattern)
+        if actual <= 0.0:
+            violations.append(
+                f"vertex {v} has zero frequency for {pattern} but is in "
+                "the truss"
+            )
+        stored = truss.frequencies.get(v)
+        if stored is not None and abs(stored - actual) > 1e-9:
+            violations.append(
+                f"vertex {v}: stored frequency {stored} != database "
+                f"frequency {actual}"
+            )
+
+    # Every edge must exist in the network and exceed α in cohesion.
+    frequencies = {
+        v: network.frequency(v, pattern) for v in truss.graph
+    }
+    cohesion = edge_cohesion_table(truss.graph, frequencies)
+    for edge, value in cohesion.items():
+        if not network.graph.has_edge(*edge):
+            violations.append(f"edge {edge} not in the database network")
+        if value <= alpha + COHESION_TOLERANCE:
+            violations.append(
+                f"edge {edge} has cohesion {value} <= alpha {alpha}"
+            )
+
+    # Maximality: re-running MPTD on the full theme network must give back
+    # exactly this edge set.
+    graph, theme_frequencies = induce_theme_network(network, pattern)
+    maximal, _ = maximal_pattern_truss(graph, theme_frequencies, alpha)
+    ours = set(truss.graph.iter_edges())
+    exact = set(maximal.iter_edges())
+    if ours != exact:
+        missing = exact - ours
+        extra = ours - exact
+        if missing:
+            violations.append(
+                f"not maximal: missing {sorted(missing)[:5]}"
+                + ("..." if len(missing) > 5 else "")
+            )
+        if extra:
+            violations.append(
+                f"overfull: extra edges {sorted(extra)[:5]}"
+                + ("..." if len(extra) > 5 else "")
+            )
+    return violations
+
+
+def verify_mining_result(
+    network: DatabaseNetwork,
+    result: MiningResult,
+    check_completeness: bool = False,
+    max_pattern_length: int | None = None,
+) -> list[str]:
+    """Check every truss of ``result``; optionally check completeness.
+
+    ``check_completeness=True`` enumerates *all* patterns up to
+    ``max_pattern_length`` over the network's item universe and verifies
+    that every qualified one appears in ``result`` — exponential in the
+    universe, so only use on small networks.
+    """
+    violations: list[str] = []
+    for pattern, truss in result.items():
+        if pattern != truss.pattern:
+            violations.append(
+                f"key {pattern} maps to truss of pattern {truss.pattern}"
+            )
+        for violation in verify_pattern_truss(network, truss, result.alpha):
+            violations.append(f"{pattern}: {violation}")
+
+    if check_completeness:
+        items = network.item_universe()
+        limit = max_pattern_length or len(items)
+        for length in range(1, limit + 1):
+            for combo in combinations(items, length):
+                graph, frequencies = induce_theme_network(network, combo)
+                truss_graph, _ = maximal_pattern_truss(
+                    graph, frequencies, result.alpha
+                )
+                if truss_graph.num_edges and combo not in result:
+                    violations.append(
+                        f"missing qualified pattern {combo} "
+                        f"({truss_graph.num_edges} edges)"
+                    )
+    return violations

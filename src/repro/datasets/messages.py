@@ -1,0 +1,126 @@
+"""Message-network generator for the edge-database-network extension.
+
+The edge model (Section 8 future work) needs a workload where transaction
+databases live on relationships: conversations. This generator plants
+*circles* — friend groups whose internal message threads revolve around a
+shared topic set — on a clustered social graph, mirroring how the check-in
+generator plants hangout groups for the vertex model.
+
+A theme community in the generated network is a circle whose pairwise
+conversations all frequently cover the circle's topics.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro._ordering import make_pattern
+from repro.datasets.ground_truth import PlantedCommunity
+from repro.edgenet.network import EdgeDatabaseNetwork
+from repro.errors import MiningError
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.graphs.graph import Graph
+
+
+def _bfs_ball(graph: Graph, center: int, size: int) -> list[int]:
+    ball = [center]
+    seen = {center}
+    queue = deque([center])
+    while queue and len(ball) < size:
+        v = queue.popleft()
+        for w in sorted(graph.neighbors(v)):
+            if w not in seen:
+                seen.add(w)
+                ball.append(w)
+                queue.append(w)
+                if len(ball) >= size:
+                    break
+    return ball
+
+
+def generate_message_network(
+    num_users: int = 100,
+    num_topics: int = 12,
+    num_circles: int = 6,
+    circle_size: int = 6,
+    topics_per_circle: int = 2,
+    threads_per_pair: int = 4,
+    topic_probability: float = 0.7,
+    noise_topics: int = 6,
+    edges_per_vertex: int = 3,
+    triangle_probability: float = 0.6,
+    seed: int | None = 0,
+    return_ground_truth: bool = False,
+):
+    """Generate an edge database network of message threads.
+
+    Every edge of the social graph carries one transaction per message
+    thread (the set of topics the thread touched). Pairs inside a planted
+    circle discuss the circle's topics with probability
+    ``topic_probability`` per topic per thread; everyone also produces
+    off-topic chatter drawn from ``noise_topics`` extra topics.
+    """
+    if num_circles < 0:
+        raise MiningError(f"num_circles must be >= 0, got {num_circles}")
+    if not 0.0 <= topic_probability <= 1.0:
+        raise MiningError(
+            f"topic_probability must be in [0, 1], got {topic_probability}"
+        )
+    if num_topics < topics_per_circle:
+        raise MiningError(
+            "num_topics must be >= topics_per_circle "
+            f"({num_topics} < {topics_per_circle})"
+        )
+    rng = random.Random(seed)
+    graph = powerlaw_cluster_graph(
+        num_users,
+        edges_per_vertex,
+        triangle_probability,
+        seed=rng.randrange(2**31),
+    )
+    theme_topics = list(range(num_topics))
+    chatter_topics = list(range(num_topics, num_topics + noise_topics))
+
+    circle_members: list[list[int]] = []
+    circle_topics: list[list[int]] = []
+    pair_topics: dict[tuple[int, int], set[int]] = {}
+    for _ in range(num_circles):
+        center = rng.randrange(num_users)
+        members = _bfs_ball(graph, center, circle_size)
+        topics = rng.sample(theme_topics, topics_per_circle)
+        circle_members.append(members)
+        circle_topics.append(topics)
+        member_set = set(members)
+        for u, v in graph.iter_edges():
+            if u in member_set and v in member_set:
+                pair_topics.setdefault((u, v), set()).update(topics)
+
+    network = EdgeDatabaseNetwork()
+    for u, v in sorted(graph.iter_edges()):
+        topics = pair_topics.get((u, v), set())
+        for _ in range(threads_per_pair):
+            thread: set[int] = set()
+            for topic in topics:
+                if rng.random() < topic_probability:
+                    thread.add(topic)
+            if rng.random() < 0.5 or not thread:
+                thread.add(rng.choice(chatter_topics))
+            network.add_transaction(u, v, thread)
+    # Keep the full social graph, including edges without planted topics.
+    for u, v in graph.iter_edges():
+        if not network.graph.has_edge(u, v):
+            network.graph.add_edge(u, v)
+
+    network.item_labels = {
+        t: f"topic_{t}" for t in theme_topics + chatter_topics
+    }
+    network.vertex_labels = {v: f"user_{v}" for v in range(num_users)}
+
+    if not return_ground_truth:
+        return network
+    planted = [
+        PlantedCommunity(frozenset(members), make_pattern(topics))
+        for members, topics in zip(circle_members, circle_topics)
+    ]
+    return network, planted

@@ -1,0 +1,79 @@
+"""The 9-vertex toy database network of Figure 1.
+
+Layout (mirroring the paper's example):
+
+- vertices 1..5 form a 5-clique, vertices 7, 8, 9 a triangle;
+- vertex 6 bridges the two groups (edges 5-6 and 6-7) plus two extra
+  edges 5-7 and 6-9 that close triangles for the second theme;
+- item ``p`` (id 0) has frequency 0.1 on vertices 1..5, 0.3 on 7..9, and
+  0 on vertex 6;
+- item ``q`` (id 1) has frequency 0.4 / 0.5 / 0.7 / 0.8 / 0.6 / 0.7 on
+  vertices 2, 3, 5, 6, 7, 9 and 0 elsewhere.
+
+Exactly known ground truth (derived by hand, asserted in tests):
+
+- theme ``(0,)``: maximal pattern truss for α < 0.3 is the 5-clique plus
+  the 7-8-9 triangle → two theme communities {1..5} and {7,8,9}; empty for
+  α >= 0.3.
+- theme ``(1,)``: maximal pattern truss for α < 0.4 contains the single
+  community {2,3,5,6,7,9}, which overlaps both p-communities; the edge
+  cohesion profile steps at 0.4 and 0.6, so the decomposition thresholds
+  are [0.4, 0.6] (α* = 0.6... see test_toy for the exact list).
+- no other pattern forms a truss (fillers are vertex-unique; p and q never
+  co-occur in one transaction).
+"""
+
+from __future__ import annotations
+
+from repro.network.builder import DatabaseNetworkBuilder
+from repro.network.dbnetwork import DatabaseNetwork
+
+#: frequency of item "p" per vertex (×10 = transaction count out of 10)
+P_FREQUENCIES = {1: 0.1, 2: 0.1, 3: 0.1, 4: 0.1, 5: 0.1,
+                 6: 0.0, 7: 0.3, 8: 0.3, 9: 0.3}
+
+#: frequency of item "q" per vertex
+Q_FREQUENCIES = {1: 0.0, 2: 0.4, 3: 0.5, 4: 0.0, 5: 0.7,
+                 6: 0.8, 7: 0.6, 8: 0.0, 9: 0.7}
+
+#: the toy graph's edges
+TOY_EDGES = [
+    # 5-clique on 1..5
+    (1, 2), (1, 3), (1, 4), (1, 5),
+    (2, 3), (2, 4), (2, 5),
+    (3, 4), (3, 5),
+    (4, 5),
+    # triangle on 7..9
+    (7, 8), (7, 9), (8, 9),
+    # bridge and theme-q closure edges
+    (5, 6), (6, 7), (5, 7), (6, 9),
+]
+
+TRANSACTIONS_PER_VERTEX = 10
+
+
+def toy_database_network() -> DatabaseNetwork:
+    """Build the deterministic toy network described above.
+
+    Item ids: "p" → 0, "q" → 1, then one filler item per vertex. Each
+    vertex database holds exactly 10 transactions; p-transactions and
+    q-transactions are disjoint so the pattern {p, q} has frequency 0
+    everywhere.
+    """
+    builder = DatabaseNetworkBuilder()
+    # Intern p and q first so they get ids 0 and 1.
+    builder.item_id("p")
+    builder.item_id("q")
+    for u, v in TOY_EDGES:
+        builder.add_edge(u, v)
+    for vertex in range(1, 10):
+        p_count = round(P_FREQUENCIES[vertex] * TRANSACTIONS_PER_VERTEX)
+        q_count = round(Q_FREQUENCIES[vertex] * TRANSACTIONS_PER_VERTEX)
+        filler = f"filler_{vertex}"
+        for _ in range(p_count):
+            builder.add_transaction(vertex, ["p"])
+        for _ in range(q_count):
+            builder.add_transaction(vertex, ["q"])
+        for _ in range(TRANSACTIONS_PER_VERTEX - p_count - q_count):
+            builder.add_transaction(vertex, [filler])
+    return builder.build()

@@ -1,0 +1,116 @@
+"""Truss decomposition for edge theme networks.
+
+The Theorem 6.1 argument only uses two facts — cohesion is a sum of
+per-triangle minima, and peeling at the current minimum cohesion strictly
+shrinks the truss — both of which hold verbatim with per-edge frequencies.
+So an edge theme network's maximal pattern truss decomposes into the same
+ascending-threshold linked list ``L_p``, reconstructed by Equation 1.
+
+The container stores per-*edge* frequencies (the vertex model stores
+per-vertex ones); reconstruction yields plain graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._ordering import Pattern
+from repro.core.mptd import COHESION_TOLERANCE
+from repro.edgenet.cohesion import edge_theme_cohesion_table
+from repro.edgenet.network import EdgeDatabaseNetwork
+from repro.edgenet.theme import EdgeFrequencyMap, induce_edge_theme_network
+from repro.graphs.graph import Edge, Graph
+
+
+@dataclass
+class EdgeDecompositionLevel:
+    """One linked-list node: threshold + the edges removed at it."""
+
+    alpha: float
+    removed_edges: list[Edge]
+
+
+@dataclass
+class EdgeTrussDecomposition:
+    """``L_p`` for an edge theme network."""
+
+    pattern: Pattern
+    levels: list[EdgeDecompositionLevel] = field(default_factory=list)
+    frequencies: EdgeFrequencyMap = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        return not self.levels
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(level.removed_edges) for level in self.levels)
+
+    @property
+    def max_alpha(self) -> float:
+        if not self.levels:
+            return 0.0
+        return self.levels[-1].alpha
+
+    def thresholds(self) -> list[float]:
+        return [level.alpha for level in self.levels]
+
+    def edges_at(self, alpha: float) -> list[Edge]:
+        """Equation 1 with the shared cohesion tolerance."""
+        bound = alpha + COHESION_TOLERANCE
+        return [
+            edge
+            for level in self.levels
+            if level.alpha > bound
+            for edge in level.removed_edges
+        ]
+
+    def graph_at(self, alpha: float) -> Graph:
+        graph = Graph()
+        for u, v in self.edges_at(alpha):
+            graph.add_edge(u, v)
+        return graph
+
+
+def decompose_edge_truss(
+    pattern: Pattern,
+    truss_graph: Graph,
+    frequencies: EdgeFrequencyMap,
+    cohesion: dict[Edge, float],
+) -> EdgeTrussDecomposition:
+    """Iterated peeling of an α = 0 edge truss; inputs are consumed."""
+    from repro.edgenet.finder import _peel
+
+    decomposition = EdgeTrussDecomposition(
+        pattern=pattern,
+        frequencies={
+            e: f
+            for e, f in frequencies.items()
+            if truss_graph.has_edge(*e)
+        },
+    )
+    while cohesion:
+        beta = min(cohesion.values())
+        before = set(cohesion)
+        _peel(truss_graph, frequencies, beta, cohesion)
+        removed = sorted(before - set(cohesion))
+        decomposition.levels.append(EdgeDecompositionLevel(beta, removed))
+    return decomposition
+
+
+def decompose_edge_network_pattern(
+    network: EdgeDatabaseNetwork,
+    pattern: Pattern,
+    carrier: Graph | None = None,
+) -> EdgeTrussDecomposition:
+    """Induce, peel at α = 0, decompose — one call."""
+    from repro.edgenet.finder import maximal_edge_pattern_truss
+
+    graph, frequencies = induce_edge_theme_network(
+        network, pattern, carrier=carrier
+    )
+    truss, cohesion = maximal_edge_pattern_truss(graph, frequencies, 0.0)
+    # Re-derive the cohesion table bound to the peeled graph copy so the
+    # decomposition owns mutable state.
+    work = truss.copy()
+    table = edge_theme_cohesion_table(work, frequencies)
+    return decompose_edge_truss(pattern, work, frequencies, table)

@@ -1,0 +1,157 @@
+"""TC-Tree indexing and query answering for edge database networks.
+
+The set-enumeration construction of Algorithm 4 and the pruned BFS of
+Algorithm 5 transfer unchanged: nodes store
+:class:`~repro.edgenet.decomposition.EdgeTrussDecomposition`, children are
+computed inside parent-truss intersections, and empty decompositions prune
+whole subtrees (the anti-monotonicity arguments hold for per-edge
+frequencies).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro._ordering import EMPTY_PATTERN, Pattern, make_pattern
+from repro.edgenet.decomposition import (
+    EdgeTrussDecomposition,
+    decompose_edge_network_pattern,
+)
+from repro.edgenet.network import EdgeDatabaseNetwork
+from repro.errors import TCIndexError
+from repro.graphs.components import connected_components
+from repro.graphs.graph import Graph
+from repro.network.theme import intersect_graphs
+
+
+class EdgeTCNode:
+    """One node of an edge TC-Tree."""
+
+    __slots__ = ("item", "pattern", "decomposition", "children")
+
+    def __init__(
+        self,
+        item: int | None,
+        pattern: Pattern,
+        decomposition: EdgeTrussDecomposition | None,
+    ) -> None:
+        self.item = item
+        self.pattern = pattern
+        self.decomposition = decomposition
+        self.children: list[EdgeTCNode] = []
+
+    def iter_subtree(self) -> Iterator["EdgeTCNode"]:
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+
+class EdgeTCTree:
+    """A built edge TC-Tree."""
+
+    def __init__(self, root: EdgeTCNode) -> None:
+        self.root = root
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def iter_nodes(self) -> Iterator[EdgeTCNode]:
+        for child in self.root.children:
+            yield from child.iter_subtree()
+
+    def patterns(self) -> list[Pattern]:
+        return sorted(node.pattern for node in self.iter_nodes())
+
+    def query(
+        self,
+        pattern: Iterable[int] | None = None,
+        alpha: float = 0.0,
+    ) -> list[tuple[Pattern, Graph]]:
+        """Algorithm 5 on the edge tree: (pattern, truss graph) pairs."""
+        if alpha < 0.0:
+            raise TCIndexError(f"alpha must be >= 0, got {alpha}")
+        query_items = (
+            None if pattern is None else set(make_pattern(pattern))
+        )
+        answer: list[tuple[Pattern, Graph]] = []
+        queue = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            for child in node.children:
+                if query_items is not None and child.item not in query_items:
+                    continue
+                graph = child.decomposition.graph_at(alpha)  # type: ignore[union-attr]
+                if graph.num_edges == 0:
+                    continue
+                answer.append((child.pattern, graph))
+                queue.append(child)
+        return answer
+
+    def query_communities(
+        self,
+        pattern: Iterable[int] | None = None,
+        alpha: float = 0.0,
+    ) -> list[tuple[Pattern, set]]:
+        """Theme communities (connected components) matching a query."""
+        communities: list[tuple[Pattern, set]] = []
+        for found_pattern, graph in self.query(pattern, alpha):
+            for component in connected_components(graph):
+                communities.append((found_pattern, component))
+        return communities
+
+
+def build_edge_tc_tree(
+    network: EdgeDatabaseNetwork,
+    max_length: int | None = None,
+) -> EdgeTCTree:
+    """Algorithm 4 over an edge database network."""
+    root = EdgeTCNode(None, EMPTY_PATTERN, None)
+    truss_graphs: dict[int, Graph] = {}
+    queue: deque[EdgeTCNode] = deque()
+
+    for item in network.item_universe():
+        decomposition = decompose_edge_network_pattern(network, (item,))
+        if decomposition.is_empty():
+            continue
+        node = EdgeTCNode(item, (item,), decomposition)
+        root.children.append(node)
+        truss_graphs[id(node)] = decomposition.graph_at(0.0)
+        queue.append(node)
+
+    parent_of: dict[int, EdgeTCNode] = {
+        id(child): root for child in root.children
+    }
+    while queue:
+        node_f = queue.popleft()
+        if max_length is not None and len(node_f.pattern) >= max_length:
+            truss_graphs.pop(id(node_f), None)
+            parent_of.pop(id(node_f), None)
+            continue
+        parent = parent_of[id(node_f)]
+        graph_f = truss_graphs[id(node_f)]
+        for node_b in parent.children:
+            if node_b.item <= node_f.item:  # type: ignore[operator]
+                continue
+            graph_b = truss_graphs.get(id(node_b))
+            if graph_b is None:
+                graph_b = node_b.decomposition.graph_at(0.0)  # type: ignore[union-attr]
+            carrier = intersect_graphs(graph_f, graph_b)
+            if carrier.num_edges == 0:
+                continue
+            child_pattern = node_f.pattern + (node_b.item,)  # type: ignore[operator]
+            decomposition = decompose_edge_network_pattern(
+                network, child_pattern, carrier=carrier
+            )
+            if decomposition.is_empty():
+                continue
+            child = EdgeTCNode(node_b.item, child_pattern, decomposition)
+            node_f.children.append(child)
+            parent_of[id(child)] = node_f
+            truss_graphs[id(child)] = decomposition.graph_at(0.0)
+            queue.append(child)
+        truss_graphs.pop(id(node_f), None)
+        parent_of.pop(id(node_f), None)
+
+    return EdgeTCTree(root)

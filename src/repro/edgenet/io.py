@@ -1,0 +1,98 @@
+"""Serialization of edge database networks.
+
+JSON schema (version 1)::
+
+    {
+      "format": "repro-edgenetwork",
+      "version": 1,
+      "vertices": [0, 1, ...],
+      "edges": [[0, 1], ...],
+      "databases": {"0-1": [[item, ...], ...], ...},
+      "vertex_labels": {...}, "item_labels": {...}
+    }
+
+Edge keys are serialized as ``"u-v"`` strings with ``u < v``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import NetworkFormatError
+from repro.edgenet.network import EdgeDatabaseNetwork
+from repro.graphs.graph import Graph
+from repro.txdb.database import TransactionDatabase
+
+_FORMAT = "repro-edgenetwork"
+_VERSION = 1
+
+
+def edge_network_to_dict(network: EdgeDatabaseNetwork) -> dict:
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "vertices": sorted(network.graph.vertices()),
+        "edges": sorted(network.graph.edges()),
+        "databases": {
+            f"{u}-{v}": [sorted(t) for t in db.transactions()]
+            for (u, v), db in sorted(network.databases.items())
+        },
+        "vertex_labels": {
+            str(v): label for v, label in sorted(network.vertex_labels.items())
+        },
+        "item_labels": {
+            str(i): label for i, label in sorted(network.item_labels.items())
+        },
+    }
+
+
+def edge_network_from_dict(document: dict) -> EdgeDatabaseNetwork:
+    if document.get("format") != _FORMAT:
+        raise NetworkFormatError(
+            f"not a {_FORMAT} document: format={document.get('format')!r}"
+        )
+    if document.get("version") != _VERSION:
+        raise NetworkFormatError(
+            f"unsupported version {document.get('version')!r}"
+        )
+    graph = Graph()
+    for v in document.get("vertices", []):
+        graph.add_vertex(int(v))
+    for u, v in document.get("edges", []):
+        graph.add_edge(int(u), int(v))
+    databases = {}
+    for key, transactions in document.get("databases", {}).items():
+        u_text, _, v_text = key.partition("-")
+        try:
+            edge = (int(u_text), int(v_text))
+        except ValueError as exc:
+            raise NetworkFormatError(f"bad edge key {key!r}") from exc
+        databases[edge] = TransactionDatabase(
+            [int(i) for i in t] for t in transactions
+        )
+    vertex_labels = {
+        int(v): label
+        for v, label in document.get("vertex_labels", {}).items()
+    }
+    item_labels = {
+        int(i): label
+        for i, label in document.get("item_labels", {}).items()
+    }
+    return EdgeDatabaseNetwork(graph, databases, vertex_labels, item_labels)
+
+
+def save_edge_network(
+    network: EdgeDatabaseNetwork, path: str | Path
+) -> None:
+    with Path(path).open("w", encoding="utf-8") as handle:
+        json.dump(edge_network_to_dict(network), handle)
+
+
+def load_edge_network(path: str | Path) -> EdgeDatabaseNetwork:
+    try:
+        with Path(path).open("r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise NetworkFormatError(f"invalid JSON in {path}: {exc}") from exc
+    return edge_network_from_dict(document)

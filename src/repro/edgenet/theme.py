@@ -1,0 +1,47 @@
+"""Edge theme network induction.
+
+For a pattern ``p``, the edge theme network keeps exactly the edges with
+``f_e(p) > 0`` (any endpoint of such an edge stays). The induction returns
+the subgraph together with the per-edge frequency map — the pair every
+downstream algorithm consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro._ordering import make_pattern
+from repro.edgenet.network import EdgeDatabaseNetwork
+from repro.graphs.graph import Edge, Graph
+
+EdgeFrequencyMap = dict[Edge, float]
+
+
+def induce_edge_theme_network(
+    network: EdgeDatabaseNetwork,
+    pattern: Iterable[int],
+    carrier: Graph | None = None,
+) -> tuple[Graph, EdgeFrequencyMap]:
+    """The edge theme network of ``pattern``.
+
+    ``carrier`` optionally restricts the candidate edges (the intersection
+    shortcut of the level-wise finder — the edge-network analogue of
+    Proposition 5.3).
+    """
+    canonical = make_pattern(pattern)
+    graph = Graph()
+    frequencies: EdgeFrequencyMap = {}
+    if carrier is None:
+        candidates = network.databases.items()
+    else:
+        candidates = (
+            (edge, network.databases[edge])
+            for edge in carrier.iter_edges()
+            if edge in network.databases
+        )
+    for edge, database in candidates:
+        f = database.frequency(canonical)
+        if f > 0.0:
+            graph.add_edge(*edge)
+            frequencies[edge] = f
+    return graph, frequencies

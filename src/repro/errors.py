@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised on invalid graph operations (unknown vertex, self-loop, ...)."""
+
+
+class DatabaseError(ReproError):
+    """Raised on invalid transaction-database operations."""
+
+
+class NetworkFormatError(ReproError):
+    """Raised when parsing a serialized database network fails."""
+
+
+class MiningError(ReproError):
+    """Raised on invalid mining parameters (e.g. negative thresholds)."""
+
+
+class IndexError_(ReproError):
+    """Raised on invalid TC-Tree / warehouse operations.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`; exported as ``TCIndexError`` from the package root.
+    """
+
+
+TCIndexError = IndexError_

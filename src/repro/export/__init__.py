@@ -1,0 +1,25 @@
+"""Exporters for downstream tooling.
+
+Mining and indexing results become useful when they reach a plotting or
+graph-visualization tool; this package writes the standard interchange
+formats:
+
+- :mod:`repro.export.graphml` — GraphML for Gephi/Cytoscape/yEd, with
+  community membership and frequencies as attributes;
+- :mod:`repro.export.dot` — Graphviz DOT for quick rendering;
+- :mod:`repro.export.tables` — CSV for experiment rows (the benchmark
+  reports, ready for external plotting).
+"""
+
+from repro.export.dot import community_to_dot, network_to_dot
+from repro.export.graphml import network_to_graphml, write_graphml
+from repro.export.tables import rows_to_csv, write_csv
+
+__all__ = [
+    "network_to_graphml",
+    "write_graphml",
+    "network_to_dot",
+    "community_to_dot",
+    "rows_to_csv",
+    "write_csv",
+]

@@ -1,0 +1,39 @@
+"""CSV export of experiment rows.
+
+The benchmark drivers produce ``list[dict]`` rows; this writes them as CSV
+so external tools (pandas, gnuplot, spreadsheets) can re-plot the figures
+from measured data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render rows as a CSV string (columns = union of keys, first-seen
+    order)."""
+    if not rows:
+        return ""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=columns, restval="", lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return buffer.getvalue()
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, object]], path: str | Path
+) -> None:
+    Path(path).write_text(rows_to_csv(rows), encoding="utf-8")

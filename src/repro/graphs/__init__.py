@@ -1,0 +1,57 @@
+"""From-scratch undirected-graph substrate.
+
+The paper's algorithms repeatedly mutate small subgraphs (edge peeling in
+MPTD, truss decomposition) and enumerate triangles; this package provides a
+lightweight adjacency-set graph tuned for exactly those operations, plus the
+classic structures the paper builds on (k-core, k-truss, truss decomposition)
+and random-graph generators that replace the JUNG library used in Section 7.
+"""
+
+from repro.graphs.components import connected_components, is_connected
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.graph import Graph, edge_key
+from repro.graphs.kclique import (
+    enumerate_maximal_cliques,
+    k_clique_communities,
+)
+from repro.graphs.kcore import core_numbers, k_core
+from repro.graphs.ktruss import k_truss, max_truss_number, truss_numbers
+from repro.graphs.probtruss import probabilistic_k_truss
+from repro.graphs.traversal import bfs_edges, bfs_order, bfs_vertices
+from repro.graphs.triangles import (
+    common_neighbors,
+    count_triangles,
+    edge_triangle_counts,
+    enumerate_triangles,
+)
+
+__all__ = [
+    "Graph",
+    "edge_key",
+    "connected_components",
+    "is_connected",
+    "common_neighbors",
+    "enumerate_triangles",
+    "count_triangles",
+    "edge_triangle_counts",
+    "bfs_order",
+    "bfs_vertices",
+    "bfs_edges",
+    "core_numbers",
+    "k_core",
+    "k_truss",
+    "truss_numbers",
+    "max_truss_number",
+    "probabilistic_k_truss",
+    "enumerate_maximal_cliques",
+    "k_clique_communities",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "powerlaw_cluster_graph",
+]

@@ -1,0 +1,186 @@
+"""A minimal, mutable, undirected simple graph.
+
+Design goals, in order:
+
+1. Fast triangle work: ``neighbors()`` returns the adjacency *set* itself so
+   hot loops can intersect adjacency sets directly.
+2. Cheap edge peeling: MPTD and truss decomposition remove edges one at a
+   time; ``remove_edge`` is O(1).
+3. Value semantics where needed: ``copy()`` and ``subgraph()`` produce
+   independent graphs.
+
+Vertices are arbitrary hashable objects (the library uses dense ints).
+Self-loops and parallel edges are rejected — the paper's model is a simple
+undirected graph.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.errors import GraphError
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+
+def edge_key(u: Vertex, v: Vertex) -> Edge:
+    """Canonical (sorted) form of an undirected edge.
+
+    Using a canonical key lets edge-indexed dicts (cohesion tables, removed
+    sets) store each undirected edge exactly once.
+    """
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """Undirected simple graph backed by adjacency sets."""
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, edges: Iterable[Edge] | None = None) -> None:
+        self._adj: dict[Vertex, set[Vertex]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction / mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex (no-op if already present)."""
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add edge ``{u, v}``, creating endpoints as needed.
+
+        Raises :class:`GraphError` on self-loops. Adding an existing edge is
+        a no-op, preserving simple-graph semantics.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u!r} is not allowed")
+        neighbors_u = self._adj.setdefault(u, set())
+        self._adj.setdefault(v, set())
+        if v not in neighbors_u:
+            neighbors_u.add(v)
+            self._adj[v].add(u)
+            self._num_edges += 1
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove edge ``{u, v}``; raises :class:`GraphError` if absent."""
+        try:
+            self._adj[u].remove(v)
+            self._adj[v].remove(u)
+        except KeyError as exc:
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph") from exc
+        self._num_edges -= 1
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove vertex ``v`` and all incident edges."""
+        if v not in self._adj:
+            raise GraphError(f"vertex {v!r} not in graph")
+        for neighbor in self._adj[v]:
+            self._adj[neighbor].remove(v)
+        self._num_edges -= len(self._adj[v])
+        del self._adj[v]
+
+    def discard_isolated_vertices(self) -> None:
+        """Drop all degree-0 vertices (used after edge peeling)."""
+        isolated = [v for v, nbrs in self._adj.items() if not nbrs]
+        for v in isolated:
+            del self._adj[v]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        neighbors = self._adj.get(u)
+        return neighbors is not None and v in neighbors
+
+    def degree(self, v: Vertex) -> int:
+        try:
+            return len(self._adj[v])
+        except KeyError as exc:
+            raise GraphError(f"vertex {v!r} not in graph") from exc
+
+    def neighbors(self, v: Vertex) -> set[Vertex]:
+        """The adjacency *set* of ``v`` (not a copy — do not mutate)."""
+        try:
+            return self._adj[v]
+        except KeyError as exc:
+            raise GraphError(f"vertex {v!r} not in graph") from exc
+
+    def vertices(self) -> list[Vertex]:
+        return list(self._adj)
+
+    def edges(self) -> list[Edge]:
+        """All edges in canonical form."""
+        return [
+            (u, v)
+            for u, nbrs in self._adj.items()
+            for v in nbrs
+            if u <= v
+        ]
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Iterate edges in canonical form without materializing a list."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u <= v:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        clone = Graph()
+        clone._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Vertex-induced subgraph (keeps edges with both ends selected)."""
+        keep = set(vertices)
+        sub = Graph()
+        for v in keep:
+            if v in self._adj:
+                sub.add_vertex(v)
+        for u, v in self.iter_edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v)
+        return sub
+
+    def edge_subgraph(self, edges: Iterable[Edge]) -> "Graph":
+        """Edge-induced subgraph (pattern trusses are edge-induced)."""
+        sub = Graph()
+        for u, v in edges:
+            if not self.has_edge(u, v):
+                raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
+            sub.add_edge(u, v)
+        return sub
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return f"Graph(|V|={self.num_vertices}, |E|={self.num_edges})"

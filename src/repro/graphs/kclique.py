@@ -1,0 +1,88 @@
+"""k-clique communities via clique percolation (Palla et al., 2005).
+
+The related-work lineage (Section 2.1) relates the k-truss to k-cliques
+(Luce, 1950). Clique-percolation communities are the classic overlapping
+structure-only baseline: two k-cliques are adjacent when they share k-1
+vertices, and a community is a connected component of the clique-adjacency
+graph. Like theme communities — and unlike most partition methods — these
+communities may overlap, which is why they make a fair structural baseline
+for the overlap analyses in the evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, Vertex
+
+
+def enumerate_maximal_cliques(graph: Graph) -> list[frozenset[Vertex]]:
+    """All maximal cliques (Bron-Kerbosch with degeneracy-free pivoting).
+
+    Fine for the evaluation-scale graphs this library targets; the pivot
+    rule keeps the branching factor down on social-network-like inputs.
+    """
+    cliques: list[frozenset[Vertex]] = []
+
+    def expand(r: set, p: set, x: set) -> None:
+        if not p and not x:
+            cliques.append(frozenset(r))
+            return
+        pivot = max(
+            p | x, key=lambda u: len(graph.neighbors(u) & p), default=None
+        )
+        pivot_neighbors = graph.neighbors(pivot) if pivot is not None else set()
+        for v in list(p - pivot_neighbors):
+            neighbors = graph.neighbors(v)
+            expand(r | {v}, p & neighbors, x & neighbors)
+            p.remove(v)
+            x.add(v)
+
+    expand(set(), set(graph.vertices()), set())
+    return cliques
+
+
+def k_clique_communities(graph: Graph, k: int) -> list[set[Vertex]]:
+    """Overlapping communities by k-clique percolation, largest-first.
+
+    Standard construction: collect k-cliques (as subsets of maximal
+    cliques of size >= k), connect two when they share k-1 vertices, and
+    union the cliques of each connected component.
+    """
+    if k < 2:
+        raise GraphError(f"k must be >= 2, got {k}")
+    from itertools import combinations
+
+    k_cliques: set[frozenset[Vertex]] = set()
+    for clique in enumerate_maximal_cliques(graph):
+        if len(clique) >= k:
+            for combo in combinations(sorted(clique, key=repr), k):
+                k_cliques.add(frozenset(combo))
+    cliques = sorted(k_cliques, key=sorted)
+
+    # Adjacency via shared (k-1)-subsets: index cliques by each subset.
+    by_subset: dict[frozenset, list[int]] = {}
+    for index, clique in enumerate(cliques):
+        for v in clique:
+            by_subset.setdefault(clique - {v}, []).append(index)
+
+    seen: set[int] = set()
+    communities: list[set[Vertex]] = []
+    for start in range(len(cliques)):
+        if start in seen:
+            continue
+        seen.add(start)
+        component = set(cliques[start])
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for v in cliques[current]:
+                for neighbor in by_subset.get(cliques[current] - {v}, []):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        component |= cliques[neighbor]
+                        queue.append(neighbor)
+        communities.append(component)
+    communities.sort(key=lambda c: (-len(c), sorted(map(repr, c))))
+    return communities

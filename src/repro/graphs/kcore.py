@@ -1,0 +1,63 @@
+"""k-core decomposition (Seidman 1983).
+
+The paper relates pattern trusses to k-cores: a connected maximal pattern
+truss with unit frequencies and ``α = k - 3`` is a (k-1)-core (Section 3.2).
+We implement the standard linear-time peeling algorithm; it doubles as a test
+oracle for that relationship.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph, Vertex
+
+
+def core_numbers(graph: Graph) -> dict[Vertex, int]:
+    """Core number of every vertex (max k with v inside the k-core).
+
+    Classic bucket-peeling: repeatedly remove a minimum-degree vertex; the
+    core number of a vertex is the degree bound in force when it is removed.
+    Runs in O(|V| + |E|).
+    """
+    degrees = {v: graph.degree(v) for v in graph}
+    if not degrees:
+        return {}
+    max_degree = max(degrees.values())
+    buckets: list[list[Vertex]] = [[] for _ in range(max_degree + 1)]
+    for v, d in degrees.items():
+        buckets[d].append(v)
+
+    core: dict[Vertex, int] = {}
+    removed: set[Vertex] = set()
+    current = 0
+    for _ in range(len(degrees)):
+        # Find the lowest non-empty bucket at or above 0; lazily skip
+        # entries whose degree has since changed.
+        while True:
+            while current <= max_degree and not buckets[current]:
+                current += 1
+            v = buckets[current].pop()
+            if v not in removed and degrees[v] == current:
+                break
+        removed.add(v)
+        core[v] = current
+        for w in graph.neighbors(v):
+            if w in removed:
+                continue
+            d = degrees[w]
+            if d > current:
+                degrees[w] = d - 1
+                buckets[d - 1].append(w)
+                if d - 1 < current:
+                    current = d - 1
+    return core
+
+
+def k_core(graph: Graph, k: int) -> Graph:
+    """The maximal subgraph in which every vertex has degree >= k."""
+    core = core_numbers(graph)
+    keep = [v for v, c in core.items() if c >= k]
+    result = graph.subgraph(keep)
+    result.discard_isolated_vertices()
+    if k <= 0:
+        return graph.copy()
+    return result

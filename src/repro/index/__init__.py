@@ -1,0 +1,33 @@
+"""Theme-community indexing and query answering (Section 6 of the paper).
+
+- :mod:`repro.index.decomposition` — maximal-pattern-truss decomposition
+  into the linked list ``L_p`` (Theorem 6.1) and reconstruction by
+  Equation 1;
+- :mod:`repro.index.tcnode` / :mod:`repro.index.tctree` — the TC-Tree, a
+  set-enumeration tree over patterns whose nodes store ``L_p``
+  (Algorithm 4);
+- :mod:`repro.index.query` — query answering (Algorithm 5), including the
+  paper's two query modes QBA (by threshold) and QBP (by pattern);
+- :mod:`repro.index.warehouse` — the persistent "data warehouse of maximal
+  pattern trusses" facade with save/load.
+"""
+
+from repro.index.decomposition import TrussDecomposition, decompose_network_pattern, decompose_truss
+from repro.index.query import QueryAnswer, query_by_alpha, query_by_pattern, query_tc_tree
+from repro.index.tcnode import TCNode
+from repro.index.tctree import TCTree, build_tc_tree
+from repro.index.warehouse import ThemeCommunityWarehouse
+
+__all__ = [
+    "TrussDecomposition",
+    "decompose_truss",
+    "decompose_network_pattern",
+    "TCNode",
+    "TCTree",
+    "build_tc_tree",
+    "QueryAnswer",
+    "query_tc_tree",
+    "query_by_alpha",
+    "query_by_pattern",
+    "ThemeCommunityWarehouse",
+]

@@ -1,0 +1,154 @@
+"""Maximal-pattern-truss decomposition (Section 6.1).
+
+Theorem 6.1: ``C*_p(α)`` only shrinks when ``α`` crosses the minimum edge
+cohesion of the current truss. The truss of a theme network can therefore
+be decomposed along the ascending threshold sequence
+``α_0 = 0, α_k = min edge cohesion of C*_p(α_{k-1})`` into *disjoint*
+removed-edge sets ``R_p(α_k) = E*_p(α_{k-1}) \\ E*_p(α_k)``.
+
+The decomposition stores exactly the edges of ``C*_p(0)`` (no blow-up) and
+reconstructs any ``C*_p(α)`` by Equation 1::
+
+    E*_p(α) = ∪_{α_k > α} R_p(α_k)
+
+so a TC-Tree node answers arbitrary-threshold queries without re-mining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._ordering import Pattern
+from repro.core.cohesion import FrequencyMap
+from repro.core.mptd import (
+    COHESION_TOLERANCE,
+    maximal_pattern_truss,
+    peel_to_threshold,
+)
+from repro.core.truss import PatternTruss
+from repro.graphs.graph import Edge, Graph
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.network.theme import induce_theme_network, theme_network_within
+
+
+@dataclass
+class DecompositionLevel:
+    """One node of the linked list ``L_p``: threshold + removed edges."""
+
+    alpha: float
+    removed_edges: list[Edge]
+
+
+@dataclass
+class TrussDecomposition:
+    """The linked list ``L_p`` plus the data needed to rebuild trusses.
+
+    ``levels[k]`` holds ``(α_{k+1}, R_p(α_{k+1}))`` in ascending threshold
+    order. ``frequencies`` are the pattern frequencies of the vertices of
+    ``C*_p(0)`` (needed to materialize :class:`PatternTruss` objects and to
+    continue decomposing on updates).
+    """
+
+    pattern: Pattern
+    levels: list[DecompositionLevel] = field(default_factory=list)
+    frequencies: FrequencyMap = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self.levels
+
+    @property
+    def num_edges(self) -> int:
+        """Edges of ``C*_p(0)`` — L_p stores each exactly once."""
+        return sum(len(level.removed_edges) for level in self.levels)
+
+    @property
+    def max_alpha(self) -> float:
+        """``α*_p``: the least α for which ``C*_p(α)`` is empty.
+
+        The non-trivial query range of this theme network is
+        ``[0, max_alpha)``; read from the last list node (Section 6.1).
+        """
+        if not self.levels:
+            return 0.0
+        return self.levels[-1].alpha
+
+    def thresholds(self) -> list[float]:
+        """The ascending sequence ``α_1 < α_2 < ... < α_h``."""
+        return [level.alpha for level in self.levels]
+
+    # ------------------------------------------------------------------
+    def edges_at(self, alpha: float) -> list[Edge]:
+        """``E*_p(α)`` by Equation 1: union of suffix removed sets."""
+        bound = alpha + COHESION_TOLERANCE
+        edges: list[Edge] = []
+        for level in self.levels:
+            # Same tolerance as MPTD peeling so reconstruction agrees with
+            # direct mining at exact-boundary thresholds.
+            if level.alpha > bound:
+                edges.extend(level.removed_edges)
+        return edges
+
+    def truss_at(self, alpha: float) -> PatternTruss:
+        """Materialize ``C*_p(α)`` as a :class:`PatternTruss`."""
+        graph = Graph()
+        for u, v in self.edges_at(alpha):
+            graph.add_edge(u, v)
+        return PatternTruss(self.pattern, graph, self.frequencies, alpha)
+
+    def __repr__(self) -> str:
+        return (
+            f"TrussDecomposition(pattern={self.pattern}, "
+            f"levels={len(self.levels)}, edges={self.num_edges})"
+        )
+
+
+def decompose_truss(
+    pattern: Pattern,
+    truss_graph: Graph,
+    frequencies: FrequencyMap,
+    cohesion: dict[Edge, float],
+) -> TrussDecomposition:
+    """Decompose ``C*_p(0)`` into ``L_p`` by iterated peeling.
+
+    ``truss_graph`` and ``cohesion`` must come from an MPTD run at α = 0;
+    both are consumed (mutated to empty) — pass copies to keep them.
+
+    Each round reads the current minimum cohesion β, peels every edge with
+    cohesion <= β (cascading), and records the removed set under threshold
+    β. Theorem 6.1 guarantees the recorded sets are exactly the
+    ``R_p(α_k)``.
+    """
+    decomposition = TrussDecomposition(
+        pattern=pattern,
+        frequencies={
+            v: frequencies[v] for v in truss_graph if v in frequencies
+        },
+    )
+    while cohesion:
+        beta = min(cohesion.values())
+        removed: list[Edge] = []
+        peel_to_threshold(
+            truss_graph, frequencies, beta, cohesion, removed_sink=removed
+        )
+        decomposition.levels.append(DecompositionLevel(beta, removed))
+    return decomposition
+
+
+def decompose_network_pattern(
+    network: DatabaseNetwork,
+    pattern: Pattern,
+    carrier: Graph | None = None,
+) -> TrussDecomposition:
+    """Induce ``G_p``, run MPTD at α = 0, and decompose — one call.
+
+    ``carrier`` optionally restricts the induction to a known superset of
+    the truss (Proposition 5.3), which is how the TC-Tree builds children
+    inside parent intersections.
+    """
+    if carrier is None:
+        graph, frequencies = induce_theme_network(network, pattern)
+    else:
+        graph, frequencies = theme_network_within(network, pattern, carrier)
+    truss_graph, cohesion = maximal_pattern_truss(graph, frequencies, 0.0)
+    return decompose_truss(pattern, truss_graph, frequencies, cohesion)

@@ -1,0 +1,90 @@
+"""TC-Tree query answering (Algorithm 5).
+
+A query is a pair ``(q, α_q)``: the answer is every non-empty
+``C*_p(α_q)`` with ``p ⊆ q``. Traversal is breadth-first with two prunes:
+
+- an item outside ``q`` prunes the whole subtree (no descendant pattern
+  can be a sub-pattern of ``q``);
+- an empty ``C*_p(α_q)`` prunes the subtree (Proposition 5.2 — no
+  super-pattern can survive a threshold its sub-pattern failed).
+
+The paper evaluates two modes (Figure 5): QBA fixes ``q = S`` and sweeps
+``α_q``; QBP fixes ``α_q = 0`` and sweeps the query pattern length.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro._ordering import Pattern, make_pattern
+from repro.core.communities import ThemeCommunity, extract_theme_communities
+from repro.core.truss import PatternTruss
+from repro.errors import TCIndexError
+from repro.index.tctree import TCTree
+
+
+@dataclass
+class QueryAnswer:
+    """Result of one TC-Tree query."""
+
+    query_pattern: Pattern | None  # None means q = S (all items)
+    alpha: float
+    trusses: list[PatternTruss] = field(default_factory=list)
+    retrieved_nodes: int = 0  # RN in Figure 5
+    visited_nodes: int = 0  # nodes touched, including pruned ones
+
+    @property
+    def num_trusses(self) -> int:
+        return len(self.trusses)
+
+    def patterns(self) -> list[Pattern]:
+        return sorted(t.pattern for t in self.trusses)
+
+    def communities(self) -> list[ThemeCommunity]:
+        """Theme communities of all retrieved trusses (Definition 3.5)."""
+        return extract_theme_communities(self.trusses)
+
+
+def query_tc_tree(
+    tree: TCTree,
+    pattern: Iterable[int] | None = None,
+    alpha: float = 0.0,
+) -> QueryAnswer:
+    """Answer query ``(q, α_q)`` on a TC-Tree (Algorithm 5).
+
+    ``pattern=None`` queries with ``q = S`` (every item allowed).
+    """
+    if alpha < 0.0:
+        raise TCIndexError(f"alpha must be >= 0, got {alpha}")
+    query_pattern = None if pattern is None else make_pattern(pattern)
+    query_items = None if query_pattern is None else set(query_pattern)
+    answer = QueryAnswer(query_pattern=query_pattern, alpha=alpha)
+
+    queue = deque([tree.root])
+    while queue:
+        node_f = queue.popleft()
+        for child in node_f.children:
+            if query_items is not None and child.item not in query_items:
+                continue  # prune subtree: s_{n_c} ∉ q
+            answer.visited_nodes += 1
+            truss = child.decomposition.truss_at(alpha)  # type: ignore[union-attr]
+            if truss.is_empty():
+                continue  # prune subtree: Proposition 5.2
+            answer.trusses.append(truss)
+            answer.retrieved_nodes += 1
+            queue.append(child)
+    return answer
+
+
+def query_by_alpha(tree: TCTree, alpha: float) -> QueryAnswer:
+    """QBA: all themes, threshold ``α_q`` (Figure 5 a-d)."""
+    return query_tc_tree(tree, pattern=None, alpha=alpha)
+
+
+def query_by_pattern(
+    tree: TCTree, pattern: Iterable[int]
+) -> QueryAnswer:
+    """QBP: sub-patterns of ``q``, threshold 0 (Figure 5 e-h)."""
+    return query_tc_tree(tree, pattern=pattern, alpha=0.0)

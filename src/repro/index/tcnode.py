@@ -1,0 +1,61 @@
+"""TC-Tree node (Section 6.2).
+
+Each node represents a pattern — the union of the items stored on the path
+from the root — and stores the decomposed maximal pattern truss ``L_p`` of
+that pattern. Nodes with empty decompositions are never materialized
+(Proposition 5.2 prunes their whole subtrees).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro._ordering import Pattern
+from repro.index.decomposition import TrussDecomposition
+
+
+class TCNode:
+    """One node of a TC-Tree.
+
+    ``item`` is the item appended at this node (``None`` for the root);
+    ``pattern`` the full pattern it represents; ``decomposition`` its
+    ``L_p`` (``None`` only for the root).
+    """
+
+    __slots__ = ("item", "pattern", "decomposition", "children")
+
+    def __init__(
+        self,
+        item: int | None,
+        pattern: Pattern,
+        decomposition: TrussDecomposition | None,
+    ) -> None:
+        self.item = item
+        self.pattern = pattern
+        self.decomposition = decomposition
+        self.children: list[TCNode] = []
+
+    def add_child(self, child: "TCNode") -> None:
+        """Append a child; children are kept sorted by item (order ≺)."""
+        self.children.append(child)
+        if len(self.children) > 1 and self.children[-2].item > child.item:  # type: ignore[operator]
+            self.children.sort(key=lambda n: n.item)  # type: ignore[arg-type, return-value]
+
+    def iter_subtree(self) -> Iterator["TCNode"]:
+        """This node and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    @property
+    def depth_below(self) -> int:
+        """Height of the subtree rooted here (leaf = 0)."""
+        if not self.children:
+            return 0
+        return 1 + max(child.depth_below for child in self.children)
+
+    def __repr__(self) -> str:
+        return (
+            f"TCNode(item={self.item}, pattern={self.pattern}, "
+            f"children={len(self.children)})"
+        )

@@ -1,0 +1,172 @@
+"""TC-Tree construction (Algorithm 4).
+
+The TC-Tree is a set-enumeration tree over the item universe in which
+every materialized node stores the decomposed maximal pattern truss
+``L_p`` of its pattern. Construction is breadth-first:
+
+1. Layer 1: for every item with a non-empty ``C*_{s}(0)``, decompose and
+   attach under the root (the paper parallelizes this layer; we accept a
+   ``workers`` thread count).
+2. For a popped node ``n_f``, each *later* sibling ``n_b``
+   (``s_{n_f} ≺ s_{n_b}``) proposes child pattern ``p_f ∪ {s_{n_b}}``;
+   the child's truss is computed inside ``C*_{p_f}(0) ∩ C*_{p_b}(0)``
+   (Proposition 5.3) and kept only when non-empty (Proposition 5.2
+   justifies pruning the whole subtree otherwise).
+
+During the build each frontier node keeps its ``C*_p(0)`` graph alive for
+the intersection step; the graphs are released once the node's children
+are built, so steady-state memory is the sum of the ``L_p`` lists, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+from concurrent.futures import ThreadPoolExecutor
+
+from repro._ordering import EMPTY_PATTERN, Pattern
+from repro.graphs.graph import Graph
+from repro.index.decomposition import (
+    TrussDecomposition,
+    decompose_network_pattern,
+)
+from repro.index.tcnode import TCNode
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.network.theme import intersect_graphs
+
+
+class TCTree:
+    """A built TC-Tree: the queryable index of all maximal pattern trusses."""
+
+    def __init__(self, root: TCNode, num_items: int) -> None:
+        self.root = root
+        self.num_items = num_items
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Indexed nodes (excluding the root) = #maximal pattern trusses."""
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def depth(self) -> int:
+        """Longest indexed pattern length."""
+        return self.root.depth_below
+
+    def iter_nodes(self) -> Iterator[TCNode]:
+        """All non-root nodes, depth-first."""
+        for child in self.root.children:
+            yield from child.iter_subtree()
+
+    def nodes_at_depth(self, depth: int) -> list[TCNode]:
+        """All nodes whose pattern has length ``depth`` (depth >= 1)."""
+        return [n for n in self.iter_nodes() if len(n.pattern) == depth]
+
+    def patterns(self) -> list[Pattern]:
+        return sorted(node.pattern for node in self.iter_nodes())
+
+    def find_node(self, pattern: Pattern) -> TCNode | None:
+        """Locate the node of ``pattern``, or None when not indexed."""
+        node = self.root
+        for item in pattern:
+            node = next(
+                (c for c in node.children if c.item == item), None
+            )  # type: ignore[assignment]
+            if node is None:
+                return None
+        return node if node is not self.root else None
+
+    def max_alpha(self) -> float:
+        """The global non-trivial α range upper bound over all themes."""
+        return max(
+            (n.decomposition.max_alpha for n in self.iter_nodes()
+             if n.decomposition is not None),
+            default=0.0,
+        )
+
+    def __repr__(self) -> str:
+        return f"TCTree(nodes={self.num_nodes}, depth={self.depth})"
+
+
+def build_tc_tree(
+    network: DatabaseNetwork,
+    max_length: int | None = None,
+    workers: int = 1,
+    reuse: dict[Pattern, TrussDecomposition] | None = None,
+) -> TCTree:
+    """Build the TC-Tree of ``network`` (Algorithm 4).
+
+    ``max_length`` optionally caps indexed pattern length; ``workers``
+    parallelizes the first layer across items. ``reuse`` optionally maps
+    patterns to decompositions known to still be valid (the incremental
+    maintenance path — see :mod:`repro.index.updates`); matching patterns
+    skip recomputation entirely.
+    """
+    items = network.item_universe()
+    root = TCNode(None, EMPTY_PATTERN, None)
+    reuse = reuse or {}
+
+    def first_layer(item: int) -> TrussDecomposition:
+        cached = reuse.get((item,))
+        if cached is not None:
+            return cached
+        return decompose_network_pattern(network, (item,))
+
+    if workers > 1 and len(items) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            decompositions = list(pool.map(first_layer, items))
+    else:
+        decompositions = [first_layer(item) for item in items]
+
+    # Frontier bookkeeping: the C*_p(0) graph of every node whose children
+    # are still to be built.
+    truss_graphs: dict[int, Graph] = {}
+    queue: deque[TCNode] = deque()
+    for item, decomposition in zip(items, decompositions):
+        if decomposition.is_empty():
+            continue
+        node = TCNode(item, (item,), decomposition)
+        root.add_child(node)
+        truss_graphs[id(node)] = decomposition.truss_at(0.0).graph
+        queue.append(node)
+
+    parent_of: dict[int, TCNode] = {
+        id(child): root for child in root.children
+    }
+
+    while queue:
+        node_f = queue.popleft()
+        if max_length is not None and len(node_f.pattern) >= max_length:
+            del truss_graphs[id(node_f)]
+            del parent_of[id(node_f)]
+            continue
+        parent = parent_of[id(node_f)]
+        graph_f = truss_graphs[id(node_f)]
+        for node_b in parent.children:
+            if node_b.item <= node_f.item:  # type: ignore[operator]
+                continue  # need s_{n_f} ≺ s_{n_b}
+            graph_b = truss_graphs.get(id(node_b))
+            if graph_b is None:
+                # Sibling already released its graph — rebuild it once.
+                graph_b = node_b.decomposition.truss_at(0.0).graph  # type: ignore[union-attr]
+            carrier = intersect_graphs(graph_f, graph_b)
+            if carrier.num_edges == 0:
+                continue
+            child_pattern = node_f.pattern + (node_b.item,)  # type: ignore[operator]
+            decomposition = reuse.get(child_pattern)
+            if decomposition is None:
+                decomposition = decompose_network_pattern(
+                    network, child_pattern, carrier=carrier
+                )
+            if decomposition.is_empty():
+                continue
+            child = TCNode(node_b.item, child_pattern, decomposition)
+            node_f.add_child(child)
+            parent_of[id(child)] = node_f
+            truss_graphs[id(child)] = decomposition.truss_at(0.0).graph
+            queue.append(child)
+        del truss_graphs[id(node_f)]
+        del parent_of[id(node_f)]
+
+    return TCTree(root, num_items=len(items))

@@ -1,0 +1,96 @@
+"""Incremental TC-Tree maintenance under vertex-database updates.
+
+Re-indexing from scratch after every new transaction wastes almost all of
+the build: appending transactions to one vertex can only change the theme
+networks of patterns drawn from that vertex's items (every other vertex's
+frequencies are untouched, so every other theme network — and its maximal
+pattern truss — is bit-for-bit identical).
+
+``update_vertex_database`` applies the data change and rebuilds the index
+reusing every decomposition whose pattern avoids the affected items. This
+is the "online index update" direction the truss-search literature
+explores (Huang et al., 2014), adapted to the TC-Tree.
+
+Caveat: because appending transactions grows the frequency denominator,
+*all* patterns over the vertex's items (old and new) are treated as
+affected, not just the patterns inside the new transactions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro._ordering import Pattern
+from repro.errors import TCIndexError
+from repro.index.decomposition import TrussDecomposition
+from repro.index.tctree import TCTree, build_tc_tree
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.txdb.database import TransactionDatabase
+
+
+def affected_items(
+    network: DatabaseNetwork,
+    vertex: int,
+    new_transactions: Iterable[Iterable[int]],
+) -> set[int]:
+    """Items whose theme networks may change when ``vertex`` is updated.
+
+    The union of the vertex's current items (their frequencies drop as the
+    denominator grows) and the incoming items (they may newly appear).
+    """
+    items: set[int] = set()
+    database = network.databases.get(vertex)
+    if database is not None:
+        items |= database.items()
+    for transaction in new_transactions:
+        items |= set(transaction)
+    return items
+
+
+def reusable_decompositions(
+    tree: TCTree, affected: set[int]
+) -> dict[Pattern, TrussDecomposition]:
+    """Decompositions of the old tree still valid after the update —
+    exactly those whose pattern avoids every affected item."""
+    reusable: dict[Pattern, TrussDecomposition] = {}
+    for node in tree.iter_nodes():
+        if node.decomposition is None:
+            continue
+        if not affected.intersection(node.pattern):
+            reusable[node.pattern] = node.decomposition
+    return reusable
+
+
+def update_vertex_database(
+    network: DatabaseNetwork,
+    tree: TCTree,
+    vertex: int,
+    new_transactions: list[list[int]],
+    max_length: int | None = None,
+    workers: int = 1,
+) -> TCTree:
+    """Append transactions to one vertex and return the refreshed TC-Tree.
+
+    ``network`` is mutated (the transactions are appended); ``tree`` is
+    left untouched and a new tree is returned. Unaffected subproblems are
+    reused, so the cost is proportional to the work involving the updated
+    vertex's items only.
+    """
+    if vertex not in network.graph:
+        raise TCIndexError(f"vertex {vertex!r} not in network")
+    if not new_transactions:
+        return tree
+
+    affected = affected_items(network, vertex, new_transactions)
+    reuse = reusable_decompositions(tree, affected)
+
+    database = network.databases.get(vertex)
+    if database is None:
+        database = TransactionDatabase()
+        network.databases[vertex] = database
+    for transaction in new_transactions:
+        database.add_transaction(transaction)
+
+    return build_tc_tree(
+        network, max_length=max_length, workers=workers, reuse=reuse
+    )

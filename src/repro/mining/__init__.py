@@ -1,0 +1,19 @@
+"""Frequent-itemset mining substrate.
+
+The paper builds on classic frequent-pattern mining (Agrawal & Srikant 1994;
+Han, Pei & Yin 2000): the TCS baseline enumerates per-vertex frequent
+patterns, and TCFA borrows the Apriori candidate-generation schema. This
+package provides reference implementations of both miners over a single
+:class:`~repro.txdb.TransactionDatabase`; they also serve as oracles in the
+test suite (the two miners must always agree).
+"""
+
+from repro.mining.apriori import apriori_frequent_itemsets
+from repro.mining.fpgrowth import fpgrowth_frequent_itemsets
+from repro.mining.fptree import FPTree
+
+__all__ = [
+    "apriori_frequent_itemsets",
+    "fpgrowth_frequent_itemsets",
+    "FPTree",
+]

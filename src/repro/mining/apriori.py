@@ -1,0 +1,83 @@
+"""Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994).
+
+Level-wise search: length-k candidates are joins of prefix-compatible
+length-(k-1) frequent itemsets, pruned when any length-(k-1) sub-pattern is
+infrequent — the same schema TCFA applies to *qualified* patterns
+(Algorithm 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro._ordering import (
+    Pattern,
+    join_patterns,
+    joinable_prefix,
+    subpatterns_one_shorter,
+)
+from repro.errors import MiningError
+from repro.txdb.database import TransactionDatabase
+
+
+def generate_candidates(frequent: list[Pattern]) -> list[Pattern]:
+    """Apriori-gen: join + prune step over a level of frequent patterns.
+
+    ``frequent`` must all have the same length k; the result is the set of
+    length-(k+1) candidates whose every length-k sub-pattern is in
+    ``frequent``.
+    """
+    frequent_set = set(frequent)
+    ordered = sorted(frequent)
+    candidates: list[Pattern] = []
+    for i, first in enumerate(ordered):
+        for second in ordered[i + 1:]:
+            if not joinable_prefix(first, second):
+                # Sorted order groups equal prefixes together, so the first
+                # mismatch ends this inner loop.
+                break
+            candidate = join_patterns(first, second)
+            if all(
+                sub in frequent_set
+                for sub in subpatterns_one_shorter(candidate)
+            ):
+                candidates.append(candidate)
+    return candidates
+
+
+def apriori_frequent_itemsets(
+    database: TransactionDatabase,
+    min_support: float,
+    max_length: int | None = None,
+) -> dict[Pattern, int]:
+    """All itemsets with relative support >= ``min_support``.
+
+    Returns a mapping pattern → absolute support count. ``min_support`` is
+    inclusive (the conventional definition); the TCS pre-filter uses the
+    strict variant in :mod:`repro.txdb.enumerate`.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+    total = database.num_transactions
+    if total == 0:
+        return {}
+    min_count = min_support * total
+
+    result: dict[Pattern, int] = {}
+    level: list[Pattern] = []
+    for item in sorted(database.items()):
+        count = database.support_count((item,))
+        if count >= min_count:
+            pattern = (item,)
+            result[pattern] = count
+            level.append(pattern)
+
+    k = 2
+    while level and (max_length is None or k <= max_length):
+        candidates = generate_candidates(level)
+        level = []
+        for candidate in candidates:
+            count = len(database.support_set(candidate))
+            if count >= min_count:
+                result[candidate] = count
+                level.append(candidate)
+        k += 1
+    return result

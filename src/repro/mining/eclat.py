@@ -1,0 +1,55 @@
+"""Eclat frequent-itemset mining (Zaki, 1997).
+
+The third classic miner, completing the substrate: depth-first search over
+the prefix tree with *vertical* tid-set intersection — the representation
+:class:`~repro.txdb.TransactionDatabase` already maintains, which is why
+the TCS pre-filter (:mod:`repro.txdb.enumerate`) is Eclat-shaped. This
+module is the full miner with the conventional inclusive ``min_support``
+so it is drop-in comparable with Apriori and FP-growth; the three must
+always agree (enforced by the test suite).
+"""
+
+from __future__ import annotations
+
+from repro._ordering import Pattern
+from repro.errors import MiningError
+from repro.txdb.database import TransactionDatabase
+
+
+def eclat_frequent_itemsets(
+    database: TransactionDatabase,
+    min_support: float,
+    max_length: int | None = None,
+) -> dict[Pattern, int]:
+    """All itemsets with relative support >= ``min_support``.
+
+    Same contract as the Apriori and FP-growth miners.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+    total = database.num_transactions
+    if total == 0:
+        return {}
+    min_count = min_support * total
+
+    items = [
+        (item, database.support_set((item,)))
+        for item in sorted(database.items())
+    ]
+    items = [(i, tids) for i, tids in items if len(tids) >= min_count]
+
+    result: dict[Pattern, int] = {}
+
+    def extend(prefix: Pattern, prefix_tids: set[int], start: int) -> None:
+        for position in range(start, len(items)):
+            item, tids = items[position]
+            new_tids = prefix_tids & tids if prefix else tids
+            if len(new_tids) < min_count:
+                continue
+            pattern = prefix + (item,)
+            result[pattern] = len(new_tids)
+            if max_length is None or len(pattern) < max_length:
+                extend(pattern, new_tids, position + 1)
+
+    extend((), set(), 0)
+    return result

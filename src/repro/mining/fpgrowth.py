@@ -1,0 +1,91 @@
+"""FP-growth frequent-itemset mining (Han, Pei & Yin, SIGMOD 2000).
+
+Pattern-growth without candidate generation: build an FP-tree, then for each
+item recurse on its conditional pattern base. Single-path conditional trees
+short-circuit into subset combinations.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro._ordering import Pattern, make_pattern
+from repro.errors import MiningError
+from repro.mining.fptree import FPTree
+from repro.txdb.database import TransactionDatabase
+
+
+def _build_tree(
+    transactions: list[tuple[list[int], int]], min_count: float
+) -> FPTree:
+    counts: dict[int, int] = {}
+    for items, count in transactions:
+        for item in items:
+            counts[item] = counts.get(item, 0) + count
+    frequent = [i for i, c in counts.items() if c >= min_count]
+    # Rank: most frequent first; ties broken by item id for determinism.
+    frequent.sort(key=lambda i: (-counts[i], i))
+    order = {item: rank for rank, item in enumerate(frequent)}
+    tree = FPTree(order)
+    for items, count in transactions:
+        tree.insert(items, count)
+    return tree
+
+
+def _mine(
+    tree: FPTree,
+    suffix: Pattern,
+    min_count: float,
+    max_length: int | None,
+    result: dict[Pattern, int],
+) -> None:
+    if max_length is not None and len(suffix) >= max_length:
+        return
+    if tree.is_single_path():
+        path = tree.single_path_items()
+        budget = len(path)
+        if max_length is not None:
+            budget = min(budget, max_length - len(suffix))
+        for size in range(1, budget + 1):
+            for combo in combinations(path, size):
+                support = min(count for _, count in combo)
+                if support >= min_count:
+                    pattern = make_pattern(
+                        suffix + tuple(item for item, _ in combo)
+                    )
+                    result[pattern] = max(result.get(pattern, 0), support)
+        return
+    for item in tree.items_bottom_up():
+        support = sum(node.count for node in tree.header[item])
+        if support < min_count:
+            continue
+        pattern = make_pattern(suffix + (item,))
+        result[pattern] = support
+        base = tree.conditional_pattern_base(item)
+        conditional = _build_tree(base, min_count)
+        if conditional.header:
+            _mine(conditional, pattern, min_count, max_length, result)
+
+
+def fpgrowth_frequent_itemsets(
+    database: TransactionDatabase,
+    min_support: float,
+    max_length: int | None = None,
+) -> dict[Pattern, int]:
+    """All itemsets with relative support >= ``min_support``.
+
+    Same contract as
+    :func:`repro.mining.apriori.apriori_frequent_itemsets`; the two miners
+    must produce identical results (enforced by the test suite).
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+    total = database.num_transactions
+    if total == 0:
+        return {}
+    min_count = min_support * total
+    transactions = [(sorted(t), 1) for t in database.transactions()]
+    tree = _build_tree(transactions, min_count)
+    result: dict[Pattern, int] = {}
+    _mine(tree, (), min_count, max_length, result)
+    return result

@@ -1,0 +1,98 @@
+"""FP-tree: the prefix-tree behind FP-growth (Han, Pei & Yin, SIGMOD 2000).
+
+Transactions are inserted with items sorted by descending global frequency,
+so shared prefixes collapse into shared tree paths. Header lists link all
+nodes of each item for fast conditional-base extraction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class FPNode:
+    """One node of an FP-tree: an item, a count, and tree links."""
+
+    __slots__ = ("item", "count", "parent", "children")
+
+    def __init__(self, item: int | None, parent: "FPNode | None") -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[int, FPNode] = {}
+
+    def path_to_root(self) -> list[int]:
+        """Items on the path from this node's parent up to the root."""
+        items: list[int] = []
+        node = self.parent
+        while node is not None and node.item is not None:
+            items.append(node.item)
+            node = node.parent
+        return items
+
+
+class FPTree:
+    """An FP-tree over weighted transactions.
+
+    ``item_order`` maps item → rank; lower rank = more frequent globally.
+    Items absent from the order are skipped (they are globally infrequent).
+    """
+
+    def __init__(self, item_order: dict[int, int]) -> None:
+        self.root = FPNode(None, None)
+        self.item_order = item_order
+        self.header: dict[int, list[FPNode]] = {}
+
+    def insert(self, transaction: Iterable[int], count: int = 1) -> None:
+        """Insert one transaction with multiplicity ``count``."""
+        items = sorted(
+            (i for i in transaction if i in self.item_order),
+            key=lambda i: (self.item_order[i], i),
+        )
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item, node)
+                node.children[item] = child
+                self.header.setdefault(item, []).append(child)
+            child.count += count
+            node = child
+
+    def conditional_pattern_base(self, item: int) -> list[tuple[list[int], int]]:
+        """Prefix paths ending at ``item`` with their counts."""
+        return [
+            (node.path_to_root(), node.count)
+            for node in self.header.get(item, [])
+            if node.count > 0
+        ]
+
+    def items_bottom_up(self) -> list[int]:
+        """Items ordered from globally least to most frequent.
+
+        FP-growth recurses in this order so each conditional tree is built
+        from already-complete suffixes.
+        """
+        return sorted(
+            self.header,
+            key=lambda i: (self.item_order[i], i),
+            reverse=True,
+        )
+
+    def is_single_path(self) -> bool:
+        """True when the tree is one chain (enables the fast combination path)."""
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return False
+            node = next(iter(node.children.values()))
+        return True
+
+    def single_path_items(self) -> list[tuple[int, int]]:
+        """(item, count) pairs along the single path from the root."""
+        result: list[tuple[int, int]] = []
+        node = self.root
+        while node.children:
+            node = next(iter(node.children.values()))
+            result.append((node.item, node.count))  # type: ignore[arg-type]
+        return result

@@ -1,0 +1,33 @@
+"""Database networks: the paper's central data model.
+
+A database network (Definition in Section 3.1) is an undirected graph whose
+every vertex carries a transaction database over a shared item vocabulary.
+This package provides the :class:`DatabaseNetwork` container, theme-network
+induction, the BFS edge-sampling protocol used throughout the paper's
+evaluation, serialization, and the Table 2 statistics.
+"""
+
+from repro.network.builder import DatabaseNetworkBuilder
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.network.io import load_network, save_network
+from repro.network.sampling import bfs_edge_sample, sample_series
+from repro.network.stats import NetworkStatistics, network_statistics
+from repro.network.theme import (
+    induce_theme_network,
+    theme_frequencies,
+    theme_network_within,
+)
+
+__all__ = [
+    "DatabaseNetwork",
+    "DatabaseNetworkBuilder",
+    "induce_theme_network",
+    "theme_network_within",
+    "theme_frequencies",
+    "bfs_edge_sample",
+    "sample_series",
+    "load_network",
+    "save_network",
+    "NetworkStatistics",
+    "network_statistics",
+]

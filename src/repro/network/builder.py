@@ -1,0 +1,81 @@
+"""Builder turning labelled data into a dense-integer DatabaseNetwork.
+
+Applications speak in labels ("alice" follows "bob"; transaction
+{"data mining", "sequential pattern"}); the mining core speaks in dense
+ints. The builder interns labels on first sight and produces the final
+:class:`~repro.network.dbnetwork.DatabaseNetwork` with both label maps
+populated.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.graphs.graph import Graph
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.txdb.database import TransactionDatabase
+
+
+class DatabaseNetworkBuilder:
+    """Incremental construction of a database network from labelled data."""
+
+    def __init__(self) -> None:
+        self._vertex_ids: dict[Hashable, int] = {}
+        self._item_ids: dict[Hashable, int] = {}
+        self._graph = Graph()
+        self._databases: dict[int, TransactionDatabase] = {}
+
+    # ------------------------------------------------------------------
+    def vertex_id(self, label: Hashable) -> int:
+        """Intern a vertex label, creating the vertex on first sight."""
+        vid = self._vertex_ids.get(label)
+        if vid is None:
+            vid = len(self._vertex_ids)
+            self._vertex_ids[label] = vid
+            self._graph.add_vertex(vid)
+        return vid
+
+    def item_id(self, label: Hashable) -> int:
+        """Intern an item label."""
+        iid = self._item_ids.get(label)
+        if iid is None:
+            iid = len(self._item_ids)
+            self._item_ids[label] = iid
+        return iid
+
+    def add_edge(self, u_label: Hashable, v_label: Hashable) -> "DatabaseNetworkBuilder":
+        self._graph.add_edge(self.vertex_id(u_label), self.vertex_id(v_label))
+        return self
+
+    def add_transaction(
+        self, vertex_label: Hashable, items: Iterable[Hashable]
+    ) -> "DatabaseNetworkBuilder":
+        """Append one transaction to a vertex's database."""
+        vid = self.vertex_id(vertex_label)
+        database = self._databases.get(vid)
+        if database is None:
+            database = TransactionDatabase()
+            self._databases[vid] = database
+        database.add_transaction(self.item_id(i) for i in items)
+        return self
+
+    def add_transactions(
+        self,
+        vertex_label: Hashable,
+        transactions: Iterable[Iterable[Hashable]],
+    ) -> "DatabaseNetworkBuilder":
+        for transaction in transactions:
+            self.add_transaction(vertex_label, transaction)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> DatabaseNetwork:
+        """Finalize into a DatabaseNetwork (the builder stays usable)."""
+        vertex_labels = {vid: label for label, vid in self._vertex_ids.items()}
+        item_labels = {iid: label for label, iid in self._item_ids.items()}
+        return DatabaseNetwork(
+            self._graph.copy(),
+            dict(self._databases),
+            vertex_labels=vertex_labels,
+            item_labels=item_labels,
+        )

@@ -1,0 +1,101 @@
+"""Serialization of database networks.
+
+A single JSON document holds the graph, per-vertex databases, and label
+maps. The format is deliberately simple and diff-friendly: it is the
+interchange format for the CLI, the examples, and for caching generated
+evaluation datasets between benchmark runs.
+
+Schema (version 1)::
+
+    {
+      "format": "repro-dbnetwork",
+      "version": 1,
+      "vertices": [0, 1, ...],
+      "edges": [[0, 1], ...],
+      "databases": {"0": [[item, ...], ...], ...},
+      "vertex_labels": {"0": "alice", ...},     # optional
+      "item_labels": {"0": "data mining", ...}  # optional
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import NetworkFormatError
+from repro.graphs.graph import Graph
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.txdb.database import TransactionDatabase
+
+_FORMAT = "repro-dbnetwork"
+_VERSION = 1
+
+
+def network_to_dict(network: DatabaseNetwork) -> dict:
+    """Plain-dict form of a network (the JSON document, unserialized)."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "vertices": sorted(network.graph.vertices()),
+        "edges": sorted(network.graph.edges()),
+        "databases": {
+            str(v): [sorted(t) for t in db.transactions()]
+            for v, db in sorted(network.databases.items())
+        },
+        "vertex_labels": {
+            str(v): label for v, label in sorted(network.vertex_labels.items())
+        },
+        "item_labels": {
+            str(i): label for i, label in sorted(network.item_labels.items())
+        },
+    }
+
+
+def network_from_dict(document: dict) -> DatabaseNetwork:
+    """Parse the plain-dict form back into a network."""
+    if document.get("format") != _FORMAT:
+        raise NetworkFormatError(
+            f"not a {_FORMAT} document: format={document.get('format')!r}"
+        )
+    if document.get("version") != _VERSION:
+        raise NetworkFormatError(
+            f"unsupported version {document.get('version')!r}"
+        )
+    graph = Graph()
+    for v in document.get("vertices", []):
+        graph.add_vertex(int(v))
+    for u, v in document.get("edges", []):
+        graph.add_edge(int(u), int(v))
+    databases = {}
+    for v_str, transactions in document.get("databases", {}).items():
+        databases[int(v_str)] = TransactionDatabase(
+            [int(i) for i in t] for t in transactions
+        )
+    vertex_labels = {
+        int(v): label
+        for v, label in document.get("vertex_labels", {}).items()
+    }
+    item_labels = {
+        int(i): label
+        for i, label in document.get("item_labels", {}).items()
+    }
+    return DatabaseNetwork(graph, databases, vertex_labels, item_labels)
+
+
+def save_network(network: DatabaseNetwork, path: str | Path) -> None:
+    """Write a network to a JSON file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(network_to_dict(network), handle)
+
+
+def load_network(path: str | Path) -> DatabaseNetwork:
+    """Read a network from a JSON file written by :func:`save_network`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise NetworkFormatError(f"invalid JSON in {path}: {exc}") from exc
+    return network_from_dict(document)

@@ -1,0 +1,76 @@
+"""Dataset statistics — the quantities of Table 2.
+
+The paper reports, per database network: #Vertices, #Edges, #Transactions,
+#Items (total occurrences over all vertex databases) and #Items (unique,
+``|S|``). ``network_statistics`` computes exactly those plus a few derived
+quantities used in the analysis sections (average degree, triangle count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.triangles import count_triangles
+from repro.network.dbnetwork import DatabaseNetwork
+
+
+@dataclass(frozen=True)
+class NetworkStatistics:
+    """Summary statistics of a database network (Table 2 row)."""
+
+    num_vertices: int
+    num_edges: int
+    num_transactions: int
+    num_items_total: int
+    num_items_unique: int
+    num_triangles: int
+
+    @property
+    def average_degree(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_vertices
+
+    @property
+    def average_transactions_per_vertex(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_transactions / self.num_vertices
+
+    def as_row(self) -> dict[str, float]:
+        """Row form used by the benchmark reporters."""
+        return {
+            "#Vertices": self.num_vertices,
+            "#Edges": self.num_edges,
+            "#Transactions": self.num_transactions,
+            "#Items (total)": self.num_items_total,
+            "#Items (unique)": self.num_items_unique,
+        }
+
+
+def network_statistics(
+    network: DatabaseNetwork, count_triangles_too: bool = True
+) -> NetworkStatistics:
+    """Compute the Table 2 statistics for ``network``.
+
+    Triangle counting is optional because it is the only super-linear part;
+    the Table 2 reproduction needs it off for the largest SYN instances.
+    """
+    num_transactions = sum(
+        db.num_transactions for db in network.databases.values()
+    )
+    num_items_total = sum(db.total_items for db in network.databases.values())
+    unique: set[int] = set()
+    for db in network.databases.values():
+        unique |= db.items()
+    triangles = (
+        count_triangles(network.graph) if count_triangles_too else 0
+    )
+    return NetworkStatistics(
+        num_vertices=network.num_vertices,
+        num_edges=network.num_edges,
+        num_transactions=num_transactions,
+        num_items_total=num_items_total,
+        num_items_unique=len(unique),
+        num_triangles=triangles,
+    )

@@ -1,0 +1,96 @@
+"""Theme-network induction (Section 3.1).
+
+For a pattern ``p``, the theme network ``G_p`` is the subgraph induced by
+the vertices with ``f_i(p) > 0``, together with those frequencies. The
+mining algorithms only ever need the pair (subgraph, frequency map), so the
+induction helpers return exactly that.
+
+``theme_network_within`` is the TCFI/TC-Tree fast path: it induces ``G_p``
+not from the full network but inside an already-small carrier subgraph
+(the intersection of two parent trusses — Proposition 5.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro._ordering import Pattern, make_pattern
+from repro.graphs.graph import Graph
+from repro.network.dbnetwork import DatabaseNetwork
+
+FrequencyMap = dict[int, float]
+
+
+def theme_frequencies(
+    network: DatabaseNetwork,
+    pattern: Iterable[int],
+    candidates: Iterable[int] | None = None,
+) -> FrequencyMap:
+    """``f_i(p)`` for every candidate vertex with a positive frequency.
+
+    ``candidates`` defaults to all vertices with databases; passing a
+    smaller set is the core of the intersection-based pruning.
+    """
+    canonical = make_pattern(pattern)
+    if candidates is None:
+        candidates = network.databases.keys()
+    frequencies: FrequencyMap = {}
+    if len(canonical) == 1:
+        # Single-item fast path: read the vertical index directly instead
+        # of going through the pattern-memo machinery. Level 1 of every
+        # finder and the whole first TC-Tree layer hit this path.
+        item = canonical[0]
+        for v in candidates:
+            database = network.databases.get(v)
+            if database is None:
+                continue
+            f = database.item_frequency(item)
+            if f > 0.0:
+                frequencies[v] = f
+        return frequencies
+    for v in candidates:
+        f = network.frequency(v, canonical)
+        if f > 0.0:
+            frequencies[v] = f
+    return frequencies
+
+
+def induce_theme_network(
+    network: DatabaseNetwork, pattern: Iterable[int]
+) -> tuple[Graph, FrequencyMap]:
+    """The theme network ``G_p`` induced from the full database network.
+
+    Returns the vertex-induced subgraph over ``{v : f_v(p) > 0}`` and the
+    frequency map restricted to those vertices.
+    """
+    frequencies = theme_frequencies(network, pattern)
+    graph = network.graph.subgraph(frequencies.keys())
+    return graph, frequencies
+
+
+def theme_network_within(
+    network: DatabaseNetwork,
+    pattern: Iterable[int],
+    carrier: Graph,
+) -> tuple[Graph, FrequencyMap]:
+    """Induce ``G_p`` restricted to a carrier subgraph.
+
+    Used by TCFI and the TC-Tree: by Proposition 5.3 the maximal pattern
+    truss of ``p = p1 ∪ p2`` lives inside ``C*_{p1}(α) ∩ C*_{p2}(α)``, so
+    only carrier vertices need frequency probes and only carrier edges can
+    survive.
+    """
+    frequencies = theme_frequencies(network, pattern, candidates=carrier)
+    graph = carrier.subgraph(frequencies.keys())
+    return graph, frequencies
+
+
+def intersect_graphs(first: Graph, second: Graph) -> Graph:
+    """Edge intersection of two graphs (the TCFI carrier ``C*_1 ∩ C*_2``)."""
+    if first.num_edges > second.num_edges:
+        first, second = second, first
+    result = Graph()
+    for u, v in first.iter_edges():
+        if second.has_edge(u, v):
+            result.add_edge(u, v)
+    return result

@@ -1,0 +1,136 @@
+"""Validation of database networks.
+
+Loaders and builders can produce structurally odd networks (vertices
+without databases, labels pointing nowhere, isolated vertices). Mining is
+defined for all of them, but most oddities indicate an ingestion bug, so
+``validate_network`` reports them as issues with a severity, and the CLI
+exposes it as ``repro validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.dbnetwork import DatabaseNetwork
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One finding: severity, machine-readable code, human message."""
+
+    severity: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+def validate_network(network: DatabaseNetwork) -> list[ValidationIssue]:
+    """Check a network for structural problems, errors first.
+
+    Errors mean the container's invariants are broken (should be
+    impossible through the public API — they catch hand-built or
+    deserialized data). Warnings mean mining will silently ignore parts of
+    the input. Infos are notable but harmless.
+    """
+    issues: list[ValidationIssue] = []
+
+    # --- errors: broken invariants -----------------------------------
+    for v in network.databases:
+        if v not in network.graph:
+            issues.append(
+                ValidationIssue(
+                    "error",
+                    "db-unknown-vertex",
+                    f"database attached to vertex {v} which is not in the "
+                    "graph",
+                )
+            )
+    surplus_labels = [
+        v for v in network.vertex_labels if v not in network.graph
+    ]
+    if surplus_labels:
+        # Benign by design: sub-networks and BFS samples share the parent
+        # network's label maps, so surplus labels are expected there.
+        issues.append(
+            ValidationIssue(
+                "info",
+                "surplus-vertex-labels",
+                f"{len(surplus_labels)} vertex labels refer to vertices "
+                "not in the graph (normal for sub-networks/samples)",
+            )
+        )
+
+    # --- warnings: mining will ignore these --------------------------
+    without_db = [
+        v for v in network.graph.vertices() if v not in network.databases
+    ]
+    if without_db:
+        issues.append(
+            ValidationIssue(
+                "warning",
+                "vertices-without-database",
+                f"{len(without_db)} vertices have no transaction database "
+                "(they can never join a theme network); first few: "
+                f"{sorted(without_db)[:5]}",
+            )
+        )
+    empty_dbs = [
+        v for v, db in network.databases.items() if db.num_transactions == 0
+    ]
+    if empty_dbs:
+        issues.append(
+            ValidationIssue(
+                "warning",
+                "empty-databases",
+                f"{len(empty_dbs)} vertices have empty databases; first "
+                f"few: {sorted(empty_dbs)[:5]}",
+            )
+        )
+    labelled_items = set(network.item_labels)
+    used_items: set[int] = set()
+    for db in network.databases.values():
+        used_items |= db.items()
+    unused_labels = labelled_items - used_items
+    if unused_labels:
+        issues.append(
+            ValidationIssue(
+                "warning",
+                "unused-item-labels",
+                f"{len(unused_labels)} item labels never occur in any "
+                f"database; first few: {sorted(unused_labels)[:5]}",
+            )
+        )
+
+    # --- infos --------------------------------------------------------
+    isolated = [
+        v for v in network.graph.vertices() if network.graph.degree(v) == 0
+    ]
+    if isolated:
+        issues.append(
+            ValidationIssue(
+                "info",
+                "isolated-vertices",
+                f"{len(isolated)} isolated vertices (no edges); they can "
+                "never join a community",
+            )
+        )
+    unlabeled_items = used_items - labelled_items
+    if network.item_labels and unlabeled_items:
+        issues.append(
+            ValidationIssue(
+                "info",
+                "partially-labelled-items",
+                f"{len(unlabeled_items)} items used but unlabelled while "
+                "other items have labels",
+            )
+        )
+    issues.sort(key=lambda i: SEVERITIES.index(i.severity))
+    return issues
+
+
+def has_errors(issues: list[ValidationIssue]) -> bool:
+    return any(issue.severity == "error" for issue in issues)

@@ -1,0 +1,20 @@
+"""Community search over theme communities.
+
+The truss-community-search literature the paper builds on (Huang et al.,
+SIGMOD 2014; Huang & Lakshmanan, VLDB 2017) asks *online* queries: "which
+communities contain this vertex?", "what are the k strongest communities
+for this theme?". This package answers those queries on top of the
+library's two backends — a mining result or a TC-Tree warehouse.
+"""
+
+from repro.search.vertex import (
+    communities_containing_vertex,
+    strongest_themes_of_vertex,
+)
+from repro.search.topk import top_k_communities
+
+__all__ = [
+    "communities_containing_vertex",
+    "strongest_themes_of_vertex",
+    "top_k_communities",
+]

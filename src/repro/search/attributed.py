@@ -1,0 +1,96 @@
+"""Attribute-driven community search (ATC-style, Huang & Lakshmanan 2017).
+
+The related-work query the paper cites: given *query vertices* that must
+all belong to the community and *query attributes* the theme may use, find
+the best communities. On top of a TC-Tree this is a filtered QBP: traverse
+themes within the query attributes, keep communities containing every
+query vertex, and rank by how much of the query the theme covers.
+
+The default ranking prefers (1) larger theme coverage of the query
+attributes, (2) stronger cohesion (the α at which the community would
+still exist, read from the decomposition), (3) smaller size — i.e. the
+most specific, most cohesive, tightest group around the query vertices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro._ordering import Pattern, make_pattern
+from repro.core.communities import ThemeCommunity
+from repro.errors import MiningError
+from repro.index.query import query_tc_tree
+from repro.index.tctree import TCTree
+
+
+@dataclass(frozen=True)
+class AttributedMatch:
+    """One ranked answer to an attribute-driven search."""
+
+    community: ThemeCommunity
+    coverage: int  # |theme ∩ query attributes| (= |theme|, by pruning)
+    strength: float  # largest α at which the community's truss is non-empty
+
+    @property
+    def pattern(self) -> Pattern:
+        return self.community.pattern
+
+
+def attributed_community_search(
+    tree: TCTree,
+    query_vertices: Iterable[int],
+    query_attributes: Iterable[int],
+    alpha: float = 0.0,
+    limit: int | None = None,
+) -> list[AttributedMatch]:
+    """Communities containing every query vertex, themed within the query
+    attributes, best-first.
+
+    ``alpha`` sets the minimum cohesion; strength is read per-theme from
+    the indexed decomposition (its α*), so ranking needs no re-mining.
+    """
+    vertices = set(query_vertices)
+    if not vertices:
+        raise MiningError("need at least one query vertex")
+    attributes = make_pattern(query_attributes)
+    if not attributes:
+        raise MiningError("need at least one query attribute")
+
+    answer = query_tc_tree(tree, pattern=attributes, alpha=alpha)
+    matches: list[AttributedMatch] = []
+    for truss in answer.trusses:
+        node = tree.find_node(truss.pattern)
+        strength = (
+            node.decomposition.max_alpha
+            if node is not None and node.decomposition is not None
+            else 0.0
+        )
+        for community in truss.communities():
+            if vertices <= community:
+                matches.append(
+                    AttributedMatch(
+                        community=ThemeCommunity(
+                            pattern=truss.pattern,
+                            members=frozenset(community),
+                            alpha=alpha,
+                            frequencies={
+                                v: truss.frequencies.get(v, 0.0)
+                                for v in community
+                            },
+                        ),
+                        coverage=len(truss.pattern),
+                        strength=strength,
+                    )
+                )
+    matches.sort(
+        key=lambda m: (
+            -m.coverage,
+            -m.strength,
+            m.community.size,
+            m.pattern,
+        )
+    )
+    if limit is not None:
+        matches = matches[:limit]
+    return matches

@@ -1,0 +1,57 @@
+"""Top-k community queries.
+
+Ranks theme communities by a pluggable scoring function. The default
+score combines size with theme length (longer themes are more specific and
+usually more interesting — they are also rarer, by Theorem 5.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.core.communities import ThemeCommunity, extract_theme_communities
+from repro.core.results import MiningResult
+from repro.errors import MiningError
+from repro.index.query import query_tc_tree
+from repro.index.tctree import TCTree
+
+Score = Callable[[ThemeCommunity], float]
+
+
+def default_score(community: ThemeCommunity) -> float:
+    """Size weighted by theme specificity: |members| × |pattern|."""
+    return community.size * max(1, len(community.pattern))
+
+
+def top_k_communities(
+    source: MiningResult | TCTree,
+    k: int,
+    pattern: Iterable[int] | None = None,
+    alpha: float = 0.0,
+    score: Score = default_score,
+    min_size: int = 3,
+) -> list[ThemeCommunity]:
+    """The ``k`` best-scoring theme communities.
+
+    ``source`` is a mining result or a TC-Tree (queried at ``alpha`` with
+    optional query ``pattern``). Ties break deterministically by pattern
+    then members.
+    """
+    if k < 1:
+        raise MiningError(f"k must be >= 1, got {k}")
+    if isinstance(source, TCTree):
+        communities = query_tc_tree(
+            source, pattern=pattern, alpha=alpha
+        ).communities()
+    else:
+        communities = extract_theme_communities(source)
+        if pattern is not None:
+            allowed = set(pattern)
+            communities = [
+                c for c in communities if set(c.pattern) <= allowed
+            ]
+    communities = [c for c in communities if c.size >= min_size]
+    communities.sort(
+        key=lambda c: (-score(c), c.pattern, sorted(c.members))
+    )
+    return communities[:k]

@@ -1,0 +1,86 @@
+"""Vertex-centred community search.
+
+``communities_containing_vertex`` is the theme-community analogue of
+k-truss community search: given a query vertex (and optionally a query
+pattern and threshold), return every theme community the vertex belongs
+to. ``strongest_themes_of_vertex`` ranks those communities by the largest
+threshold at which the vertex is still inside — the natural "how strongly
+does this vertex belong" score, read off the TC-Tree decompositions with
+no re-mining.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro._ordering import Pattern
+from repro.core.communities import ThemeCommunity, extract_theme_communities
+from repro.core.results import MiningResult
+from repro.index.query import query_tc_tree
+from repro.index.tctree import TCTree
+
+
+def _communities(
+    source: MiningResult | TCTree,
+    pattern: Iterable[int] | None,
+    alpha: float,
+) -> list[ThemeCommunity]:
+    if isinstance(source, TCTree):
+        return query_tc_tree(source, pattern=pattern, alpha=alpha).communities()
+    communities = extract_theme_communities(source)
+    if pattern is not None:
+        allowed = set(pattern)
+        communities = [
+            c for c in communities if set(c.pattern) <= allowed
+        ]
+    return communities
+
+
+def communities_containing_vertex(
+    source: MiningResult | TCTree,
+    vertex: int,
+    pattern: Iterable[int] | None = None,
+    alpha: float = 0.0,
+) -> list[ThemeCommunity]:
+    """All theme communities containing ``vertex``, largest-first.
+
+    ``source`` is either a mined :class:`MiningResult` (its α applies and
+    ``alpha`` is ignored for results) or a :class:`TCTree` (queried at
+    ``alpha``). ``pattern`` optionally restricts themes to sub-patterns of
+    it, as in Algorithm 5.
+    """
+    return [
+        c
+        for c in _communities(source, pattern, alpha)
+        if vertex in c.members
+    ]
+
+
+def strongest_themes_of_vertex(
+    tree: TCTree,
+    vertex: int,
+    limit: int | None = None,
+) -> list[tuple[Pattern, float]]:
+    """Themes of ``vertex`` ranked by departure threshold.
+
+    For each indexed theme containing the vertex, compute the largest
+    decomposition threshold α_k at which the vertex is still in
+    ``C*_p(α)`` — i.e. the level at which its last incident edge is
+    removed. Higher = the vertex sits in a more cohesive part of that
+    theme's truss. Read directly from ``L_p``; no mining.
+    """
+    scored: list[tuple[Pattern, float]] = []
+    for node in tree.iter_nodes():
+        decomposition = node.decomposition
+        if decomposition is None or vertex not in decomposition.frequencies:
+            continue
+        departure = 0.0
+        for level in decomposition.levels:
+            if any(vertex in edge for edge in level.removed_edges):
+                departure = max(departure, level.alpha)
+        if departure > 0.0:
+            scored.append((node.pattern, departure))
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    if limit is not None:
+        scored = scored[:limit]
+    return scored

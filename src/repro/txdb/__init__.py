@@ -1,0 +1,13 @@
+"""Transaction-database substrate.
+
+Every vertex of a database network carries a transaction database — a
+multiset of itemsets (Section 3.1). This package provides that container
+with a vertical (item → transaction-id set) index so pattern frequencies
+``f_i(p)`` are set intersections, plus per-database pattern enumeration used
+by the TCS baseline's pre-filter.
+"""
+
+from repro.txdb.database import TransactionDatabase
+from repro.txdb.enumerate import enumerate_frequent_patterns
+
+__all__ = ["TransactionDatabase", "enumerate_frequent_patterns"]

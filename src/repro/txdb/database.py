@@ -1,0 +1,136 @@
+"""The transaction database attached to a vertex.
+
+Frequencies are the workhorse of the whole system: every edge-cohesion
+computation asks for ``f_i(p)`` for some vertex *i* and pattern *p*. The
+database therefore keeps a vertical index (item → set of transaction ids)
+and memoizes pattern frequencies. A pattern's tid-set is the intersection
+of its items' tid-sets, intersected smallest-first.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro._ordering import Pattern, make_pattern
+from repro.errors import DatabaseError
+
+
+class TransactionDatabase:
+    """A multiset of transactions over integer item ids.
+
+    Transactions are stored as frozensets; duplicates are allowed and
+    counted separately (the paper's databases are multisets — a user may
+    check in to the same set of places on many days).
+    """
+
+    __slots__ = ("_transactions", "_tids", "_freq_cache")
+
+    def __init__(self, transactions: Iterable[Iterable[int]] = ()) -> None:
+        self._transactions: list[frozenset[int]] = []
+        self._tids: dict[int, set[int]] = {}
+        self._freq_cache: dict[Pattern, float] = {}
+        for t in transactions:
+            self.add_transaction(t)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_transaction(self, items: Iterable[int]) -> None:
+        """Append one transaction (empty transactions are rejected)."""
+        transaction = frozenset(items)
+        if not transaction:
+            raise DatabaseError("empty transactions are not allowed")
+        tid = len(self._transactions)
+        self._transactions.append(transaction)
+        for item in transaction:
+            self._tids.setdefault(item, set()).add(tid)
+        self._freq_cache.clear()
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[frozenset[int]]:
+        return iter(self._transactions)
+
+    def __bool__(self) -> bool:
+        return bool(self._transactions)
+
+    @property
+    def num_transactions(self) -> int:
+        return len(self._transactions)
+
+    @property
+    def total_items(self) -> int:
+        """Total item occurrences over all transactions (Table 2 statistic)."""
+        return sum(len(t) for t in self._transactions)
+
+    def items(self) -> set[int]:
+        """The distinct items appearing in this database."""
+        return set(self._tids)
+
+    def contains_item(self, item: int) -> bool:
+        return item in self._tids
+
+    def transactions(self) -> list[frozenset[int]]:
+        return list(self._transactions)
+
+    # ------------------------------------------------------------------
+    # frequencies
+    # ------------------------------------------------------------------
+    def support_set(self, pattern: Pattern) -> set[int]:
+        """Transaction ids containing every item of ``pattern``.
+
+        The empty pattern is contained in every transaction.
+        """
+        if not pattern:
+            return set(range(len(self._transactions)))
+        tid_sets = []
+        for item in pattern:
+            tids = self._tids.get(item)
+            if not tids:
+                return set()
+            tid_sets.append(tids)
+        tid_sets.sort(key=len)
+        result = set(tid_sets[0])
+        for tids in tid_sets[1:]:
+            result &= tids
+            if not result:
+                break
+        return result
+
+    def support_count(self, pattern: Iterable[int]) -> int:
+        """Number of transactions containing ``pattern``."""
+        return len(self.support_set(make_pattern(pattern)))
+
+    def frequency(self, pattern: Iterable[int]) -> float:
+        """``f_i(p)``: the fraction of transactions containing ``pattern``.
+
+        Returns 0.0 for an empty database. Memoized — the mining algorithms
+        re-ask for the same (vertex, pattern) pair many times while peeling.
+        """
+        if not self._transactions:
+            return 0.0
+        canonical = make_pattern(pattern)
+        cached = self._freq_cache.get(canonical)
+        if cached is None:
+            cached = len(self.support_set(canonical)) / len(self._transactions)
+            self._freq_cache[canonical] = cached
+        return cached
+
+    def item_frequency(self, item: int) -> float:
+        """Fast path for single-item frequency."""
+        if not self._transactions:
+            return 0.0
+        tids = self._tids.get(item)
+        if not tids:
+            return 0.0
+        return len(tids) / len(self._transactions)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionDatabase(transactions={len(self._transactions)}, "
+            f"items={len(self._tids)})"
+        )

@@ -1,0 +1,59 @@
+"""Per-database frequent-pattern enumeration.
+
+The TCS baseline (Section 4.2) pre-filters candidate patterns: a pattern
+survives when its frequency exceeds ``ε`` in at least one vertex database.
+This module enumerates all patterns with frequency > ε in a single database
+by depth-first extension over the vertical index, which is exactly Eclat-
+style tid-set intersection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro._ordering import Pattern
+from repro.errors import MiningError
+from repro.txdb.database import TransactionDatabase
+
+
+def enumerate_frequent_patterns(
+    database: TransactionDatabase,
+    epsilon: float,
+    max_length: int | None = None,
+) -> Iterator[Pattern]:
+    """Yield every pattern ``p`` with ``frequency(p) > epsilon``.
+
+    ``epsilon`` is a strict lower bound, matching the paper's
+    ``f_i(p) > ε`` candidate condition. ``max_length`` optionally caps the
+    pattern length (useful to bound the exponential enumeration on dense
+    databases).
+
+    Patterns are yielded in canonical order within each DFS branch; the
+    caller typically accumulates them into a set across vertices.
+    """
+    if epsilon < 0.0:
+        raise MiningError(f"epsilon must be >= 0, got {epsilon}")
+    total = database.num_transactions
+    if total == 0:
+        return
+    min_count = epsilon * total  # strict: need support_count > min_count
+
+    # Vertical representation of frequent single items, canonical item order.
+    item_tids = [
+        (item, database.support_set((item,)))
+        for item in sorted(database.items())
+    ]
+    item_tids = [(i, t) for i, t in item_tids if len(t) > min_count]
+
+    def extend(prefix: Pattern, prefix_tids: set[int], start: int) -> Iterator[Pattern]:
+        for pos in range(start, len(item_tids)):
+            item, tids = item_tids[pos]
+            new_tids = prefix_tids & tids if prefix else tids
+            if len(new_tids) <= min_count:
+                continue
+            pattern = prefix + (item,)
+            yield pattern
+            if max_length is None or len(pattern) < max_length:
+                yield from extend(pattern, new_tids, pos + 1)
+
+    yield from extend((), set(), 0)

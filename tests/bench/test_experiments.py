@@ -1,0 +1,110 @@
+"""Tests for the experiment drivers (at tiny scale, few alphas)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments
+from repro.errors import MiningError
+
+
+class TestDatasetSuite:
+    def test_all_four_datasets(self):
+        suite = experiments.dataset_suite("tiny")
+        assert set(suite) == {"BK", "GW", "AMINER", "SYN"}
+        for network in suite.values():
+            assert network.num_edges > 0
+            assert network.databases
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(MiningError):
+            experiments.make_bk("huge")
+
+    def test_scales_ordered(self):
+        tiny = experiments.make_bk("tiny")
+        small = experiments.make_bk("small")
+        assert tiny.num_vertices < small.num_vertices
+
+
+class TestTable2:
+    def test_rows_and_columns(self):
+        rows, report = experiments.experiment_table2("tiny")
+        assert len(rows) == 4
+        assert {"#Vertices", "#Edges", "#Transactions"} <= set(rows[0])
+        assert "Table 2" in report
+
+
+class TestFig3:
+    def test_sweep_shape(self):
+        rows, report = experiments.experiment_fig3(
+            dataset="BK",
+            scale="tiny",
+            alphas=(0.3, 1.0),
+            epsilons=(0.2,),
+            sample_edges=60,
+            max_length=2,
+        )
+        # 2 alphas × (tcfi + tcfa + 1 tcs) = 6 rows
+        assert len(rows) == 6
+        assert "Figure 3" in report
+        methods = {row["run"] for row in rows}
+        assert methods == {"tcfi", "tcfa", "tcs(eps=0.2)"}
+
+    def test_exactness_in_sweep(self):
+        rows, _ = experiments.experiment_fig3(
+            dataset="BK",
+            scale="tiny",
+            alphas=(0.5,),
+            epsilons=(0.1,),
+            sample_edges=60,
+            max_length=2,
+        )
+        by_method = {row["run"]: row for row in rows}
+        assert by_method["tcfi"]["NP"] == by_method["tcfa"]["NP"]
+        assert by_method["tcs(eps=0.1)"]["NP"] <= by_method["tcfi"]["NP"]
+
+
+class TestFig4:
+    def test_scalability_rows(self):
+        rows, report = experiments.experiment_fig4(
+            dataset="BK",
+            scale="tiny",
+            sizes=(40, 80),
+            methods=("tcfi",),
+            max_length=2,
+        )
+        assert len(rows) == 2
+        assert rows[0]["edges"] <= rows[1]["edges"]
+        assert "Figure 4" in report
+
+
+class TestTable3AndFig5:
+    def test_indexing_and_queries(self):
+        rows, report, trees = experiments.experiment_table3(
+            scale="tiny", datasets=("BK",), max_length=2
+        )
+        assert len(rows) == 1
+        assert rows[0]["nodes"] > 0
+        assert "peak_MB" in rows[0]
+
+        tree = trees["BK"]
+        qba_rows, qba_report = experiments.experiment_fig5_qba(
+            tree, "BK", alpha_step=0.5, repeats=1
+        )
+        assert qba_rows[0]["retrieved_nodes"] == tree.num_nodes
+        assert qba_rows[-1]["retrieved_nodes"] == 0
+
+        qbp_rows, qbp_report = experiments.experiment_fig5_qbp(
+            tree, "BK", patterns_per_length=3, repeats=1
+        )
+        assert qbp_rows
+        assert qbp_rows[0]["pattern_length"] == 1
+
+
+class TestAblation:
+    def test_rows(self):
+        rows, report = experiments.experiment_ablation_pruning(
+            dataset="BK", scale="tiny", alphas=(0.5,)
+        )
+        assert len(rows) == 3
+        assert "Ablation" in report

@@ -1,0 +1,60 @@
+"""Tests for measurement primitives."""
+
+from __future__ import annotations
+
+from repro.bench.metrics import MeasuredRun, measure_memory, measure_time
+
+
+class TestMeasuredRun:
+    def test_as_row(self):
+        run = MeasuredRun(label="x", seconds=1.5, metrics={"NP": 3})
+        row = run.as_row()
+        assert row["run"] == "x"
+        assert row["seconds"] == 1.5
+        assert row["NP"] == 3
+        assert "peak_MB" not in row
+
+    def test_peak_megabytes(self):
+        run = MeasuredRun(label="x", peak_bytes=2 * 1024 * 1024)
+        assert run.peak_megabytes == 2.0
+        assert run.as_row()["peak_MB"] == 2.0
+
+
+class TestMeasureTime:
+    def test_accumulates(self):
+        run = MeasuredRun(label="t")
+        with measure_time(run):
+            sum(range(10_000))
+        first = run.seconds
+        assert first > 0
+        with measure_time(run):
+            sum(range(10_000))
+        assert run.seconds > first
+
+    def test_records_on_exception(self):
+        run = MeasuredRun(label="t")
+        try:
+            with measure_time(run):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert run.seconds > 0
+
+
+class TestMeasureMemory:
+    def test_captures_allocation(self):
+        run = MeasuredRun(label="m")
+        with measure_memory(run):
+            data = [0] * 200_000
+            del data
+        assert run.peak_bytes > 200_000 * 4
+
+    def test_baseline_excluded(self):
+        """Only allocations inside the block count."""
+        keep = [0] * 500_000
+        run = MeasuredRun(label="m")
+        with measure_memory(run):
+            small = [0] * 1_000
+            del small
+        assert run.peak_bytes < 500_000 * 4
+        del keep

@@ -1,0 +1,56 @@
+"""Tests for the ASCII plotter."""
+
+from __future__ import annotations
+
+from repro.bench.plots import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot(
+            [1, 10, 100],
+            {"tcfi": [0.01, 0.1, 1.0], "tcfa": [0.02, 0.5, 10.0]},
+            title="time vs size",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "time vs size"
+        assert any("o" in line for line in lines)  # first series marker
+        assert any("x" in line for line in lines)  # second series marker
+        assert "o = tcfi" in text
+        assert "x = tcfa" in text
+
+    def test_log_scale_skips_zeros(self):
+        text = ascii_plot([1, 2, 3], {"s": [0.0, 1.0, 10.0]}, log_y=True)
+        # Renders without error; zero point skipped, two markers plotted
+        # (count only chart rows, which start with "|").
+        marker_cells = sum(
+            line.count("o")
+            for line in text.splitlines()
+            if line.startswith("|")
+        )
+        assert marker_cells == 2
+
+    def test_linear_scale(self):
+        text = ascii_plot(
+            [0, 1, 2], {"s": [0.0, 5.0, 10.0]}, log_y=False
+        )
+        assert "y(lin)" in text
+
+    def test_monotone_series_has_monotone_rows(self):
+        """A strictly increasing series must render left-low to right-high."""
+        text = ascii_plot(
+            [1, 2, 4, 8], {"s": [1.0, 10.0, 100.0, 1000.0]},
+            width=40, height=10,
+        )
+        rows = [
+            (line_index, line.index("o"))
+            for line_index, line in enumerate(text.splitlines())
+            if line.startswith("|") and "o" in line
+        ]
+        # Sorted by row (top first) the column must decrease.
+        columns = [col for _, col in rows]
+        assert columns == sorted(columns, reverse=True)
+
+    def test_empty_series(self):
+        text = ascii_plot([1, 2], {"s": [0.0, 0.0]}, log_y=True)
+        assert "(empty)" in text

@@ -1,0 +1,57 @@
+"""Tests for ASCII reporting."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no data)" in format_table([])
+        assert "title" in format_table([], title="title")
+
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table([{"a": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows)
+        assert "b" in text.splitlines()[0]
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.000001234, "y": 123456.0, "z": 0.5}])
+        assert "e-" in text  # tiny value in scientific notation
+        assert "e+" in text  # huge value in scientific notation
+        assert "0.5" in text
+
+    def test_explicit_columns(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestFormatSeries:
+    def test_series_rows(self):
+        text = format_series(
+            "alpha",
+            [0.0, 0.1],
+            {"tcfi": [1, 2], "tcfa": [3, 4]},
+            title="fig",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "fig"
+        assert "alpha" in lines[1]
+        assert "tcfi" in lines[1]
+        assert len(lines) == 5
+
+    def test_short_series_padded(self):
+        text = format_series("x", [1, 2], {"s": [10]})
+        assert text  # no exception; missing tail rendered blank

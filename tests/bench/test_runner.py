@@ -1,0 +1,42 @@
+"""Tests for measured runs."""
+
+from __future__ import annotations
+
+from repro.bench.runner import run_indexing, run_mining, run_query
+
+
+class TestRunMining:
+    def test_metrics_present(self, toy_network):
+        run = run_mining(toy_network, "tcfi", alpha=0.1)
+        assert run.seconds > 0
+        assert run.metrics["NP"] == 2
+        assert run.metrics["alpha"] == 0.1
+
+    def test_tcs_label_includes_epsilon(self, toy_network):
+        run = run_mining(toy_network, "tcs", alpha=0.1, epsilon=0.2)
+        assert "0.2" in run.label
+
+
+class TestRunIndexing:
+    def test_returns_tree_and_metrics(self, toy_network):
+        run, tree = run_indexing(toy_network)
+        assert tree.num_nodes == 2
+        assert run.metrics["nodes"] == 2
+        assert run.metrics["depth"] == 1
+        assert run.seconds > 0
+        assert run.peak_bytes > 0
+
+
+class TestRunQuery:
+    def test_qba(self, toy_network):
+        _, tree = run_indexing(toy_network)
+        run = run_query(tree, alpha=0.0, repeats=3)
+        assert run.label == "QBA"
+        assert run.metrics["retrieved_nodes"] == 2
+
+    def test_qbp(self, toy_network):
+        _, tree = run_indexing(toy_network)
+        run = run_query(tree, pattern=(0,), repeats=2)
+        assert run.label == "QBP"
+        assert run.metrics["pattern_length"] == 1
+        assert run.metrics["retrieved_nodes"] == 1

@@ -1,0 +1,113 @@
+"""Shared fixtures and hypothesis strategies.
+
+The property-based tests need random *small* database networks: the paper's
+theorems (anti-monotonicity, intersection, decomposition) are universally
+quantified, so small adversarial instances are the right search space.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.datasets.toy import toy_database_network
+from repro.graphs.graph import Graph
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.txdb.database import TransactionDatabase
+
+
+# ---------------------------------------------------------------------------
+# fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def toy_network() -> DatabaseNetwork:
+    """The Figure 1 toy network (session-scoped; it is never mutated)."""
+    return toy_database_network()
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def small_graphs(draw, max_vertices: int = 8, min_edges: int = 0):
+    """A random simple graph on at most ``max_vertices`` vertices."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=min_edges, unique=True)
+    )
+    graph = Graph()
+    for v in range(n):
+        graph.add_vertex(v)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def frequency_maps(draw, graph: Graph):
+    """Random frequencies in (0, 1] for every vertex of ``graph``."""
+    steps = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=10),
+            min_size=graph.num_vertices,
+            max_size=graph.num_vertices,
+        )
+    )
+    return {v: s / 10.0 for v, s in zip(sorted(graph.vertices()), steps)}
+
+
+@st.composite
+def graph_with_frequencies(draw, max_vertices: int = 8):
+    """(graph, frequency map) pair for truss-level property tests."""
+    graph = draw(small_graphs(max_vertices=max_vertices))
+    frequencies = draw(frequency_maps(graph))
+    return graph, frequencies
+
+
+@st.composite
+def transaction_databases(
+    draw, max_items: int = 5, max_transactions: int = 8
+):
+    """A random non-empty transaction database over items 0..max_items-1."""
+    transactions = draw(
+        st.lists(
+            st.sets(
+                st.integers(min_value=0, max_value=max_items - 1),
+                min_size=1,
+                max_size=max_items,
+            ),
+            min_size=1,
+            max_size=max_transactions,
+        )
+    )
+    return TransactionDatabase(transactions)
+
+
+@st.composite
+def database_networks(
+    draw,
+    max_vertices: int = 6,
+    max_items: int = 4,
+    max_transactions: int = 5,
+):
+    """A random small database network (every vertex has a database)."""
+    graph = draw(small_graphs(max_vertices=max_vertices))
+    databases = {}
+    for v in sorted(graph.vertices()):
+        databases[v] = draw(
+            transaction_databases(
+                max_items=max_items, max_transactions=max_transactions
+            )
+        )
+    return DatabaseNetwork(graph, databases)
+
+
+@st.composite
+def alphas(draw):
+    """A cohesion threshold on the scale the small networks produce."""
+    return draw(
+        st.sampled_from([0.0, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0, 1.5, 2.0])
+    )

@@ -1,0 +1,66 @@
+"""Tests for Apriori candidate generation over qualified patterns."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._ordering import is_subpattern, make_pattern
+from repro.core.candidates import generate_candidates
+
+
+class TestGenerateCandidates:
+    def test_singletons_join(self):
+        candidates = generate_candidates([(1,), (2,), (3,)])
+        patterns = [c.pattern for c in candidates]
+        assert patterns == [(1, 2), (1, 3), (2, 3)]
+
+    def test_parent_pair_reported(self):
+        [candidate] = generate_candidates([(1,), (2,)])
+        assert candidate.pattern == (1, 2)
+        assert {candidate.left_parent, candidate.right_parent} == {
+            (1,), (2,)
+        }
+
+    def test_prune_unqualified_subpattern(self):
+        # (1,2,3) would need (2,3) qualified.
+        assert generate_candidates([(1, 2), (1, 3)]) == []
+
+    def test_complete_level_joins(self):
+        candidates = generate_candidates([(1, 2), (1, 3), (2, 3)])
+        assert [c.pattern for c in candidates] == [(1, 2, 3)]
+
+    def test_empty(self):
+        assert generate_candidates([]) == []
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=6), min_size=1, max_size=5)
+    )
+    def test_full_powerset_level(self, items):
+        """If every length-k subset is qualified, candidates are exactly
+        the length-(k+1) subsets."""
+        from itertools import combinations
+
+        universe = sorted(items)
+        for k in range(1, len(universe)):
+            level = [make_pattern(c) for c in combinations(universe, k)]
+            candidates = generate_candidates(level)
+            expected = {
+                make_pattern(c) for c in combinations(universe, k + 1)
+            }
+            assert {c.pattern for c in candidates} == expected
+
+    @given(
+        st.lists(
+            st.sets(st.integers(min_value=0, max_value=5), min_size=2,
+                    max_size=2),
+            max_size=8,
+            unique_by=frozenset,
+        )
+    )
+    def test_parents_are_subpatterns(self, pairs):
+        level = sorted(make_pattern(p) for p in pairs)
+        for candidate in generate_candidates(level):
+            assert is_subpattern(candidate.left_parent, candidate.pattern)
+            assert is_subpattern(candidate.right_parent, candidate.pattern)
+            assert len(candidate.pattern) == 3

@@ -1,0 +1,72 @@
+"""Tests for edge cohesion (Definition 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.cohesion import edge_cohesion, edge_cohesion_table
+from repro.graphs.graph import Graph
+from repro.graphs.triangles import edge_triangle_counts
+from tests.conftest import graph_with_frequencies
+
+
+class TestEdgeCohesion:
+    def test_paper_example_3_2(self):
+        """Example 3.2: eco_12 = min(f1,f2,f3) + min(f1,f2,f5) = 0.2."""
+        graph = Graph([(1, 2), (1, 3), (2, 3), (1, 5), (2, 5), (3, 5),
+                       (3, 4), (4, 5)])
+        frequencies = {1: 0.1, 2: 0.1, 3: 0.1, 4: 0.1, 5: 0.1}
+        assert edge_cohesion(graph, frequencies, 1, 2) == pytest.approx(0.2)
+
+    def test_no_triangles_gives_zero(self):
+        graph = Graph([(1, 2), (2, 3)])
+        assert edge_cohesion(graph, {1: 1.0, 2: 1.0, 3: 1.0}, 1, 2) == 0.0
+
+    def test_min_over_triple(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        frequencies = {1: 0.9, 2: 0.5, 3: 0.2}
+        assert edge_cohesion(graph, frequencies, 1, 2) == pytest.approx(0.2)
+
+    def test_missing_frequency_treated_as_zero(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        assert edge_cohesion(graph, {1: 1.0, 2: 1.0}, 1, 2) == 0.0
+
+
+class TestCohesionTable:
+    def test_covers_all_edges(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        table = edge_cohesion_table(graph, {1: 0.5, 2: 0.5, 3: 0.5})
+        assert set(table) == {(1, 2), (1, 3), (2, 3)}
+        assert all(v == pytest.approx(0.5) for v in table.values())
+
+    @given(graph_with_frequencies())
+    def test_unit_frequencies_recover_triangle_support(self, pair):
+        """With f ≡ 1 the cohesion is Cohen's k-truss support (§3.2)."""
+        graph, _ = pair
+        ones = {v: 1.0 for v in graph}
+        table = edge_cohesion_table(graph, ones)
+        support = edge_triangle_counts(graph)
+        assert set(table) == set(support)
+        for edge, value in table.items():
+            assert value == pytest.approx(support[edge])
+
+    @given(graph_with_frequencies())
+    def test_table_matches_single_edge_queries(self, pair):
+        graph, frequencies = pair
+        table = edge_cohesion_table(graph, frequencies)
+        for (u, v), value in table.items():
+            assert value == pytest.approx(
+                edge_cohesion(graph, frequencies, u, v)
+            )
+
+    @given(graph_with_frequencies())
+    def test_cohesion_nonnegative_and_bounded(self, pair):
+        """0 <= eco_ij <= (#triangles through the edge) × max f."""
+        graph, frequencies = pair
+        table = edge_cohesion_table(graph, frequencies)
+        support = edge_triangle_counts(graph)
+        max_f = max(frequencies.values(), default=0.0)
+        for edge, value in table.items():
+            assert value >= 0.0
+            assert value <= support[edge] * max_f + 1e-9

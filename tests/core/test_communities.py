@@ -1,0 +1,78 @@
+"""Tests for theme-community extraction."""
+
+from __future__ import annotations
+
+from repro.core.communities import (
+    ThemeCommunity,
+    communities_of_truss,
+    extract_theme_communities,
+)
+from repro.core.results import MiningResult
+from repro.core.tcfi import tcfi
+from repro.core.truss import PatternTruss
+from repro.graphs.graph import Graph
+
+
+def _two_component_truss() -> PatternTruss:
+    graph = Graph([(1, 2), (2, 3), (1, 3), (7, 8), (8, 9), (7, 9)])
+    return PatternTruss(
+        (5,), graph, {v: 0.4 for v in graph}, alpha=0.1
+    )
+
+
+class TestCommunitiesOfTruss:
+    def test_one_per_component(self):
+        communities = communities_of_truss(_two_component_truss())
+        assert len(communities) == 2
+        members = sorted(sorted(c.members) for c in communities)
+        assert members == [[1, 2, 3], [7, 8, 9]]
+
+    def test_carries_pattern_alpha_frequencies(self):
+        community = communities_of_truss(_two_component_truss())[0]
+        assert community.pattern == (5,)
+        assert community.alpha == 0.1
+        assert all(f == 0.4 for f in community.frequencies.values())
+        assert set(community.frequencies) == set(community.members)
+
+
+class TestThemeCommunity:
+    def test_size_and_overlap(self):
+        a = ThemeCommunity((1,), frozenset({1, 2, 3}), 0.0)
+        b = ThemeCommunity((2,), frozenset({2, 3, 4}), 0.0)
+        assert a.size == 3
+        assert a.overlap(b) == 2
+
+    def test_labels(self, toy_network):
+        communities = extract_theme_communities(tcfi(toy_network, 0.1))
+        q_community = next(
+            c for c in communities if c.theme_labels(toy_network) == ("q",)
+        )
+        assert len(q_community.member_labels(toy_network)) == 6
+
+
+class TestExtractThemeCommunities:
+    def test_from_mining_result(self, toy_network):
+        result = tcfi(toy_network, 0.1)
+        communities = extract_theme_communities(result)
+        # p gives two communities, q gives one.
+        assert len(communities) == 3
+
+    def test_largest_first(self, toy_network):
+        communities = extract_theme_communities(tcfi(toy_network, 0.1))
+        sizes = [c.size for c in communities]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_from_iterable_of_trusses(self):
+        communities = extract_theme_communities([_two_component_truss()])
+        assert len(communities) == 2
+
+    def test_overlapping_communities_allowed(self, toy_network):
+        """The paper's key output property: communities with different
+        themes may overlap arbitrarily (Section 7.4)."""
+        communities = extract_theme_communities(tcfi(toy_network, 0.1))
+        p_first = next(c for c in communities if c.pattern == (0,))
+        q = next(c for c in communities if c.pattern == (1,))
+        assert q.overlap(p_first) > 0
+
+    def test_empty_result(self):
+        assert extract_theme_communities(MiningResult(0.0)) == []

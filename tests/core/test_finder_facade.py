@@ -1,0 +1,43 @@
+"""Tests for the ThemeCommunityFinder facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.finder import ThemeCommunityFinder
+from repro.core.tcfi import tcfi
+from repro.errors import MiningError
+
+
+class TestFind:
+    def test_default_is_tcfi(self, toy_network):
+        finder = ThemeCommunityFinder(toy_network)
+        assert finder.find(0.1).same_trusses_as(tcfi(toy_network, 0.1))
+
+    def test_method_selection(self, toy_network):
+        finder = ThemeCommunityFinder(toy_network)
+        exact = finder.find(0.1, method="tcfa")
+        assert exact.same_trusses_as(finder.find(0.1, method="tcfi"))
+        approx = finder.find(0.1, method="tcs", epsilon=0.3)
+        assert approx.is_subset_of(exact)
+
+    def test_unknown_method(self, toy_network):
+        with pytest.raises(MiningError):
+            ThemeCommunityFinder(toy_network).find(0.0, method="magic")
+
+
+class TestFindCommunities:
+    def test_min_size_filter(self, toy_network):
+        finder = ThemeCommunityFinder(toy_network)
+        all_communities = finder.find_communities(0.1, min_size=3)
+        large_only = finder.find_communities(0.1, min_size=5)
+        assert len(large_only) < len(all_communities)
+        assert all(c.size >= 5 for c in large_only)
+
+    def test_sorted_largest_first(self, toy_network):
+        communities = ThemeCommunityFinder(toy_network).find_communities(0.1)
+        sizes = [c.size for c in communities]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_empty_at_high_alpha(self, toy_network):
+        assert ThemeCommunityFinder(toy_network).find_communities(5.0) == []

@@ -1,0 +1,130 @@
+"""Tests for the three mining algorithms (TCS, TCFA, TCFI).
+
+Exactness contract (Section 7.1): TCFA and TCFI always produce identical
+results; TCS with ε = 0 matches them; TCS with ε > 0 produces a subset.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tcfa import tcfa
+from repro.core.tcfi import tcfi
+from repro.core.tcs import collect_candidate_patterns, tcs
+from repro.errors import MiningError
+from tests.conftest import database_networks
+
+
+class TestToyGroundTruth:
+    """The toy network's trusses are known exactly (see datasets/toy.py)."""
+
+    def test_patterns_found(self, toy_network):
+        result = tcfi(toy_network, 0.0)
+        assert result.patterns() == [(0,), (1,)]
+
+    def test_p_truss_below_03(self, toy_network):
+        result = tcfi(toy_network, 0.2)
+        assert (0,) in result
+        truss = result[(0,)]
+        assert truss.num_edges == 13  # K5 (10) + triangle (3)
+        communities = sorted(map(sorted, truss.communities()))
+        assert len(communities) == 2
+
+    def test_p_truss_gone_at_03(self, toy_network):
+        result = tcfi(toy_network, 0.3)
+        assert (0,) not in result
+        assert (1,) in result  # q still alive until 0.6
+
+    def test_q_truss_shrinks_at_04(self, toy_network):
+        full = tcfi(toy_network, 0.35)[(1,)]
+        shrunk = tcfi(toy_network, 0.45)[(1,)]
+        assert full.num_edges == 8
+        assert shrunk.num_edges == 5
+        assert shrunk.vertices() < full.vertices()
+
+    def test_everything_gone_at_06(self, toy_network):
+        assert len(tcfi(toy_network, 0.6)) == 0
+
+    def test_no_length2_pattern(self, toy_network):
+        """p and q never co-occur in a transaction, so no pattern of
+        length 2 forms a truss."""
+        result = tcfi(toy_network, 0.0)
+        assert result.max_pattern_length() == 1
+
+
+class TestTCS:
+    def test_epsilon_zero_is_exact(self, toy_network):
+        exact = tcfi(toy_network, 0.1)
+        baseline = tcs(toy_network, 0.1, epsilon=0.0)
+        assert baseline.same_trusses_as(exact)
+
+    def test_high_epsilon_loses_low_frequency_trusses(self, toy_network):
+        """ε = 0.2 pre-filters item p (max frequency 0.3 > 0.2 on v7-v9,
+        so p survives) but ε = 0.3 drops it."""
+        result = tcs(toy_network, 0.1, epsilon=0.3)
+        assert (0,) not in result  # lost: max f(p) = 0.3, not > 0.3
+        assert (1,) in result
+
+    def test_candidate_collection(self, toy_network):
+        candidates = collect_candidate_patterns(toy_network, 0.3)
+        assert (1,) in candidates
+        assert (0,) not in candidates
+
+    def test_subset_of_exact(self, toy_network):
+        exact = tcfi(toy_network, 0.0)
+        for epsilon in (0.1, 0.2, 0.3):
+            approx = tcs(toy_network, 0.0, epsilon=epsilon)
+            assert approx.is_subset_of(exact)
+
+    def test_negative_alpha_rejected(self, toy_network):
+        with pytest.raises(MiningError):
+            tcs(toy_network, -1.0)
+
+
+class TestExactnessProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(database_networks(), st.sampled_from([0.0, 0.2, 0.5]))
+    def test_tcfa_equals_tcfi(self, network, alpha):
+        """The intersection pruning must not change the result."""
+        a = tcfa(network, alpha)
+        b = tcfi(network, alpha)
+        assert a.same_trusses_as(b)
+
+    @settings(deadline=None, max_examples=20)
+    @given(database_networks(max_vertices=5, max_items=3))
+    def test_tcs_epsilon_zero_equals_tcfi(self, network):
+        exact = tcfi(network, 0.0)
+        baseline = tcs(network, 0.0, epsilon=0.0)
+        assert baseline.same_trusses_as(exact)
+
+    @settings(deadline=None, max_examples=20)
+    @given(database_networks(), st.sampled_from([0.1, 0.3]))
+    def test_tcs_subset_of_exact(self, network, epsilon):
+        exact = tcfi(network, 0.0)
+        approx = tcs(network, 0.0, epsilon=epsilon)
+        assert approx.is_subset_of(exact)
+
+    @settings(deadline=None, max_examples=20)
+    @given(database_networks())
+    def test_max_length_prefix_exact(self, network):
+        """Capping the pattern length keeps all shorter patterns exact."""
+        full = tcfi(network, 0.0)
+        capped = tcfi(network, 0.0, max_length=1)
+        for pattern in capped:
+            assert capped[pattern].edges() == full[pattern].edges()
+        assert set(capped) == {
+            p for p in full if len(p) <= 1
+        }
+
+    def test_workers_do_not_change_result(self, toy_network):
+        sequential = tcfi(toy_network, 0.0, workers=1)
+        parallel = tcfi(toy_network, 0.0, workers=4)
+        assert sequential.same_trusses_as(parallel)
+
+    def test_tcfa_negative_alpha_rejected(self, toy_network):
+        with pytest.raises(MiningError):
+            tcfa(toy_network, -0.5)
+        with pytest.raises(MiningError):
+            tcfi(toy_network, -0.5)

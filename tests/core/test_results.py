@@ -1,0 +1,71 @@
+"""Tests for MiningResult and the NP/NV/NE metrics."""
+
+from __future__ import annotations
+
+from repro.core.results import MiningResult
+from repro.core.truss import PatternTruss
+from repro.graphs.graph import Graph
+
+
+def _truss(pattern, edges):
+    graph = Graph(edges)
+    return PatternTruss(
+        pattern, graph, {v: 1.0 for v in graph}, alpha=0.0
+    )
+
+
+class TestMiningResult:
+    def test_empty(self):
+        result = MiningResult(0.0)
+        assert result.num_patterns == 0
+        assert result.metrics()["NV/NP"] == 0.0
+
+    def test_add_skips_empty_trusses(self):
+        result = MiningResult(0.0)
+        result.add(PatternTruss((1,), Graph(), {}, 0.0))
+        assert len(result) == 0
+
+    def test_metrics_count_multiplicity(self):
+        """NV/NE count a vertex/edge once per truss containing it (§7)."""
+        result = MiningResult(0.0)
+        result.add(_truss((1,), [(0, 1), (1, 2), (0, 2)]))
+        result.add(_truss((2,), [(0, 1), (1, 2), (0, 2)]))
+        assert result.num_patterns == 2
+        assert result.num_vertices == 6  # 3 + 3, overlap double-counted
+        assert result.num_edges == 6
+
+    def test_mapping_interface(self):
+        result = MiningResult(0.0)
+        truss = _truss((3,), [(0, 1), (1, 2), (0, 2)])
+        result.add(truss)
+        assert result[(3,)] is truss
+        assert list(result) == [(3,)]
+        assert (3,) in result
+
+    def test_patterns_sorted(self):
+        result = MiningResult(0.0)
+        result.add(_truss((2,), [(0, 1), (1, 2), (0, 2)]))
+        result.add(_truss((1,), [(0, 1), (1, 2), (0, 2)]))
+        assert result.patterns() == [(1,), (2,)]
+        assert result.patterns_of_length(1) == [(1,), (2,)]
+        assert result.max_pattern_length() == 1
+
+    def test_same_trusses_as(self):
+        a = MiningResult(0.0)
+        b = MiningResult(0.0)
+        a.add(_truss((1,), [(0, 1), (1, 2), (0, 2)]))
+        b.add(_truss((1,), [(0, 1), (1, 2), (0, 2)]))
+        assert a.same_trusses_as(b)
+        b.add(_truss((2,), [(0, 1), (1, 2), (0, 2)]))
+        assert not a.same_trusses_as(b)
+        assert a.is_subset_of(b)
+        assert not b.is_subset_of(a)
+
+    def test_metrics_dict(self):
+        result = MiningResult(0.0)
+        result.add(_truss((1,), [(0, 1), (1, 2), (0, 2)]))
+        metrics = result.metrics()
+        assert metrics["NP"] == 1
+        assert metrics["NV"] == 3
+        assert metrics["NE"] == 3
+        assert metrics["NV/NP"] == 3.0

@@ -1,0 +1,131 @@
+"""Property-based tests of the paper's theorems (Section 5.1, Appendix A).
+
+These are the load-bearing guarantees behind TCFA, TCFI, and the TC-Tree;
+each is tested as stated, universally quantified over random small
+database networks.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._ordering import make_pattern
+from repro.core.mptd import maximal_pattern_truss
+from repro.network.theme import induce_theme_network, intersect_graphs
+from tests.conftest import database_networks
+
+
+def _truss_edges(network, pattern, alpha):
+    graph, frequencies = induce_theme_network(network, pattern)
+    truss, _ = maximal_pattern_truss(graph, frequencies, alpha)
+    return set(truss.iter_edges())
+
+
+def _pattern_pairs(network):
+    """(p1, p2) pairs with p1 ⊆ p2 drawn from the network's items."""
+    items = network.item_universe()
+    pairs = []
+    for i, a in enumerate(items):
+        pairs.append(((a,), (a,)))
+        for b in items[i + 1:]:
+            pairs.append(((a,), (a, b)))
+            pairs.append(((b,), (a, b)))
+    return pairs
+
+
+class TestTheorem51GraphAntiMonotonicity:
+    @settings(deadline=None, max_examples=30)
+    @given(database_networks(), st.sampled_from([0.0, 0.2, 0.5]))
+    def test_truss_shrinks_as_pattern_grows(self, network, alpha):
+        """Theorem 5.1: p1 ⊆ p2 ⇒ C*_{p2}(α) ⊆ C*_{p1}(α)."""
+        for p1, p2 in _pattern_pairs(network):
+            edges_p2 = _truss_edges(network, p2, alpha)
+            if not edges_p2:
+                continue
+            edges_p1 = _truss_edges(network, p1, alpha)
+            assert edges_p2 <= edges_p1
+
+
+class TestProposition52PatternAntiMonotonicity:
+    @settings(deadline=None, max_examples=30)
+    @given(database_networks(), st.sampled_from([0.0, 0.3]))
+    def test_qualified_implies_subpatterns_qualified(self, network, alpha):
+        """Prop 5.2(1): C*_{p2}(α) ≠ ∅ ⇒ C*_{p1}(α) ≠ ∅ for p1 ⊆ p2."""
+        for p1, p2 in _pattern_pairs(network):
+            if _truss_edges(network, p2, alpha):
+                assert _truss_edges(network, p1, alpha)
+
+    @settings(deadline=None, max_examples=30)
+    @given(database_networks(), st.sampled_from([0.0, 0.3]))
+    def test_unqualified_implies_superpatterns_unqualified(
+        self, network, alpha
+    ):
+        """Prop 5.2(2): C*_{p1}(α) = ∅ ⇒ C*_{p2}(α) = ∅ for p1 ⊆ p2."""
+        for p1, p2 in _pattern_pairs(network):
+            if not _truss_edges(network, p1, alpha):
+                assert not _truss_edges(network, p2, alpha)
+
+
+class TestProposition53GraphIntersection:
+    @settings(deadline=None, max_examples=25)
+    @given(database_networks(max_items=3), st.sampled_from([0.0, 0.2]))
+    def test_union_truss_inside_parent_intersection(self, network, alpha):
+        """Prop 5.3: C*_{p1∪p2}(α) ⊆ C*_{p1}(α) ∩ C*_{p2}(α)."""
+        items = network.item_universe()
+        for i, a in enumerate(items):
+            for b in items[i + 1:]:
+                p3 = make_pattern((a, b))
+                edges_p3 = _truss_edges(network, p3, alpha)
+                if not edges_p3:
+                    continue
+                edges_a = _truss_edges(network, (a,), alpha)
+                edges_b = _truss_edges(network, (b,), alpha)
+                assert edges_p3 <= (edges_a & edges_b)
+
+    @settings(deadline=None, max_examples=25)
+    @given(database_networks(max_items=3))
+    def test_mining_within_intersection_is_exact(self, network):
+        """The TCFI shortcut: inducing G_{p3} from the intersection carrier
+        gives the same truss as inducing from the whole network."""
+        from repro.graphs.graph import Graph
+        from repro.network.theme import theme_network_within
+
+        items = network.item_universe()
+        alpha = 0.0
+        for i, a in enumerate(items):
+            for b in items[i + 1:]:
+                p3 = make_pattern((a, b))
+                direct = _truss_edges(network, p3, alpha)
+
+                graph_a, freq_a = induce_theme_network(network, (a,))
+                truss_a, _ = maximal_pattern_truss(graph_a, freq_a, alpha)
+                graph_b, freq_b = induce_theme_network(network, (b,))
+                truss_b, _ = maximal_pattern_truss(graph_b, freq_b, alpha)
+                carrier = intersect_graphs(truss_a, truss_b)
+
+                graph3, freq3 = theme_network_within(network, p3, carrier)
+                truss3, _ = maximal_pattern_truss(graph3, freq3, alpha)
+                assert set(truss3.iter_edges()) == direct
+
+
+class TestTheorem61DecompositionThreshold:
+    @settings(deadline=None, max_examples=30)
+    @given(database_networks())
+    def test_truss_constant_until_min_cohesion(self, network):
+        """Theorem 6.1: C*_p(α) only shrinks when α crosses the minimum
+        edge cohesion β of the current truss; strictly shrinks at β."""
+        for item in network.item_universe():
+            graph, frequencies = induce_theme_network(network, (item,))
+            truss, cohesion = maximal_pattern_truss(graph, frequencies, 0.0)
+            if not cohesion:
+                continue
+            beta = min(cohesion.values())
+            # Just below β: unchanged.
+            before, _ = maximal_pattern_truss(
+                graph, frequencies, max(0.0, beta - 1e-6)
+            )
+            assert set(before.iter_edges()) == set(truss.iter_edges())
+            # At β: strictly smaller.
+            after, _ = maximal_pattern_truss(graph, frequencies, beta)
+            assert set(after.iter_edges()) < set(truss.iter_edges())

@@ -1,0 +1,56 @@
+"""Tests for the PatternTruss container."""
+
+from __future__ import annotations
+
+from repro.core.truss import PatternTruss
+from repro.graphs.graph import Graph
+
+
+def _truss() -> PatternTruss:
+    graph = Graph([(1, 2), (2, 3), (1, 3), (7, 8), (8, 9), (7, 9)])
+    frequencies = {v: 0.5 for v in [1, 2, 3, 7, 8, 9]}
+    frequencies[99] = 0.9  # not in graph — must be dropped
+    return PatternTruss((4,), graph, frequencies, alpha=0.2)
+
+
+class TestPatternTruss:
+    def test_counts(self):
+        truss = _truss()
+        assert truss.num_vertices == 6
+        assert truss.num_edges == 6
+        assert not truss.is_empty()
+
+    def test_frequencies_restricted_to_graph(self):
+        assert 99 not in _truss().frequencies
+
+    def test_empty(self):
+        truss = PatternTruss((1,), Graph(), {}, 0.0)
+        assert truss.is_empty()
+        assert truss.communities() == []
+
+    def test_communities_are_components(self):
+        communities = _truss().communities()
+        assert sorted(map(sorted, communities)) == [[1, 2, 3], [7, 8, 9]]
+
+    def test_edges_and_vertices(self):
+        truss = _truss()
+        assert (1, 2) in truss.edges()
+        assert truss.vertices() == {1, 2, 3, 7, 8, 9}
+
+    def test_contains_subgraph(self):
+        big = _truss()
+        small = PatternTruss(
+            (4, 5), Graph([(1, 2), (2, 3)]), {1: 0.5, 2: 0.5, 3: 0.5}, 0.2
+        )
+        assert big.contains_subgraph(small)
+        assert not small.contains_subgraph(big)
+
+    def test_equality_is_pattern_and_graph(self):
+        a = _truss()
+        b = _truss()
+        assert a == b
+        c = PatternTruss((5,), a.graph.copy(), a.frequencies, 0.2)
+        assert a != c
+
+    def test_repr_mentions_pattern(self):
+        assert "(4,)" in repr(_truss())

@@ -1,0 +1,91 @@
+"""Tests for the independent result verifier."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.tcfi import tcfi
+from repro.core.truss import PatternTruss
+from repro.core.verify import verify_mining_result, verify_pattern_truss
+from repro.graphs.graph import Graph
+from tests.conftest import database_networks
+
+
+class TestVerifyPatternTruss:
+    def test_genuine_trusses_pass(self, toy_network):
+        result = tcfi(toy_network, 0.1)
+        for truss in result.values():
+            assert verify_pattern_truss(toy_network, truss, 0.1) == []
+
+    def test_detects_fabricated_edge(self, toy_network):
+        result = tcfi(toy_network, 0.1)
+        truss = result[(0,)]
+        tampered_graph = truss.graph.copy()
+        # Vertex ids 5 (=7) and 8 (=6): an edge of the base graph that is
+        # not in the p-truss.
+        tampered_graph.add_edge(4, 8)
+        tampered = PatternTruss((0,), tampered_graph, truss.frequencies, 0.1)
+        violations = verify_pattern_truss(toy_network, tampered, 0.1)
+        assert violations
+
+    def test_detects_missing_edges(self, toy_network):
+        """A strict subset of the maximal truss is not maximal."""
+        result = tcfi(toy_network, 0.1)
+        truss = result[(0,)]
+        shrunk_graph = truss.graph.copy()
+        edge = next(iter(shrunk_graph.iter_edges()))
+        shrunk_graph.remove_edge(*edge)
+        shrunk_graph.discard_isolated_vertices()
+        shrunk = PatternTruss((0,), shrunk_graph, truss.frequencies, 0.1)
+        violations = verify_pattern_truss(toy_network, shrunk, 0.1)
+        assert any("maximal" in v or "cohesion" in v for v in violations)
+
+    def test_detects_wrong_frequencies(self, toy_network):
+        result = tcfi(toy_network, 0.1)
+        truss = result[(0,)]
+        wrong = PatternTruss(
+            (0,),
+            truss.graph.copy(),
+            {v: 0.99 for v in truss.graph},
+            0.1,
+        )
+        violations = verify_pattern_truss(toy_network, wrong, 0.1)
+        assert any("frequency" in v for v in violations)
+
+    def test_detects_zero_frequency_vertex(self, toy_network):
+        graph = Graph([(0, 1), (1, 8), (0, 8)])  # vertex 8 = label 6, f(p)=0
+        fake = PatternTruss((0,), graph, {}, 0.0)
+        violations = verify_pattern_truss(toy_network, fake, 0.0)
+        assert any("zero frequency" in v for v in violations)
+
+
+class TestVerifyMiningResult:
+    def test_exact_result_passes_with_completeness(self, toy_network):
+        result = tcfi(toy_network, 0.1)
+        assert verify_mining_result(
+            toy_network, result, check_completeness=True,
+            max_pattern_length=2,
+        ) == []
+
+    def test_detects_dropped_pattern(self, toy_network):
+        from repro.core.results import MiningResult
+
+        full = tcfi(toy_network, 0.1)
+        partial = MiningResult(0.1)
+        partial.add(full[(0,)])  # drop theme q
+        violations = verify_mining_result(
+            toy_network, partial, check_completeness=True,
+            max_pattern_length=1,
+        )
+        assert any("missing qualified pattern (1,)" in v for v in violations)
+
+    @settings(deadline=None, max_examples=15)
+    @given(database_networks(max_items=3))
+    def test_tcfi_always_verifies(self, network):
+        """The exact miner's output passes full verification (including
+        completeness) on random networks."""
+        result = tcfi(network, 0.0)
+        assert verify_mining_result(
+            network, result, check_completeness=True,
+            max_pattern_length=3,
+        ) == []

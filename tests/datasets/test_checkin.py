@@ -1,0 +1,65 @@
+"""Tests for the check-in (Brightkite/Gowalla surrogate) generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.finder import ThemeCommunityFinder
+from repro.datasets.checkin import generate_checkin_network
+from repro.errors import MiningError
+
+
+class TestGeneration:
+    def test_sizes(self):
+        network = generate_checkin_network(
+            num_users=50, num_locations=20, periods=10, seed=1
+        )
+        assert network.num_vertices == 50
+        assert all(
+            db.num_transactions == 10 for db in network.databases.values()
+        )
+
+    def test_labels(self):
+        network = generate_checkin_network(num_users=10, periods=5, seed=1)
+        assert network.vertex_label(0) == "user_0"
+        assert str(network.item_label(0)).startswith("place_")
+
+    def test_deterministic(self):
+        a = generate_checkin_network(num_users=40, seed=4)
+        b = generate_checkin_network(num_users=40, seed=4)
+        assert a.graph == b.graph
+
+    def test_items_within_locations(self):
+        network = generate_checkin_network(
+            num_users=30, num_locations=15, seed=2
+        )
+        universe = set(range(15))
+        for db in network.databases.values():
+            assert db.items() <= universe
+
+    def test_invalid_parameters(self):
+        with pytest.raises(MiningError):
+            generate_checkin_network(num_groups=-1)
+        with pytest.raises(MiningError):
+            generate_checkin_network(visit_probability=1.5)
+
+
+class TestPlantedGroups:
+    def test_hangout_groups_minable(self):
+        """Planted co-visitation groups must surface as theme communities:
+        a group of friends frequently visiting the same places."""
+        network = generate_checkin_network(
+            num_users=80,
+            num_locations=24,
+            num_groups=6,
+            group_size=6,
+            periods=20,
+            visit_probability=0.7,
+            seed=5,
+        )
+        finder = ThemeCommunityFinder(network)
+        communities = finder.find_communities(alpha=0.3, max_length=2)
+        assert communities, "no theme communities found in planted data"
+        # At least one community should use a multi-item theme
+        # (a *set* of places, not a single place).
+        assert any(len(c.pattern) >= 2 for c in communities)

@@ -1,0 +1,88 @@
+"""Tests for the co-author (AMINER surrogate) generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.finder import ThemeCommunityFinder
+from repro.datasets.coauthor import generate_coauthor_network
+from repro.errors import MiningError
+
+
+class TestGeneration:
+    def test_sizes(self):
+        network = generate_coauthor_network(
+            num_authors=60, num_papers=120, seed=1
+        )
+        assert network.num_vertices == 60
+        assert len(network.databases) == 60
+        # Every author has at least one transaction.
+        assert all(db for db in network.databases.values())
+
+    def test_deterministic(self):
+        a = generate_coauthor_network(num_authors=40, num_papers=80, seed=6)
+        b = generate_coauthor_network(num_authors=40, num_papers=80, seed=6)
+        assert a.graph == b.graph
+
+    def test_keyword_budget_enforced(self):
+        with pytest.raises(MiningError):
+            generate_coauthor_network(
+                num_topics=10, keywords_per_topic=5, num_keywords=20
+            )
+        with pytest.raises(MiningError):
+            generate_coauthor_network(num_topics=0)
+
+    def test_hyper_paper_creates_large_clique(self):
+        """The Blue-Gene analogue: a single paper with many authors makes
+        a big clique, driving up the maximum cohesion (Figure 5(c))."""
+        without = generate_coauthor_network(
+            num_authors=60, num_papers=50, hyper_paper_authors=0, seed=8
+        )
+        with_hyper = generate_coauthor_network(
+            num_authors=60, num_papers=50, hyper_paper_authors=25, seed=8
+        )
+        max_degree = lambda n: max(n.graph.degree(v) for v in n.graph)
+        assert max_degree(with_hyper) >= 24
+        assert max_degree(with_hyper) > max_degree(without)
+
+    def test_labels(self):
+        network = generate_coauthor_network(num_authors=10, seed=1)
+        assert network.vertex_label(0) == "author_0"
+        assert str(network.item_label(0)).startswith("keyword_")
+
+
+class TestPlantedThemes:
+    def test_research_themes_minable(self):
+        """Planted topics must surface: groups of co-authors sharing a
+        multi-keyword research interest (the Table 4 structure)."""
+        network = generate_coauthor_network(
+            num_authors=80,
+            num_topics=5,
+            num_papers=300,
+            keywords_per_topic=4,
+            num_keywords=40,
+            seed=3,
+        )
+        finder = ThemeCommunityFinder(network)
+        communities = finder.find_communities(alpha=0.3, max_length=3)
+        assert communities
+        assert any(len(c.pattern) >= 2 for c in communities)
+
+    def test_overlapping_communities_exist(self):
+        """Senior authors straddle topics, so communities with different
+        themes must overlap (the Figure 6 phenomenon)."""
+        network = generate_coauthor_network(
+            num_authors=60,
+            num_topics=4,
+            num_papers=250,
+            authors_per_topic=25,
+            seed=4,
+        )
+        finder = ThemeCommunityFinder(network)
+        communities = finder.find_communities(alpha=0.25, max_length=2)
+        overlapping = any(
+            a.pattern != b.pattern and a.overlap(b) > 0
+            for i, a in enumerate(communities)
+            for b in communities[i + 1:]
+        )
+        assert overlapping

@@ -1,0 +1,118 @@
+"""Tests for planted ground truth and recovery metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._ordering import make_pattern
+from repro.core.communities import ThemeCommunity
+from repro.core.finder import ThemeCommunityFinder
+from repro.datasets.checkin import generate_checkin_network
+from repro.datasets.coauthor import generate_coauthor_network
+from repro.datasets.ground_truth import (
+    PlantedCommunity,
+    evaluate_recovery,
+    jaccard,
+)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+
+class TestEvaluateRecovery:
+    def _mined(self, members, pattern=(0,)):
+        return ThemeCommunity(make_pattern(pattern), frozenset(members), 0.0)
+
+    def test_perfect_recovery(self):
+        planted = [PlantedCommunity(frozenset({1, 2, 3}), (0,))]
+        mined = [self._mined({1, 2, 3})]
+        report = evaluate_recovery(planted, mined)
+        assert report.average_best_jaccard == 1.0
+        assert report.recovery_rate == 1.0
+
+    def test_no_mined_communities(self):
+        planted = [PlantedCommunity(frozenset({1, 2}), (0,))]
+        report = evaluate_recovery(planted, [])
+        assert report.average_best_jaccard == 0.0
+        assert report.recovered == 0
+
+    def test_no_planted_communities(self):
+        assert evaluate_recovery([], []).recovery_rate == 1.0
+
+    def test_theme_matching_stricter(self):
+        planted = [PlantedCommunity(frozenset({1, 2, 3}), (5,))]
+        mined = [self._mined({1, 2, 3}, pattern=(9,))]
+        loose = evaluate_recovery(planted, mined, match_theme=False)
+        strict = evaluate_recovery(planted, mined, match_theme=True)
+        assert loose.average_best_jaccard == 1.0
+        assert strict.average_best_jaccard == 0.0
+
+    def test_threshold_counts(self):
+        planted = [
+            PlantedCommunity(frozenset({1, 2, 3, 4}), (0,)),
+            PlantedCommunity(frozenset({9, 10}), (0,)),
+        ]
+        mined = [self._mined({1, 2, 3})]
+        report = evaluate_recovery(planted, mined, threshold=0.5)
+        assert report.recovered == 1
+        assert report.recovery_rate == 0.5
+
+
+class TestGeneratorsExposeGroundTruth:
+    def test_checkin_ground_truth_shape(self):
+        network, planted = generate_checkin_network(
+            num_users=60, num_groups=5, seed=1, return_ground_truth=True
+        )
+        assert len(planted) == 5
+        for community in planted:
+            assert community.size >= 1
+            assert community.members <= set(network.graph.vertices())
+            assert all(0 <= item for item in community.theme)
+
+    def test_coauthor_ground_truth_shape(self):
+        network, planted = generate_coauthor_network(
+            num_authors=60, num_topics=4, num_papers=100, seed=1,
+            return_ground_truth=True,
+        )
+        assert 1 <= len(planted) <= 4
+        for community in planted:
+            assert community.members <= set(range(60))
+            assert len(community.theme) == 4  # keywords_per_topic default
+
+    def test_default_return_unchanged(self):
+        """Without the flag the generators still return just the network."""
+        network = generate_checkin_network(num_users=30, seed=1)
+        assert network.num_vertices == 30
+
+
+class TestEndToEndRecovery:
+    def test_theme_mining_recovers_planted_groups(self):
+        """Mining must substantially recover the planted hangout groups —
+        the generators and the miner agree about what a community is."""
+        network, planted = generate_checkin_network(
+            num_users=80,
+            num_locations=24,
+            num_groups=6,
+            group_size=6,
+            periods=25,
+            visit_probability=0.75,
+            seed=11,
+            return_ground_truth=True,
+        )
+        mined = ThemeCommunityFinder(network).find_communities(
+            alpha=0.2, max_length=3
+        )
+        report = evaluate_recovery(planted, mined, threshold=0.5)
+        assert report.average_best_jaccard > 0.5
+        assert report.recovery_rate >= 0.5

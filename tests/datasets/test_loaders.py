@@ -1,0 +1,166 @@
+"""Tests for the real-dataset loaders (SNAP check-in, AMINER citation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.loaders import (
+    iter_aminer_records,
+    load_aminer_network,
+    load_snap_checkin_network,
+    tokenize_abstract,
+)
+from repro.errors import NetworkFormatError
+
+SNAP_EDGES = """\
+# comment line
+0\t1
+1\t2
+0\t2
+2\t3
+"""
+
+SNAP_CHECKINS = """\
+0\t2010-10-17T01:48:53Z\t39.7\t-104.9\tcoffee
+0\t2010-10-17T02:00:00Z\t39.7\t-104.9\tgym
+0\t2010-10-25T12:00:00Z\t39.7\t-104.9\tcoffee
+1\t2010-10-17T05:00:00Z\t39.7\t-104.9\tcoffee
+1\t2010-10-17T06:00:00Z\t39.7\t-104.9\tgym
+2\t2010-10-17T06:30:00Z\t39.7\t-104.9\tlibrary
+"""
+
+AMINER_DUMP = """\
+#*Mining Sequential Patterns
+#@Jian Pei;Jiawei Han
+#!We study the problem of mining sequential patterns in transaction
+databases with efficient algorithms for pattern growth.
+
+#*Graph Clustering Survey
+#@Alice Smith
+#!A survey of graph clustering techniques and community detection.
+
+#*No Abstract Paper
+#@Bob Jones;Carol White
+"""
+
+
+@pytest.fixture()
+def snap_files(tmp_path):
+    edges = tmp_path / "edges.txt"
+    checkins = tmp_path / "checkins.txt"
+    edges.write_text(SNAP_EDGES)
+    checkins.write_text(SNAP_CHECKINS)
+    return edges, checkins
+
+
+class TestSnapLoader:
+    def test_graph_structure(self, snap_files):
+        edges, checkins = snap_files
+        network = load_snap_checkin_network(edges, checkins)
+        assert network.num_vertices == 4
+        assert network.num_edges == 4
+
+    def test_period_grouping(self, snap_files):
+        """User 0's two Oct-17 check-ins share a 2-day period; the Oct-25
+        one is separate — two transactions total."""
+        edges, checkins = snap_files
+        network = load_snap_checkin_network(edges, checkins, period_days=2)
+        builder_id = next(
+            v for v, lbl in network.vertex_labels.items() if lbl == "0"
+        )
+        db = network.databases[builder_id]
+        assert db.num_transactions == 2
+        transactions = sorted(
+            sorted(network.item_labels[i] for i in t) for t in db
+        )
+        assert transactions == [["coffee"], ["coffee", "gym"]]
+
+    def test_bad_edge_line_rejected(self, tmp_path, snap_files):
+        _, checkins = snap_files
+        bad = tmp_path / "bad_edges.txt"
+        bad.write_text("0 1 2 3 4\n")
+        with pytest.raises(NetworkFormatError):
+            load_snap_checkin_network(bad, checkins)
+
+    def test_malformed_checkin_rejected(self, tmp_path, snap_files):
+        edges, _ = snap_files
+        bad = tmp_path / "bad_checkins.txt"
+        bad.write_text("0\t2010-10-17T01:48:53Z\n")
+        with pytest.raises(NetworkFormatError):
+            load_snap_checkin_network(edges, bad)
+
+    def test_unparseable_time_skipped(self, tmp_path, snap_files):
+        edges, _ = snap_files
+        odd = tmp_path / "odd.txt"
+        odd.write_text("0\tnot-a-time\t0\t0\tplace\n")
+        network = load_snap_checkin_network(edges, odd)
+        assert all(
+            db.num_transactions == 0 for db in network.databases.values()
+        ) or not network.databases
+
+    def test_max_checkins_cap(self, snap_files):
+        edges, checkins = snap_files
+        network = load_snap_checkin_network(edges, checkins, max_checkins=2)
+        total = sum(
+            db.total_items for db in network.databases.values()
+        )
+        assert total <= 2
+
+
+class TestTokenizer:
+    def test_filters_stopwords_and_short_tokens(self):
+        tokens = tokenize_abstract("We study the mining of big graphs!")
+        assert "the" not in tokens
+        assert "we" not in tokens
+        assert "of" not in tokens
+        assert "mining" in tokens
+        assert "graphs" in tokens
+
+    def test_splits_on_non_alpha(self):
+        assert tokenize_abstract("graph-based k-truss") == [
+            "graph", "truss"
+        ]
+
+    def test_lowercases(self):
+        assert tokenize_abstract("Sequential PATTERNS") == [
+            "sequential", "patterns"
+        ]
+
+
+class TestAminerLoader:
+    def test_record_streaming(self, tmp_path):
+        dump = tmp_path / "aminer.txt"
+        dump.write_text(AMINER_DUMP)
+        records = list(iter_aminer_records(dump))
+        assert len(records) == 3
+        assert records[0]["title"] == "Mining Sequential Patterns"
+        assert "Jian Pei" in records[0]["authors"]
+
+    def test_network_construction(self, tmp_path):
+        dump = tmp_path / "aminer.txt"
+        dump.write_text(AMINER_DUMP)
+        network = load_aminer_network(dump)
+        # Paper 3 has no abstract → skipped; authors: Pei, Han, Smith.
+        labels = set(network.vertex_labels.values())
+        assert {"Jian Pei", "Jiawei Han", "Alice Smith"} <= labels
+        assert "Bob Jones" not in labels
+        # Pei–Han co-author edge exists.
+        pei = next(
+            v for v, l in network.vertex_labels.items() if l == "Jian Pei"
+        )
+        han = next(
+            v for v, l in network.vertex_labels.items() if l == "Jiawei Han"
+        )
+        assert network.graph.has_edge(pei, han)
+        # Their databases share the paper transaction.
+        mining = next(
+            i for i, l in network.item_labels.items() if l == "mining"
+        )
+        assert network.frequency(pei, (mining,)) == 1.0
+
+    def test_max_papers(self, tmp_path):
+        dump = tmp_path / "aminer.txt"
+        dump.write_text(AMINER_DUMP)
+        network = load_aminer_network(dump, max_papers=1)
+        labels = set(network.vertex_labels.values())
+        assert "Alice Smith" not in labels

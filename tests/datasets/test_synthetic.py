@@ -1,0 +1,71 @@
+"""Tests for the SYN generator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.tcfi import tcfi
+from repro.datasets.synthetic import generate_synthetic_network
+from repro.errors import MiningError
+from repro.graphs.generators import erdos_renyi_graph
+
+
+class TestGeneration:
+    def test_sizes(self):
+        network = generate_synthetic_network(
+            num_vertices=80, num_items=20, num_seeds=4, seed=1
+        )
+        assert network.num_vertices == 80
+        assert len(network.databases) == 80
+
+    def test_deterministic(self):
+        a = generate_synthetic_network(num_vertices=50, seed=9)
+        b = generate_synthetic_network(num_vertices=50, seed=9)
+        assert a.graph == b.graph
+        for v in a.databases:
+            assert sorted(map(sorted, a.databases[v])) == sorted(
+                map(sorted, b.databases[v])
+            )
+
+    def test_transaction_count_law(self):
+        """db size is ⌈e^{0.1 d}⌉ capped — check against actual degrees."""
+        cap = 16
+        network = generate_synthetic_network(
+            num_vertices=60, max_transactions=cap, seed=3
+        )
+        for v, db in network.databases.items():
+            degree = network.graph.degree(v)
+            expected = min(cap, math.ceil(math.exp(0.1 * degree)))
+            assert db.num_transactions == expected
+
+    def test_items_within_universe(self):
+        network = generate_synthetic_network(
+            num_vertices=40, num_items=10, seed=2
+        )
+        universe = set(range(10))
+        for db in network.databases.values():
+            assert db.items() <= universe
+
+    def test_custom_graph(self):
+        graph = erdos_renyi_graph(30, 0.2, seed=5)
+        network = generate_synthetic_network(graph=graph, seed=5)
+        assert network.graph is graph
+
+    def test_invalid_parameters(self):
+        with pytest.raises(MiningError):
+            generate_synthetic_network(num_seeds=0)
+        with pytest.raises(MiningError):
+            generate_synthetic_network(mutation_rate=2.0)
+
+
+class TestMinability:
+    def test_diffusion_creates_theme_communities(self):
+        """The BFS diffusion must make neighbours share patterns: mining
+        at a moderate α finds at least one non-trivial truss."""
+        network = generate_synthetic_network(
+            num_vertices=100, num_items=20, num_seeds=5, seed=7
+        )
+        result = tcfi(network, 0.2, max_length=2)
+        assert result.num_patterns > 0

@@ -1,0 +1,79 @@
+"""Ground-truth tests for the Figure 1 toy network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tcfi import tcfi
+from repro.datasets.toy import (
+    P_FREQUENCIES,
+    Q_FREQUENCIES,
+    TOY_EDGES,
+    toy_database_network,
+)
+
+
+class TestStructure:
+    def test_shape(self, toy_network):
+        assert toy_network.num_vertices == 9
+        assert toy_network.num_edges == len(TOY_EDGES)
+
+    def test_every_vertex_has_ten_transactions(self, toy_network):
+        for db in toy_network.databases.values():
+            assert db.num_transactions == 10
+
+    def test_deterministic(self):
+        a = toy_database_network()
+        b = toy_database_network()
+        assert a.graph == b.graph
+
+    def test_item_ids(self, toy_network):
+        assert toy_network.item_label(0) == "p"
+        assert toy_network.item_label(1) == "q"
+
+
+class TestFrequencies:
+    def test_p_frequencies_match_spec(self, toy_network):
+        for vertex_label, expected in P_FREQUENCIES.items():
+            vid = next(
+                v for v, lbl in toy_network.vertex_labels.items()
+                if lbl == vertex_label
+            )
+            assert toy_network.frequency(vid, (0,)) == pytest.approx(expected)
+
+    def test_q_frequencies_match_spec(self, toy_network):
+        for vertex_label, expected in Q_FREQUENCIES.items():
+            vid = next(
+                v for v, lbl in toy_network.vertex_labels.items()
+                if lbl == vertex_label
+            )
+            assert toy_network.frequency(vid, (1,)) == pytest.approx(expected)
+
+    def test_p_and_q_never_cooccur(self, toy_network):
+        for v in toy_network.databases:
+            assert toy_network.frequency(v, (0, 1)) == 0.0
+
+
+class TestGroundTruthCommunities:
+    def test_two_p_communities(self, toy_network):
+        truss = tcfi(toy_network, 0.2)[(0,)]
+        communities = truss.communities()
+        sizes = sorted(len(c) for c in communities)
+        assert sizes == [3, 5]
+
+    def test_community_members_by_label(self, toy_network):
+        truss = tcfi(toy_network, 0.2)[(0,)]
+        label = {v: toy_network.vertex_label(v) for v in truss.vertices()}
+        communities = {
+            frozenset(label[v] for v in c) for c in truss.communities()
+        }
+        assert communities == {
+            frozenset({1, 2, 3, 4, 5}),
+            frozenset({7, 8, 9}),
+        }
+
+    def test_q_community_members(self, toy_network):
+        truss = tcfi(toy_network, 0.3)[(1,)]
+        [community] = truss.communities()
+        labels = {toy_network.vertex_label(v) for v in community}
+        assert labels == {2, 3, 5, 6, 7, 9}

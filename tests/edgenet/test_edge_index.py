@@ -1,0 +1,189 @@
+"""Tests for edge-network decomposition, TC-Tree, and serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edgenet.decomposition import decompose_edge_network_pattern
+from repro.edgenet.finder import edge_tcfi, maximal_edge_pattern_truss
+from repro.edgenet.index import build_edge_tc_tree
+from repro.edgenet.io import (
+    edge_network_from_dict,
+    edge_network_to_dict,
+    load_edge_network,
+    save_edge_network,
+)
+from repro.edgenet.network import EdgeDatabaseNetwork
+from repro.edgenet.theme import induce_edge_theme_network
+from repro.errors import NetworkFormatError, TCIndexError
+from tests.edgenet.test_edgenet import _toy_edge_network
+
+
+@st.composite
+def edge_networks(draw):
+    """Small random edge database networks."""
+    import itertools
+
+    n = draw(st.integers(min_value=3, max_value=6))
+    possible = list(itertools.combinations(range(n), 2))
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=10,
+                 unique=True)
+    )
+    network = EdgeDatabaseNetwork()
+    for u, v in edges:
+        count = draw(st.integers(min_value=1, max_value=3))
+        for _ in range(count):
+            items = draw(
+                st.sets(st.integers(min_value=0, max_value=2),
+                        min_size=1, max_size=3)
+            )
+            network.add_transaction(u, v, items)
+    return network
+
+
+class TestEdgeDecomposition:
+    def test_toy_theme_0(self):
+        decomposition = decompose_edge_network_pattern(
+            _toy_edge_network(), (0,)
+        )
+        # The strong triangle survives α = 0 (pendant edge 3-4 has no
+        # triangle); one level at its uniform cohesion 0.8.
+        assert decomposition.num_edges == 3
+        assert decomposition.thresholds() == [pytest.approx(0.8)]
+        assert decomposition.max_alpha == pytest.approx(0.8)
+
+    def test_missing_pattern_empty(self):
+        decomposition = decompose_edge_network_pattern(
+            _toy_edge_network(), (777,)
+        )
+        assert decomposition.is_empty()
+
+    @settings(deadline=None, max_examples=25)
+    @given(edge_networks(), st.sampled_from([0.0, 0.2, 0.5]))
+    def test_reconstruction_matches_direct(self, network, alpha):
+        """Equation 1 round-trip in the edge model."""
+        for item in network.item_universe():
+            decomposition = decompose_edge_network_pattern(network, (item,))
+            reconstructed = set(
+                decomposition.graph_at(alpha).iter_edges()
+            )
+            graph, freqs = induce_edge_theme_network(network, (item,))
+            direct, _ = maximal_edge_pattern_truss(graph, freqs, alpha)
+            assert reconstructed == set(direct.iter_edges())
+
+    @settings(deadline=None, max_examples=20)
+    @given(edge_networks())
+    def test_levels_ascending_disjoint(self, network):
+        for item in network.item_universe():
+            decomposition = decompose_edge_network_pattern(network, (item,))
+            thresholds = decomposition.thresholds()
+            assert thresholds == sorted(thresholds)
+            seen = set()
+            for level in decomposition.levels:
+                assert level.removed_edges
+                for edge in level.removed_edges:
+                    assert edge not in seen
+                    seen.add(edge)
+
+
+class TestEdgeTCTree:
+    def test_toy_tree(self):
+        tree = build_edge_tc_tree(_toy_edge_network())
+        # Item 9 rides on the strong triangle's edges with frequency 0.2,
+        # so it also forms an (α = 0) truss; 8 only sits on the pendant
+        # edge and never closes a triangle.
+        assert set(tree.patterns()) == {(0,), (1,), (9,)}
+
+    def test_query_modes(self):
+        tree = build_edge_tc_tree(_toy_edge_network())
+        all_answers = tree.query(alpha=0.0)
+        assert {p for p, _ in all_answers} == {(0,), (1,), (9,)}
+        only_0 = tree.query(pattern=(0,))
+        assert {p for p, _ in only_0} == {(0,)}
+        # Theme 1's triangle has uniform frequency 1.0 → cohesion 1.0;
+        # it survives α = 0.9 while theme 0 (cohesion 0.8) does not.
+        high = tree.query(alpha=0.9)
+        assert {p for p, _ in high} == {(1,)}
+
+    def test_query_negative_alpha(self):
+        tree = build_edge_tc_tree(_toy_edge_network())
+        with pytest.raises(TCIndexError):
+            tree.query(alpha=-1.0)
+
+    def test_query_communities(self):
+        tree = build_edge_tc_tree(_toy_edge_network())
+        communities = tree.query_communities(alpha=0.0)
+        members = {frozenset(m) for _, m in communities}
+        assert frozenset({1, 2, 3}) in members
+        assert frozenset({5, 6, 7}) in members
+
+    @settings(deadline=None, max_examples=20)
+    @given(edge_networks())
+    def test_tree_matches_mining(self, network):
+        """Tree completeness: indexed patterns = edge_tcfi at α = 0 and
+        every query equals fresh mining."""
+        tree = build_edge_tc_tree(network)
+        mined = edge_tcfi(network, 0.0)
+        assert set(tree.patterns()) == set(mined.patterns())
+        for alpha in (0.0, 0.3):
+            queried = {p: set(g.iter_edges()) for p, g in tree.query(alpha=alpha)}
+            fresh = edge_tcfi(network, alpha)
+            assert queried == {p: fresh[p].edges() for p in fresh}
+
+    @settings(deadline=None, max_examples=10)
+    @given(edge_networks())
+    def test_max_length_cap(self, network):
+        capped = build_edge_tc_tree(network, max_length=1)
+        assert all(len(p) <= 1 for p in capped.patterns())
+
+
+class TestEdgeNetworkIO:
+    def test_round_trip_file(self, tmp_path):
+        network = _toy_edge_network()
+        path = tmp_path / "edge.json"
+        save_edge_network(network, path)
+        loaded = load_edge_network(path)
+        assert loaded.graph == network.graph
+        assert set(loaded.databases) == set(network.databases)
+        for edge in network.databases:
+            assert loaded.frequency(*edge, (0,)) == network.frequency(
+                *edge, (0,)
+            )
+
+    @settings(deadline=None, max_examples=20)
+    @given(edge_networks())
+    def test_round_trip_dict(self, network):
+        document = json.loads(json.dumps(edge_network_to_dict(network)))
+        restored = edge_network_from_dict(document)
+        assert restored.graph == network.graph
+        for edge, db in network.databases.items():
+            assert restored.databases[edge].num_transactions == (
+                db.num_transactions
+            )
+
+    def test_bad_format(self):
+        with pytest.raises(NetworkFormatError):
+            edge_network_from_dict({"format": "nope"})
+
+    def test_bad_edge_key(self):
+        with pytest.raises(NetworkFormatError):
+            edge_network_from_dict(
+                {
+                    "format": "repro-edgenetwork",
+                    "version": 1,
+                    "vertices": [0, 1],
+                    "edges": [[0, 1]],
+                    "databases": {"zero~one": [[1]]},
+                }
+            )
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{{{")
+        with pytest.raises(NetworkFormatError):
+            load_edge_network(path)

@@ -1,0 +1,194 @@
+"""Tests for the edge-database-network extension (the paper's future work)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edgenet.cohesion import (
+    edge_theme_cohesion,
+    edge_theme_cohesion_table,
+)
+from repro.edgenet.finder import (
+    EdgeThemeCommunityFinder,
+    edge_tcfi,
+    maximal_edge_pattern_truss,
+)
+from repro.edgenet.network import EdgeDatabaseNetwork
+from repro.edgenet.theme import induce_edge_theme_network
+from repro.errors import DatabaseError, GraphError, MiningError
+from repro.graphs.graph import Graph
+from repro.graphs.ktruss import k_truss
+from repro.txdb.database import TransactionDatabase
+from tests.conftest import small_graphs
+
+
+def _toy_edge_network() -> EdgeDatabaseNetwork:
+    """Triangle 1-2-3 strongly themed with item 0; pendant edge 3-4 with a
+    weak theme; triangle 5-6-7 themed with item 1."""
+    network = EdgeDatabaseNetwork()
+    for u, v in [(1, 2), (2, 3), (1, 3)]:
+        for _ in range(4):
+            network.add_transaction(u, v, [0])
+        network.add_transaction(u, v, [9])
+    network.add_transaction(3, 4, [0])
+    network.add_transaction(3, 4, [8])
+    for u, v in [(5, 6), (6, 7), (5, 7)]:
+        network.add_transaction(u, v, [1])
+    return network
+
+
+class TestContainer:
+    def test_counts(self):
+        network = _toy_edge_network()
+        assert network.num_vertices == 7
+        assert network.num_edges == 7
+        assert len(network.databases) == 7
+
+    def test_frequency(self):
+        network = _toy_edge_network()
+        assert network.frequency(1, 2, (0,)) == pytest.approx(0.8)
+        assert network.frequency(2, 1, (0,)) == pytest.approx(0.8)  # canonical
+        assert network.frequency(3, 4, (0,)) == pytest.approx(0.5)
+        assert network.frequency(5, 6, (0,)) == 0.0
+
+    def test_item_universe(self):
+        assert _toy_edge_network().item_universe() == [0, 1, 8, 9]
+
+    def test_database_accessor(self):
+        network = _toy_edge_network()
+        assert network.database(1, 2).num_transactions == 5
+        with pytest.raises(DatabaseError):
+            network.database(1, 7)
+
+    def test_database_on_unknown_edge_rejected(self):
+        graph = Graph([(1, 2)])
+        with pytest.raises(GraphError):
+            EdgeDatabaseNetwork(
+                graph, {(3, 4): TransactionDatabase([{1}])}
+            )
+
+
+class TestThemeInduction:
+    def test_keeps_positive_frequency_edges(self):
+        network = _toy_edge_network()
+        graph, frequencies = induce_edge_theme_network(network, (0,))
+        assert set(graph.iter_edges()) == {(1, 2), (1, 3), (2, 3), (3, 4)}
+        assert frequencies[(1, 2)] == pytest.approx(0.8)
+
+    def test_carrier_restricts(self):
+        network = _toy_edge_network()
+        carrier = Graph([(1, 2)])
+        graph, frequencies = induce_edge_theme_network(
+            network, (0,), carrier=carrier
+        )
+        assert set(graph.iter_edges()) == {(1, 2)}
+
+
+class TestCohesion:
+    def test_triangle_cohesion_is_min_of_edges(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        frequencies = {(1, 2): 0.8, (1, 3): 0.5, (2, 3): 0.3}
+        assert edge_theme_cohesion(graph, frequencies, 1, 2) == pytest.approx(
+            0.3
+        )
+
+    def test_unit_frequencies_are_triangle_counts(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3), (1, 4), (2, 4)])
+        ones = {e: 1.0 for e in graph.iter_edges()}
+        table = edge_theme_cohesion_table(graph, ones)
+        assert table[(1, 2)] == 2.0
+        assert table[(1, 3)] == 1.0
+
+
+class TestEdgeMPTD:
+    def test_strong_triangle_survives(self):
+        network = _toy_edge_network()
+        graph, frequencies = induce_edge_theme_network(network, (0,))
+        truss, _ = maximal_edge_pattern_truss(graph, frequencies, 0.4)
+        assert set(truss.iter_edges()) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_pendant_edge_always_removed(self):
+        """Edge (3,4) is in no triangle → cohesion 0 → gone at α = 0."""
+        network = _toy_edge_network()
+        graph, frequencies = induce_edge_theme_network(network, (0,))
+        truss, _ = maximal_edge_pattern_truss(graph, frequencies, 0.0)
+        assert not truss.has_edge(3, 4)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(MiningError):
+            maximal_edge_pattern_truss(Graph(), {}, -1.0)
+
+    @given(small_graphs())
+    @settings(deadline=None)
+    def test_unit_frequency_ktruss_equivalence(self, graph):
+        """With f_e ≡ 1 and α = k - 3 the edge pattern truss is the
+        k-truss — the Section 3.2 equivalence carries to edge networks."""
+        ones = {e: 1.0 for e in graph.iter_edges()}
+        for k in (3, 4):
+            truss, _ = maximal_edge_pattern_truss(graph, ones, k - 3)
+            expected = k_truss(graph, k)
+            assert set(truss.iter_edges()) == set(expected.iter_edges())
+
+
+class TestEdgeTCFI:
+    def test_finds_both_themes(self):
+        result = edge_tcfi(_toy_edge_network(), 0.2)
+        assert (0,) in result
+        assert (1,) in result
+        assert result[(0,)].vertices() == {1, 2, 3}
+        assert result[(1,)].vertices() == {5, 6, 7}
+
+    def test_alpha_monotone(self):
+        network = _toy_edge_network()
+        low = edge_tcfi(network, 0.0)
+        high = edge_tcfi(network, 0.5)
+        assert set(high) <= set(low)
+
+    def test_max_length(self):
+        result = edge_tcfi(_toy_edge_network(), 0.0, max_length=1)
+        assert result.max_pattern_length() <= 1
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(MiningError):
+            edge_tcfi(_toy_edge_network(), -0.1)
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.randoms(use_true_random=False))
+    def test_intersection_pruning_is_exact(self, rng):
+        """Level-wise with intersection pruning must equal brute force:
+        run every pattern's theme network through MPTD directly."""
+        import itertools
+
+        network = EdgeDatabaseNetwork()
+        vertices = list(range(6))
+        edges = list(itertools.combinations(vertices, 2))
+        rng.shuffle(edges)
+        for u, v in edges[:10]:
+            for _ in range(rng.randint(1, 3)):
+                items = rng.sample(range(3), rng.randint(1, 2))
+                network.add_transaction(u, v, items)
+
+        alpha = rng.choice([0.0, 0.2])
+        mined = edge_tcfi(network, alpha)
+
+        items = network.item_universe()
+        expected = {}
+        for length in (1, 2, 3):
+            for combo in itertools.combinations(items, length):
+                graph, freqs = induce_edge_theme_network(network, combo)
+                truss, _ = maximal_edge_pattern_truss(graph, freqs, alpha)
+                if truss.num_edges:
+                    expected[combo] = set(truss.iter_edges())
+        assert {p: mined[p].edges() for p in mined} == expected
+
+
+class TestFacade:
+    def test_find_communities(self):
+        finder = EdgeThemeCommunityFinder(_toy_edge_network())
+        communities = finder.find_communities(alpha=0.2)
+        themes = {c.pattern for c in communities}
+        assert (0,) in themes
+        assert (1,) in themes
+        assert all(c.size >= 3 for c in communities)

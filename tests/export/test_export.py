@@ -1,0 +1,86 @@
+"""Tests for the GraphML / DOT / CSV exporters."""
+
+from __future__ import annotations
+
+from xml.etree import ElementTree as ET
+
+from repro.core.finder import ThemeCommunityFinder
+from repro.export.dot import community_to_dot, network_to_dot
+from repro.export.graphml import network_to_graphml, write_graphml
+from repro.export.tables import rows_to_csv, write_csv
+
+_NS = "{http://graphml.graphdrawing.org/xmlns}"
+
+
+class TestGraphml:
+    def test_well_formed_and_complete(self, toy_network):
+        text = network_to_graphml(toy_network)
+        root = ET.fromstring(text)
+        nodes = root.findall(f"{_NS}graph/{_NS}node")
+        edges = root.findall(f"{_NS}graph/{_NS}edge")
+        assert len(nodes) == toy_network.num_vertices
+        assert len(edges) == toy_network.num_edges
+
+    def test_community_attributes(self, toy_network):
+        communities = ThemeCommunityFinder(toy_network).find_communities(0.1)
+        text = network_to_graphml(toy_network, communities)
+        assert "communities" in text
+        assert "q" in text
+
+    def test_escaping(self):
+        from repro.network.builder import DatabaseNetworkBuilder
+
+        builder = DatabaseNetworkBuilder()
+        builder.add_edge('user "<&>"', "other")
+        network = builder.build()
+        ET.fromstring(network_to_graphml(network))  # must stay well-formed
+
+    def test_write(self, toy_network, tmp_path):
+        path = tmp_path / "net.graphml"
+        write_graphml(toy_network, path)
+        assert path.exists()
+        ET.parse(path)
+
+
+class TestDot:
+    def test_network_dot(self, toy_network):
+        text = network_to_dot(toy_network, title="toy")
+        assert text.startswith("graph repro {")
+        assert text.rstrip().endswith("}")
+        assert "--" in text
+        assert '"toy"' in text
+
+    def test_highlighting(self, toy_network):
+        vertex = next(iter(toy_network.graph))
+        text = network_to_dot(toy_network, highlight=[vertex])
+        assert "filled" in text
+
+    def test_community_dot(self, toy_network):
+        communities = ThemeCommunityFinder(toy_network).find_communities(0.1)
+        text = community_to_dot(toy_network, communities[0])
+        assert "theme:" in text
+        assert "f=" in text
+
+    def test_quote_escaping(self, toy_network):
+        text = network_to_dot(toy_network, title='has "quotes"')
+        assert '\\"quotes\\"' in text
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        rows = [
+            {"dataset": "BK", "NP": 3, "seconds": 0.5},
+            {"dataset": "GW", "NP": 7, "seconds": 1.25, "extra": "x"},
+        ]
+        text = rows_to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "dataset,NP,seconds,extra"
+        assert lines[1] == "BK,3,0.5,"
+        assert lines[2] == "GW,7,1.25,x"
+
+        path = tmp_path / "rows.csv"
+        write_csv(rows, path)
+        assert path.read_text().strip() == text.strip()
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""

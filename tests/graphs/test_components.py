@@ -1,0 +1,63 @@
+"""Tests for connected components."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given
+
+from repro.graphs.components import connected_components, is_connected
+from repro.graphs.graph import Graph
+from tests.conftest import small_graphs
+
+
+class TestConnectedComponents:
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    def test_single_component(self):
+        graph = Graph([(1, 2), (2, 3)])
+        assert connected_components(graph) == [{1, 2, 3}]
+
+    def test_two_components_largest_first(self):
+        graph = Graph([(1, 2), (2, 3), (7, 8)])
+        assert connected_components(graph) == [{1, 2, 3}, {7, 8}]
+
+    def test_isolated_vertices_are_singletons(self):
+        graph = Graph([(1, 2)])
+        graph.add_vertex(9)
+        assert {9} in connected_components(graph)
+
+    def test_tie_broken_by_smallest_member(self):
+        graph = Graph([(5, 6), (1, 2)])
+        assert connected_components(graph) == [{1, 2}, {5, 6}]
+
+    @given(small_graphs())
+    def test_matches_networkx(self, graph):
+        g = nx.Graph()
+        g.add_nodes_from(graph.vertices())
+        g.add_edges_from(graph.edges())
+        ours = {frozenset(c) for c in connected_components(graph)}
+        theirs = {frozenset(c) for c in nx.connected_components(g)}
+        assert ours == theirs
+
+    @given(small_graphs())
+    def test_components_partition_vertices(self, graph):
+        components = connected_components(graph)
+        union = set()
+        total = 0
+        for component in components:
+            union |= component
+            total += len(component)
+        assert union == set(graph.vertices())
+        assert total == graph.num_vertices
+
+
+class TestIsConnected:
+    def test_empty_is_connected(self):
+        assert is_connected(Graph())
+
+    def test_connected(self):
+        assert is_connected(Graph([(1, 2), (2, 3)]))
+
+    def test_disconnected(self):
+        assert not is_connected(Graph([(1, 2), (3, 4)]))

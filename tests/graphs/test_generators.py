@@ -1,0 +1,119 @@
+"""Tests for the random-graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.components import is_connected
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.triangles import count_triangles
+
+
+class TestErdosRenyi:
+    def test_p0_is_empty(self):
+        graph = erdos_renyi_graph(10, 0.0, seed=1)
+        assert graph.num_vertices == 10
+        assert graph.num_edges == 0
+
+    def test_p1_is_complete(self):
+        graph = erdos_renyi_graph(6, 1.0, seed=1)
+        assert graph.num_edges == 15
+
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi_graph(20, 0.3, seed=5)
+        b = erdos_renyi_graph(20, 0.3, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi_graph(30, 0.3, seed=5)
+        b = erdos_renyi_graph(30, 0.3, seed=6)
+        assert a != b
+
+    def test_edge_count_near_expectation(self):
+        graph = erdos_renyi_graph(60, 0.2, seed=7)
+        expected = 0.2 * 60 * 59 / 2
+        assert 0.5 * expected < graph.num_edges < 1.5 * expected
+
+    def test_invalid_p(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(5, 1.5)
+
+    def test_negative_n(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(-1, 0.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        graph = barabasi_albert_graph(50, 3, seed=1)
+        # (n - m) new vertices each add m edges.
+        assert graph.num_edges == (50 - 3) * 3
+
+    def test_connected(self):
+        graph = barabasi_albert_graph(40, 2, seed=2)
+        assert is_connected(graph)
+
+    def test_heavy_tail(self):
+        """Max degree far above mean degree (preferential attachment)."""
+        graph = barabasi_albert_graph(200, 2, seed=3)
+        degrees = [graph.degree(v) for v in graph]
+        assert max(degrees) > 4 * (sum(degrees) / len(degrees))
+
+    def test_invalid_m(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, 5)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, 0)
+
+    def test_deterministic(self):
+        assert barabasi_albert_graph(30, 2, seed=9) == barabasi_albert_graph(
+            30, 2, seed=9
+        )
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_ring_lattice(self):
+        graph = watts_strogatz_graph(10, 4, 0.0, seed=1)
+        assert graph.num_edges == 10 * 4 // 2
+        assert all(graph.degree(v) == 4 for v in graph)
+
+    def test_rewired_keeps_edge_count(self):
+        graph = watts_strogatz_graph(20, 4, 0.5, seed=1)
+        assert graph.num_edges == 20 * 4 // 2
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 3, 0.1)
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(4, 4, 0.1)
+
+
+class TestPowerlawCluster:
+    def test_sizes(self):
+        graph = powerlaw_cluster_graph(80, 3, 0.5, seed=1)
+        assert graph.num_vertices == 80
+        assert graph.num_edges >= (80 - 3) * 1  # at least one per newcomer
+
+    def test_produces_triangles(self):
+        """The triangle step must produce more triangles than plain BA."""
+        pc = powerlaw_cluster_graph(150, 3, 0.8, seed=4)
+        assert count_triangles(pc) > 50
+
+    def test_deterministic(self):
+        a = powerlaw_cluster_graph(60, 3, 0.5, seed=11)
+        b = powerlaw_cluster_graph(60, 3, 0.5, seed=11)
+        assert a == b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(5, 0, 0.5)
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(5, 2, 1.5)

@@ -1,0 +1,149 @@
+"""Tests for the adjacency-set Graph."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, edge_key
+from tests.conftest import small_graphs
+
+
+class TestEdgeKey:
+    def test_orders_endpoints(self):
+        assert edge_key(2, 1) == (1, 2)
+        assert edge_key(1, 2) == (1, 2)
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = Graph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+
+    def test_from_edge_list(self):
+        graph = Graph([(1, 2), (2, 3)])
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_add_vertex_idempotent(self):
+        graph = Graph()
+        graph.add_vertex(1)
+        graph.add_vertex(1)
+        assert graph.num_vertices == 1
+
+    def test_add_edge_creates_endpoints(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        assert 1 in graph and 2 in graph
+
+    def test_add_edge_idempotent(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        graph = Graph([(1, 2), (2, 3)])
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.num_edges == 1
+        assert 1 in graph  # vertex stays
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph([(1, 2)])
+        with pytest.raises(GraphError):
+            graph.remove_edge(1, 3)
+
+    def test_remove_vertex(self):
+        graph = Graph([(1, 2), (1, 3), (2, 3)])
+        graph.remove_vertex(1)
+        assert 1 not in graph
+        assert graph.num_edges == 1
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(GraphError):
+            Graph().remove_vertex(9)
+
+    def test_discard_isolated_vertices(self):
+        graph = Graph([(1, 2)])
+        graph.add_vertex(7)
+        graph.discard_isolated_vertices()
+        assert 7 not in graph
+        assert graph.num_vertices == 2
+
+
+class TestQueries:
+    def test_degree(self):
+        graph = Graph([(1, 2), (1, 3)])
+        assert graph.degree(1) == 2
+        assert graph.degree(3) == 1
+
+    def test_degree_unknown_vertex(self):
+        with pytest.raises(GraphError):
+            Graph().degree(0)
+
+    def test_neighbors(self):
+        graph = Graph([(1, 2), (1, 3)])
+        assert graph.neighbors(1) == {2, 3}
+
+    def test_edges_canonical(self):
+        graph = Graph([(2, 1), (3, 2)])
+        assert sorted(graph.edges()) == [(1, 2), (2, 3)]
+
+    def test_iter_edges_matches_edges(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        assert sorted(graph.iter_edges()) == sorted(graph.edges())
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        graph = Graph([(1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 2
+
+    def test_subgraph(self):
+        graph = Graph([(1, 2), (2, 3), (3, 4)])
+        sub = graph.subgraph([1, 2, 3])
+        assert sorted(sub.edges()) == [(1, 2), (2, 3)]
+        assert 4 not in sub
+
+    def test_edge_subgraph(self):
+        graph = Graph([(1, 2), (2, 3), (3, 4)])
+        sub = graph.edge_subgraph([(2, 3)])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+
+    def test_edge_subgraph_rejects_foreign_edges(self):
+        graph = Graph([(1, 2)])
+        with pytest.raises(GraphError):
+            graph.edge_subgraph([(1, 3)])
+
+    def test_equality(self):
+        assert Graph([(1, 2)]) == Graph([(2, 1)])
+        assert Graph([(1, 2)]) != Graph([(1, 3)])
+
+    @given(small_graphs())
+    def test_copy_equals_original(self, graph):
+        assert graph.copy() == graph
+
+    @given(small_graphs())
+    def test_edge_count_consistent(self, graph):
+        assert graph.num_edges == len(graph.edges())
+        assert graph.num_edges == sum(
+            graph.degree(v) for v in graph
+        ) // 2
+
+    @given(small_graphs())
+    def test_full_subgraph_is_identity(self, graph):
+        assert graph.subgraph(graph.vertices()) == graph

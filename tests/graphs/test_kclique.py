@@ -1,0 +1,87 @@
+"""Tests for maximal cliques and k-clique percolation communities."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.kclique import (
+    enumerate_maximal_cliques,
+    k_clique_communities,
+)
+from tests.conftest import small_graphs
+
+
+def _to_networkx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestMaximalCliques:
+    def test_triangle(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        assert enumerate_maximal_cliques(graph) == [frozenset({1, 2, 3})]
+
+    def test_path_gives_edges(self):
+        graph = Graph([(1, 2), (2, 3)])
+        cliques = set(enumerate_maximal_cliques(graph))
+        assert cliques == {frozenset({1, 2}), frozenset({2, 3})}
+
+    @settings(deadline=None)
+    @given(small_graphs(min_edges=1))
+    def test_matches_networkx(self, graph):
+        ours = {c for c in enumerate_maximal_cliques(graph) if len(c) > 1}
+        theirs = {
+            frozenset(c)
+            for c in nx.find_cliques(_to_networkx(graph))
+            if len(c) > 1
+        }
+        assert ours == theirs
+
+
+class TestKCliqueCommunities:
+    def test_two_triangles_sharing_edge_merge(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3), (2, 4), (3, 4)])
+        [community] = k_clique_communities(graph, 3)
+        assert community == {1, 2, 3, 4}
+
+    def test_disjoint_triangles_stay_apart(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3), (7, 8), (8, 9), (7, 9)])
+        communities = k_clique_communities(graph, 3)
+        assert sorted(map(sorted, communities)) == [[1, 2, 3], [7, 8, 9]]
+
+    def test_triangles_sharing_vertex_stay_apart(self):
+        """Sharing only k-2 vertices does not percolate at k = 3."""
+        graph = Graph([(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (3, 5)])
+        communities = k_clique_communities(graph, 3)
+        assert len(communities) == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            k_clique_communities(Graph(), 1)
+
+    @settings(deadline=None, max_examples=30)
+    @given(small_graphs())
+    def test_matches_networkx(self, graph):
+        ours = {
+            frozenset(c) for c in k_clique_communities(graph, 3)
+        }
+        theirs = {
+            frozenset(c)
+            for c in nx.community.k_clique_communities(_to_networkx(graph), 3)
+        }
+        assert ours == theirs
+
+    @settings(deadline=None, max_examples=20)
+    @given(small_graphs())
+    def test_communities_may_overlap_but_cover_k_cliques(self, graph):
+        communities = k_clique_communities(graph, 3)
+        from repro.graphs.triangles import enumerate_triangles
+
+        for triangle in enumerate_triangles(graph):
+            assert any(set(triangle) <= c for c in communities)

@@ -1,0 +1,67 @@
+"""Tests for k-core decomposition (cross-checked against networkx)."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given
+
+from repro.graphs.graph import Graph
+from repro.graphs.kcore import core_numbers, k_core
+from tests.conftest import small_graphs
+
+
+def _to_networkx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestCoreNumbers:
+    def test_triangle_is_2_core(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        assert core_numbers(graph) == {1: 2, 2: 2, 3: 2}
+
+    def test_path_is_1_core(self):
+        graph = Graph([(1, 2), (2, 3)])
+        assert core_numbers(graph) == {1: 1, 2: 1, 3: 1}
+
+    def test_isolated_vertex_is_0_core(self):
+        graph = Graph()
+        graph.add_vertex(7)
+        assert core_numbers(graph) == {7: 0}
+
+    def test_empty(self):
+        assert core_numbers(Graph()) == {}
+
+    @given(small_graphs())
+    def test_matches_networkx(self, graph):
+        assert core_numbers(graph) == nx.core_number(_to_networkx(graph))
+
+
+class TestKCore:
+    def test_k2_drops_pendant(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3), (3, 4)])
+        core = k_core(graph, 2)
+        assert set(core.vertices()) == {1, 2, 3}
+
+    def test_k0_is_whole_graph(self):
+        graph = Graph([(1, 2)])
+        graph.add_vertex(5)
+        assert k_core(graph, 0) == graph
+
+    @given(small_graphs())
+    def test_matches_networkx_k2(self, graph):
+        ours = k_core(graph, 2)
+        theirs = nx.k_core(_to_networkx(graph), 2)
+        assert set(ours.vertices()) == set(theirs.nodes)
+        assert set(ours.iter_edges()) == {
+            tuple(sorted(e)) for e in theirs.edges
+        }
+
+    @given(small_graphs())
+    def test_min_degree_invariant(self, graph):
+        for k in (1, 2, 3):
+            core = k_core(graph, k)
+            for v in core:
+                assert core.degree(v) >= k

@@ -1,0 +1,93 @@
+"""Tests for classic k-truss (cross-checked against networkx.k_truss)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.ktruss import k_truss, max_truss_number, truss_numbers
+from tests.conftest import small_graphs
+
+
+def _to_networkx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestKTruss:
+    def test_triangle_is_3_truss(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        assert k_truss(graph, 3).num_edges == 3
+
+    def test_triangle_free_graph_has_empty_3_truss(self):
+        graph = Graph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        assert k_truss(graph, 3).num_edges == 0
+
+    def test_k4_is_4_truss(self):
+        graph = Graph(
+            [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        )
+        assert k_truss(graph, 4).num_edges == 6
+        assert k_truss(graph, 5).num_edges == 0
+
+    def test_pendant_edge_dropped_at_k3(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3), (3, 4)])
+        truss = k_truss(graph, 3)
+        assert 4 not in truss
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            k_truss(Graph(), 1)
+
+    def test_input_not_mutated(self):
+        graph = Graph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        k_truss(graph, 3)
+        assert graph.num_edges == 4
+
+    @given(small_graphs())
+    def test_matches_networkx(self, graph):
+        for k in (3, 4):
+            ours = k_truss(graph, k)
+            theirs = nx.k_truss(_to_networkx(graph), k)
+            assert set(ours.iter_edges()) == {
+                tuple(sorted(e)) for e in theirs.edges
+            }
+
+
+class TestTrussNumbers:
+    def test_triangle(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        assert set(truss_numbers(graph).values()) == {3}
+
+    def test_monotone_against_k_truss(self):
+        """Edge e is in the k-truss iff truss_number(e) >= k."""
+        graph = Graph(
+            [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (4, 5), (5, 6)]
+        )
+        numbers = truss_numbers(graph)
+        for k in (2, 3, 4):
+            truss_edges = set(k_truss(graph, k).iter_edges())
+            by_number = {e for e, t in numbers.items() if t >= k}
+            assert truss_edges == by_number
+
+    @given(small_graphs())
+    def test_consistency_with_k_truss(self, graph):
+        numbers = truss_numbers(graph)
+        for k in (3, 4):
+            truss_edges = set(k_truss(graph, k).iter_edges())
+            by_number = {e for e, t in numbers.items() if t >= k}
+            assert truss_edges == by_number
+
+    def test_max_truss_number(self):
+        graph = Graph(
+            [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        )
+        assert max_truss_number(graph) == 4
+
+    def test_max_truss_number_triangle_free(self):
+        assert max_truss_number(Graph([(1, 2)])) == 2

@@ -1,0 +1,121 @@
+"""Tests for probabilistic (k, γ)-truss detection."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, edge_key
+from repro.graphs.ktruss import k_truss
+from repro.graphs.probtruss import (
+    edge_qualification,
+    probabilistic_k_truss,
+    support_tail_probability,
+)
+from tests.conftest import small_graphs
+
+
+class TestSupportTail:
+    def test_threshold_zero_is_certain(self):
+        assert support_tail_probability([0.1, 0.2], 0) == 1.0
+
+    def test_single_trial(self):
+        assert support_tail_probability([0.3], 1) == pytest.approx(0.3)
+
+    def test_two_trials_at_least_one(self):
+        # 1 - (1-p)(1-q)
+        assert support_tail_probability([0.5, 0.5], 1) == pytest.approx(0.75)
+
+    def test_all_required(self):
+        assert support_tail_probability([0.5, 0.5], 2) == pytest.approx(0.25)
+
+    def test_impossible(self):
+        assert support_tail_probability([0.5], 2) == 0.0
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=6),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_matches_brute_force(self, probs, threshold):
+        from itertools import product
+
+        brute = 0.0
+        for outcome in product([0, 1], repeat=len(probs)):
+            if sum(outcome) >= threshold:
+                weight = math.prod(
+                    p if bit else 1 - p for p, bit in zip(probs, outcome)
+                )
+                brute += weight
+        ours = support_tail_probability(probs, threshold)
+        assert ours == pytest.approx(brute, abs=1e-9)
+
+
+class TestEdgeQualification:
+    def test_certain_triangle(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        ones = {e: 1.0 for e in graph.iter_edges()}
+        assert edge_qualification(graph, ones, 1, 2, 3) == 1.0
+
+    def test_uncertain_triangle(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        probs = {(1, 2): 1.0, (1, 3): 0.5, (2, 3): 0.5}
+        # support prob = 0.25; qualification = 1.0 * 0.25
+        assert edge_qualification(graph, probs, 1, 2, 3) == pytest.approx(
+            0.25
+        )
+
+
+class TestProbabilisticKTruss:
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            probabilistic_k_truss(Graph(), {}, 1, 0.5)
+        with pytest.raises(GraphError):
+            probabilistic_k_truss(Graph(), {}, 3, 0.0)
+        with pytest.raises(GraphError):
+            probabilistic_k_truss(Graph(), {}, 3, 1.5)
+
+    def test_low_probability_triangle_peeled(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        probs = {(1, 2): 0.9, (1, 3): 0.3, (2, 3): 0.3}
+        # Qualification of (1,2): 0.9 × 0.09 ≈ 0.08 < γ=0.5 → all peel.
+        result = probabilistic_k_truss(graph, probs, 3, 0.5)
+        assert result.num_edges == 0
+
+    def test_high_probability_triangle_survives(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        probs = {e: 0.95 for e in graph.iter_edges()}
+        result = probabilistic_k_truss(graph, probs, 3, 0.5)
+        assert result.num_edges == 3
+
+    def test_gamma_monotone(self):
+        graph = Graph(
+            [(1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (1, 4)]
+        )
+        probs = {e: 0.8 for e in graph.iter_edges()}
+        loose = probabilistic_k_truss(graph, probs, 3, 0.2)
+        tight = probabilistic_k_truss(graph, probs, 3, 0.6)
+        assert set(tight.iter_edges()) <= set(loose.iter_edges())
+
+    @given(small_graphs())
+    def test_unit_probabilities_recover_k_truss(self, graph):
+        """With p ≡ 1 the (k, γ)-truss equals the deterministic k-truss
+        for every γ ∈ (0, 1]."""
+        ones = {edge_key(u, v): 1.0 for u, v in graph.iter_edges()}
+        for k in (3, 4):
+            prob = probabilistic_k_truss(graph, ones, k, 1.0)
+            det = k_truss(graph, k)
+            assert set(prob.iter_edges()) == set(det.iter_edges())
+
+    @given(small_graphs())
+    def test_result_edges_all_qualified(self, graph):
+        """Every surviving edge is (k, γ)-qualified in the result."""
+        probs = {
+            edge_key(u, v): 0.9 for u, v in graph.iter_edges()
+        }
+        result = probabilistic_k_truss(graph, probs, 3, 0.3)
+        for u, v in result.iter_edges():
+            assert edge_qualification(result, probs, u, v, 3) >= 0.3

@@ -1,0 +1,60 @@
+"""Tests for BFS traversal helpers."""
+
+from __future__ import annotations
+
+from hypothesis import given
+
+from repro.graphs.graph import Graph, edge_key
+from repro.graphs.traversal import bfs_edges, bfs_order, bfs_vertices
+from tests.conftest import small_graphs
+
+
+class TestBfsOrder:
+    def test_starts_at_start(self):
+        graph = Graph([(1, 2), (2, 3)])
+        assert bfs_order(graph, 2)[0] == 2
+
+    def test_level_order(self):
+        #   1 - 2 - 4
+        #    \- 3 - 5
+        graph = Graph([(1, 2), (1, 3), (2, 4), (3, 5)])
+        assert bfs_order(graph, 1) == [1, 2, 3, 4, 5]
+
+    def test_only_reachable(self):
+        graph = Graph([(1, 2), (3, 4)])
+        assert set(bfs_order(graph, 1)) == {1, 2}
+
+    def test_deterministic_tie_break(self):
+        graph = Graph([(1, 5), (1, 3), (1, 4)])
+        assert bfs_order(graph, 1) == [1, 3, 4, 5]
+
+    @given(small_graphs(min_edges=1))
+    def test_generator_matches_list(self, graph):
+        start = min(v for v in graph if graph.degree(v) > 0)
+        assert list(bfs_vertices(graph, start)) == bfs_order(graph, start)
+
+
+class TestBfsEdges:
+    def test_yields_component_edges_once(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3), (3, 4)])
+        edges = list(bfs_edges(graph, 1))
+        assert sorted(edges) == [(1, 2), (1, 3), (2, 3), (3, 4)]
+        assert len(edges) == len(set(edges))
+
+    def test_prefix_property(self):
+        """The first m edges form a growing nested family."""
+        graph = Graph([(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)])
+        edges = list(bfs_edges(graph, 1))
+        for m in range(1, len(edges)):
+            assert set(edges[:m]) <= set(edges[: m + 1])
+
+    @given(small_graphs(min_edges=1))
+    def test_covers_component(self, graph):
+        start = min(v for v in graph if graph.degree(v) > 0)
+        reachable = set(bfs_order(graph, start))
+        expected = {
+            edge_key(u, v)
+            for u, v in graph.iter_edges()
+            if u in reachable and v in reachable
+        }
+        assert set(bfs_edges(graph, start)) == expected

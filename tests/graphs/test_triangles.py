@@ -1,0 +1,86 @@
+"""Tests for triangle enumeration (cross-checked against networkx)."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given
+
+from repro.graphs.graph import Graph
+from repro.graphs.triangles import (
+    common_neighbors,
+    count_triangles,
+    edge_triangle_counts,
+    enumerate_triangles,
+)
+from tests.conftest import small_graphs
+
+
+def _to_networkx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestCommonNeighbors:
+    def test_triangle(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        assert common_neighbors(graph, 1, 2) == {3}
+
+    def test_no_common(self):
+        graph = Graph([(1, 2), (2, 3)])
+        assert common_neighbors(graph, 1, 2) == set()
+
+    def test_multiple(self):
+        graph = Graph([(1, 2), (1, 3), (2, 3), (1, 4), (2, 4)])
+        assert common_neighbors(graph, 1, 2) == {3, 4}
+
+
+class TestEnumeration:
+    def test_single_triangle(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        assert list(enumerate_triangles(graph)) == [(1, 2, 3)]
+
+    def test_k4_has_four_triangles(self):
+        graph = Graph(
+            [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        )
+        triangles = set(enumerate_triangles(graph))
+        assert triangles == {
+            (1, 2, 3), (1, 2, 4), (1, 3, 4), (2, 3, 4)
+        }
+
+    def test_triangle_free(self):
+        graph = Graph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        assert count_triangles(graph) == 0
+
+    @given(small_graphs())
+    def test_count_matches_networkx(self, graph):
+        ours = count_triangles(graph)
+        theirs = sum(nx.triangles(_to_networkx(graph)).values()) // 3
+        assert ours == theirs
+
+    @given(small_graphs())
+    def test_each_triangle_yielded_once_and_sorted(self, graph):
+        triangles = list(enumerate_triangles(graph))
+        assert len(triangles) == len(set(triangles))
+        for a, b, c in triangles:
+            assert a < b < c
+            assert graph.has_edge(a, b)
+            assert graph.has_edge(b, c)
+            assert graph.has_edge(a, c)
+
+
+class TestEdgeSupport:
+    def test_support_counts(self):
+        graph = Graph(
+            [(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]
+        )
+        support = edge_triangle_counts(graph)
+        assert support[(2, 3)] == 2
+        assert support[(1, 2)] == 1
+
+    @given(small_graphs())
+    def test_support_sum_is_three_times_triangles(self, graph):
+        support = edge_triangle_counts(graph)
+        assert sum(support.values()) == 3 * count_triangles(graph)

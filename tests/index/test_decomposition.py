@@ -1,0 +1,150 @@
+"""Tests for maximal-pattern-truss decomposition (Theorem 6.1 / Eq. 1).
+
+The central invariant: for every α, reconstructing ``C*_p(α)`` from the
+decomposition ``L_p`` must equal running MPTD directly at α.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mptd import maximal_pattern_truss
+from repro.index.decomposition import (
+    decompose_network_pattern,
+    decompose_truss,
+)
+from repro.network.theme import induce_theme_network
+from tests.conftest import database_networks
+
+
+class TestToyDecomposition:
+    def test_p_theme_single_level(self, toy_network):
+        decomposition = decompose_network_pattern(toy_network, (0,))
+        assert decomposition.thresholds() == [pytest.approx(0.3)]
+        assert decomposition.num_edges == 13
+        assert decomposition.max_alpha == pytest.approx(0.3)
+
+    def test_q_theme_two_levels(self, toy_network):
+        decomposition = decompose_network_pattern(toy_network, (1,))
+        assert decomposition.thresholds() == [
+            pytest.approx(0.4),
+            pytest.approx(0.6),
+        ]
+        assert decomposition.num_edges == 8
+        # Level sizes: 3 edges go at 0.4, the remaining 5 at 0.6.
+        assert [len(l.removed_edges) for l in decomposition.levels] == [3, 5]
+
+    def test_empty_pattern_theme(self, toy_network):
+        """A pattern occurring nowhere decomposes to the empty list."""
+        missing_item = 999
+        decomposition = decompose_network_pattern(toy_network, (missing_item,))
+        assert decomposition.is_empty()
+        assert decomposition.max_alpha == 0.0
+
+    def test_truss_at_various_alphas(self, toy_network):
+        decomposition = decompose_network_pattern(toy_network, (1,))
+        assert decomposition.truss_at(0.0).num_edges == 8
+        assert decomposition.truss_at(0.45).num_edges == 5
+        assert decomposition.truss_at(0.6).is_empty()
+
+    def test_frequencies_restricted_to_truss(self, toy_network):
+        decomposition = decompose_network_pattern(toy_network, (1,))
+        truss = decomposition.truss_at(0.0)
+        assert set(decomposition.frequencies) == truss.vertices()
+
+
+class TestDecompositionProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        database_networks(),
+        st.sampled_from([0.0, 0.1, 0.25, 0.5, 1.0]),
+    )
+    def test_reconstruction_matches_direct_mptd(self, network, alpha):
+        """Equation 1 round-trip: L_p reconstructs C*_p(α) exactly."""
+        for item in network.item_universe():
+            decomposition = decompose_network_pattern(network, (item,))
+            reconstructed = decomposition.truss_at(alpha)
+
+            graph, frequencies = induce_theme_network(network, (item,))
+            direct, _ = maximal_pattern_truss(graph, frequencies, alpha)
+            assert set(reconstructed.graph.iter_edges()) == set(
+                direct.iter_edges()
+            )
+
+    @settings(deadline=None, max_examples=30)
+    @given(database_networks())
+    def test_levels_strictly_ascending_and_disjoint(self, network):
+        for item in network.item_universe():
+            decomposition = decompose_network_pattern(network, (item,))
+            thresholds = decomposition.thresholds()
+            assert thresholds == sorted(thresholds)
+            assert len(set(thresholds)) == len(thresholds)
+            seen = set()
+            for level in decomposition.levels:
+                assert level.removed_edges  # never an empty level
+                for edge in level.removed_edges:
+                    assert edge not in seen
+                    seen.add(edge)
+
+    @settings(deadline=None, max_examples=30)
+    @given(database_networks())
+    def test_stores_exactly_c0_edges(self, network):
+        """L_p stores the same number of edges as E*_p(0) (Section 6.1:
+        'it does not incur much extra memory cost')."""
+        for item in network.item_universe():
+            graph, frequencies = induce_theme_network(network, (item,))
+            truss, _ = maximal_pattern_truss(graph, frequencies, 0.0)
+            decomposition = decompose_network_pattern(network, (item,))
+            assert decomposition.num_edges == truss.num_edges
+
+    @settings(deadline=None, max_examples=20)
+    @given(database_networks())
+    def test_max_alpha_is_emptiness_boundary(self, network):
+        """C*_p(α) = ∅ exactly for α >= α*_p."""
+        for item in network.item_universe():
+            decomposition = decompose_network_pattern(network, (item,))
+            if decomposition.is_empty():
+                continue
+            alpha_star = decomposition.max_alpha
+            assert not decomposition.truss_at(alpha_star - 1e-6).is_empty()
+            assert decomposition.truss_at(alpha_star).is_empty()
+
+
+class TestClassicTrussCorrespondence:
+    @settings(deadline=None, max_examples=30)
+    @given(st.data())
+    def test_unit_frequency_levels_are_truss_numbers(self, data):
+        """With unit frequencies, the decomposition threshold at which an
+        edge is removed equals its classic truss number minus 2.
+
+        C*_p(α) with f ≡ 1 is the (α+3)-truss (Section 3.2); an edge with
+        truss number t survives exactly while α < t - 2, so it must be
+        recorded in the level with threshold t - 2.
+        """
+        from repro.core.mptd import maximal_pattern_truss
+        from repro.graphs.ktruss import truss_numbers
+        from tests.conftest import small_graphs
+
+        graph = data.draw(small_graphs())
+        ones = {v: 1.0 for v in graph}
+        truss, cohesion = maximal_pattern_truss(graph, ones, 0.0)
+        decomposition = decompose_truss((0,), truss, ones, cohesion)
+
+        numbers = truss_numbers(graph)
+        removal_level: dict = {}
+        for level in decomposition.levels:
+            for edge in level.removed_edges:
+                removal_level[edge] = level.alpha
+        for edge, alpha in removal_level.items():
+            assert alpha == pytest.approx(numbers[edge] - 2)
+
+
+class TestDecomposeTruss:
+    def test_consumes_inputs(self, toy_network):
+        graph, frequencies = induce_theme_network(toy_network, (0,))
+        truss, cohesion = maximal_pattern_truss(graph, frequencies, 0.0)
+        decompose_truss((0,), truss, frequencies, cohesion)
+        assert truss.num_edges == 0  # documented: inputs are consumed
+        assert cohesion == {}

@@ -1,0 +1,89 @@
+"""Tests for TC-Tree query answering (Algorithm 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._ordering import is_subpattern
+from repro.core.tcfi import tcfi
+from repro.errors import TCIndexError
+from repro.index.query import query_by_alpha, query_by_pattern, query_tc_tree
+from repro.index.tctree import build_tc_tree
+from tests.conftest import database_networks
+
+
+class TestToyQueries:
+    def test_qba_at_zero_returns_everything(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        answer = query_by_alpha(tree, 0.0)
+        assert answer.retrieved_nodes == 2
+        assert answer.patterns() == [(0,), (1,)]
+
+    def test_qba_sweep(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        assert query_by_alpha(tree, 0.35).patterns() == [(1,)]
+        assert query_by_alpha(tree, 0.6).patterns() == []
+
+    def test_qbp_restricts_to_subpatterns(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        answer = query_by_pattern(tree, (0,))
+        assert answer.patterns() == [(0,)]
+
+    def test_query_communities(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        communities = query_by_alpha(tree, 0.1).communities()
+        assert len(communities) == 3
+
+    def test_negative_alpha_rejected(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        with pytest.raises(TCIndexError):
+            query_tc_tree(tree, alpha=-0.1)
+
+    def test_answer_metadata(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        answer = query_tc_tree(tree, pattern=(0, 1), alpha=0.0)
+        assert answer.query_pattern == (0, 1)
+        assert answer.num_trusses == answer.retrieved_nodes
+        assert answer.visited_nodes >= answer.retrieved_nodes
+
+
+class TestQueryCorrectness:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        database_networks(),
+        st.sampled_from([0.0, 0.2, 0.5, 1.0]),
+    )
+    def test_qba_equals_mining_at_alpha(self, network, alpha):
+        """Querying the index at α returns exactly what mining at α finds —
+        the build-once/query-many contract of Section 6."""
+        tree = build_tc_tree(network)
+        answer = query_by_alpha(tree, alpha)
+        mined = tcfi(network, alpha)
+        assert set(answer.patterns()) == set(mined.patterns())
+        for truss in answer.trusses:
+            assert set(truss.graph.iter_edges()) == mined[truss.pattern].edges()
+
+    @settings(deadline=None, max_examples=20)
+    @given(database_networks())
+    def test_qbp_returns_all_subpatterns(self, network):
+        """QBP(q) = every indexed pattern p ⊆ q."""
+        tree = build_tc_tree(network)
+        all_patterns = tree.patterns()
+        if not all_patterns:
+            return
+        query = max(all_patterns, key=len)
+        answer = query_by_pattern(tree, query)
+        expected = {p for p in all_patterns if is_subpattern(p, query)}
+        assert set(answer.patterns()) == expected
+
+    @settings(deadline=None, max_examples=15)
+    @given(database_networks())
+    def test_retrieved_monotone_in_alpha(self, network):
+        tree = build_tc_tree(network)
+        counts = [
+            query_by_alpha(tree, alpha).retrieved_nodes
+            for alpha in (0.0, 0.2, 0.5, 1.0)
+        ]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,51 @@
+"""Tests for TC-Tree statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.stats import tc_tree_statistics
+from repro.index.tctree import build_tc_tree
+
+
+class TestTCTreeStatistics:
+    def test_toy_profile(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        stats = tc_tree_statistics(tree)
+        assert stats.num_nodes == 2
+        assert stats.depth == 1
+        assert stats.nodes_per_depth == {1: 2}
+        # p stores 13 edges, q stores 8 — L_p stores E*_p(0) exactly.
+        assert stats.total_edges_stored == 13 + 8
+        # p decomposes in 1 level, q in 2.
+        assert stats.total_decomposition_levels == 3
+        assert stats.max_alpha == pytest.approx(0.6)
+
+    def test_averages(self, toy_network):
+        stats = tc_tree_statistics(build_tc_tree(toy_network))
+        assert stats.average_levels_per_node == pytest.approx(1.5)
+        assert stats.average_edges_per_node == pytest.approx(10.5)
+
+    def test_empty_tree(self):
+        from repro.network.dbnetwork import DatabaseNetwork
+
+        tree = build_tc_tree(DatabaseNetwork())
+        stats = tc_tree_statistics(tree)
+        assert stats.num_nodes == 0
+        assert stats.average_levels_per_node == 0.0
+        assert stats.average_edges_per_node == 0.0
+
+    def test_as_row(self, toy_network):
+        row = tc_tree_statistics(build_tc_tree(toy_network)).as_row()
+        assert row["nodes"] == 2
+        assert row["alpha*"] == pytest.approx(0.6)
+
+    def test_edges_stored_matches_mining(self, toy_network):
+        """Total stored edges = Σ |E*_p(0)| over indexed patterns."""
+        from repro.core.tcfi import tcfi
+
+        tree = build_tc_tree(toy_network)
+        mined = tcfi(toy_network, 0.0)
+        assert tc_tree_statistics(tree).total_edges_stored == sum(
+            t.num_edges for t in mined.values()
+        )

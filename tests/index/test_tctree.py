@@ -1,0 +1,95 @@
+"""Tests for TC-Tree construction (Algorithm 4).
+
+Completeness contract: the TC-Tree indexes exactly the patterns with
+non-empty ``C*_p(0)`` — i.e. the same pattern set TCFI finds at α = 0 —
+and each node's decomposition reconstructs the same trusses.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.tcfi import tcfi
+from repro.index.tctree import build_tc_tree
+from tests.conftest import database_networks
+
+
+class TestToyTree:
+    def test_nodes_and_depth(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        assert tree.num_nodes == 2  # themes p and q only
+        assert tree.depth == 1
+        assert tree.patterns() == [(0,), (1,)]
+
+    def test_find_node(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        node = tree.find_node((1,))
+        assert node is not None
+        assert node.pattern == (1,)
+        assert tree.find_node((0, 1)) is None
+        assert tree.find_node(()) is None
+
+    def test_max_alpha(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        assert abs(tree.max_alpha() - 0.6) < 1e-9
+
+    def test_children_sorted_by_item(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        items = [child.item for child in tree.root.children]
+        assert items == sorted(items)
+
+
+class TestTreeCompleteness:
+    @settings(deadline=None, max_examples=25)
+    @given(database_networks())
+    def test_indexes_exactly_tcfi_patterns(self, network):
+        tree = build_tc_tree(network)
+        mined = tcfi(network, 0.0)
+        assert set(tree.patterns()) == set(mined.patterns())
+
+    @settings(deadline=None, max_examples=25)
+    @given(database_networks())
+    def test_node_trusses_match_mining(self, network):
+        tree = build_tc_tree(network)
+        mined = tcfi(network, 0.0)
+        for node in tree.iter_nodes():
+            expected = mined[node.pattern]
+            reconstructed = node.decomposition.truss_at(0.0)
+            assert set(reconstructed.graph.iter_edges()) == expected.edges()
+
+    @settings(deadline=None, max_examples=15)
+    @given(database_networks())
+    def test_max_length_caps_depth(self, network):
+        tree = build_tc_tree(network, max_length=1)
+        assert tree.depth <= 1
+        full = build_tc_tree(network)
+        assert set(tree.patterns()) == {
+            p for p in full.patterns() if len(p) <= 1
+        }
+
+    @settings(deadline=None, max_examples=10)
+    @given(database_networks())
+    def test_parallel_build_identical(self, network):
+        sequential = build_tc_tree(network, workers=1)
+        parallel = build_tc_tree(network, workers=4)
+        assert sequential.patterns() == parallel.patterns()
+        for pattern in sequential.patterns():
+            a = sequential.find_node(pattern).decomposition
+            b = parallel.find_node(pattern).decomposition
+            assert a.thresholds() == b.thresholds()
+
+    @settings(deadline=None, max_examples=20)
+    @given(database_networks())
+    def test_tree_structure_consistent(self, network):
+        """Each node's pattern = parent pattern + its item; items ascend
+        along every root-to-node path (set-enumeration property)."""
+        tree = build_tc_tree(network)
+
+        def check(node, prefix):
+            for child in node.children:
+                assert child.pattern == prefix + (child.item,)
+                if prefix:
+                    assert child.item > prefix[-1]
+                check(child, child.pattern)
+
+        check(tree.root, ())

@@ -1,0 +1,118 @@
+"""Tests for incremental TC-Tree maintenance."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TCIndexError
+from repro.index.tctree import build_tc_tree
+from repro.index.updates import (
+    affected_items,
+    reusable_decompositions,
+    update_vertex_database,
+)
+from tests.conftest import database_networks
+
+
+class TestAffectedItems:
+    def test_union_of_old_and_new(self, toy_network):
+        vertex = next(iter(toy_network.databases))
+        old_items = toy_network.databases[vertex].items()
+        affected = affected_items(toy_network, vertex, [[0], [777]])
+        assert affected == old_items | {0, 777}
+
+    def test_vertex_without_database(self):
+        from repro.graphs.graph import Graph
+        from repro.network.dbnetwork import DatabaseNetwork
+
+        network = DatabaseNetwork(Graph([(0, 1)]))
+        assert affected_items(network, 0, [[5]]) == {5}
+
+
+class TestReusableDecompositions:
+    def test_avoids_affected_patterns(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        reusable = reusable_decompositions(tree, {0})
+        assert (0,) not in reusable
+        assert (1,) in reusable
+
+    def test_nothing_affected_reuses_all(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        reusable = reusable_decompositions(tree, {12345})
+        assert set(reusable) == set(tree.patterns())
+
+
+class TestUpdateVertexDatabase:
+    def test_no_transactions_is_noop(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        assert update_vertex_database(toy_network, tree, 0, []) is tree
+
+    def test_unknown_vertex_rejected(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        with pytest.raises(TCIndexError):
+            update_vertex_database(toy_network, tree, 9_999, [[0]])
+
+    def test_matches_full_rebuild(self, toy_network):
+        """The incremental tree must equal a from-scratch rebuild."""
+        network = copy.deepcopy(toy_network)
+        tree = build_tc_tree(network)
+        vertex = next(iter(network.databases))
+        new_transactions = [[0], [0, 1]]
+
+        updated = update_vertex_database(
+            network, tree, vertex, new_transactions
+        )
+        scratch = build_tc_tree(network)
+
+        assert updated.patterns() == scratch.patterns()
+        for pattern in scratch.patterns():
+            a = updated.find_node(pattern).decomposition
+            b = scratch.find_node(pattern).decomposition
+            assert a.thresholds() == pytest.approx(b.thresholds())
+            assert sorted(a.edges_at(0.0)) == sorted(b.edges_at(0.0))
+
+    def test_unaffected_decompositions_reused_by_identity(self, toy_network):
+        """Decompositions avoiding the updated items are not recomputed —
+        the same objects appear in the new tree."""
+        network = copy.deepcopy(toy_network)
+        tree = build_tc_tree(network)
+        vertex = next(iter(network.databases))
+        # Update with a fresh item not related to theme q... but the
+        # vertex's own items are all affected; q (item 1) is only safe if
+        # this vertex database does not contain item 1.
+        safe_vertex = next(
+            v for v, db in network.databases.items() if 1 not in db.items()
+        )
+        old_q = tree.find_node((1,)).decomposition
+        updated = update_vertex_database(
+            network, tree, safe_vertex, [[0]]
+        )
+        assert updated.find_node((1,)).decomposition is old_q
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        database_networks(),
+        st.lists(
+            st.sets(st.integers(min_value=0, max_value=4), min_size=1,
+                    max_size=3),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+    def test_incremental_equals_scratch_property(self, network, transactions):
+        tree = build_tc_tree(network)
+        vertex = sorted(network.graph.vertices())[0]
+        updated = update_vertex_database(
+            network, tree, vertex, [sorted(t) for t in transactions]
+        )
+        scratch = build_tc_tree(network)
+        assert updated.patterns() == scratch.patterns()
+        for pattern in scratch.patterns():
+            a = updated.find_node(pattern).decomposition
+            b = scratch.find_node(pattern).decomposition
+            assert sorted(a.edges_at(0.0)) == sorted(b.edges_at(0.0))
+            assert a.thresholds() == pytest.approx(b.thresholds())

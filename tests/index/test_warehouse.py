@@ -1,0 +1,97 @@
+"""Tests for the theme-community warehouse (persistence + facade)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import TCIndexError
+from repro.index.query import query_by_alpha
+from repro.index.warehouse import ThemeCommunityWarehouse
+from tests.conftest import database_networks
+
+
+class TestBuildAndQuery:
+    def test_build(self, toy_network):
+        warehouse = ThemeCommunityWarehouse.build(toy_network)
+        assert warehouse.num_indexed_trusses == 2
+
+    def test_alpha_range(self, toy_network):
+        warehouse = ThemeCommunityWarehouse.build(toy_network)
+        low, high = warehouse.alpha_range()
+        assert low == 0.0
+        assert high == pytest.approx(0.6)
+
+    def test_query_facade(self, toy_network):
+        warehouse = ThemeCommunityWarehouse.build(toy_network)
+        assert warehouse.query(alpha=0.35).patterns() == [(1,)]
+        assert warehouse.query(pattern=(0,)).patterns() == [(0,)]
+
+    def test_communities_min_size(self, toy_network):
+        warehouse = ThemeCommunityWarehouse.build(toy_network)
+        assert all(
+            c.size >= 5 for c in warehouse.communities(alpha=0.1, min_size=5)
+        )
+
+
+class TestPersistence:
+    def test_round_trip_file(self, toy_network, tmp_path):
+        warehouse = ThemeCommunityWarehouse.build(toy_network)
+        path = tmp_path / "toy.tctree.json"
+        warehouse.save(path)
+        loaded = ThemeCommunityWarehouse.load(path)
+        assert loaded.num_indexed_trusses == warehouse.num_indexed_trusses
+        assert loaded.tree.patterns() == warehouse.tree.patterns()
+        for alpha in (0.0, 0.35, 0.45):
+            original = query_by_alpha(warehouse.tree, alpha)
+            restored = query_by_alpha(loaded.tree, alpha)
+            assert original.patterns() == restored.patterns()
+            for a, b in zip(original.trusses, restored.trusses):
+                assert set(a.graph.iter_edges()) == set(b.graph.iter_edges())
+
+    @settings(deadline=None, max_examples=15)
+    @given(database_networks())
+    def test_round_trip_dict(self, network):
+        warehouse = ThemeCommunityWarehouse.build(network)
+        document = json.loads(json.dumps(warehouse.to_dict()))
+        restored = ThemeCommunityWarehouse.from_dict(document)
+        assert restored.tree.patterns() == warehouse.tree.patterns()
+        for pattern in warehouse.tree.patterns():
+            a = warehouse.tree.find_node(pattern).decomposition
+            b = restored.tree.find_node(pattern).decomposition
+            assert a.thresholds() == b.thresholds()
+            assert a.frequencies == b.frequencies
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(TCIndexError):
+            ThemeCommunityWarehouse.from_dict({"format": "nope"})
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(TCIndexError):
+            ThemeCommunityWarehouse.from_dict(
+                {"format": "repro-tctree", "version": 42}
+            )
+
+    def test_orphan_node_rejected(self):
+        document = {
+            "format": "repro-tctree",
+            "version": 1,
+            "num_items": 3,
+            "nodes": [
+                {
+                    "pattern": [0, 1],
+                    "frequencies": {},
+                    "levels": [[0.5, [[0, 1]]]],
+                }
+            ],
+        }
+        with pytest.raises(TCIndexError):
+            ThemeCommunityWarehouse.from_dict(document)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{")
+        with pytest.raises(TCIndexError):
+            ThemeCommunityWarehouse.load(path)

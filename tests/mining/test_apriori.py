@@ -1,0 +1,77 @@
+"""Tests for the Apriori miner."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MiningError
+from repro.mining.apriori import apriori_frequent_itemsets, generate_candidates
+from repro.txdb.database import TransactionDatabase
+from tests.conftest import transaction_databases
+
+
+class TestGenerateCandidates:
+    def test_join_two_singletons(self):
+        assert [c for c in generate_candidates([(1,), (2,)])] == [(1, 2)]
+
+    def test_prune_missing_subpattern(self):
+        # (1,2) and (1,3) join to (1,2,3) but (2,3) is not frequent.
+        assert generate_candidates([(1, 2), (1, 3)]) == []
+
+    def test_full_level(self):
+        level = [(1, 2), (1, 3), (2, 3)]
+        assert generate_candidates(level) == [(1, 2, 3)]
+
+    def test_empty_level(self):
+        assert generate_candidates([]) == []
+
+
+class TestAprioriMiner:
+    def test_textbook_example(self):
+        db = TransactionDatabase(
+            [{1, 3, 4}, {2, 3, 5}, {1, 2, 3, 5}, {2, 5}]
+        )
+        result = apriori_frequent_itemsets(db, 0.5)
+        assert result[(1,)] == 2
+        assert result[(2, 3, 5)] == 2
+        assert (1, 2) not in result
+
+    def test_min_support_one(self):
+        db = TransactionDatabase([{1, 2}, {1, 2}])
+        result = apriori_frequent_itemsets(db, 1.0)
+        assert set(result) == {(1,), (2,), (1, 2)}
+
+    def test_max_length(self):
+        db = TransactionDatabase([{1, 2, 3}] * 3)
+        result = apriori_frequent_itemsets(db, 0.5, max_length=2)
+        assert (1, 2, 3) not in result
+        assert (1, 2) in result
+
+    def test_empty_database(self):
+        assert apriori_frequent_itemsets(TransactionDatabase(), 0.5) == {}
+
+    def test_invalid_support(self):
+        db = TransactionDatabase([{1}])
+        with pytest.raises(MiningError):
+            apriori_frequent_itemsets(db, 0.0)
+        with pytest.raises(MiningError):
+            apriori_frequent_itemsets(db, 1.5)
+
+    @given(transaction_databases(), st.sampled_from([0.2, 0.5, 0.8]))
+    def test_support_counts_correct(self, db, min_support):
+        result = apriori_frequent_itemsets(db, min_support)
+        for pattern, count in result.items():
+            assert count == db.support_count(pattern)
+            assert count >= min_support * len(db)
+
+    @given(transaction_databases(), st.sampled_from([0.2, 0.5]))
+    def test_downward_closure(self, db, min_support):
+        """Every sub-pattern of a frequent pattern is in the result."""
+        result = apriori_frequent_itemsets(db, min_support)
+        for pattern in result:
+            for i in range(len(pattern)):
+                sub = pattern[:i] + pattern[i + 1:]
+                if sub:
+                    assert sub in result

@@ -1,0 +1,49 @@
+"""Tests for the Eclat miner (third independent implementation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MiningError
+from repro.mining.apriori import apriori_frequent_itemsets
+from repro.mining.eclat import eclat_frequent_itemsets
+from repro.mining.fpgrowth import fpgrowth_frequent_itemsets
+from repro.txdb.database import TransactionDatabase
+from tests.conftest import transaction_databases
+
+
+class TestEclat:
+    def test_textbook_example(self):
+        db = TransactionDatabase(
+            [{1, 3, 4}, {2, 3, 5}, {1, 2, 3, 5}, {2, 5}]
+        )
+        result = eclat_frequent_itemsets(db, 0.5)
+        assert result[(2, 3, 5)] == 2
+        assert (1, 2) not in result
+
+    def test_empty_database(self):
+        assert eclat_frequent_itemsets(TransactionDatabase(), 0.5) == {}
+
+    def test_invalid_support(self):
+        with pytest.raises(MiningError):
+            eclat_frequent_itemsets(TransactionDatabase([{1}]), 0.0)
+
+    def test_max_length(self):
+        db = TransactionDatabase([{1, 2, 3}] * 2)
+        result = eclat_frequent_itemsets(db, 0.5, max_length=2)
+        assert (1, 2, 3) not in result
+        assert (1, 2) in result
+
+    @given(
+        transaction_databases(max_items=5, max_transactions=8),
+        st.sampled_from([0.2, 0.4, 0.6, 1.0]),
+    )
+    def test_three_miners_agree(self, db, min_support):
+        """Apriori, FP-growth, and Eclat are three independent search
+        strategies over the same space; their results must be identical."""
+        apriori = apriori_frequent_itemsets(db, min_support)
+        fpgrowth = fpgrowth_frequent_itemsets(db, min_support)
+        eclat = eclat_frequent_itemsets(db, min_support)
+        assert apriori == fpgrowth == eclat

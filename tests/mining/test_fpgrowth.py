@@ -1,0 +1,91 @@
+"""Tests for FP-growth — must agree exactly with Apriori."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MiningError
+from repro.mining.apriori import apriori_frequent_itemsets
+from repro.mining.fpgrowth import fpgrowth_frequent_itemsets
+from repro.mining.fptree import FPTree
+from repro.txdb.database import TransactionDatabase
+from tests.conftest import transaction_databases
+
+
+class TestFPTree:
+    def test_shared_prefix_collapses(self):
+        order = {1: 0, 2: 1, 3: 2}
+        tree = FPTree(order)
+        tree.insert([1, 2])
+        tree.insert([1, 3])
+        # Item 1 should appear in a single node with count 2.
+        assert len(tree.header[1]) == 1
+        assert tree.header[1][0].count == 2
+
+    def test_single_path_detection(self):
+        order = {1: 0, 2: 1}
+        tree = FPTree(order)
+        tree.insert([1, 2])
+        tree.insert([1])
+        assert tree.is_single_path()
+        tree.insert([2])
+        assert not tree.is_single_path()
+
+    def test_conditional_pattern_base(self):
+        order = {1: 0, 2: 1, 3: 2}
+        tree = FPTree(order)
+        tree.insert([1, 2, 3])
+        tree.insert([1, 3])
+        base = tree.conditional_pattern_base(3)
+        paths = sorted(sorted(p) for p, _ in base)
+        assert paths == [[1], [1, 2]]
+
+    def test_infrequent_items_skipped(self):
+        tree = FPTree({1: 0})
+        tree.insert([1, 99])
+        assert 99 not in tree.header
+
+
+class TestFPGrowth:
+    def test_textbook_example(self):
+        db = TransactionDatabase(
+            [{1, 3, 4}, {2, 3, 5}, {1, 2, 3, 5}, {2, 5}]
+        )
+        result = fpgrowth_frequent_itemsets(db, 0.5)
+        assert result[(2, 3, 5)] == 2
+        assert (1, 2) not in result
+
+    def test_empty_database(self):
+        assert fpgrowth_frequent_itemsets(TransactionDatabase(), 0.5) == {}
+
+    def test_invalid_support(self):
+        with pytest.raises(MiningError):
+            fpgrowth_frequent_itemsets(TransactionDatabase([{1}]), 0.0)
+
+    def test_max_length(self):
+        db = TransactionDatabase([{1, 2, 3}] * 2)
+        result = fpgrowth_frequent_itemsets(db, 0.5, max_length=2)
+        assert (1, 2, 3) not in result
+        assert (1, 2) in result
+
+    @given(
+        transaction_databases(max_items=5, max_transactions=8),
+        st.sampled_from([0.2, 0.4, 0.6, 1.0]),
+    )
+    def test_agrees_with_apriori(self, db, min_support):
+        """The two classic miners are independent implementations; they
+        must produce identical pattern → support maps."""
+        apriori = apriori_frequent_itemsets(db, min_support)
+        fpgrowth = fpgrowth_frequent_itemsets(db, min_support)
+        assert apriori == fpgrowth
+
+    @given(
+        transaction_databases(max_items=5, max_transactions=8),
+        st.sampled_from([0.3, 0.5]),
+    )
+    def test_agrees_with_apriori_capped(self, db, min_support):
+        apriori = apriori_frequent_itemsets(db, min_support, max_length=2)
+        fpgrowth = fpgrowth_frequent_itemsets(db, min_support, max_length=2)
+        assert apriori == fpgrowth

@@ -1,0 +1,59 @@
+"""Tests for DatabaseNetworkBuilder."""
+
+from __future__ import annotations
+
+from repro.network.builder import DatabaseNetworkBuilder
+
+
+class TestBuilder:
+    def test_interning_is_stable(self):
+        builder = DatabaseNetworkBuilder()
+        a = builder.vertex_id("alice")
+        b = builder.vertex_id("bob")
+        assert builder.vertex_id("alice") == a
+        assert a != b
+
+    def test_items_interned_on_first_sight(self):
+        builder = DatabaseNetworkBuilder()
+        assert builder.item_id("beer") == 0
+        assert builder.item_id("diapers") == 1
+        assert builder.item_id("beer") == 0
+
+    def test_full_build(self):
+        builder = (
+            DatabaseNetworkBuilder()
+            .add_edge("alice", "bob")
+            .add_edge("bob", "carol")
+            .add_transaction("alice", ["beer", "diapers"])
+            .add_transaction("bob", ["beer"])
+        )
+        network = builder.build()
+        assert network.num_vertices == 3
+        assert network.num_edges == 2
+        alice = builder.vertex_id("alice")
+        beer = builder.item_id("beer")
+        assert network.frequency(alice, (beer,)) == 1.0
+        assert network.vertex_label(alice) == "alice"
+        assert network.item_label(beer) == "beer"
+
+    def test_add_transactions_bulk(self):
+        builder = DatabaseNetworkBuilder()
+        builder.add_transactions("v", [["a"], ["a", "b"]])
+        network = builder.build()
+        vid = builder.vertex_id("v")
+        assert network.database(vid).num_transactions == 2
+
+    def test_build_twice_independent(self):
+        builder = DatabaseNetworkBuilder()
+        builder.add_edge("a", "b")
+        first = builder.build()
+        builder.add_edge("b", "c")
+        second = builder.build()
+        assert first.num_edges == 1
+        assert second.num_edges == 2
+
+    def test_vertex_without_transactions_has_no_database(self):
+        builder = DatabaseNetworkBuilder()
+        builder.add_edge("a", "b")
+        network = builder.build()
+        assert network.databases == {}

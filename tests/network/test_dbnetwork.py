@@ -1,0 +1,106 @@
+"""Tests for the DatabaseNetwork container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatabaseError, GraphError
+from repro.graphs.graph import Graph
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.txdb.database import TransactionDatabase
+
+
+def _simple_network() -> DatabaseNetwork:
+    graph = Graph([(0, 1), (1, 2)])
+    databases = {
+        0: TransactionDatabase([{1, 2}, {1}]),
+        1: TransactionDatabase([{1}]),
+        2: TransactionDatabase([{2}, {3}]),
+    }
+    return DatabaseNetwork(graph, databases)
+
+
+class TestConstruction:
+    def test_empty(self):
+        network = DatabaseNetwork()
+        assert network.num_vertices == 0
+        assert network.num_edges == 0
+
+    def test_database_for_unknown_vertex_rejected(self):
+        graph = Graph([(0, 1)])
+        with pytest.raises(GraphError):
+            DatabaseNetwork(graph, {7: TransactionDatabase([{1}])})
+
+    def test_add_vertex_with_database(self):
+        network = DatabaseNetwork()
+        network.add_vertex(0, TransactionDatabase([{1}]))
+        assert network.frequency(0, (1,)) == 1.0
+
+    def test_set_database_requires_vertex(self):
+        network = DatabaseNetwork()
+        with pytest.raises(GraphError):
+            network.set_database(3, TransactionDatabase([{1}]))
+
+
+class TestQueries:
+    def test_frequency(self):
+        network = _simple_network()
+        assert network.frequency(0, (1,)) == 1.0
+        assert network.frequency(2, (2,)) == 0.5
+
+    def test_frequency_vertex_without_database(self):
+        network = _simple_network()
+        network.add_vertex(9)
+        assert network.frequency(9, (1,)) == 0.0
+
+    def test_database_accessor(self):
+        network = _simple_network()
+        assert network.database(0).num_transactions == 2
+        with pytest.raises(DatabaseError):
+            network.database(99)
+
+    def test_item_universe(self):
+        assert _simple_network().item_universe() == [1, 2, 3]
+
+    def test_vertices_containing_item(self):
+        network = _simple_network()
+        assert sorted(network.vertices_containing_item(1)) == [0, 1]
+        assert network.vertices_containing_item(3) == [2]
+
+
+class TestLabels:
+    def test_defaults_to_identity(self):
+        network = _simple_network()
+        assert network.vertex_label(0) == 0
+        assert network.item_label(1) == 1
+
+    def test_explicit_labels(self):
+        network = DatabaseNetwork(
+            Graph([(0, 1)]),
+            {},
+            vertex_labels={0: "alice"},
+            item_labels={1: "beer"},
+        )
+        assert network.vertex_label(0) == "alice"
+        assert network.item_label(1) == "beer"
+        assert network.pattern_labels((1,)) == ("beer",)
+
+
+class TestSubnetworks:
+    def test_subnetwork_restricts(self):
+        network = _simple_network()
+        sub = network.subnetwork([0, 1])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+        assert 2 not in sub.databases
+
+    def test_subnetwork_shares_databases(self):
+        network = _simple_network()
+        sub = network.subnetwork([0, 1])
+        assert sub.databases[0] is network.databases[0]
+
+    def test_edge_subnetwork(self):
+        network = _simple_network()
+        sub = network.edge_subnetwork([(1, 2)])
+        assert sub.num_vertices == 2
+        assert set(sub.databases) == {1, 2}

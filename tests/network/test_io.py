@@ -1,0 +1,64 @@
+"""Tests for network serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+
+from repro.errors import NetworkFormatError
+from repro.network.io import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from tests.conftest import database_networks
+
+
+class TestRoundTrip:
+    def test_toy_round_trip(self, toy_network, tmp_path):
+        path = tmp_path / "toy.json"
+        save_network(toy_network, path)
+        loaded = load_network(path)
+        assert loaded.graph == toy_network.graph
+        assert set(loaded.databases) == set(toy_network.databases)
+        for v in toy_network.databases:
+            original = sorted(
+                sorted(t) for t in toy_network.databases[v].transactions()
+            )
+            restored = sorted(
+                sorted(t) for t in loaded.databases[v].transactions()
+            )
+            assert original == restored
+        assert loaded.vertex_labels == toy_network.vertex_labels
+        assert loaded.item_labels == toy_network.item_labels
+
+    @given(database_networks())
+    def test_dict_round_trip(self, network):
+        document = network_to_dict(network)
+        restored = network_from_dict(json.loads(json.dumps(document)))
+        assert restored.graph == network.graph
+        for v, db in network.databases.items():
+            assert restored.databases[v].num_transactions == db.num_transactions
+            for item in db.items():
+                assert restored.databases[v].frequency((item,)) == db.frequency(
+                    (item,)
+                )
+
+
+class TestErrors:
+    def test_wrong_format(self):
+        with pytest.raises(NetworkFormatError):
+            network_from_dict({"format": "something-else"})
+
+    def test_wrong_version(self):
+        with pytest.raises(NetworkFormatError):
+            network_from_dict({"format": "repro-dbnetwork", "version": 99})
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(NetworkFormatError):
+            load_network(path)

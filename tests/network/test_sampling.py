@@ -1,0 +1,65 @@
+"""Tests for BFS edge sampling (the Section 7.1 protocol)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.network.sampling import bfs_edge_sample, sample_series
+from tests.conftest import database_networks
+
+
+class TestBfsEdgeSample:
+    def test_requested_size(self, toy_network):
+        sample = bfs_edge_sample(toy_network, 5, seed=1)
+        assert sample.num_edges == 5
+
+    def test_more_than_available_gives_all(self, toy_network):
+        sample = bfs_edge_sample(toy_network, 10_000, seed=1)
+        assert sample.num_edges == toy_network.num_edges
+
+    def test_zero_edges(self, toy_network):
+        sample = bfs_edge_sample(toy_network, 0, seed=1)
+        assert sample.num_edges == 0
+
+    def test_negative_rejected(self, toy_network):
+        with pytest.raises(GraphError):
+            bfs_edge_sample(toy_network, -1)
+
+    def test_deterministic_given_seed(self, toy_network):
+        a = bfs_edge_sample(toy_network, 6, seed=3)
+        b = bfs_edge_sample(toy_network, 6, seed=3)
+        assert a.graph == b.graph
+
+    def test_sample_is_subnetwork(self, toy_network):
+        sample = bfs_edge_sample(toy_network, 8, seed=2)
+        for u, v in sample.graph.iter_edges():
+            assert toy_network.graph.has_edge(u, v)
+        for v in sample.databases:
+            assert sample.databases[v] is toy_network.databases[v]
+
+    def test_connected_while_in_first_component(self, toy_network):
+        """A BFS prefix within one component is connected."""
+        from repro.graphs.components import is_connected
+
+        sample = bfs_edge_sample(toy_network, 4, seed=5)
+        assert is_connected(sample.graph)
+
+    @given(database_networks(), st.integers(min_value=1, max_value=10))
+    def test_never_exceeds_request(self, network, m):
+        sample = bfs_edge_sample(network, m, seed=0)
+        assert sample.num_edges <= m
+        assert sample.num_edges == min(m, network.num_edges)
+
+
+class TestSampleSeries:
+    def test_nested_prefixes(self, toy_network):
+        series = sample_series(toy_network, [3, 6, 9], seed=4)
+        edges = [set(s.graph.iter_edges()) for s in series]
+        assert edges[0] <= edges[1] <= edges[2]
+
+    def test_sizes(self, toy_network):
+        series = sample_series(toy_network, [2, 4], seed=4)
+        assert [s.num_edges for s in series] == [2, 4]

@@ -1,0 +1,47 @@
+"""Tests for network statistics (Table 2 quantities)."""
+
+from __future__ import annotations
+
+from repro.network.stats import network_statistics
+
+
+class TestNetworkStatistics:
+    def test_toy_counts(self, toy_network):
+        stats = network_statistics(toy_network)
+        assert stats.num_vertices == 9
+        assert stats.num_edges == 17
+        assert stats.num_transactions == 9 * 10
+        # Each transaction holds exactly one item in the toy network.
+        assert stats.num_items_total == 90
+        # p, q, and one filler item per vertex with spare capacity after
+        # its p- and q-transactions (vertex 9 has none: 3 + 7 = 10).
+        assert stats.num_items_unique == 2 + 8
+
+    def test_triangles_optional(self, toy_network):
+        with_triangles = network_statistics(toy_network)
+        without = network_statistics(toy_network, count_triangles_too=False)
+        assert with_triangles.num_triangles > 0
+        assert without.num_triangles == 0
+
+    def test_derived_quantities(self, toy_network):
+        stats = network_statistics(toy_network)
+        assert stats.average_degree == 2 * 17 / 9
+        assert stats.average_transactions_per_vertex == 10.0
+
+    def test_as_row_keys(self, toy_network):
+        row = network_statistics(toy_network).as_row()
+        assert set(row) == {
+            "#Vertices",
+            "#Edges",
+            "#Transactions",
+            "#Items (total)",
+            "#Items (unique)",
+        }
+
+    def test_empty_network(self):
+        from repro.network.dbnetwork import DatabaseNetwork
+
+        stats = network_statistics(DatabaseNetwork())
+        assert stats.num_vertices == 0
+        assert stats.average_degree == 0.0
+        assert stats.average_transactions_per_vertex == 0.0

@@ -1,0 +1,108 @@
+"""Tests for theme-network induction."""
+
+from __future__ import annotations
+
+from hypothesis import given
+
+from repro.graphs.graph import Graph
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.network.theme import (
+    induce_theme_network,
+    intersect_graphs,
+    theme_frequencies,
+    theme_network_within,
+)
+from repro.txdb.database import TransactionDatabase
+from tests.conftest import database_networks, small_graphs
+
+
+def _network() -> DatabaseNetwork:
+    graph = Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+    databases = {
+        0: TransactionDatabase([{1}, {1, 2}]),
+        1: TransactionDatabase([{1}]),
+        2: TransactionDatabase([{2}]),
+        3: TransactionDatabase([{1, 2}, {3}]),
+    }
+    return DatabaseNetwork(graph, databases)
+
+
+class TestThemeFrequencies:
+    def test_only_positive(self):
+        freqs = theme_frequencies(_network(), (1,))
+        assert set(freqs) == {0, 1, 3}
+        assert freqs[0] == 1.0
+        assert freqs[3] == 0.5
+
+    def test_candidates_restrict(self):
+        freqs = theme_frequencies(_network(), (1,), candidates=[0, 2])
+        assert set(freqs) == {0}
+
+
+class TestInduceThemeNetwork:
+    def test_vertices_with_positive_frequency(self):
+        graph, freqs = induce_theme_network(_network(), (1,))
+        assert set(graph.vertices()) == {0, 1, 3}
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 2)
+
+    def test_empty_theme(self):
+        graph, freqs = induce_theme_network(_network(), (3, 2))
+        assert graph.num_vertices == 0
+        assert freqs == {}
+
+    def test_empty_pattern_gives_whole_network(self):
+        """G is the theme network of p = ∅ (Section 3.1)."""
+        network = _network()
+        graph, freqs = induce_theme_network(network, ())
+        assert set(graph.vertices()) == {0, 1, 2, 3}
+        assert all(f == 1.0 for f in freqs.values())
+
+    @given(database_networks())
+    def test_subgraph_of_original(self, network):
+        for item in network.item_universe():
+            graph, freqs = induce_theme_network(network, (item,))
+            for u, v in graph.iter_edges():
+                assert network.graph.has_edge(u, v)
+            for v, f in freqs.items():
+                assert f > 0.0
+
+
+class TestThemeNetworkWithin:
+    def test_restricted_to_carrier(self):
+        network = _network()
+        carrier = Graph([(0, 1)])
+        graph, freqs = theme_network_within(network, (1,), carrier)
+        assert set(graph.vertices()) == {0, 1}
+        assert 3 not in freqs
+
+    @given(database_networks())
+    def test_carrier_full_graph_matches_plain_induction(self, network):
+        for item in network.item_universe():
+            full_graph, full_freqs = induce_theme_network(network, (item,))
+            within_graph, within_freqs = theme_network_within(
+                network, (item,), network.graph
+            )
+            assert within_graph == full_graph
+            assert within_freqs == full_freqs
+
+
+class TestIntersectGraphs:
+    def test_common_edges_only(self):
+        a = Graph([(0, 1), (1, 2)])
+        b = Graph([(1, 2), (2, 3)])
+        assert sorted(intersect_graphs(a, b).iter_edges()) == [(1, 2)]
+
+    def test_disjoint(self):
+        a = Graph([(0, 1)])
+        b = Graph([(2, 3)])
+        assert intersect_graphs(a, b).num_edges == 0
+
+    @given(small_graphs(), small_graphs())
+    def test_commutative(self, a, b):
+        assert intersect_graphs(a, b) == intersect_graphs(b, a)
+
+    @given(small_graphs())
+    def test_idempotent(self, graph):
+        result = intersect_graphs(graph, graph)
+        assert set(result.iter_edges()) == set(graph.iter_edges())

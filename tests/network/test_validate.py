@@ -1,0 +1,78 @@
+"""Tests for network validation."""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.network.validate import has_errors, validate_network
+from repro.txdb.database import TransactionDatabase
+
+
+def _codes(issues):
+    return {issue.code for issue in issues}
+
+
+class TestValidateNetwork:
+    def test_clean_network(self, toy_network):
+        issues = validate_network(toy_network)
+        assert not has_errors(issues)
+        assert "vertices-without-database" not in _codes(issues)
+
+    def test_vertex_without_database_warned(self):
+        network = DatabaseNetwork(Graph([(0, 1)]))
+        network.databases[0] = TransactionDatabase([{1}])
+        issues = validate_network(network)
+        assert "vertices-without-database" in _codes(issues)
+        assert not has_errors(issues)
+
+    def test_empty_database_warned(self):
+        network = DatabaseNetwork(Graph([(0, 1)]))
+        network.databases[0] = TransactionDatabase()
+        assert "empty-databases" in _codes(validate_network(network))
+
+    def test_dangling_database_is_error(self):
+        network = DatabaseNetwork(Graph([(0, 1)]))
+        network.databases[99] = TransactionDatabase([{1}])  # bypass ctor
+        issues = validate_network(network)
+        assert "db-unknown-vertex" in _codes(issues)
+        assert has_errors(issues)
+
+    def test_surplus_label_is_informational(self):
+        """Samples share parent label maps, so surplus labels are benign."""
+        network = DatabaseNetwork(Graph([(0, 1)]))
+        network.vertex_labels[7] = "ghost"
+        issues = validate_network(network)
+        assert not has_errors(issues)
+        assert "surplus-vertex-labels" in _codes(issues)
+
+    def test_isolated_vertices_info(self):
+        graph = Graph([(0, 1)])
+        graph.add_vertex(5)
+        network = DatabaseNetwork(graph)
+        codes = _codes(validate_network(network))
+        assert "isolated-vertices" in codes
+
+    def test_unused_item_labels_warned(self):
+        network = DatabaseNetwork(
+            Graph([(0, 1)]),
+            {0: TransactionDatabase([{1}])},
+            item_labels={1: "used", 99: "never"},
+        )
+        assert "unused-item-labels" in _codes(validate_network(network))
+
+    def test_errors_sorted_first(self):
+        network = DatabaseNetwork(Graph([(0, 1)]))
+        network.databases[99] = TransactionDatabase([{1}])
+        graph_isolated = network.graph
+        graph_isolated.add_vertex(5)
+        issues = validate_network(network)
+        severities = [issue.severity for issue in issues]
+        assert severities == sorted(
+            severities, key=["error", "warning", "info"].index
+        )
+
+    def test_str_format(self):
+        network = DatabaseNetwork(Graph([(0, 1)]))
+        network.databases[99] = TransactionDatabase([{1}])
+        text = str(validate_network(network)[0])
+        assert text.startswith("[error]")

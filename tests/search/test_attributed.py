@@ -1,0 +1,72 @@
+"""Tests for attribute-driven community search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MiningError
+from repro.index.tctree import build_tc_tree
+from repro.search.attributed import attributed_community_search
+
+
+def _vertex(toy_network, label):
+    return next(
+        v for v, lbl in toy_network.vertex_labels.items() if lbl == label
+    )
+
+
+class TestAttributedSearch:
+    def test_finds_community_of_query_vertices(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        v2 = _vertex(toy_network, 2)
+        v3 = _vertex(toy_network, 3)
+        matches = attributed_community_search(tree, [v2, v3], [0, 1])
+        themes = {m.pattern for m in matches}
+        # v2, v3 are together in both the p 5-clique and the q community.
+        assert themes == {(0,), (1,)}
+
+    def test_attribute_restriction(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        v2 = _vertex(toy_network, 2)
+        matches = attributed_community_search(tree, [v2], [0])
+        assert {m.pattern for m in matches} == {(0,)}
+
+    def test_vertices_must_be_in_one_community(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        v1 = _vertex(toy_network, 1)
+        v8 = _vertex(toy_network, 8)
+        # 1 and 8 are in *different* p-communities and never share one.
+        assert attributed_community_search(tree, [v1, v8], [0, 1]) == []
+
+    def test_ranking_prefers_strength(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        v5 = _vertex(toy_network, 5)
+        matches = attributed_community_search(tree, [v5], [0, 1])
+        # Same coverage (length-1 themes); q has α* = 0.6 > p's 0.3,
+        # so the q community ranks first.
+        assert matches[0].pattern == (1,)
+        assert matches[0].strength == pytest.approx(0.6)
+        assert matches[1].strength == pytest.approx(0.3)
+
+    def test_alpha_filters(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        v2 = _vertex(toy_network, 2)
+        # At α = 0.45 the q community core excludes v2.
+        matches = attributed_community_search(
+            tree, [v2], [0, 1], alpha=0.45
+        )
+        assert matches == []
+
+    def test_limit(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        v5 = _vertex(toy_network, 5)
+        assert len(
+            attributed_community_search(tree, [v5], [0, 1], limit=1)
+        ) == 1
+
+    def test_empty_queries_rejected(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        with pytest.raises(MiningError):
+            attributed_community_search(tree, [], [0])
+        with pytest.raises(MiningError):
+            attributed_community_search(tree, [0], [])

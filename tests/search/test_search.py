@@ -1,0 +1,129 @@
+"""Tests for vertex-centred community search and top-k queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tcfi import tcfi
+from repro.errors import MiningError
+from repro.index.tctree import build_tc_tree
+from repro.search.topk import top_k_communities
+from repro.search.vertex import (
+    communities_containing_vertex,
+    strongest_themes_of_vertex,
+)
+
+
+def _vertex_by_label(network, label):
+    return next(
+        v for v, lbl in network.vertex_labels.items() if lbl == label
+    )
+
+
+class TestCommunitiesContainingVertex:
+    def test_from_mining_result(self, toy_network):
+        result = tcfi(toy_network, 0.1)
+        v2 = _vertex_by_label(toy_network, 2)  # in both a p- and q-community
+        found = communities_containing_vertex(result, v2)
+        assert {c.pattern for c in found} == {(0,), (1,)}
+
+    def test_from_tree_with_alpha(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        v2 = _vertex_by_label(toy_network, 2)
+        at_zero = communities_containing_vertex(tree, v2, alpha=0.0)
+        assert {c.pattern for c in at_zero} == {(0,), (1,)}
+        # At alpha = 0.45 the q-community shrinks to {5,6,7,9}; v2 leaves.
+        at_045 = communities_containing_vertex(tree, v2, alpha=0.45)
+        assert at_045 == []
+
+    def test_pattern_restriction(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        v2 = _vertex_by_label(toy_network, 2)
+        only_p = communities_containing_vertex(tree, v2, pattern=(0,))
+        assert {c.pattern for c in only_p} == {(0,)}
+
+    def test_pattern_restriction_on_result(self, toy_network):
+        result = tcfi(toy_network, 0.0)
+        v2 = _vertex_by_label(toy_network, 2)
+        only_q = communities_containing_vertex(result, v2, pattern=(1,))
+        assert {c.pattern for c in only_q} == {(1,)}
+
+    def test_vertex_in_no_community(self, toy_network):
+        result = tcfi(toy_network, 0.1)
+        assert communities_containing_vertex(result, 9_999) == []
+
+
+class TestStrongestThemes:
+    def test_departure_thresholds(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        # Vertex label 5 is in the p-truss (departs at 0.3) and survives in
+        # the q-truss core until the end (departs at 0.6).
+        v5 = _vertex_by_label(toy_network, 5)
+        themes = dict(strongest_themes_of_vertex(tree, v5))
+        assert themes[(0,)] == pytest.approx(0.3)
+        assert themes[(1,)] == pytest.approx(0.6)
+
+    def test_ranked_descending(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        v5 = _vertex_by_label(toy_network, 5)
+        ranked = strongest_themes_of_vertex(tree, v5)
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_limit(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        v5 = _vertex_by_label(toy_network, 5)
+        assert len(strongest_themes_of_vertex(tree, v5, limit=1)) == 1
+
+    def test_unknown_vertex_empty(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        assert strongest_themes_of_vertex(tree, 9_999) == []
+
+    def test_departure_matches_truss_membership(self, toy_network):
+        """Cross-check against reconstruction: the vertex is inside
+        truss_at(α) exactly for α < its departure threshold."""
+        tree = build_tc_tree(toy_network)
+        for vertex in toy_network.graph.vertices():
+            for pattern, departure in strongest_themes_of_vertex(
+                tree, vertex
+            ):
+                decomposition = tree.find_node(pattern).decomposition
+                just_below = decomposition.truss_at(departure - 1e-6)
+                at_departure = decomposition.truss_at(departure)
+                assert vertex in just_below.vertices()
+                assert vertex not in at_departure.vertices()
+
+
+class TestTopK:
+    def test_default_score_prefers_size(self, toy_network):
+        result = tcfi(toy_network, 0.1)
+        [best] = top_k_communities(result, 1)
+        # Largest community in the toy network: q's 6 members.
+        assert best.pattern == (1,)
+        assert best.size == 6
+
+    def test_k_bounds_output(self, toy_network):
+        result = tcfi(toy_network, 0.1)
+        assert len(top_k_communities(result, 2)) == 2
+        assert len(top_k_communities(result, 100)) == 3
+
+    def test_custom_score(self, toy_network):
+        result = tcfi(toy_network, 0.1)
+        # Inverted score: smallest community first.
+        [smallest] = top_k_communities(result, 1, score=lambda c: -c.size)
+        assert smallest.size == 3
+
+    def test_min_size(self, toy_network):
+        result = tcfi(toy_network, 0.1)
+        communities = top_k_communities(result, 10, min_size=6)
+        assert all(c.size >= 6 for c in communities)
+
+    def test_tree_source_with_alpha(self, toy_network):
+        tree = build_tc_tree(toy_network)
+        communities = top_k_communities(tree, 5, alpha=0.45)
+        assert {c.pattern for c in communities} == {(1,)}
+        assert communities[0].size == 4
+
+    def test_invalid_k(self, toy_network):
+        with pytest.raises(MiningError):
+            top_k_communities(tcfi(toy_network, 0.1), 0)

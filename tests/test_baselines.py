@@ -1,0 +1,97 @@
+"""Tests for the vertex-attributed baseline (and its information loss)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.attributed import (
+    attributed_communities,
+    false_theme_rate,
+    flatten_to_attributes,
+)
+from repro.core.finder import ThemeCommunityFinder
+from repro.errors import MiningError
+from repro.graphs.graph import Graph
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.txdb.database import TransactionDatabase
+
+
+def _clique_network(frequencies: dict[int, float]) -> DatabaseNetwork:
+    """A 4-clique where each vertex mentions item 0 with a given
+    frequency (out of 10 transactions; filler items pad the rest)."""
+    graph = Graph(
+        [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    )
+    databases = {}
+    for v, f in frequencies.items():
+        hits = round(10 * f)
+        transactions = [{0} for _ in range(hits)]
+        transactions += [{100 + v} for _ in range(10 - hits)]
+        databases[v] = TransactionDatabase(transactions)
+    return DatabaseNetwork(graph, databases)
+
+
+class TestFlatten:
+    def test_union_of_items(self, toy_network):
+        attributes = flatten_to_attributes(toy_network)
+        assert len(attributes) == 9
+        # Every attribute set contains at least the vertex's own items.
+        for v, db in toy_network.databases.items():
+            assert attributes[v] == frozenset(db.items())
+
+
+class TestAttributedCommunities:
+    def test_finds_shared_attribute_clique(self):
+        network = _clique_network({0: 0.5, 1: 0.5, 2: 0.5, 3: 0.5})
+        communities = attributed_communities(network, k=3)
+        assert any(
+            c.pattern == (0,) and c.members == frozenset({0, 1, 2, 3})
+            for c in communities
+        )
+
+    def test_invalid_parameters(self, toy_network):
+        with pytest.raises(MiningError):
+            attributed_communities(toy_network, k=1)
+        with pytest.raises(MiningError):
+            attributed_communities(toy_network, min_vertices=0)
+
+    def test_max_length_caps_patterns(self, toy_network):
+        communities = attributed_communities(toy_network, max_length=1)
+        assert all(len(c.pattern) == 1 for c in communities)
+
+    def test_sorted_largest_first(self, toy_network):
+        communities = attributed_communities(toy_network)
+        sizes = [c.size for c in communities]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestInformationLoss:
+    """The paper's Challenge 1, made measurable."""
+
+    def test_flattening_ignores_frequency(self):
+        """Vertices that mention item 0 *once* in 10 transactions look
+        identical to heavy users after flattening: the baseline reports
+        the community, theme mining (α high enough) rejects it."""
+        rare = _clique_network({0: 0.1, 1: 0.1, 2: 0.1, 3: 0.1})
+
+        baseline = attributed_communities(rare, k=3)
+        assert any(c.pattern == (0,) for c in baseline)
+
+        themed = ThemeCommunityFinder(rare).find(alpha=0.5)
+        assert (0,) not in themed  # cohesion 2 × 0.1 per edge, ≤ 0.5
+
+    def test_false_theme_rate_detects_loss(self):
+        rare = _clique_network({0: 0.1, 1: 0.1, 2: 0.1, 3: 0.1})
+        heavy = _clique_network({0: 0.9, 1: 0.9, 2: 0.9, 3: 0.9})
+        rare_rate = false_theme_rate(
+            rare, attributed_communities(rare, k=3, max_length=1),
+            frequency_threshold=0.3,
+        )
+        heavy_rate = false_theme_rate(
+            heavy, attributed_communities(heavy, k=3, max_length=1),
+            frequency_threshold=0.3,
+        )
+        assert rare_rate > heavy_rate
+
+    def test_empty_community_list(self, toy_network):
+        assert false_theme_rate(toy_network, []) == 0.0

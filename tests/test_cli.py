@@ -1,0 +1,147 @@
+"""End-to-end tests of the CLI (generate → stats → mine → index → query)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "bk.json"
+        code = main(
+            ["generate", "--dataset", "BK", "--scale", "tiny",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_dataset(self, tmp_path, capsys):
+        code = main(
+            ["generate", "--dataset", "NOPE", "--out",
+             str(tmp_path / "x.json")]
+        )
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestPipeline:
+    @pytest.fixture()
+    def network_file(self, tmp_path):
+        out = tmp_path / "net.json"
+        assert main(
+            ["generate", "--dataset", "BK", "--scale", "tiny",
+             "--out", str(out)]
+        ) == 0
+        return out
+
+    def test_stats(self, network_file, capsys):
+        assert main(["stats", str(network_file)]) == 0
+        out = capsys.readouterr().out
+        assert "#Vertices" in out
+
+    def test_mine(self, network_file, capsys):
+        code = main(
+            ["mine", str(network_file), "--alpha", "0.3",
+             "--max-length", "2"]
+        )
+        assert code == 0
+        assert "theme communities" in capsys.readouterr().out
+
+    def test_index_and_query(self, network_file, tmp_path, capsys):
+        index_file = tmp_path / "net.tctree.json"
+        assert main(
+            ["index", str(network_file), "--out", str(index_file),
+             "--max-length", "2"]
+        ) == 0
+        assert index_file.exists()
+        capsys.readouterr()
+
+        assert main(["query", str(index_file), "--alpha", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "retrieved" in out
+
+    def test_query_with_pattern(self, network_file, tmp_path, capsys):
+        index_file = tmp_path / "net.tctree.json"
+        main(["index", str(network_file), "--out", str(index_file),
+              "--max-length", "2"])
+        capsys.readouterr()
+        assert main(
+            ["query", str(index_file), "--pattern", "0,1"]
+        ) == 0
+
+
+class TestSearchAndExport:
+    @pytest.fixture()
+    def network_file(self, tmp_path):
+        out = tmp_path / "net.json"
+        assert main(
+            ["generate", "--dataset", "BK", "--scale", "tiny",
+             "--out", str(out)]
+        ) == 0
+        return out
+
+    def test_search_topk(self, network_file, capsys):
+        assert main(
+            ["search", str(network_file), "--alpha", "0.3",
+             "--max-length", "2", "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "top" in out
+        assert "theme=" in out
+
+    def test_search_by_vertex(self, network_file, capsys):
+        assert main(
+            ["search", str(network_file), "--vertex", "0",
+             "--alpha", "0.3", "--max-length", "2"]
+        ) == 0
+        assert "vertex 0 belongs to" in capsys.readouterr().out
+
+    def test_export_graphml(self, network_file, tmp_path, capsys):
+        out = tmp_path / "net.graphml"
+        assert main(
+            ["export", str(network_file), "--format", "graphml",
+             "--out", str(out), "--alpha", "0.3", "--max-length", "2"]
+        ) == 0
+        assert out.exists()
+        from xml.etree import ElementTree as ET
+
+        ET.parse(out)
+
+    def test_export_dot(self, network_file, tmp_path):
+        out = tmp_path / "net.dot"
+        assert main(
+            ["export", str(network_file), "--format", "dot",
+             "--out", str(out)]
+        ) == 0
+        assert out.read_text().startswith("graph repro {")
+
+
+class TestValidate:
+    def test_clean_network_ok(self, tmp_path, capsys):
+        out = tmp_path / "net.json"
+        main(["generate", "--dataset", "BK", "--scale", "tiny",
+              "--out", str(out)])
+        capsys.readouterr()
+        assert main(["validate", str(out)]) == 0
+
+
+class TestExperiment:
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2", "--scale", "tiny"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_recovery(self, capsys):
+        assert main(["experiment", "recovery", "--scale", "tiny"]) == 0
+        assert "recovery" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["experiment", "fig5", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "QBA" in out and "QBP" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

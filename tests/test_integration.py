@@ -1,0 +1,143 @@
+"""End-to-end integration: the full user workflow in one test module.
+
+generate → validate → save → load → mine (3 methods) → verify →
+index → stats → save → load → query (QBA/QBP) → search → update → export.
+Every hop checks consistency with the previous one.
+"""
+
+from __future__ import annotations
+
+from xml.etree import ElementTree as ET
+
+import pytest
+
+from repro import (
+    ThemeCommunityFinder,
+    ThemeCommunityWarehouse,
+    bfs_edge_sample,
+    build_tc_tree,
+    load_network,
+    save_network,
+    update_vertex_database,
+)
+from repro.bench.experiments import make_bk
+from repro.core.verify import verify_mining_result
+from repro.export.graphml import network_to_graphml
+from repro.index.stats import tc_tree_statistics
+from repro.network.validate import has_errors, validate_network
+from repro.search.attributed import attributed_community_search
+from repro.search.topk import top_k_communities
+from repro.search.vertex import communities_containing_vertex
+
+ALPHA = 0.3
+MAX_LENGTH = 2
+
+
+@pytest.fixture(scope="module")
+def workflow(tmp_path_factory):
+    """Run the whole pipeline once; tests below assert on the artifacts."""
+    tmp = tmp_path_factory.mktemp("workflow")
+    artifacts: dict = {}
+
+    network = bfs_edge_sample(make_bk("tiny"), 120, seed=3)
+    artifacts["network"] = network
+
+    # validate + persist + reload
+    assert not has_errors(validate_network(network))
+    path = tmp / "net.json"
+    save_network(network, path)
+    artifacts["loaded"] = load_network(path)
+
+    # mine with all three methods on the reloaded network
+    finder = ThemeCommunityFinder(artifacts["loaded"])
+    artifacts["tcfi"] = finder.find(ALPHA, method="tcfi",
+                                    max_length=MAX_LENGTH)
+    artifacts["tcfa"] = finder.find(ALPHA, method="tcfa",
+                                    max_length=MAX_LENGTH)
+    artifacts["tcs"] = finder.find(ALPHA, method="tcs", epsilon=0.2,
+                                   max_length=MAX_LENGTH)
+
+    # index + persist + reload
+    warehouse = ThemeCommunityWarehouse.build(
+        artifacts["loaded"], max_length=MAX_LENGTH
+    )
+    index_path = tmp / "net.tctree.json"
+    warehouse.save(index_path)
+    artifacts["warehouse"] = ThemeCommunityWarehouse.load(index_path)
+    return artifacts
+
+
+class TestPipeline:
+    def test_reload_preserves_network(self, workflow):
+        original = workflow["network"]
+        loaded = workflow["loaded"]
+        assert loaded.graph == original.graph
+        assert set(loaded.databases) == set(original.databases)
+
+    def test_exact_methods_agree(self, workflow):
+        assert workflow["tcfi"].same_trusses_as(workflow["tcfa"])
+        assert workflow["tcs"].is_subset_of(workflow["tcfi"])
+
+    def test_mining_result_verifies(self, workflow):
+        assert verify_mining_result(
+            workflow["loaded"], workflow["tcfi"]
+        ) == []
+
+    def test_index_answers_match_mining(self, workflow):
+        answer = workflow["warehouse"].query(alpha=ALPHA)
+        mined = workflow["tcfi"]
+        assert set(answer.patterns()) == set(mined.patterns())
+        for truss in answer.trusses:
+            assert set(truss.graph.iter_edges()) == mined[
+                truss.pattern
+            ].edges()
+
+    def test_index_stats_consistent(self, workflow):
+        tree = workflow["warehouse"].tree
+        stats = tc_tree_statistics(tree)
+        assert stats.num_nodes == tree.num_nodes
+        mined_at_zero = ThemeCommunityFinder(workflow["loaded"]).find(
+            0.0, max_length=MAX_LENGTH
+        )
+        assert stats.num_nodes == mined_at_zero.num_patterns
+
+    def test_searches_consistent(self, workflow):
+        tree = workflow["warehouse"].tree
+        communities = top_k_communities(tree, 3, alpha=ALPHA)
+        assert communities
+        best = communities[0]
+        member = next(iter(best.members))
+        by_vertex = communities_containing_vertex(
+            tree, member, alpha=ALPHA
+        )
+        assert any(c.members == best.members for c in by_vertex)
+        attributed = attributed_community_search(
+            tree, [member], best.pattern, alpha=ALPHA
+        )
+        assert any(
+            member in m.community.members for m in attributed
+        )
+
+    def test_update_then_requery(self, workflow):
+        import copy
+
+        network = copy.deepcopy(workflow["loaded"])
+        tree = build_tc_tree(network, max_length=MAX_LENGTH)
+        vertex = sorted(network.databases)[0]
+        updated = update_vertex_database(
+            network, tree, vertex, [[0]], max_length=MAX_LENGTH
+        )
+        scratch = build_tc_tree(network, max_length=MAX_LENGTH)
+        assert updated.patterns() == scratch.patterns()
+
+    def test_export_graphml(self, workflow):
+        communities = top_k_communities(
+            workflow["tcfi"], 5, min_size=3
+        )
+        text = network_to_graphml(workflow["loaded"], communities)
+        root = ET.fromstring(text)
+        nodes = root.findall(
+            "{http://graphml.graphdrawing.org/xmlns}graph/"
+            "{http://graphml.graphdrawing.org/xmlns}node"
+        )
+        assert len(nodes) == workflow["loaded"].num_vertices

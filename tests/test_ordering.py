@@ -1,0 +1,128 @@
+"""Tests for the canonical pattern representation (repro._ordering)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._ordering import (
+    EMPTY_PATTERN,
+    is_canonical,
+    is_subpattern,
+    join_patterns,
+    joinable_prefix,
+    make_pattern,
+    pattern_union,
+    subpatterns_one_shorter,
+)
+
+item_sets = st.sets(st.integers(min_value=0, max_value=20), max_size=6)
+
+
+class TestMakePattern:
+    def test_sorts_and_deduplicates(self):
+        assert make_pattern([3, 1, 3, 2]) == (1, 2, 3)
+
+    def test_empty(self):
+        assert make_pattern([]) == EMPTY_PATTERN
+
+    def test_accepts_any_iterable(self):
+        assert make_pattern({5, 1}) == (1, 5)
+        assert make_pattern(iter([2, 0])) == (0, 2)
+
+    @given(item_sets)
+    def test_always_canonical(self, items):
+        assert is_canonical(make_pattern(items))
+
+
+class TestIsCanonical:
+    def test_strictly_increasing_is_canonical(self):
+        assert is_canonical((1, 2, 9))
+
+    def test_duplicates_are_not(self):
+        assert not is_canonical((1, 1, 2))
+
+    def test_descending_is_not(self):
+        assert not is_canonical((3, 2))
+
+    def test_empty_and_singleton(self):
+        assert is_canonical(())
+        assert is_canonical((7,))
+
+
+class TestPatternUnion:
+    def test_basic(self):
+        assert pattern_union((1, 3), (2, 3)) == (1, 2, 3)
+
+    def test_identity_with_empty(self):
+        assert pattern_union((), (1, 2)) == (1, 2)
+        assert pattern_union((1, 2), ()) == (1, 2)
+
+    @given(item_sets, item_sets)
+    def test_matches_set_union(self, a, b):
+        result = pattern_union(make_pattern(a), make_pattern(b))
+        assert result == make_pattern(a | b)
+
+
+class TestIsSubpattern:
+    def test_subset(self):
+        assert is_subpattern((1, 3), (1, 2, 3))
+
+    def test_not_subset(self):
+        assert not is_subpattern((1, 4), (1, 2, 3))
+
+    def test_empty_is_subpattern_of_all(self):
+        assert is_subpattern((), (1,))
+        assert is_subpattern((), ())
+
+    @given(item_sets, item_sets)
+    def test_matches_set_semantics(self, a, b):
+        assert is_subpattern(make_pattern(a), make_pattern(b)) == (a <= b)
+
+
+class TestSubpatternsOneShorter:
+    def test_drops_each_item_once(self):
+        assert subpatterns_one_shorter((1, 2, 3)) == [
+            (2, 3),
+            (1, 3),
+            (1, 2),
+        ]
+
+    def test_singleton_gives_empty(self):
+        assert subpatterns_one_shorter((5,)) == [()]
+
+    @given(item_sets.filter(bool))
+    def test_all_results_canonical_and_shorter(self, items):
+        pattern = make_pattern(items)
+        subs = subpatterns_one_shorter(pattern)
+        assert len(subs) == len(pattern)
+        for sub in subs:
+            assert is_canonical(sub)
+            assert len(sub) == len(pattern) - 1
+            assert is_subpattern(sub, pattern)
+
+
+class TestJoin:
+    def test_joinable_prefix_true(self):
+        assert joinable_prefix((1, 2), (1, 3))
+
+    def test_joinable_prefix_false_on_prefix_mismatch(self):
+        assert not joinable_prefix((1, 2), (2, 3))
+
+    def test_joinable_prefix_false_on_equal(self):
+        assert not joinable_prefix((1, 2), (1, 2))
+
+    def test_joinable_prefix_false_on_empty(self):
+        assert not joinable_prefix((), ())
+
+    def test_join_orders_last_items(self):
+        assert join_patterns((1, 2), (1, 3)) == (1, 2, 3)
+        assert join_patterns((1, 3), (1, 2)) == (1, 2, 3)
+
+    @given(item_sets.filter(lambda s: len(s) >= 2))
+    def test_join_reconstructs_parent(self, items):
+        pattern = make_pattern(items)
+        left = pattern[:-1]
+        right = pattern[:-2] + (pattern[-1],)
+        assert joinable_prefix(left, right)
+        assert join_patterns(left, right) == pattern

@@ -1,0 +1,111 @@
+"""Tests for TransactionDatabase."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DatabaseError
+from repro.txdb.database import TransactionDatabase
+from tests.conftest import transaction_databases
+
+
+class TestConstruction:
+    def test_empty(self):
+        db = TransactionDatabase()
+        assert len(db) == 0
+        assert not db
+
+    def test_from_iterable(self):
+        db = TransactionDatabase([{1, 2}, {2, 3}])
+        assert db.num_transactions == 2
+
+    def test_duplicates_kept(self):
+        """A database is a multiset — repeated transactions count."""
+        db = TransactionDatabase([{1}, {1}, {1, 2}])
+        assert db.num_transactions == 3
+        assert db.frequency((1,)) == 1.0
+
+    def test_empty_transaction_rejected(self):
+        with pytest.raises(DatabaseError):
+            TransactionDatabase([set()])
+
+    def test_items(self):
+        db = TransactionDatabase([{1, 2}, {3}])
+        assert db.items() == {1, 2, 3}
+
+    def test_total_items(self):
+        db = TransactionDatabase([{1, 2}, {3}])
+        assert db.total_items == 3
+
+
+class TestSupport:
+    def test_single_item(self):
+        db = TransactionDatabase([{1, 2}, {2}, {3}])
+        assert db.support_count((2,)) == 2
+
+    def test_pattern(self):
+        db = TransactionDatabase([{1, 2, 3}, {1, 2}, {1, 3}])
+        assert db.support_count((1, 2)) == 2
+        assert db.support_count((1, 2, 3)) == 1
+
+    def test_unknown_item(self):
+        db = TransactionDatabase([{1}])
+        assert db.support_count((99,)) == 0
+        assert db.support_count((1, 99)) == 0
+
+    def test_empty_pattern_in_all(self):
+        db = TransactionDatabase([{1}, {2}])
+        assert db.support_count(()) == 2
+
+    def test_support_set_ids(self):
+        db = TransactionDatabase([{1}, {2}, {1, 2}])
+        assert db.support_set((1,)) == {0, 2}
+
+
+class TestFrequency:
+    def test_basic(self):
+        db = TransactionDatabase([{1, 2}, {2}, {3}, {2, 3}])
+        assert db.frequency((2,)) == 0.75
+        assert db.frequency((2, 3)) == 0.25
+
+    def test_empty_database(self):
+        assert TransactionDatabase().frequency((1,)) == 0.0
+
+    def test_item_frequency_fast_path(self):
+        db = TransactionDatabase([{1}, {1, 2}, {3}])
+        assert db.item_frequency(1) == db.frequency((1,))
+        assert db.item_frequency(9) == 0.0
+
+    def test_order_independent(self):
+        db = TransactionDatabase([{1, 2, 3}, {1, 3}])
+        assert db.frequency((3, 1)) == db.frequency((1, 3))
+
+    def test_cache_invalidated_on_insert(self):
+        db = TransactionDatabase([{1}])
+        assert db.frequency((1,)) == 1.0
+        db.add_transaction({2})
+        assert db.frequency((1,)) == 0.5
+
+    @given(transaction_databases())
+    def test_frequency_in_unit_interval(self, db):
+        for item in db.items():
+            assert 0.0 < db.frequency((item,)) <= 1.0
+
+    @given(transaction_databases())
+    def test_anti_monotone(self, db):
+        """f(p1) >= f(p2) when p1 ⊆ p2 — the classic Apriori property."""
+        items = sorted(db.items())
+        for i, a in enumerate(items):
+            for b in items[i + 1:]:
+                assert db.frequency((a,)) >= db.frequency((a, b))
+                assert db.frequency((b,)) >= db.frequency((a, b))
+
+    @given(
+        transaction_databases(),
+        st.sets(st.integers(min_value=0, max_value=4), min_size=1, max_size=3),
+    )
+    def test_matches_naive_count(self, db, pattern):
+        naive = sum(1 for t in db if set(pattern) <= t) / len(db)
+        assert db.frequency(tuple(pattern)) == pytest.approx(naive)

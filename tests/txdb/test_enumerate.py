@@ -1,0 +1,63 @@
+"""Tests for per-database pattern enumeration (the TCS pre-filter)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MiningError
+from repro.txdb.database import TransactionDatabase
+from repro.txdb.enumerate import enumerate_frequent_patterns
+from tests.conftest import transaction_databases
+
+
+def _naive_patterns(db: TransactionDatabase, epsilon: float) -> set:
+    """Brute force: every subset of every transaction, frequency > ε."""
+    from itertools import combinations
+
+    seen = set()
+    for t in db:
+        for size in range(1, len(t) + 1):
+            for combo in combinations(sorted(t), size):
+                seen.add(combo)
+    return {p for p in seen if db.frequency(p) > epsilon}
+
+
+class TestEnumerate:
+    def test_strict_threshold(self):
+        db = TransactionDatabase([{1}, {2}])  # each frequency 0.5
+        assert set(enumerate_frequent_patterns(db, 0.5)) == set()
+        assert set(enumerate_frequent_patterns(db, 0.4)) == {(1,), (2,)}
+
+    def test_epsilon_zero_gives_all_occurring(self):
+        db = TransactionDatabase([{1, 2}])
+        assert set(enumerate_frequent_patterns(db, 0.0)) == {
+            (1,), (2,), (1, 2)
+        }
+
+    def test_max_length(self):
+        db = TransactionDatabase([{1, 2, 3}])
+        patterns = set(enumerate_frequent_patterns(db, 0.0, max_length=2))
+        assert (1, 2, 3) not in patterns
+        assert (1, 2) in patterns
+
+    def test_empty_database(self):
+        assert list(enumerate_frequent_patterns(TransactionDatabase(), 0.0)) == []
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(MiningError):
+            list(enumerate_frequent_patterns(TransactionDatabase([{1}]), -0.1))
+
+    def test_no_duplicates(self):
+        db = TransactionDatabase([{1, 2}, {1, 2}, {2, 3}])
+        patterns = list(enumerate_frequent_patterns(db, 0.0))
+        assert len(patterns) == len(set(patterns))
+
+    @given(
+        transaction_databases(max_items=4, max_transactions=6),
+        st.sampled_from([0.0, 0.2, 0.5]),
+    )
+    def test_matches_brute_force(self, db, epsilon):
+        ours = set(enumerate_frequent_patterns(db, epsilon))
+        assert ours == _naive_patterns(db, epsilon)

@@ -2,7 +2,14 @@
 
 Not a paper figure — these isolate the units the figures are built from
 (MPTD peeling, truss decomposition, theme-network induction, cohesion
-table) so performance regressions can be localized.
+table, TC-Tree build) so performance regressions can be localized.
+
+The truss-decomposition and dense-decomposition/TC-Tree cases are the
+regression guards for the CSR fast path (``repro/graphs/csr.py`` +
+``repro/graphs/support.py``): the dict-of-sets baselines rescan every
+edge per peeling level, which the CSR engine's cached triangle index and
+lazy heap avoid. CI runs this file with ``--benchmark-json`` and uploads
+the result as an artifact, so the perf trajectory is tracked per commit.
 """
 
 from __future__ import annotations
@@ -11,8 +18,11 @@ import pytest
 
 from repro.core.cohesion import edge_cohesion_table
 from repro.core.mptd import maximal_pattern_truss
+from repro.datasets.synthetic import generate_synthetic_network
 from repro.graphs.generators import powerlaw_cluster_graph
+from repro.graphs.ktruss import truss_numbers
 from repro.index.decomposition import decompose_network_pattern
+from repro.index.tctree import build_tc_tree
 from repro.network.theme import induce_theme_network
 
 
@@ -24,6 +34,22 @@ def dense_graph():
 @pytest.fixture(scope="module")
 def unit_frequencies(dense_graph):
     return {v: 1.0 for v in dense_graph}
+
+
+@pytest.fixture(scope="module")
+def dense_network():
+    """A dense few-item database network: large theme trusses, many
+    decomposition levels — the regime the paper's datasets live in."""
+    graph = powerlaw_cluster_graph(1400, 12, 0.85, seed=5)
+    return generate_synthetic_network(
+        num_items=4,
+        num_seeds=2,
+        mutation_rate=0.3,
+        max_transactions=64,
+        max_transaction_length=6,
+        graph=graph,
+        seed=5,
+    )
 
 
 def test_micro_cohesion_table(benchmark, dense_graph, unit_frequencies):
@@ -46,6 +72,17 @@ def test_micro_mptd_full_peel(benchmark, dense_graph, unit_frequencies):
     assert truss.num_edges == 0
 
 
+def test_micro_truss_decomposition(benchmark, dense_graph):
+    """Classic truss decomposition — the headline CSR bucket-queue win.
+
+    The legacy path re-scans the support dict for its minimum on every
+    edge removal (O(m²)); the CSR engine is O(m + #triangles).
+    """
+    numbers = benchmark(truss_numbers, dense_graph)
+    assert len(numbers) == dense_graph.num_edges
+    assert max(numbers.values()) >= 3
+
+
 def test_micro_theme_induction(benchmark, bk_tiny):
     item = bk_tiny.item_universe()[0]
     graph, freqs = benchmark(induce_theme_network, bk_tiny, (item,))
@@ -62,3 +99,31 @@ def test_micro_decomposition(benchmark, bk_tiny):
 
     decompositions = benchmark(decompose_all)
     assert any(not d.is_empty() for d in decompositions)
+
+
+def test_micro_mpt_decomposition_dense(benchmark, dense_network):
+    """Full maximal-pattern-truss decomposition of one dense theme."""
+    item = dense_network.item_universe()[0]
+    decomposition = benchmark(
+        decompose_network_pattern, dense_network, (item,)
+    )
+    assert decomposition.num_edges > 1000
+    assert len(decomposition.levels) > 100
+
+
+def test_micro_tctree_build(benchmark, bk_tiny):
+    """TC-Tree build on the small-theme surrogate (legacy-path regime)."""
+    tree = benchmark(build_tc_tree, bk_tiny)
+    assert tree.num_nodes > 0
+
+
+def test_micro_tctree_build_dense(benchmark, dense_network):
+    """TC-Tree build in the dense regime the CSR engine targets."""
+    tree = benchmark.pedantic(
+        build_tc_tree,
+        args=(dense_network,),
+        kwargs={"max_length": 2},
+        rounds=3,
+        iterations=1,
+    )
+    assert tree.num_nodes == 10

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 
-from repro.bench.metrics import MeasuredRun
 from repro.bench.reporting import format_table
 from repro.bench.runner import run_indexing, run_mining, run_query
 from repro.datasets.checkin import generate_checkin_network

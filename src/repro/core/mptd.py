@@ -9,6 +9,12 @@ of all pattern trusses of ``G_p`` w.r.t. ``α`` (Definition 3.4).
 Complexity ``O(Σ_v d(v)²)`` as analysed in Section 4.1: Phase 1 computes
 all edge cohesions, Phase 2 charges each removal to the common
 neighbourhood of the removed edge.
+
+Dense-int theme networks (the library default) route through the CSR
+engine: triangles are enumerated once into flat partner lists and the
+peel cascade is pure array bookkeeping (:mod:`repro.graphs.support`). The
+adjacency-set path remains for arbitrary hashables and as the parity-test
+oracle.
 """
 
 from __future__ import annotations
@@ -16,9 +22,18 @@ from __future__ import annotations
 from collections import deque
 
 from repro.errors import MiningError
+from repro.graphs.csr import CSRGraph, GraphLike, as_csr
 from repro.graphs.graph import Edge, Graph, Vertex, edge_key
+from repro.graphs.support import (
+    CSR_MIN_EDGES,
+    cohesion_values,
+    peel_cohesion,
+)
 from repro.graphs.triangles import common_neighbors
-from repro.core.cohesion import FrequencyMap, edge_cohesion_table
+from repro.core.cohesion import (
+    FrequencyMap,
+    _edge_cohesion_table_legacy,
+)
 
 #: Tolerance for cohesion-vs-threshold comparisons. Cohesions are sums of
 #: frequency minima maintained incrementally during peeling; without a
@@ -28,7 +43,8 @@ from repro.core.cohesion import FrequencyMap, edge_cohesion_table
 #: decomposition/reconstruction equivalence. Real frequency data is never
 #: within 1e-9 of a threshold by anything but intent, so edges within the
 #: tolerance of α are treated as unqualified (the paper's "not larger
-#: than α").
+#: than α"). The CSR engine uses the same constant so both paths make the
+#: same keep/peel decision at boundary thresholds.
 COHESION_TOLERANCE = 1e-9
 
 
@@ -39,7 +55,7 @@ def peel_to_threshold(
     cohesion: dict[Edge, float],
     removed_sink: list[Edge] | None = None,
 ) -> None:
-    """Phase 2 of Algorithm 1, in place.
+    """Phase 2 of Algorithm 1, in place (adjacency-set engine).
 
     Removes every edge whose cohesion is ``<= alpha`` from ``graph``,
     maintaining ``cohesion`` incrementally. Removed edges are appended to
@@ -79,7 +95,7 @@ def peel_to_threshold(
 
 
 def maximal_pattern_truss(
-    graph: Graph,
+    graph: GraphLike,
     frequencies: FrequencyMap,
     alpha: float,
 ) -> tuple[Graph, dict[Edge, float]]:
@@ -90,13 +106,47 @@ def maximal_pattern_truss(
     cohesion table is what the decomposition (Section 6.1) continues
     peeling from.
 
-    ``alpha`` must be >= 0: Definition 3.3 requires strictly positive
-    cohesion already at α = 0.
+    ``graph`` may be a legacy :class:`Graph` or a :class:`CSRGraph`
+    carrier; dense-int inputs run on the CSR engine. ``alpha`` must be
+    >= 0: Definition 3.3 requires strictly positive cohesion already at
+    α = 0.
     """
     if alpha < 0.0:
         raise MiningError(f"alpha must be >= 0, got {alpha}")
+    if (
+        not isinstance(graph, CSRGraph)
+        and graph.num_edges < CSR_MIN_EDGES
+    ):
+        # Per-candidate MPTD calls in the finders mostly see tiny theme
+        # networks, where the engine's fixed costs lose to the
+        # dict-of-sets loop. An explicit CSR input always takes the
+        # engine.
+        return _maximal_pattern_truss_legacy(graph, frequencies, alpha)
+    csr = as_csr(graph)
+    if csr is None:
+        return _maximal_pattern_truss_legacy(graph, frequencies, alpha)
+    freq = [frequencies.get(label, 0.0) for label in csr.labels]
+    weights, cohesion = cohesion_values(csr, freq)
+    alive = bytearray(b"\x01") * csr.num_edges
+    peel_cohesion(csr, weights, cohesion, alpha, alive)
+    result = Graph()
+    surviving: dict[Edge, float] = {}
+    for eid in range(len(alive)):
+        if alive[eid]:
+            u, v = csr.edge_label(eid)
+            result.add_edge(u, v)
+            surviving[(u, v)] = cohesion[eid]
+    return result, surviving
+
+
+def _maximal_pattern_truss_legacy(
+    graph: Graph,
+    frequencies: FrequencyMap,
+    alpha: float,
+) -> tuple[Graph, dict[Edge, float]]:
+    """Adjacency-set MPTD (fallback and parity oracle)."""
     work = graph.copy()
-    cohesion = edge_cohesion_table(work, frequencies)
+    cohesion = _edge_cohesion_table_legacy(work, frequencies)
     peel_to_threshold(work, frequencies, alpha, cohesion)
     work.discard_isolated_vertices()
     return work, cohesion

@@ -13,7 +13,8 @@ from collections.abc import Iterator
 
 from repro._ordering import Pattern
 from repro.graphs.components import connected_components
-from repro.graphs.graph import Edge, Graph, Vertex
+from repro.graphs.csr import GraphLike, as_graph
+from repro.graphs.graph import Edge, Vertex
 
 
 class PatternTruss:
@@ -24,12 +25,15 @@ class PatternTruss:
     def __init__(
         self,
         pattern: Pattern,
-        graph: Graph,
+        graph: GraphLike,
         frequencies: dict[Vertex, float],
         alpha: float,
     ) -> None:
         self.pattern = pattern
-        self.graph = graph
+        # CSR carriers from the fast path normalize to the mutable
+        # front-end so downstream consumers (components, export, search)
+        # see one graph type.
+        self.graph = as_graph(graph)
         # Keep only frequencies of surviving vertices: the truss is
         # self-contained for decomposition and reporting.
         self.frequencies = {

@@ -8,6 +8,7 @@ and random-graph generators that replace the JUNG library used in Section 7.
 """
 
 from repro.graphs.components import connected_components, is_connected
+from repro.graphs.csr import CSRGraph, as_csr, as_graph, csr_eligible
 from repro.graphs.generators import (
     barabasi_albert_graph,
     erdos_renyi_graph,
@@ -32,6 +33,10 @@ from repro.graphs.triangles import (
 
 __all__ = [
     "Graph",
+    "CSRGraph",
+    "as_csr",
+    "as_graph",
+    "csr_eligible",
     "edge_key",
     "connected_components",
     "is_connected",

@@ -1,0 +1,404 @@
+"""Compressed-sparse-row fast path for the truss/MPTD hot loops.
+
+:class:`CSRGraph` is an immutable int-indexed encoding of an undirected
+simple graph: vertices are re-labelled ``0..n-1`` in ascending label order
+and the adjacency of the whole graph lives in two flat arrays
+(``indptr``/``indices``, the classic CSR layout) built on the stdlib
+:mod:`array` module. Each undirected edge additionally carries a canonical
+*edge id* ``0..m-1`` shared by both directions (``edge_ids`` parallels
+``indices``), which is what lets the peeling engine in
+:mod:`repro.graphs.support` replace per-edge dict-of-set surgery with flat
+array bookkeeping.
+
+Because labels are sorted ascending, internal-id order *is* label order:
+every adjacency row is sorted both by internal id and by label, so
+common-neighbour queries and carrier intersections are two-pointer merges
+over sorted runs instead of Python set intersections.
+
+The mutable :class:`~repro.graphs.graph.Graph` stays the compatibility
+front-end for arbitrary hashable vertices; dense-int graphs (the library
+default) are routed through this module by the rewired algorithm entry
+points (:mod:`repro.graphs.triangles`, :mod:`repro.graphs.ktruss`,
+:mod:`repro.core.mptd`, :mod:`repro.index.decomposition`).
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.errors import GraphError
+from repro.graphs.graph import Edge, Graph, Vertex
+
+#: array typecode for vertex/edge indices (signed 64-bit).
+INDEX_TYPECODE = "q"
+
+
+def csr_eligible(graph: Graph) -> bool:
+    """True when every vertex is a plain int — the CSR fast-path condition.
+
+    ``bool`` is excluded on purpose: it is an int subclass but signals the
+    caller is using the Graph front-end with exotic labels.
+    """
+    return all(type(v) is int for v in graph)
+
+
+class CSRGraph:
+    """Immutable undirected simple graph in compressed-sparse-row form.
+
+    Attributes (all read-only by convention):
+
+    ``labels``
+        Tuple of original vertex labels, sorted ascending; ``labels[i]`` is
+        the label of internal vertex ``i``.
+    ``indptr`` / ``indices``
+        Flat CSR adjacency: the neighbours of internal vertex ``i`` are
+        ``indices[indptr[i]:indptr[i+1]]``, sorted ascending.
+    ``edge_ids``
+        Parallel to ``indices``: the canonical edge id of each adjacency
+        slot. Both directions of an edge share one id.
+    ``edge_u`` / ``edge_v``
+        Endpoint arrays indexed by edge id, with ``edge_u[e] < edge_v[e]``
+        (internal ids). Edge ids are assigned in sorted edge order.
+    """
+
+    __slots__ = (
+        "labels", "indptr", "indices", "edge_ids", "edge_u", "edge_v",
+        "_index", "_tri",
+    )
+
+    def __init__(
+        self,
+        labels: tuple[Vertex, ...],
+        indptr: array,
+        indices: array,
+        edge_ids: array,
+        edge_u: array,
+        edge_v: array,
+    ) -> None:
+        self.labels = labels
+        self.indptr = indptr
+        self.indices = indices
+        self.edge_ids = edge_ids
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+        self._index = {label: i for i, label in enumerate(labels)}
+        #: Cached TriangleIndex (topology-only, so safe to memoize on an
+        #: immutable graph) — built lazily by repro.graphs.support.
+        self._tri = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Edge],
+        vertices: Iterable[Vertex] | None = None,
+    ) -> "CSRGraph":
+        """Build from an edge list (plus optional isolated vertices).
+
+        Labels must be mutually sortable (ints in the fast path); a mixed
+        unsortable label set raises :class:`GraphError` so callers can fall
+        back to the legacy :class:`Graph`.
+        """
+        label_set: set[Vertex] = set()
+        edge_set: set[Edge] = set()
+        try:
+            for u, v in edges:
+                if u == v:
+                    raise GraphError(
+                        f"self-loop on vertex {u!r} is not allowed"
+                    )
+                label_set.add(u)
+                label_set.add(v)
+                edge_set.add((u, v) if u <= v else (v, u))
+            if vertices is not None:
+                label_set.update(vertices)
+            labels = tuple(sorted(label_set))
+        except TypeError as exc:
+            raise GraphError(
+                "CSRGraph requires mutually sortable vertex labels"
+            ) from exc
+        index = {label: i for i, label in enumerate(labels)}
+        # Canonical-by-label pairs map to (iu < iv) internal pairs because
+        # the index is monotone in label order.
+        internal = sorted((index[u], index[v]) for u, v in edge_set)
+        return cls._from_internal(labels, internal)
+
+    @classmethod
+    def _from_canonical_edges(
+        cls,
+        edges: list[Edge],
+        vertices: Iterable[Vertex] | None = None,
+    ) -> "CSRGraph":
+        """Fast constructor: unique canonical pairs already in sorted order.
+
+        The internal fast paths (intersection results, alive-edge carriers,
+        subgraph filters) produce exactly this shape, so the dedup +
+        re-sort of :meth:`from_edges` can be skipped. Vertices default to
+        the edge endpoints only; pass ``vertices`` to keep isolated ones.
+        """
+        label_set: set[Vertex] = set()
+        for u, v in edges:
+            label_set.add(u)
+            label_set.add(v)
+        if vertices is not None:
+            label_set.update(vertices)
+        labels = tuple(sorted(label_set))
+        index = {label: i for i, label in enumerate(labels)}
+        internal = [(index[u], index[v]) for u, v in edges]
+        return cls._from_internal(labels, internal)
+
+    @classmethod
+    def _from_internal(
+        cls, labels: tuple[Vertex, ...], internal: list[tuple[int, int]]
+    ) -> "CSRGraph":
+        """Assemble the flat arrays from sorted internal (iu < iv) pairs."""
+        n = len(labels)
+        m = len(internal)
+        edge_u_list = [0] * m
+        edge_v_list = [0] * m
+        rows_idx: list[list[int]] = [[] for _ in range(n)]
+        rows_eid: list[list[int]] = [[] for _ in range(n)]
+        # Appending in globally sorted (iu, iv) order leaves every row
+        # sorted: row i first receives its smaller neighbours (from edges
+        # (x, i), x ascending) and then its larger ones (from edges
+        # (i, y), y ascending). The per-row lists concatenate at C speed.
+        for eid, (iu, iv) in enumerate(internal):
+            edge_u_list[eid] = iu
+            edge_v_list[eid] = iv
+            rows_idx[iu].append(iv)
+            rows_eid[iu].append(eid)
+            rows_idx[iv].append(iu)
+            rows_eid[iv].append(eid)
+        indptr_list = [0] * (n + 1)
+        running = 0
+        for i, row in enumerate(rows_idx):
+            indptr_list[i] = running
+            running += len(row)
+        indptr_list[n] = running
+        indices = array(INDEX_TYPECODE)
+        edge_ids = array(INDEX_TYPECODE)
+        for row in rows_idx:
+            indices.extend(row)
+        for row in rows_eid:
+            edge_ids.extend(row)
+        return cls(
+            labels,
+            array(INDEX_TYPECODE, indptr_list),
+            indices,
+            edge_ids,
+            array(INDEX_TYPECODE, edge_u_list),
+            array(INDEX_TYPECODE, edge_v_list),
+        )
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Convert a legacy :class:`Graph` (isolated vertices preserved)."""
+        return cls.from_edges(graph.iter_edges(), vertices=graph.vertices())
+
+    def to_graph(self) -> Graph:
+        """Convert back to the mutable front-end :class:`Graph`."""
+        graph = Graph()
+        for label in self.labels:
+            graph.add_vertex(label)
+        labels = self.labels
+        edge_u = self.edge_u
+        edge_v = self.edge_v
+        for eid in range(len(edge_u)):
+            graph.add_edge(labels[edge_u[eid]], labels[edge_v[eid]])
+        return graph
+
+    # ------------------------------------------------------------------
+    # queries (label space, Graph-compatible where it matters)
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_u)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self.labels)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._index
+
+    def index_of(self, label: Vertex) -> int:
+        """Internal id of ``label``; raises :class:`GraphError` if absent."""
+        try:
+            return self._index[label]
+        except KeyError as exc:
+            raise GraphError(f"vertex {label!r} not in graph") from exc
+
+    def degree(self, label: Vertex) -> int:
+        i = self.index_of(label)
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def neighbors(self, label: Vertex) -> list[Vertex]:
+        """Neighbour labels of ``label`` in ascending order (a fresh list)."""
+        i = self.index_of(label)
+        labels = self.labels
+        return [
+            labels[j]
+            for j in self.indices[self.indptr[i]:self.indptr[i + 1]]
+        ]
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return self.edge_id(u, v) >= 0
+
+    def edge_id(self, u: Vertex, v: Vertex) -> int:
+        """Canonical edge id of ``{u, v}``, or -1 when absent."""
+        iu = self._index.get(u)
+        iv = self._index.get(v)
+        if iu is None or iv is None:
+            return -1
+        lo = self.indptr[iu]
+        hi = self.indptr[iu + 1]
+        pos = bisect_left(self.indices, iv, lo, hi)
+        if pos < hi and self.indices[pos] == iv:
+            return self.edge_ids[pos]
+        return -1
+
+    def edge_label(self, eid: int) -> Edge:
+        """The canonical (sorted) label pair of edge ``eid``."""
+        return (self.labels[self.edge_u[eid]], self.labels[self.edge_v[eid]])
+
+    def has_isolated_vertices(self) -> bool:
+        indptr = self.indptr
+        return any(
+            indptr[i] == indptr[i + 1] for i in range(len(self.labels))
+        )
+
+    def vertices(self) -> list[Vertex]:
+        return list(self.labels)
+
+    def edges(self) -> list[Edge]:
+        """All edges in canonical form, sorted."""
+        return list(self.iter_edges())
+
+    def iter_edges(self) -> Iterator[Edge]:
+        labels = self.labels
+        edge_u = self.edge_u
+        edge_v = self.edge_v
+        for eid in range(len(edge_u)):
+            yield (labels[edge_u[eid]], labels[edge_v[eid]])
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def induced_edges(
+        self, vertices: Iterable[Vertex]
+    ) -> tuple[list[Edge], list[Vertex]]:
+        """Edges and labels of the vertex-induced subgraph, one pass.
+
+        The edge list keeps canonical sorted order (edge-id order), so it
+        feeds :meth:`_from_canonical_edges` — or a legacy ``Graph`` when
+        the caller decides the result is too small for the CSR engine.
+        """
+        index = self._index
+        keep_ids = {index[v] for v in vertices if v in index}
+        labels = self.labels
+        edge_u = self.edge_u
+        edge_v = self.edge_v
+        kept_edges = [
+            (labels[edge_u[eid]], labels[edge_v[eid]])
+            for eid in range(len(edge_u))
+            if edge_u[eid] in keep_ids and edge_v[eid] in keep_ids
+        ]
+        return kept_edges, [labels[i] for i in keep_ids]
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "CSRGraph":
+        """Vertex-induced subgraph (isolated selected vertices kept)."""
+        index = self._index
+        keep_ids = {index[v] for v in vertices if v in index}
+        if len(keep_ids) == len(self.labels):
+            return self  # immutable, safe to share
+        kept_edges, kept_labels = self.induced_edges(
+            self.labels[i] for i in keep_ids
+        )
+        return CSRGraph._from_canonical_edges(kept_edges, vertices=kept_labels)
+
+    def intersect(self, other: "CSRGraph") -> "CSRGraph":
+        """Edge intersection in label space via sorted-adjacency merges.
+
+        This is the TCFI/TC-Tree carrier operation ``C*_1 ∩ C*_2``
+        (Proposition 5.3). The result contains only the endpoints of
+        surviving edges, matching the legacy
+        :func:`repro.network.theme.intersect_graphs` contract.
+        """
+        if self.num_edges > other.num_edges:
+            self, other = other, self
+        edges: list[Edge] = []
+        s_labels = self.labels
+        s_indptr = self.indptr
+        s_indices = self.indices
+        o_labels = other.labels
+        o_indptr = other.indptr
+        o_indices = other.indices
+        o_index = other._index
+        for i, label in enumerate(s_labels):
+            j = o_index.get(label)
+            if j is None:
+                continue
+            a = s_indptr[i]
+            a_hi = s_indptr[i + 1]
+            # Each edge once: only neighbours with a larger internal id
+            # (equivalently, a larger label) on both sides.
+            a = bisect_right(s_indices, i, a, a_hi)
+            b = o_indptr[j]
+            b_hi = o_indptr[j + 1]
+            b = bisect_right(o_indices, j, b, b_hi)
+            while a < a_hi and b < b_hi:
+                la = s_labels[s_indices[a]]
+                lb = o_labels[o_indices[b]]
+                if la < lb:
+                    a += 1
+                elif lb < la:
+                    b += 1
+                else:
+                    edges.append((label, la))
+                    a += 1
+                    b += 1
+        if len(edges) == self.num_edges and not self.has_isolated_vertices():
+            return self  # every edge survived; immutable, safe to share
+        return CSRGraph._from_canonical_edges(edges)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return self.labels == other.labels and self.edges() == other.edges()
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+
+GraphLike = Graph | CSRGraph
+
+
+def as_csr(graph: GraphLike) -> CSRGraph | None:
+    """``graph`` as a CSRGraph when the fast path applies, else None.
+
+    CSR inputs pass through untouched; legacy graphs convert only when all
+    vertices are plain ints (the dense-int contract of the library).
+    """
+    if isinstance(graph, CSRGraph):
+        return graph
+    if csr_eligible(graph):
+        return CSRGraph.from_graph(graph)
+    return None
+
+
+def as_graph(graph: GraphLike) -> Graph:
+    """``graph`` as a legacy mutable :class:`Graph` (no-op when it is one)."""
+    if isinstance(graph, CSRGraph):
+        return graph.to_graph()
+    return graph

@@ -6,6 +6,13 @@ generalizes this: with all pattern frequencies equal to 1 and ``α = k - 3``,
 a pattern truss *is* a k-truss (Section 3.2). These reference
 implementations serve as baselines and as property-test oracles for that
 equivalence.
+
+Dense-int graphs route through the CSR engine: one-pass support
+computation plus bucket-queue peeling (:mod:`repro.graphs.support`). The
+adjacency-set implementations remain as the fallback for arbitrary
+hashables and as the parity-test oracle — the legacy decomposition rescans
+the support dict for its minimum on every removal, which is ``O(m²)`` and
+the reason the fast path exists.
 """
 
 from __future__ import annotations
@@ -13,8 +20,13 @@ from __future__ import annotations
 from collections import deque
 
 from repro.errors import GraphError
+from repro.graphs.csr import as_csr
 from repro.graphs.graph import Edge, Graph, edge_key
-from repro.graphs.triangles import common_neighbors, edge_triangle_counts
+from repro.graphs.support import k_truss_edges, truss_decomposition
+from repro.graphs.triangles import (
+    _edge_triangle_counts_legacy,
+    common_neighbors,
+)
 
 
 def k_truss(graph: Graph, k: int) -> Graph:
@@ -26,8 +38,20 @@ def k_truss(graph: Graph, k: int) -> Graph:
     """
     if k < 2:
         raise GraphError(f"k-truss requires k >= 2, got {k}")
+    csr = as_csr(graph)
+    if csr is not None:
+        result = Graph()
+        for eid in k_truss_edges(csr, k):
+            u, v = csr.edge_label(eid)
+            result.add_edge(u, v)
+        return result
+    return _k_truss_legacy(graph, k)
+
+
+def _k_truss_legacy(graph: Graph, k: int) -> Graph:
+    """Adjacency-set peeling (fallback and parity oracle)."""
     work = graph.copy()
-    support = edge_triangle_counts(work)
+    support = _edge_triangle_counts_legacy(work)
     threshold = k - 2
     queue: deque[Edge] = deque(
         e for e, s in support.items() if s < threshold
@@ -55,8 +79,17 @@ def truss_numbers(graph: Graph) -> dict[Edge, int]:
     support edge; its truss number is ``support + 2`` at removal time,
     clamped to be monotone along the removal sequence.
     """
+    csr = as_csr(graph)
+    if csr is not None:
+        numbers = truss_decomposition(csr)
+        return {csr.edge_label(e): t for e, t in enumerate(numbers)}
+    return _truss_numbers_legacy(graph)
+
+
+def _truss_numbers_legacy(graph: Graph) -> dict[Edge, int]:
+    """Min-scan decomposition (fallback and parity oracle)."""
     work = graph.copy()
-    support = edge_triangle_counts(work)
+    support = _edge_triangle_counts_legacy(work)
     trussness: dict[Edge, int] = {}
     current_k = 2
     while support:

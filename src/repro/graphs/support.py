@@ -1,0 +1,448 @@
+"""Edge-support / cohesion peeling engine over :class:`CSRGraph`.
+
+The legacy algorithms recompute common neighbourhoods with Python set
+intersections on every peel step and, for full decomposition, rescan the
+whole support dict for its minimum on every removal (``O(m²)``). This
+module does the triangle work exactly once per graph:
+
+1. :func:`build_triangle_index` enumerates every triangle in one pass and
+   records, per canonical edge id, its triangles as flat ``(partner a,
+   partner b, triangle id)`` triples. The index depends only on topology,
+   so it is cached on the immutable :class:`CSRGraph` — the TC-Tree's
+   first layer decomposes every item over the *same* network CSR and pays
+   for enumeration once.
+2. Peeling an edge then touches only its recorded triangles: a triangle
+   contributes iff both partner edges are still alive, so support and
+   cohesion maintenance is ``O(#triangles)`` total with zero set surgery.
+   Weights (``min(f_u, f_v, f_w)``, Definition 3.1) come from one flat
+   pass over the triangle vertex arrays per frequency map.
+3. Full decompositions use a bucket queue (integer support, k-truss) or a
+   lazy heap (float cohesion, MPTD levels) instead of per-step min scans.
+
+All functions take and return flat structures (lists/bytearrays indexed
+by edge id); converting back to label space is the caller's job.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import deque
+from heapq import heapify, heappop, heappush
+
+from repro.graphs.csr import CSRGraph
+
+#: Re-exported tolerance — kept numerically identical to the legacy MPTD
+#: comparison so the CSR and dict-of-sets paths make the same keep/peel
+#: decision at exact-boundary thresholds.
+COHESION_TOLERANCE = 1e-9
+
+#: Below this edge count the legacy dict-of-sets algorithms beat the flat
+#: engine's fixed costs (CSR conversion, triangle index, heap); the
+#: auto-routing entry points fall back to the adjacency-set path. Passing
+#: a :class:`CSRGraph` explicitly always uses the engine.
+CSR_MIN_EDGES = 512
+
+
+class TriangleIndex:
+    """Flat triangle tables of a CSR graph (topology only, no weights).
+
+    ``tri_u/tri_v/tri_w`` hold the vertex triple (internal ids,
+    ``u < v < w``) of each triangle; ``tri_e1/tri_e2/tri_e3`` the edge ids
+    of ``(u,v)``, ``(u,w)``, ``(v,w)``. ``edge_tris[e]`` flattens the
+    triangles of edge ``e`` as ``[a0, b0, t0, a1, b1, t1, ...]`` —
+    partner edge ids plus the triangle id (for weight lookup).
+    """
+
+    __slots__ = (
+        "tri_u", "tri_v", "tri_w", "tri_e1", "tri_e2", "tri_e3",
+        "edge_tris",
+    )
+
+    def __init__(self, csr: CSRGraph) -> None:
+        indptr = csr.indptr
+        indices = csr.indices
+        edge_ids = csr.edge_ids
+        edge_u = csr.edge_u
+        edge_v = csr.edge_v
+        n = csr.num_vertices
+        m = csr.num_edges
+        nbr: list[set[int]] = [
+            set(indices[indptr[x]:indptr[x + 1]]) for x in range(n)
+        ]
+        row_eid: list[dict[int, int]] = [
+            dict(zip(
+                indices[indptr[x]:indptr[x + 1]],
+                edge_ids[indptr[x]:indptr[x + 1]],
+            ))
+            for x in range(n)
+        ]
+        tri_u: list[int] = []
+        tri_v: list[int] = []
+        tri_w: list[int] = []
+        tri_e1: list[int] = []
+        tri_e2: list[int] = []
+        tri_e3: list[int] = []
+        edge_tris: list[list[int]] = [[] for _ in range(m)]
+        t = 0
+        for e in range(m):
+            u = edge_u[e]
+            v = edge_v[e]
+            su = nbr[u]
+            sv = nbr[v]
+            common = sv & su if len(su) > len(sv) else su & sv
+            ru = row_eid[u]
+            rv = row_eid[v]
+            for w in common:
+                if w > v:  # each triangle u < v < w exactly once
+                    e_uw = ru[w]
+                    e_vw = rv[w]
+                    tri_u.append(u)
+                    tri_v.append(v)
+                    tri_w.append(w)
+                    tri_e1.append(e)
+                    tri_e2.append(e_uw)
+                    tri_e3.append(e_vw)
+                    lst = edge_tris[e]
+                    lst.append(e_uw)
+                    lst.append(e_vw)
+                    lst.append(t)
+                    lst = edge_tris[e_uw]
+                    lst.append(e)
+                    lst.append(e_vw)
+                    lst.append(t)
+                    lst = edge_tris[e_vw]
+                    lst.append(e)
+                    lst.append(e_uw)
+                    lst.append(t)
+                    t += 1
+        self.tri_u = tri_u
+        self.tri_v = tri_v
+        self.tri_w = tri_w
+        self.tri_e1 = tri_e1
+        self.tri_e2 = tri_e2
+        self.tri_e3 = tri_e3
+        self.edge_tris = edge_tris
+
+    @property
+    def num_triangles(self) -> int:
+        return len(self.tri_u)
+
+
+def triangle_index(csr: CSRGraph) -> TriangleIndex:
+    """The (cached) triangle index of ``csr`` — built on first use."""
+    tri = csr._tri
+    if tri is None:
+        tri = TriangleIndex(csr)
+        csr._tri = tri
+    return tri
+
+
+def edge_supports(csr: CSRGraph) -> list[int]:
+    """Triangle count (k-truss support) of every edge."""
+    return [len(lst) // 3 for lst in triangle_index(csr).edge_tris]
+
+
+def triangle_count(csr: CSRGraph) -> int:
+    """Total number of triangles, in constant extra memory.
+
+    Uses the cached triangle index when one is already built; otherwise
+    counts via sorted-adjacency merges without materializing anything —
+    a scalar statistic should not pay the index's O(#triangles) storage.
+    """
+    tri = csr._tri
+    if tri is not None:
+        return tri.num_triangles
+    indptr = csr.indptr
+    indices = csr.indices
+    total = 0
+    for u in range(csr.num_vertices):
+        lo = indptr[u]
+        hi = indptr[u + 1]
+        start = bisect_right(indices, u, lo, hi)
+        for p in range(start, hi):
+            v = indices[p]
+            # Merge the rows of u and v for common neighbours w > v, so
+            # each triangle u < v < w is counted exactly once.
+            a = bisect_right(indices, v, p, hi)
+            b_lo = indptr[v]
+            b_hi = indptr[v + 1]
+            b = bisect_right(indices, v, b_lo, b_hi)
+            while a < hi and b < b_hi:
+                wa = indices[a]
+                wb = indices[b]
+                if wa < wb:
+                    a += 1
+                elif wa > wb:
+                    b += 1
+                else:
+                    total += 1
+                    a += 1
+                    b += 1
+    return total
+
+
+def cohesion_values(
+    csr: CSRGraph, frequencies: list[float]
+) -> tuple[list[float], list[float]]:
+    """Phase 1 of Algorithm 1: per-triangle weights and per-edge cohesion.
+
+    One flat pass over the triangle tables; ``frequencies`` is indexed by
+    internal vertex id.
+    """
+    tri = triangle_index(csr)
+    tri_u = tri.tri_u
+    tri_v = tri.tri_v
+    tri_w = tri.tri_w
+    tri_e1 = tri.tri_e1
+    tri_e2 = tri.tri_e2
+    tri_e3 = tri.tri_e3
+    weights = [0.0] * len(tri_u)
+    cohesion = [0.0] * csr.num_edges
+    for t in range(len(tri_u)):
+        f = frequencies[tri_u[t]]
+        f_v = frequencies[tri_v[t]]
+        if f_v < f:
+            f = f_v
+        f_w = frequencies[tri_w[t]]
+        if f_w < f:
+            f = f_w
+        weights[t] = f
+        cohesion[tri_e1[t]] += f
+        cohesion[tri_e2[t]] += f
+        cohesion[tri_e3[t]] += f
+    return weights, cohesion
+
+
+def peel_cohesion(
+    csr: CSRGraph,
+    weights: list[float],
+    cohesion: list[float],
+    alpha: float,
+    alive: bytearray,
+    removed_sink: list[int] | None = None,
+) -> None:
+    """Peel every alive edge with cohesion ``<= alpha`` (plus tolerance).
+
+    Phase 2 of Algorithm 1: FIFO cascade over the triangle index. A
+    triangle is destroyed exactly once — when its first edge dies —
+    because later removals see a dead partner.
+    """
+    edge_tris = triangle_index(csr).edge_tris
+    bound = alpha + COHESION_TOLERANCE
+    m = len(cohesion)
+    queue: deque[int] = deque()
+    queued = bytearray(m)
+    for e in range(m):
+        if alive[e] and cohesion[e] <= bound:
+            queued[e] = 1
+            queue.append(e)
+    while queue:
+        e = queue.popleft()
+        if not alive[e]:
+            continue
+        alive[e] = 0
+        lst = edge_tris[e]
+        for k in range(0, len(lst), 3):
+            a = lst[k]
+            b = lst[k + 1]
+            if alive[a] and alive[b]:
+                w = weights[lst[k + 2]]
+                new_value = cohesion[a] - w
+                cohesion[a] = new_value
+                if new_value <= bound and not queued[a]:
+                    queued[a] = 1
+                    queue.append(a)
+                new_value = cohesion[b] - w
+                cohesion[b] = new_value
+                if new_value <= bound and not queued[b]:
+                    queued[b] = 1
+                    queue.append(b)
+        if removed_sink is not None:
+            removed_sink.append(e)
+
+
+def decompose_cohesion(
+    csr: CSRGraph,
+    frequencies: list[float],
+) -> tuple[bytearray, list[tuple[float, list[int]]]]:
+    """Full cohesion decomposition of a theme network (Theorem 6.1).
+
+    Runs Phase 1, the α = 0 peel (whose removals belong to no level), and
+    the iterated threshold peeling that yields the decomposition levels.
+    Returns ``(alive, levels)`` where ``alive`` flags the edges of
+    ``C*_p(0)`` (the carrier) and ``levels`` is the ascending list of
+    ``(β, removed edge ids)``.
+
+    Two structural improvements over the legacy dict-of-sets loop:
+
+    - level minima come off a single lazy heap instead of a full
+      ``min(cohesion.values())`` + peel rescan of every edge per level;
+    - all triangle work is O(1) lookups into the cached triangle index —
+      no common-neighbour recomputation per removal, and repeated
+      decompositions over one CSR graph (the TC-Tree first layer) share
+      the enumeration.
+    """
+    m = csr.num_edges
+    weights, cohesion = cohesion_values(csr, frequencies)
+    edge_tris = triangle_index(csr).edge_tris
+    alive = bytearray(b"\x01") * m
+
+    # α = 0 peel: its removals belong to no level (MPTD Phase 2).
+    removed0: list[int] = []
+    peel_cohesion(csr, weights, cohesion, 0.0, alive, removed_sink=removed0)
+    remaining = m - len(removed0)
+
+    # Snapshot C*_p(0) before the level rounds consume the alive set.
+    carrier_alive = bytearray(alive)
+
+    # Iterated threshold peeling off one lazy heap: each round reads the
+    # minimum alive cohesion β, then keeps popping while the minimum stays
+    # ``<= β`` (plus tolerance). Edges dragged to ``<= bound`` mid-round
+    # are pushed immediately so they fall in the same round; edges
+    # decremented but still above the bound only need a current entry by
+    # the *next* round's β-scan, so they are batched in a per-round
+    # ``touched`` set and pushed once at round end — one push per touched
+    # edge per round instead of one per triangle destruction. Stale
+    # entries (dead edge, or stored value no longer current) are skipped
+    # on pop.
+    heap = [(cohesion[e], e) for e in range(m) if alive[e]]
+    heapify(heap)
+    push = heappush
+    pop = heappop
+    levels: list[tuple[float, list[int]]] = []
+    while remaining:
+        while heap:
+            value, e = heap[0]
+            if alive[e] and value == cohesion[e]:
+                break
+            pop(heap)
+        beta = heap[0][0]
+        bound = beta + COHESION_TOLERANCE
+        removed: list[int] = []
+        touched: set[int] = set()
+        while heap and heap[0][0] <= bound:
+            value, e = pop(heap)
+            if not alive[e] or value != cohesion[e]:
+                continue
+            alive[e] = 0
+            remaining -= 1
+            removed.append(e)
+            lst = edge_tris[e]
+            for k in range(0, len(lst), 3):
+                a = lst[k]
+                b = lst[k + 1]
+                if alive[a] and alive[b]:
+                    w = weights[lst[k + 2]]
+                    new_value = cohesion[a] - w
+                    cohesion[a] = new_value
+                    if new_value <= bound:
+                        push(heap, (new_value, a))
+                    else:
+                        touched.add(a)
+                    new_value = cohesion[b] - w
+                    cohesion[b] = new_value
+                    if new_value <= bound:
+                        push(heap, (new_value, b))
+                    else:
+                        touched.add(b)
+        for e in touched:
+            if alive[e]:
+                push(heap, (cohesion[e], e))
+        levels.append((beta, removed))
+    return carrier_alive, levels
+
+
+def peel_support(
+    csr: CSRGraph,
+    support: list[int],
+    threshold: int,
+    alive: bytearray,
+) -> None:
+    """Peel every edge whose support is below ``threshold``, in place.
+
+    ``support`` always equals the number of *alive* triangles of each
+    alive edge.
+    """
+    edge_tris = triangle_index(csr).edge_tris
+    m = len(support)
+    queue: deque[int] = deque()
+    queued = bytearray(m)
+    for e in range(m):
+        if alive[e] and support[e] < threshold:
+            queued[e] = 1
+            queue.append(e)
+    while queue:
+        e = queue.popleft()
+        if not alive[e]:
+            continue
+        alive[e] = 0
+        lst = edge_tris[e]
+        for k in range(0, len(lst), 3):
+            a = lst[k]
+            b = lst[k + 1]
+            if alive[a] and alive[b]:
+                support[a] -= 1
+                if support[a] < threshold and not queued[a]:
+                    queued[a] = 1
+                    queue.append(a)
+                support[b] -= 1
+                if support[b] < threshold and not queued[b]:
+                    queued[b] = 1
+                    queue.append(b)
+
+
+def k_truss_edges(csr: CSRGraph, k: int) -> list[int]:
+    """Edge ids of the maximal k-truss of ``csr``."""
+    support = edge_supports(csr)
+    alive = bytearray(b"\x01") * len(support)
+    peel_support(csr, support, k - 2, alive)
+    return [e for e in range(len(support)) if alive[e]]
+
+
+def truss_decomposition(csr: CSRGraph) -> list[int]:
+    """Truss number of every edge id via a bucket queue.
+
+    Replaces the legacy ``min(support.items())`` rescan per removal
+    (``O(m²)``) with lazy bucket entries: every decrement appends the edge
+    to its new bucket and stale entries are skipped on pop, for
+    ``O(m + #triangles)`` queue work overall.
+    """
+    edge_tris = triangle_index(csr).edge_tris
+    support = [len(lst) // 3 for lst in edge_tris]
+    m = len(support)
+    trussness = [0] * m
+    if m == 0:
+        return trussness
+    buckets: list[list[int]] = [[] for _ in range(max(support) + 1)]
+    for e, s in enumerate(support):
+        buckets[s].append(e)
+    alive = bytearray(b"\x01") * m
+    remaining = m
+    current_k = 2
+    cursor = 0
+    while remaining:
+        bucket = buckets[cursor]
+        if not bucket:
+            cursor += 1
+            continue
+        e = bucket.pop()
+        if not alive[e] or support[e] != cursor:
+            continue  # stale lazy entry
+        s = support[e]
+        if s + 2 > current_k:
+            current_k = s + 2
+        trussness[e] = current_k
+        alive[e] = 0
+        remaining -= 1
+        lst = edge_tris[e]
+        for k in range(0, len(lst), 3):
+            a = lst[k]
+            b = lst[k + 1]
+            if alive[a] and alive[b]:
+                for other in (a, b):
+                    new_s = support[other] - 1
+                    support[other] = new_s
+                    buckets[new_s].append(other)
+                    if new_s < cursor:
+                        cursor = new_s
+    return trussness

@@ -12,6 +12,11 @@ reconstructs any ``C*_p(α)`` by Equation 1::
     E*_p(α) = ∪_{α_k > α} R_p(α_k)
 
 so a TC-Tree node answers arbitrary-threshold queries without re-mining.
+
+Dense-int theme networks decompose on the CSR engine: triangles are
+enumerated once, the per-level minimum comes from a lazy heap, and every
+peel round is flat-array bookkeeping — the legacy path pays a full
+``min(cohesion.values())`` scan per level plus set surgery per edge.
 """
 
 from __future__ import annotations
@@ -22,13 +27,29 @@ from repro._ordering import Pattern
 from repro.core.cohesion import FrequencyMap
 from repro.core.mptd import (
     COHESION_TOLERANCE,
+    _maximal_pattern_truss_legacy,
     maximal_pattern_truss,
     peel_to_threshold,
 )
 from repro.core.truss import PatternTruss
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph, GraphLike, as_csr, as_graph
 from repro.graphs.graph import Edge, Graph
+from repro.graphs.support import CSR_MIN_EDGES, decompose_cohesion
 from repro.network.dbnetwork import DatabaseNetwork
-from repro.network.theme import induce_theme_network, theme_network_within
+from repro.network.theme import (
+    induce_theme_network,
+    theme_frequencies,
+    theme_network_within,
+)
+
+
+
+#: A TC-Tree child decomposes over the whole network CSR (sharing its
+#: cached triangle index) only when its carrier is both a large share of
+#: the network and large in absolute terms — re-enumerating a small
+#: carrier is cheaper than flat passes over a big network's triangles.
+CSR_NET_REUSE_MIN_EDGES = 1024
 
 
 @dataclass
@@ -52,6 +73,13 @@ class TrussDecomposition:
     pattern: Pattern
     levels: list[DecompositionLevel] = field(default_factory=list)
     frequencies: FrequencyMap = field(default_factory=dict)
+    #: ``C*_p(0)`` captured by the CSR engine: either an already-built
+    #: CSRGraph (nothing was peeled) or the canonical-sorted alive edge
+    #: list, materialized lazily — leaf nodes of the TC-Tree never pay
+    #: the build. Excluded from equality and repr.
+    carrier0: CSRGraph | list[Edge] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     def is_empty(self) -> bool:
@@ -96,6 +124,48 @@ class TrussDecomposition:
             graph.add_edge(u, v)
         return PatternTruss(self.pattern, graph, self.frequencies, alpha)
 
+    def csr_at(self, alpha: float) -> CSRGraph | None:
+        """``C*_p(α)`` as a CSR carrier, or None for unsortable labels.
+
+        This is what the TC-Tree keeps per frontier node so sibling
+        intersections are array merges rather than set intersections.
+        """
+        try:
+            return CSRGraph.from_edges(self.edges_at(alpha))
+        except GraphError:
+            return None
+
+    def take_carrier(self) -> CSRGraph | None:
+        """Hand over the captured ``C*_p(0)`` carrier (cleared on take).
+
+        The TC-Tree frees frontier carriers once a node's children are
+        built; clearing here keeps steady-state memory at the sum of the
+        ``L_p`` lists, as in the paper.
+        """
+        carrier = self.carrier0
+        self.carrier0 = None
+        if carrier is None or isinstance(carrier, CSRGraph):
+            return carrier
+        return CSRGraph._from_canonical_edges(carrier)
+
+    def frontier_carrier(self) -> "Graph | CSRGraph":
+        """``C*_p(0)`` in the representation the TC-Tree should keep.
+
+        Prefers the carrier captured by the CSR engine; tiny trusses
+        (below the engine cutover) stay as adjacency-set graphs — CSR
+        construction overhead dwarfs any merge win at that size — and
+        anything larger is rebuilt in CSR form from the levels.
+        """
+        carrier = self.take_carrier()
+        if carrier is not None:
+            return carrier
+        if self.num_edges < CSR_MIN_EDGES:
+            return self.truss_at(0.0).graph
+        csr = self.csr_at(0.0)
+        if csr is not None:
+            return csr
+        return self.truss_at(0.0).graph
+
     def __repr__(self) -> str:
         return (
             f"TrussDecomposition(pattern={self.pattern}, "
@@ -135,20 +205,173 @@ def decompose_truss(
     return decomposition
 
 
+def decompose_theme(
+    pattern: Pattern,
+    graph: GraphLike,
+    frequencies: FrequencyMap,
+    engine: str = "auto",
+    capture_carrier: bool = False,
+) -> TrussDecomposition:
+    """MPTD at α = 0 plus full decomposition of a theme network.
+
+    ``engine`` selects the implementation: ``"auto"`` routes dense-int
+    graphs through the CSR fast path, ``"csr"`` forces it (raises
+    :class:`GraphError` when ineligible), ``"legacy"`` forces the
+    adjacency-set path (the parity-test oracle). ``capture_carrier``
+    additionally stashes the ``C*_p(0)`` CSR carrier on the result (the
+    TC-Tree build wants it; plain decompositions skip the cost).
+    """
+    if engine not in ("auto", "csr", "legacy"):
+        raise GraphError(f"unknown decomposition engine {engine!r}")
+    use_csr = engine != "legacy"
+    if use_csr and engine == "auto" and graph.num_edges < CSR_MIN_EDGES:
+        # Tiny themes: the flat-engine fixed costs (triangle index, heap,
+        # array construction) exceed the dict-of-sets loop's whole
+        # runtime — decide before paying for any conversion.
+        use_csr = False
+    csr = as_csr(graph) if use_csr else None
+    if csr is None:
+        if engine == "csr":
+            raise GraphError("graph is not CSR-eligible (non-int labels)")
+        truss_graph, cohesion = _maximal_pattern_truss_legacy(
+            as_graph(graph), frequencies, 0.0
+        )
+        return decompose_truss(pattern, truss_graph, frequencies, cohesion)
+    return _decompose_theme_csr(pattern, csr, frequencies, capture_carrier)
+
+
+def _decompose_theme_csr(
+    pattern: Pattern,
+    csr: CSRGraph,
+    frequencies: FrequencyMap,
+    capture_carrier: bool = False,
+) -> TrussDecomposition:
+    """CSR-native decomposition: one engine call, then label conversion."""
+    labels = csr.labels
+    freq = [frequencies.get(label, 0.0) for label in labels]
+    # The engine runs Phase 1, the α = 0 peel (removals belong to no
+    # level), and the level rounds in one call; ``alive`` flags C*_p(0).
+    alive, levels = decompose_cohesion(csr, freq)
+    edge_u = csr.edge_u
+    edge_v = csr.edge_v
+    alive_count = sum(alive)
+    surviving: set = set()
+    alive_edges: list[Edge] = []
+    for eid in range(len(alive)):
+        if alive[eid]:
+            u = labels[edge_u[eid]]
+            v = labels[edge_v[eid]]
+            surviving.add(u)
+            surviving.add(v)
+            alive_edges.append((u, v))
+    carrier0: CSRGraph | list[Edge] | None = None
+    if capture_carrier:
+        # C*_p(0) as a CSR carrier, for free: when nothing was peeled the
+        # input graph (sans isolated vertices) *is* the carrier; otherwise
+        # keep the canonical-sorted alive edge list and let
+        # :meth:`TrussDecomposition.take_carrier` build lazily.
+        if alive_count == csr.num_edges and not csr.has_isolated_vertices():
+            carrier0 = csr
+        else:
+            carrier0 = alive_edges
+    decomposition = TrussDecomposition(
+        pattern=pattern,
+        frequencies={
+            v: frequencies[v] for v in sorted(surviving) if v in frequencies
+        },
+        carrier0=carrier0,
+    )
+    for beta, removed in levels:
+        decomposition.levels.append(
+            DecompositionLevel(
+                beta,
+                [(labels[edge_u[e]], labels[edge_v[e]]) for e in removed],
+            )
+        )
+    return decomposition
+
+
 def decompose_network_pattern(
     network: DatabaseNetwork,
     pattern: Pattern,
-    carrier: Graph | None = None,
+    carrier: GraphLike | None = None,
+    engine: str = "auto",
+    capture_carrier: bool = False,
 ) -> TrussDecomposition:
     """Induce ``G_p``, run MPTD at α = 0, and decompose — one call.
 
     ``carrier`` optionally restricts the induction to a known superset of
     the truss (Proposition 5.3), which is how the TC-Tree builds children
-    inside parent intersections.
+    inside parent intersections; a CSR carrier keeps the whole round trip
+    on the fast path.
     """
     if carrier is None:
-        graph, frequencies = induce_theme_network(network, pattern)
+        csr_net = network.csr_graph() if engine != "legacy" else None
+        if csr_net is not None:
+            frequencies = theme_frequencies(network, pattern)
+            graph: GraphLike = _restrict_for_decomposition(
+                csr_net, frequencies
+            )
+        else:
+            graph, frequencies = induce_theme_network(network, pattern)
+    elif isinstance(carrier, CSRGraph) and engine != "legacy":
+        frequencies = theme_frequencies(network, pattern, candidates=carrier)
+        csr_net = network.csr_graph()
+        if (
+            csr_net is not None
+            and carrier.num_edges >= CSR_NET_REUSE_MIN_EDGES
+            and 3 * carrier.num_edges >= csr_net.num_edges
+        ):
+            # The carrier spans most of the network: decompose over the
+            # network CSR itself and let the α = 0 peel prune. Vertices
+            # outside the carrier get frequency 0, which by the
+            # monotonicity argument of Proposition 5.3 leaves C*_p and
+            # its levels unchanged — and the network CSR's cached
+            # triangle index is shared by every node of the build.
+            graph = csr_net
+        else:
+            graph = _restrict_for_decomposition(carrier, frequencies)
     else:
         graph, frequencies = theme_network_within(network, pattern, carrier)
-    truss_graph, cohesion = maximal_pattern_truss(graph, frequencies, 0.0)
-    return decompose_truss(pattern, truss_graph, frequencies, cohesion)
+    return decompose_theme(
+        pattern, graph, frequencies,
+        engine=engine, capture_carrier=capture_carrier,
+    )
+
+
+def _restrict_for_decomposition(
+    csr: CSRGraph, frequencies: FrequencyMap
+) -> GraphLike:
+    """The graph to decompose for a frequency-positive vertex set.
+
+    A vertex with ``f_v(p) = 0`` contributes weight 0 to every triangle
+    through it, so each of its edges has cohesion 0 and dies in the α = 0
+    peel without ever appearing in a level — decomposing the *unfiltered*
+    graph with zero-filled frequencies is mathematically identical to
+    decomposing the vertex-induced theme subgraph. When most vertices are
+    frequency-positive we therefore skip the subgraph build entirely and
+    let the peel do the filtering. A sparser theme gets one filter pass,
+    and the surviving edge count picks the representation: CSR for the
+    engine, adjacency sets below the :data:`CSR_MIN_EDGES` cutover.
+    """
+    if 10 * len(frequencies) >= 9 * csr.num_vertices:
+        return csr
+    kept_edges, kept_labels = csr.induced_edges(frequencies.keys())
+    if len(kept_edges) >= CSR_MIN_EDGES:
+        return CSRGraph._from_canonical_edges(kept_edges, vertices=kept_labels)
+    graph = Graph()
+    for label in kept_labels:
+        graph.add_vertex(label)
+    for u, v in kept_edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+__all__ = [
+    "DecompositionLevel",
+    "TrussDecomposition",
+    "decompose_truss",
+    "decompose_theme",
+    "decompose_network_pattern",
+    "maximal_pattern_truss",
+]

@@ -13,10 +13,13 @@ every materialized node stores the decomposed maximal pattern truss
    (Proposition 5.3) and kept only when non-empty (Proposition 5.2
    justifies pruning the whole subtree otherwise).
 
-During the build each frontier node keeps its ``C*_p(0)`` graph alive for
-the intersection step; the graphs are released once the node's children
-are built, so steady-state memory is the sum of the ``L_p`` lists, as in
-the paper.
+During the build each frontier node keeps its ``C*_p(0)`` carrier alive
+for the intersection step; the carriers are released once the node's
+children are built, so steady-state memory is the sum of the ``L_p``
+lists, as in the paper. Carriers are kept in CSR form whenever the labels
+allow it, so sibling intersections are sorted-array merges rather than
+Python set intersections, and the child decomposition runs end-to-end on
+the CSR engine.
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ from collections.abc import Iterator
 from concurrent.futures import ThreadPoolExecutor
 
 from repro._ordering import EMPTY_PATTERN, Pattern
-from repro.graphs.graph import Graph
+from repro.graphs.csr import GraphLike
 from repro.index.decomposition import (
     TrussDecomposition,
     decompose_network_pattern,
@@ -89,6 +92,17 @@ class TCTree:
         return f"TCTree(nodes={self.num_nodes}, depth={self.depth})"
 
 
+def _carrier_of(decomposition: TrussDecomposition) -> GraphLike:
+    """The ``C*_p(0)`` frontier carrier, in the size-appropriate form.
+
+    The CSR engine captures the carrier during decomposition; taking it
+    here transfers ownership to the frontier bookkeeping (released once
+    the node's children are built). Released or legacy-path carriers are
+    rebuilt from the levels — tiny ones as adjacency-set graphs.
+    """
+    return decomposition.frontier_carrier()
+
+
 def build_tc_tree(
     network: DatabaseNetwork,
     max_length: int | None = None,
@@ -111,7 +125,9 @@ def build_tc_tree(
         cached = reuse.get((item,))
         if cached is not None:
             return cached
-        return decompose_network_pattern(network, (item,))
+        return decompose_network_pattern(
+            network, (item,), capture_carrier=True
+        )
 
     if workers > 1 and len(items) > 1:
         with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -119,16 +135,16 @@ def build_tc_tree(
     else:
         decompositions = [first_layer(item) for item in items]
 
-    # Frontier bookkeeping: the C*_p(0) graph of every node whose children
-    # are still to be built.
-    truss_graphs: dict[int, Graph] = {}
+    # Frontier bookkeeping: the C*_p(0) carrier of every node whose
+    # children are still to be built (CSR when labels permit).
+    truss_graphs: dict[int, GraphLike] = {}
     queue: deque[TCNode] = deque()
     for item, decomposition in zip(items, decompositions):
         if decomposition.is_empty():
             continue
         node = TCNode(item, (item,), decomposition)
         root.add_child(node)
-        truss_graphs[id(node)] = decomposition.truss_at(0.0).graph
+        truss_graphs[id(node)] = _carrier_of(decomposition)
         queue.append(node)
 
     parent_of: dict[int, TCNode] = {
@@ -148,8 +164,8 @@ def build_tc_tree(
                 continue  # need s_{n_f} ≺ s_{n_b}
             graph_b = truss_graphs.get(id(node_b))
             if graph_b is None:
-                # Sibling already released its graph — rebuild it once.
-                graph_b = node_b.decomposition.truss_at(0.0).graph  # type: ignore[union-attr]
+                # Sibling already released its carrier — rebuild it once.
+                graph_b = _carrier_of(node_b.decomposition)  # type: ignore[arg-type]
             carrier = intersect_graphs(graph_f, graph_b)
             if carrier.num_edges == 0:
                 continue
@@ -157,14 +173,15 @@ def build_tc_tree(
             decomposition = reuse.get(child_pattern)
             if decomposition is None:
                 decomposition = decompose_network_pattern(
-                    network, child_pattern, carrier=carrier
+                    network, child_pattern, carrier=carrier,
+                    capture_carrier=True,
                 )
             if decomposition.is_empty():
                 continue
             child = TCNode(node_b.item, child_pattern, decomposition)
             node_f.add_child(child)
             parent_of[id(child)] = node_f
-            truss_graphs[id(child)] = decomposition.truss_at(0.0).graph
+            truss_graphs[id(child)] = _carrier_of(decomposition)
             queue.append(child)
         del truss_graphs[id(node_f)]
         del parent_of[id(node_f)]

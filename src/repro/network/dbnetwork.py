@@ -12,6 +12,7 @@ from collections.abc import Hashable, Iterable
 
 from repro._ordering import Pattern, make_pattern
 from repro.errors import DatabaseError, GraphError
+from repro.graphs.csr import CSRGraph, as_csr
 from repro.graphs.graph import Graph
 from repro.txdb.database import TransactionDatabase
 
@@ -35,6 +36,7 @@ class DatabaseNetwork:
         self.databases: dict[int, TransactionDatabase] = databases or {}
         self.vertex_labels: dict[int, Hashable] = vertex_labels or {}
         self.item_labels: dict[int, Hashable] = item_labels or {}
+        self._csr_cache: tuple[tuple[int, int], CSRGraph | None] | None = None
         for v in self.databases:
             if v not in self.graph:
                 raise GraphError(
@@ -71,6 +73,21 @@ class DatabaseNetwork:
     @property
     def num_edges(self) -> int:
         return self.graph.num_edges
+
+    def csr_graph(self) -> CSRGraph | None:
+        """Cached CSR view of the topology (None for non-int vertices).
+
+        The cache is keyed on ``(num_vertices, num_edges)``; the network's
+        construction API is grow-only, so any topology mutation changes
+        the counts and invalidates it.
+        """
+        key = (self.graph.num_vertices, self.graph.num_edges)
+        cached = self._csr_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        csr = as_csr(self.graph)
+        self._csr_cache = (key, csr)
+        return csr
 
     def database(self, vertex: int) -> TransactionDatabase:
         try:

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro._ordering import Pattern, make_pattern
+from repro._ordering import make_pattern
+from repro.graphs.csr import CSRGraph, GraphLike
 from repro.graphs.graph import Graph
 from repro.network.dbnetwork import DatabaseNetwork
 
@@ -71,22 +72,32 @@ def induce_theme_network(
 def theme_network_within(
     network: DatabaseNetwork,
     pattern: Iterable[int],
-    carrier: Graph,
-) -> tuple[Graph, FrequencyMap]:
+    carrier: GraphLike,
+) -> tuple[GraphLike, FrequencyMap]:
     """Induce ``G_p`` restricted to a carrier subgraph.
 
     Used by TCFI and the TC-Tree: by Proposition 5.3 the maximal pattern
     truss of ``p = p1 ∪ p2`` lives inside ``C*_{p1}(α) ∩ C*_{p2}(α)``, so
     only carrier vertices need frequency probes and only carrier edges can
-    survive.
+    survive. A CSR carrier yields a CSR theme network, keeping the whole
+    TC-Tree child round trip on the fast path.
     """
     frequencies = theme_frequencies(network, pattern, candidates=carrier)
     graph = carrier.subgraph(frequencies.keys())
     return graph, frequencies
 
 
-def intersect_graphs(first: Graph, second: Graph) -> Graph:
-    """Edge intersection of two graphs (the TCFI carrier ``C*_1 ∩ C*_2``)."""
+def intersect_graphs(first: GraphLike, second: GraphLike) -> GraphLike:
+    """Edge intersection of two graphs (the TCFI carrier ``C*_1 ∩ C*_2``).
+
+    Two CSR carriers intersect by sorted-adjacency array merges and stay
+    in CSR form; any legacy operand drops the pair to the adjacency-set
+    path (mixed pairs normalize to legacy graphs first).
+    """
+    if isinstance(first, CSRGraph) and isinstance(second, CSRGraph):
+        return first.intersect(second)
+    # Mixed or legacy pair: iterate the smaller side's edges and probe the
+    # other (both graph types answer has_edge) — no bulk conversion.
     if first.num_edges > second.num_edges:
         first, second = second, first
     result = Graph()

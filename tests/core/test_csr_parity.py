@@ -1,0 +1,186 @@
+"""CSR-vs-legacy parity for MPTD and the truss decomposition pipeline.
+
+The CSR engine must produce *identical* results to the adjacency-set
+oracle on every input: same surviving edges, same thresholds (up to float
+drift far below the MPTD tolerance), same per-level removed sets, same
+frequency restriction. These tests drive both engines explicitly via the
+``engine`` selector, on top of the implicit coverage the rest of the
+suite provides through the auto-routing public API.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.cohesion import (
+    _edge_cohesion_table_legacy,
+    edge_cohesion_table,
+)
+from repro.core.mptd import (
+    _maximal_pattern_truss_legacy,
+    maximal_pattern_truss,
+)
+from repro.datasets.synthetic import generate_synthetic_network
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.index.decomposition import (
+    decompose_network_pattern,
+    decompose_theme,
+)
+from repro.network.theme import induce_theme_network
+from tests.conftest import alphas, database_networks, graph_with_frequencies
+
+
+def _assert_decompositions_equal(fast, slow):
+    assert len(fast.levels) == len(slow.levels)
+    for fast_level, slow_level in zip(fast.levels, slow.levels):
+        assert fast_level.alpha == pytest.approx(slow_level.alpha)
+        assert set(fast_level.removed_edges) == set(slow_level.removed_edges)
+    assert fast.frequencies == slow.frequencies
+    assert fast.num_edges == slow.num_edges
+    assert fast.max_alpha == pytest.approx(slow.max_alpha)
+
+
+class TestMPTDParity:
+    @settings(deadline=None, max_examples=60)
+    @given(graph_with_frequencies(), alphas())
+    def test_matches_legacy_on_random_inputs(self, pair, alpha):
+        graph, frequencies = pair
+        # Explicit CSR input forces the engine even below the small-graph
+        # cutover, so the engines are genuinely compared.
+        fast_graph, fast_cohesion = maximal_pattern_truss(
+            CSRGraph.from_graph(graph), frequencies, alpha
+        )
+        slow_graph, slow_cohesion = _maximal_pattern_truss_legacy(
+            graph, frequencies, alpha
+        )
+        assert fast_graph == slow_graph
+        assert set(fast_cohesion) == set(slow_cohesion)
+        for edge, value in fast_cohesion.items():
+            assert value == pytest.approx(slow_cohesion[edge])
+
+    def test_matches_legacy_on_dense_graph(self):
+        graph = powerlaw_cluster_graph(150, 5, 0.8, seed=9)
+        frequencies = {v: ((v * 7) % 10 + 1) / 10.0 for v in graph}
+        for alpha in (0.0, 0.3, 1.0, 2.5):
+            fast_graph, _ = maximal_pattern_truss(graph, frequencies, alpha)
+            slow_graph, _ = _maximal_pattern_truss_legacy(
+                graph, frequencies, alpha
+            )
+            assert fast_graph == slow_graph
+
+    def test_accepts_csr_input(self):
+        graph = powerlaw_cluster_graph(60, 3, 0.7, seed=2)
+        frequencies = {v: 1.0 for v in graph}
+        from_csr, _ = maximal_pattern_truss(
+            CSRGraph.from_graph(graph), frequencies, 1.0
+        )
+        from_graph, _ = maximal_pattern_truss(graph, frequencies, 1.0)
+        assert from_csr == from_graph
+
+
+class TestCohesionTableParity:
+    @settings(deadline=None, max_examples=40)
+    @given(graph_with_frequencies())
+    def test_matches_legacy(self, pair):
+        graph, frequencies = pair
+        # CSR input forces the engine below the small-graph cutover.
+        fast = edge_cohesion_table(CSRGraph.from_graph(graph), frequencies)
+        slow = _edge_cohesion_table_legacy(graph, frequencies)
+        assert set(fast) == set(slow)
+        for edge, value in fast.items():
+            assert value == pytest.approx(slow[edge])
+
+
+class TestDecompositionParity:
+    @settings(deadline=None, max_examples=40)
+    @given(database_networks())
+    def test_engines_agree_on_random_networks(self, network):
+        for item in network.item_universe():
+            graph, frequencies = induce_theme_network(network, (item,))
+            fast = decompose_theme((item,), graph, frequencies, engine="csr")
+            slow = decompose_theme(
+                (item,), graph, frequencies, engine="legacy"
+            )
+            _assert_decompositions_equal(fast, slow)
+
+    def test_engines_agree_on_dense_network(self):
+        graph = powerlaw_cluster_graph(300, 6, 0.8, seed=21)
+        network = generate_synthetic_network(
+            num_items=3,
+            num_seeds=2,
+            mutation_rate=0.2,
+            max_transactions=16,
+            max_transaction_length=4,
+            graph=graph,
+            seed=21,
+        )
+        for item in network.item_universe():
+            fast = decompose_network_pattern(network, (item,))
+            slow = decompose_network_pattern(
+                network, (item,), engine="legacy"
+            )
+            _assert_decompositions_equal(fast, slow)
+
+    def test_engines_agree_within_carriers(self):
+        """The TC-Tree child path: decomposition inside a CSR carrier."""
+        graph = powerlaw_cluster_graph(200, 5, 0.8, seed=22)
+        network = generate_synthetic_network(
+            num_items=3,
+            num_seeds=2,
+            mutation_rate=0.2,
+            max_transactions=12,
+            max_transaction_length=4,
+            graph=graph,
+            seed=22,
+        )
+        items = network.item_universe()
+        carriers = {}
+        for item in items:
+            decomposition = decompose_network_pattern(
+                network, (item,), capture_carrier=True
+            )
+            carrier = decomposition.frontier_carrier()
+            if carrier.num_edges:
+                carriers[item] = carrier
+        pairs = [
+            (a, b) for i, a in enumerate(sorted(carriers))
+            for b in sorted(carriers)[i + 1:]
+        ]
+        assert pairs, "test network must produce intersecting themes"
+        from repro.network.theme import intersect_graphs
+
+        for a, b in pairs:
+            carrier = intersect_graphs(carriers[a], carriers[b])
+            if carrier.num_edges == 0:
+                continue
+            fast = decompose_network_pattern(
+                network, (a, b), carrier=carrier
+            )
+            slow = decompose_network_pattern(
+                network, (a, b), carrier=carrier, engine="legacy"
+            )
+            _assert_decompositions_equal(fast, slow)
+
+    def test_capture_carrier_matches_truss_at(self):
+        graph = powerlaw_cluster_graph(200, 5, 0.8, seed=23)
+        network = generate_synthetic_network(
+            num_items=2,
+            num_seeds=1,
+            mutation_rate=0.1,
+            max_transactions=8,
+            max_transaction_length=3,
+            graph=graph,
+            seed=23,
+        )
+        item = network.item_universe()[0]
+        decomposition = decompose_network_pattern(
+            network, (item,), capture_carrier=True
+        )
+        carrier = decomposition.frontier_carrier()
+        reference = decomposition.truss_at(0.0).graph
+        assert set(carrier.iter_edges()) == set(reference.iter_edges())
+        # Taking clears the stash; the rebuilt fallback must agree too.
+        rebuilt = decomposition.frontier_carrier()
+        assert set(rebuilt.iter_edges()) == set(reference.iter_edges())

@@ -1,0 +1,194 @@
+"""CSRGraph parity tests: the fast path must be indistinguishable.
+
+Every test pits the CSR engine against the legacy adjacency-set
+implementation (kept precisely to serve as the oracle) on randomized
+inputs from the project's generators and hypothesis strategies.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph, as_csr, as_graph, csr_eligible
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.ktruss import (
+    _k_truss_legacy,
+    _truss_numbers_legacy,
+    k_truss,
+    max_truss_number,
+    truss_numbers,
+)
+from repro.graphs.triangles import (
+    _edge_triangle_counts_legacy,
+    count_triangles,
+    edge_triangle_counts,
+    enumerate_triangles,
+)
+from repro.network.theme import intersect_graphs
+from tests.conftest import small_graphs
+
+
+def _random_graphs():
+    """A deterministic spread of generated graphs (sparse to dense)."""
+    return [
+        erdos_renyi_graph(30, 0.15, seed=3),
+        erdos_renyi_graph(40, 0.4, seed=4),
+        powerlaw_cluster_graph(60, 3, 0.6, seed=5),
+        powerlaw_cluster_graph(120, 5, 0.9, seed=6),
+    ]
+
+
+class TestRoundTrip:
+    @given(small_graphs())
+    def test_round_trip_equals_original(self, graph):
+        assert CSRGraph.from_graph(graph).to_graph() == graph
+
+    def test_round_trip_generated(self):
+        for graph in _random_graphs():
+            csr = CSRGraph.from_graph(graph)
+            assert csr.to_graph() == graph
+            assert csr.num_vertices == graph.num_vertices
+            assert csr.num_edges == graph.num_edges
+
+    def test_isolated_vertices_preserved(self):
+        graph = Graph([(1, 2)])
+        graph.add_vertex(99)
+        csr = CSRGraph.from_graph(graph)
+        assert 99 in csr
+        assert csr.to_graph() == graph
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges([(1, 1)])
+
+    def test_rejects_unsortable_labels(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges([(1, "a")])
+
+    @given(small_graphs())
+    def test_queries_match_legacy(self, graph):
+        csr = CSRGraph.from_graph(graph)
+        assert sorted(csr) == sorted(graph)
+        assert set(csr.iter_edges()) == set(graph.iter_edges())
+        for v in graph:
+            assert csr.degree(v) == graph.degree(v)
+            assert set(csr.neighbors(v)) == graph.neighbors(v)
+        for u, v in graph.iter_edges():
+            assert csr.has_edge(u, v)
+            assert csr.has_edge(v, u)
+        assert not csr.has_edge(-5, -6)
+
+    def test_adjacency_rows_sorted(self):
+        for graph in _random_graphs():
+            csr = CSRGraph.from_graph(graph)
+            for i in range(csr.num_vertices):
+                row = list(csr.indices[csr.indptr[i]:csr.indptr[i + 1]])
+                assert row == sorted(row)
+
+    def test_edge_ids_canonical(self):
+        csr = CSRGraph.from_graph(_random_graphs()[2])
+        for eid in range(csr.num_edges):
+            u, v = csr.edge_label(eid)
+            assert u < v
+            assert csr.edge_id(u, v) == eid
+            assert csr.edge_id(v, u) == eid
+
+
+class TestEligibility:
+    def test_int_graph_eligible(self):
+        assert csr_eligible(Graph([(1, 2)]))
+
+    def test_string_graph_not_eligible(self):
+        assert not csr_eligible(Graph([("a", "b")]))
+        assert as_csr(Graph([("a", "b")])) is None
+
+    def test_as_graph_passthrough_and_convert(self):
+        graph = Graph([(1, 2), (2, 3)])
+        assert as_graph(graph) is graph
+        assert as_graph(CSRGraph.from_graph(graph)) == graph
+
+
+class TestDerivedGraphs:
+    @given(small_graphs())
+    def test_subgraph_matches_legacy(self, graph):
+        keep = [v for v in sorted(graph.vertices())][::2]
+        expected = graph.subgraph(keep)
+        got = CSRGraph.from_graph(graph).subgraph(keep)
+        assert got.to_graph() == expected
+
+    def test_intersect_matches_legacy(self):
+        a = powerlaw_cluster_graph(80, 4, 0.7, seed=11)
+        b = powerlaw_cluster_graph(80, 4, 0.7, seed=12)
+        expected = intersect_graphs(a, b)
+        got = CSRGraph.from_graph(a).intersect(CSRGraph.from_graph(b))
+        assert got.to_graph() == expected
+
+    def test_intersect_graphs_dispatches_csr(self):
+        a = powerlaw_cluster_graph(50, 3, 0.5, seed=13)
+        b = powerlaw_cluster_graph(50, 3, 0.5, seed=14)
+        result = intersect_graphs(
+            CSRGraph.from_graph(a), CSRGraph.from_graph(b)
+        )
+        assert isinstance(result, CSRGraph)
+        assert result.to_graph() == intersect_graphs(a, b)
+
+    def test_intersect_mixed_pair(self):
+        a = powerlaw_cluster_graph(50, 3, 0.5, seed=13)
+        b = powerlaw_cluster_graph(50, 3, 0.5, seed=14)
+        result = intersect_graphs(CSRGraph.from_graph(a), b)
+        assert set(result.iter_edges()) == set(
+            intersect_graphs(a, b).iter_edges()
+        )
+
+
+class TestTriangleParity:
+    @given(small_graphs())
+    def test_edge_triangle_counts_match_legacy(self, graph):
+        assert edge_triangle_counts(graph) == _edge_triangle_counts_legacy(
+            graph
+        )
+
+    def test_counts_on_generated(self):
+        for graph in _random_graphs():
+            legacy = _edge_triangle_counts_legacy(graph)
+            assert edge_triangle_counts(graph) == legacy
+            assert count_triangles(graph) == sum(legacy.values()) // 3
+
+    @given(small_graphs())
+    def test_enumeration_consistent(self, graph):
+        triangles = set(enumerate_triangles(graph))
+        assert len(triangles) == count_triangles(graph)
+
+
+class TestTrussParity:
+    def test_k_truss_matches_legacy(self):
+        for graph in _random_graphs():
+            for k in (3, 4, 5):
+                fast = k_truss(graph, k)
+                slow = _k_truss_legacy(graph, k)
+                assert set(fast.iter_edges()) == set(slow.iter_edges())
+                assert set(fast.vertices()) == set(slow.vertices())
+
+    def test_truss_numbers_match_legacy(self):
+        for graph in _random_graphs():
+            assert truss_numbers(graph) == _truss_numbers_legacy(graph)
+
+    @given(small_graphs())
+    def test_truss_numbers_match_legacy_random(self, graph):
+        assert truss_numbers(graph) == _truss_numbers_legacy(graph)
+
+    def test_string_labels_take_legacy_path(self):
+        graph = Graph(
+            [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
+        )
+        assert truss_numbers(graph) == _truss_numbers_legacy(graph)
+        assert max_truss_number(graph) == 3
+        assert set(k_truss(graph, 3).iter_edges()) == {
+            ("a", "b"), ("a", "c"), ("b", "c")
+        }

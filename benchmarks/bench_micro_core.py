@@ -18,7 +18,6 @@ import pytest
 
 from repro.core.cohesion import edge_cohesion_table
 from repro.core.mptd import maximal_pattern_truss
-from repro.datasets.synthetic import generate_synthetic_network
 from repro.graphs.generators import powerlaw_cluster_graph
 from repro.graphs.ktruss import truss_numbers
 from repro.index.decomposition import decompose_network_pattern
@@ -34,22 +33,6 @@ def dense_graph():
 @pytest.fixture(scope="module")
 def unit_frequencies(dense_graph):
     return {v: 1.0 for v in dense_graph}
-
-
-@pytest.fixture(scope="module")
-def dense_network():
-    """A dense few-item database network: large theme trusses, many
-    decomposition levels — the regime the paper's datasets live in."""
-    graph = powerlaw_cluster_graph(1400, 12, 0.85, seed=5)
-    return generate_synthetic_network(
-        num_items=4,
-        num_seeds=2,
-        mutation_rate=0.3,
-        max_transactions=64,
-        max_transaction_length=6,
-        graph=graph,
-        seed=5,
-    )
 
 
 def test_micro_cohesion_table(benchmark, dense_graph, unit_frequencies):
@@ -123,6 +106,21 @@ def test_micro_tctree_build_dense(benchmark, dense_network):
         build_tc_tree,
         args=(dense_network,),
         kwargs={"max_length": 2},
+        rounds=3,
+        iterations=1,
+    )
+    assert tree.num_nodes == 10
+
+
+def test_micro_tctree_build_dense_parallel(benchmark, dense_network):
+    """Process-parallel dense build (2 workers) — exercises the pool,
+    the pickle protocol, and the subtree fan-out end to end. Wall-clock
+    vs the serial case above depends on available cores; see
+    bench_parallel_build.py for the dedicated A/B comparison."""
+    tree = benchmark.pedantic(
+        build_tc_tree,
+        args=(dense_network,),
+        kwargs={"max_length": 2, "workers": 2},
         rounds=3,
         iterations=1,
     )

@@ -1,0 +1,71 @@
+"""Process-parallel TC-Tree build: workers scaling A/B comparison.
+
+Not a paper figure — this is the regression guard for
+``repro/index/parallel.py``. It builds the dense TC-Tree benchmark
+network serially and with 2/4 process workers in *interleaved* rounds
+(so drift hits every variant equally), reports the medians, and asserts
+the parallel trees are identical to the serial oracle.
+
+Interpretation note: the speedup ceiling is the machine's core count.
+On a single-core container the process path can only measure its own
+overhead (fork + result pickling); the point of running it in CI is to
+exercise the pool, the pickle protocol, and the adaptive chunking on
+every PR, with the JSON artifact tracking the overhead trend.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.index.tctree import build_tc_tree
+
+from benchmarks.conftest import write_report
+
+ROUNDS = 3
+WORKER_VARIANTS = (1, 2, 4)
+
+
+def test_parallel_build_scaling(dense_network, report_dir):
+    times: dict[int, list[float]] = {w: [] for w in WORKER_VARIANTS}
+    trees: dict[int, object] = {}
+    for _ in range(ROUNDS):
+        for workers in WORKER_VARIANTS:  # interleaved A/B rounds
+            start = time.perf_counter()
+            trees[workers] = build_tc_tree(
+                dense_network, max_length=2, workers=workers
+            )
+            times[workers].append(time.perf_counter() - start)
+
+    serial = trees[1]
+    lines = ["parallel TC-Tree build, dense network (medians, interleaved)"]
+    for workers in WORKER_VARIANTS:
+        median = statistics.median(times[workers])
+        lines.append(
+            f"  workers={workers}: {median:.3f}s "
+            f"(x{statistics.median(times[1]) / median:.2f} vs serial)"
+        )
+        tree = trees[workers]
+        assert tree.patterns() == serial.patterns()
+        for pattern in serial.patterns():
+            assert (
+                tree.find_node(pattern).decomposition.thresholds()
+                == serial.find_node(pattern).decomposition.thresholds()
+            )
+    report = "\n".join(lines)
+    print(report)
+    write_report(report_dir, "bench_parallel_build", report)
+
+
+def test_parallel_build_workers4(benchmark, dense_network):
+    """The tracked unit for this file's JSON artifact: the 4-worker pool
+    (the 2-worker case lives in bench_micro_core alongside the serial
+    one, so the two artifacts track distinct configurations)."""
+    tree = benchmark.pedantic(
+        build_tc_tree,
+        args=(dense_network,),
+        kwargs={"max_length": 2, "workers": 4},
+        rounds=3,
+        iterations=1,
+    )
+    assert tree.num_nodes == 10

@@ -30,6 +30,26 @@ def write_report(report_dir: Path, name: str, text: str) -> None:
 
 
 @pytest.fixture(scope="session")
+def dense_network():
+    """A dense few-item database network: large theme trusses, many
+    decomposition levels — the regime the paper's datasets live in.
+    Shared by bench_micro_core and bench_parallel_build."""
+    from repro.datasets.synthetic import generate_synthetic_network
+    from repro.graphs.generators import powerlaw_cluster_graph
+
+    graph = powerlaw_cluster_graph(1400, 12, 0.85, seed=5)
+    return generate_synthetic_network(
+        num_items=4,
+        num_seeds=2,
+        mutation_rate=0.3,
+        max_transactions=64,
+        max_transaction_length=6,
+        graph=graph,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
 def bk_tiny():
     return experiments.make_bk("tiny")
 

@@ -215,14 +215,19 @@ def experiment_table3(
     datasets: Iterable[str] = ("BK", "GW", "AMINER", "SYN"),
     max_length: int | None = None,
     workers: int = 1,
+    backend: str = "thread",
 ) -> tuple[list[dict], str, dict[str, TCTree]]:
-    """Regenerate Table 3: indexing time, peak memory, #nodes."""
+    """Regenerate Table 3: indexing time, peak memory, #nodes.
+
+    ``backend`` defaults to the in-process thread path so the peak-memory
+    column stays meaningful (see :func:`repro.bench.runner.run_indexing`).
+    """
     rows: list[dict] = []
     trees: dict[str, TCTree] = {}
     for name in datasets:
         network = DATASET_MAKERS[name](scale)
         run, tree = run_indexing(
-            network, max_length=max_length, workers=workers
+            network, max_length=max_length, workers=workers, backend=backend
         )
         trees[name] = tree
         rows.append({"dataset": name, **run.as_row()})

@@ -42,11 +42,21 @@ def run_indexing(
     network: DatabaseNetwork,
     max_length: int | None = None,
     workers: int = 1,
+    backend: str = "thread",
 ) -> tuple[MeasuredRun, TCTree]:
-    """Build a TC-Tree, measuring time, peak memory, and #nodes (Table 3)."""
+    """Build a TC-Tree, measuring time, peak memory, and #nodes (Table 3).
+
+    ``backend`` defaults to ``"thread"`` (not the library's ``"process"``
+    default): tracemalloc cannot see child-process allocations, so the
+    Table 3 peak-memory column is only meaningful for an in-process
+    build. Pass ``backend="process"`` explicitly to time the pool —
+    and read ``peak_bytes`` as parent-side memory only.
+    """
     run = MeasuredRun(label="tc-tree build")
     with measure_memory(run), measure_time(run):
-        tree = build_tc_tree(network, max_length=max_length, workers=workers)
+        tree = build_tc_tree(
+            network, max_length=max_length, workers=workers, backend=backend
+        )
     run.metrics["nodes"] = tree.num_nodes
     run.metrics["depth"] = tree.depth
     return run, tree

@@ -75,7 +75,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 def _cmd_index(args: argparse.Namespace) -> int:
     network = load_network(args.network)
     warehouse = ThemeCommunityWarehouse.build(
-        network, max_length=args.max_length, workers=args.workers
+        network,
+        max_length=args.max_length,
+        workers=args.workers,
+        backend=args.backend,
     )
     warehouse.save(args.out)
     low, high = warehouse.alpha_range()
@@ -214,7 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("network")
     p.add_argument("--out", required=True)
     p.add_argument("--max-length", type=int, default=None)
-    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel build workers (>1 enables the backend)")
+    p.add_argument("--backend", default="process",
+                   choices=("process", "thread", "serial"),
+                   help="parallel backend for --workers > 1; processes "
+                        "scale with cores, threads are GIL-bound")
     p.set_defaults(func=_cmd_index)
 
     p = sub.add_parser("query", help="query a saved TC-Tree")

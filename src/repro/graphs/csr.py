@@ -372,6 +372,29 @@ class CSRGraph:
         return CSRGraph._from_canonical_edges(edges)
 
     # ------------------------------------------------------------------
+    # pickling (the process-parallel TC-Tree build ships carriers between
+    # processes; see repro.index.parallel)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Ship only the flat arrays: the label index is derivable and the
+        cached triangle index can dwarf the graph itself."""
+        return (
+            self.labels, self.indptr, self.indices, self.edge_ids,
+            self.edge_u, self.edge_v,
+        )
+
+    def __setstate__(self, state) -> None:
+        labels, indptr, indices, edge_ids, edge_u, edge_v = state
+        self.labels = labels
+        self.indptr = indptr
+        self.indices = indices
+        self.edge_ids = edge_ids
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+        self._index = {label: i for i, label in enumerate(labels)}
+        self._tri = None
+
+    # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CSRGraph):
             return NotImplemented

@@ -6,6 +6,9 @@
 - :mod:`repro.index.tcnode` / :mod:`repro.index.tctree` — the TC-Tree, a
   set-enumeration tree over patterns whose nodes store ``L_p``
   (Algorithm 4);
+- :mod:`repro.index.parallel` — process-parallel construction: layer-1
+  items and whole enumeration subtrees fanned across a process pool with
+  a compact picklable task/result protocol;
 - :mod:`repro.index.query` — query answering (Algorithm 5), including the
   paper's two query modes QBA (by threshold) and QBP (by pattern);
 - :mod:`repro.index.warehouse` — the persistent "data warehouse of maximal
@@ -13,6 +16,7 @@
 """
 
 from repro.index.decomposition import TrussDecomposition, decompose_network_pattern, decompose_truss
+from repro.index.parallel import build_tc_tree_process
 from repro.index.query import QueryAnswer, query_by_alpha, query_by_pattern, query_tc_tree
 from repro.index.tcnode import TCNode
 from repro.index.tctree import TCTree, build_tc_tree
@@ -25,6 +29,7 @@ __all__ = [
     "TCNode",
     "TCTree",
     "build_tc_tree",
+    "build_tc_tree_process",
     "QueryAnswer",
     "query_tc_tree",
     "query_by_alpha",

@@ -166,6 +166,24 @@ class TrussDecomposition:
             return csr
         return self.truss_at(0.0).graph
 
+    def __getstate__(self):
+        """Pickle protocol of the process-parallel build: flatten a live
+        CSR ``carrier0`` to its canonical edge list so workers ship
+        levels + frequencies + flat edges, never CSR objects (the receiver
+        rebuilds lazily via :meth:`take_carrier`).
+
+        The flat list duplicates edges the levels already carry, but
+        deliberately so: on the fork path the parent receives it once
+        (phase A result) and every subtree worker then inherits it
+        copy-on-write, where dropping it would cost each worker an
+        O(m log m) from-levels rebuild per sibling carrier it touches.
+        """
+        state = self.__dict__.copy()
+        carrier = state.get("carrier0")
+        if isinstance(carrier, CSRGraph):
+            state["carrier0"] = carrier.edges()
+        return state
+
     def __repr__(self) -> str:
         return (
             f"TrussDecomposition(pattern={self.pattern}, "
@@ -339,6 +357,15 @@ def decompose_network_pattern(
     )
 
 
+def covers_most_vertices(num_positive: int, num_vertices: int) -> bool:
+    """The ≥90% frequency-coverage cutoff: decompose over the unfiltered
+    network CSR instead of building a subgraph. One predicate shared by
+    :func:`_restrict_for_decomposition` and the fork-path cache warming
+    (:func:`repro.index.parallel._warm_shared_caches`) so tuning it never
+    desynchronizes the two."""
+    return 10 * num_positive >= 9 * num_vertices
+
+
 def _restrict_for_decomposition(
     csr: CSRGraph, frequencies: FrequencyMap
 ) -> GraphLike:
@@ -354,7 +381,7 @@ def _restrict_for_decomposition(
     and the surviving edge count picks the representation: CSR for the
     engine, adjacency sets below the :data:`CSR_MIN_EDGES` cutover.
     """
-    if 10 * len(frequencies) >= 9 * csr.num_vertices:
+    if covers_most_vertices(len(frequencies), csr.num_vertices):
         return csr
     kept_edges, kept_labels = csr.induced_edges(frequencies.keys())
     if len(kept_edges) >= CSR_MIN_EDGES:

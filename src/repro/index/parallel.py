@@ -1,0 +1,423 @@
+"""Process-parallel TC-Tree construction.
+
+The paper parallelizes the first TC-Tree layer because layer-1
+decompositions are independent; beyond layer 1, each enumeration subtree
+rooted at a layer-1 node is *also* independent — by Proposition 5.3 every
+descendant pattern ``{s_i, ...}`` is mined inside intersections of the
+layer-1 carriers ``C*_{s_j}(0)`` with ``s_j ⪰ s_i``, which are shared
+read-only inputs. Threads cannot exploit either property on a pure-Python
+peeling engine (the GIL serializes the hot loops), so this module fans
+both phases across a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+Phase A
+    Layer-1 items are grouped into cost-balanced chunks and each worker
+    decomposes its chunk against the network shipped once per worker via
+    the pool initializer.
+Phase B
+    Each layer-1 item owns the enumeration subtree of all patterns whose
+    smallest item it is. Workers receive the full layer-1 decomposition
+    map once (second pool initializer) and build whole subtrees, returning
+    finished :class:`~repro.index.tcnode.TCNode` trees.
+
+The exchange format is deliberately compact: ``CSRGraph`` pickles as its
+flat arrays only (label index and cached triangle index are rebuilt or
+dropped), and ``TrussDecomposition.__getstate__`` flattens a live CSR
+``carrier0`` into its canonical edge list, so workers ship levels +
+frequencies + flat edge lists rather than live CSR objects.
+
+On fork platforms the *inbound* half of the protocol is free: worker
+state (network, layer-1 map, reuse table) is published in module globals
+immediately before the pool forks, so children inherit it copy-on-write —
+including the network CSR and its triangle index, which the parent warms
+once so no worker re-enumerates triangles. Spawn platforms fall back to
+shipping the same state through the pool initializer.
+
+Chunking is adaptive: per-item cost is estimated from ``C*_s(0)`` edge
+counts (degree mass before layer 1 exists), and items are packed
+largest-first onto the least-loaded chunk, so one hub item lands alone in
+its own chunk instead of serializing the pool behind a uniform split.
+
+The serial path in :func:`repro.index.tctree.build_tc_tree` is preserved
+bit-for-bit and acts as the parity oracle for this module's tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import threading
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from heapq import heapify, heappop, heappush
+
+from repro._ordering import EMPTY_PATTERN, Pattern
+from repro.graphs.csr import GraphLike
+from repro.graphs.support import CSR_MIN_EDGES, triangle_index
+from repro.index.decomposition import (
+    TrussDecomposition,
+    covers_most_vertices,
+    decompose_network_pattern,
+)
+from repro.index.tcnode import TCNode
+from repro.index.tctree import (
+    TCTree,
+    _carrier_of,
+    _expand_frontier,
+    build_tc_tree,
+)
+from repro.network.dbnetwork import DatabaseNetwork
+
+#: Chunks per worker: oversubscription lets the pool rebalance when cost
+#: estimates are off, at the price of a little extra task overhead.
+CHUNKS_PER_WORKER = 4
+
+# ---------------------------------------------------------------------------
+# adaptive chunking
+# ---------------------------------------------------------------------------
+
+
+def adaptive_chunks(
+    items: list[int],
+    costs: dict[int, float],
+    workers: int,
+    chunks_per_worker: int = CHUNKS_PER_WORKER,
+) -> list[list[int]]:
+    """Pack ``items`` into at most ``workers * chunks_per_worker`` chunks.
+
+    Greedy LPT scheduling: items are placed heaviest-first onto the
+    currently lightest chunk, so a hub item (one huge ``C*_s(0)``) fills a
+    chunk by itself and the remaining items spread over the rest of the
+    pool instead of queuing behind it. Every item appears in exactly one
+    chunk; chunks are returned and internally sorted in ascending item
+    order (deterministic, and matching the serial enumeration order).
+    """
+    if not items:
+        return []
+    n_chunks = max(1, min(len(items), workers * chunks_per_worker))
+    # Heaviest first; ties broken by item id for determinism.
+    order = sorted(items, key=lambda i: (-costs.get(i, 0.0), i))
+    heap: list[tuple[float, int]] = [(0.0, k) for k in range(n_chunks)]
+    heapify(heap)
+    bins: list[list[int]] = [[] for _ in range(n_chunks)]
+    for item in order:
+        load, k = heappop(heap)
+        bins[k].append(item)
+        heappush(heap, (load + max(costs.get(item, 0.0), 1.0), k))
+    chunks = [sorted(b) for b in bins if b]
+    chunks.sort(key=lambda c: c[0])
+    return chunks
+
+
+def _layer1_costs(network: DatabaseNetwork, items: list[int]) -> dict[int, float]:
+    """Pre-layer-1 cost proxy: degree mass of the item's supporting vertices.
+
+    ``C*_s(0)`` is unknown before phase A runs, but it lives inside the
+    subgraph induced by the vertices whose databases mention ``s`` — the
+    sum of their degrees bounds that subgraph's edge count.
+    """
+    degree = network.graph.degree
+    costs: dict[int, float] = {}
+    for item in items:
+        costs[item] = float(
+            sum(degree(v) for v in network.vertices_containing_item(item))
+        )
+    return costs
+
+
+# ---------------------------------------------------------------------------
+# worker-side state and task functions
+# ---------------------------------------------------------------------------
+
+#: Worker state: {"network": ..., "layer1": ..., "reuse": ...}. On fork
+#: platforms the parent publishes it here right before creating the pool
+#: (children inherit it copy-on-write, caches included); on spawn
+#: platforms :func:`_init_worker` fills it from the pickled initializer
+#: payload.
+_WORKER_STATE: dict = {}
+#: Per-process memo of materialized layer-1 carriers (item -> C*_s(0));
+#: shared across the subtree chunks a worker executes so each sibling
+#: carrier is built at most once per process.
+_WORKER_CARRIERS: dict[int, GraphLike] = {}
+#: Serializes fork-path pools across threads: :data:`_WORKER_STATE` is a
+#: module global, so two concurrent builds in one parent process would
+#: otherwise clobber each other's state between publish and fork.
+_STATE_LOCK = threading.Lock()
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = pickle.loads(payload)
+    _WORKER_CARRIERS.clear()
+
+
+def _layer1_chunk(items: list[int]) -> list[TrussDecomposition]:
+    """Phase A task: decompose one chunk of single-item patterns."""
+    network = _WORKER_STATE["network"]
+    return [
+        decompose_network_pattern(network, (item,), capture_carrier=True)
+        for item in items
+    ]
+
+
+def _subtree_chunk(task: tuple[list[int], int | None]) -> list[TCNode]:
+    """Phase B task: build the enumeration subtrees of one chunk of roots."""
+    roots, max_length = task
+    members = set(roots)
+    reuse = {
+        pattern: decomposition
+        for pattern, decomposition in _WORKER_STATE["reuse"].items()
+        if pattern[0] in members
+    }
+    return build_subtree_chunk(
+        _WORKER_STATE["network"],
+        _WORKER_STATE["layer1"],
+        roots,
+        max_length=max_length,
+        reuse=reuse,
+        carrier_cache=_WORKER_CARRIERS,
+    )
+
+
+def build_subtree_chunk(
+    network: DatabaseNetwork,
+    layer1: dict[int, TrussDecomposition],
+    roots: list[int],
+    max_length: int | None = None,
+    reuse: dict[Pattern, TrussDecomposition] | None = None,
+    carrier_cache: dict[int, GraphLike] | None = None,
+) -> list[TCNode]:
+    """Build the enumeration subtree rooted at each item of ``roots``.
+
+    ``layer1`` maps every item with a non-empty decomposition to it; the
+    subtree of root ``i`` pairs against the layer-1 siblings ``j > i``, so
+    a synthetic root holding *all* layer-1 nodes drives the shared
+    :func:`~repro.index.tctree._expand_frontier` loop. Sibling carriers
+    start unmaterialized and are rebuilt lazily (and memoized) by that
+    loop; ``carrier_cache`` optionally persists them across chunk calls in
+    one worker process.
+
+    Returns the layer-1 :class:`TCNode` of each root (in ascending item
+    order) with its completed subtree attached.
+    """
+    items = sorted(layer1)
+    root = TCNode(None, EMPTY_PATTERN, None)
+    nodes: dict[int, TCNode] = {}
+    for item in items:
+        node = TCNode(item, (item,), layer1[item])
+        root.add_child(node)
+        nodes[item] = node
+    truss_graphs: dict[int, GraphLike] = {}
+    if carrier_cache:
+        for item, carrier in carrier_cache.items():
+            if item in nodes:
+                truss_graphs[id(nodes[item])] = carrier
+    parent_of: dict[int, TCNode] = {}
+    built: list[TCNode] = []
+    for item in sorted(roots):
+        node = nodes[item]
+        parent_of[id(node)] = root
+        if id(node) not in truss_graphs:
+            truss_graphs[id(node)] = _carrier_of(node.decomposition)
+        if carrier_cache is not None:
+            # Persist before the frontier loop releases it: a later chunk
+            # in this process may pair an earlier root against this item.
+            carrier_cache[item] = truss_graphs[id(node)]
+        queue: deque[TCNode] = deque([node])
+        _expand_frontier(
+            network, queue, truss_graphs, parent_of,
+            max_length=max_length, reuse=reuse,
+        )
+        built.append(node)
+    if carrier_cache is not None:
+        for item, node in nodes.items():
+            carrier = truss_graphs.get(id(node))
+            if carrier is not None:
+                carrier_cache[item] = carrier
+    return built
+
+
+# ---------------------------------------------------------------------------
+# the orchestrator
+# ---------------------------------------------------------------------------
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork: workers inherit the parent's state copy-on-write (no
+    network pickling, shared warm caches) and start in milliseconds;
+    other platforms fall back to their default context."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class _worker_pool:
+    """A ProcessPoolExecutor whose workers see ``state`` as
+    :data:`_WORKER_STATE` — inherited through fork when possible, shipped
+    through the pool initializer otherwise.
+
+    On the fork path the parent's own global is published *before* the
+    executor is constructed — the stdlib makes no contract about whether
+    fork workers launch at construction or at first submit, and either
+    way they must inherit the state — and restored on exit. A module
+    lock is held for the pool's whole lifetime so concurrent builds from
+    different threads cannot clobber each other's published state.
+    """
+
+    def __init__(
+        self,
+        ctx: multiprocessing.context.BaseContext,
+        workers: int,
+        state: dict,
+    ) -> None:
+        self._fork = ctx.get_start_method() == "fork"
+        if self._fork:
+            global _WORKER_STATE
+            _STATE_LOCK.acquire()
+            _WORKER_STATE = state
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=ctx
+                )
+            except BaseException:
+                _WORKER_STATE = {}
+                _STATE_LOCK.release()
+                raise
+        else:
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(
+                    pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+                ),
+            )
+
+    def __enter__(self) -> ProcessPoolExecutor:
+        return self._pool
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            self._pool.shutdown()
+        finally:
+            if self._fork:
+                global _WORKER_STATE
+                _WORKER_STATE = {}
+                _STATE_LOCK.release()
+
+
+def _warm_shared_caches(network: DatabaseNetwork, items: list[int]) -> None:
+    """Build the caches forked workers should inherit instead of redoing.
+
+    The network CSR is always warmed. Its triangle index is warmed only
+    when some item's support covers most vertices — the regime where
+    layer-1 decompositions run over the network CSR itself (the shared
+    :func:`covers_most_vertices` predicate is exactly the one
+    ``_restrict_for_decomposition`` applies) and every worker would
+    otherwise re-enumerate the same triangles.
+    """
+    csr = network.csr_graph()
+    if csr is None or csr.num_edges < CSR_MIN_EDGES:
+        return
+    for item in items:
+        if covers_most_vertices(
+            len(network.vertices_containing_item(item)), csr.num_vertices
+        ):
+            triangle_index(csr)
+            return
+
+
+def build_tc_tree_process(
+    network: DatabaseNetwork,
+    max_length: int | None = None,
+    workers: int = 2,
+    reuse: dict[Pattern, TrussDecomposition] | None = None,
+) -> TCTree:
+    """Build the TC-Tree with a process pool (two fan-out phases).
+
+    Produces a tree identical to the serial
+    :func:`~repro.index.tctree.build_tc_tree` (the parity suite asserts
+    patterns, levels, thresholds, and frequencies all match). Reused
+    decompositions for layer-1 patterns keep object identity; deeper
+    reused decompositions cross a process boundary and come back as equal
+    copies.
+    """
+    items = network.item_universe()
+    reuse = reuse or {}
+    if workers <= 1 or len(items) < 2:
+        return build_tc_tree(
+            network, max_length=max_length, workers=1, reuse=reuse,
+            backend="serial",
+        )
+
+    ctx = _pool_context()
+    if ctx.get_start_method() == "fork":
+        _warm_shared_caches(network, items)
+
+    # ----------------------------------------------------------- phase A
+    layer1: dict[int, TrussDecomposition] = {
+        item: reuse[(item,)] for item in items if (item,) in reuse
+    }
+    todo = [item for item in items if item not in layer1]
+    if todo:
+        chunks = adaptive_chunks(todo, _layer1_costs(network, todo), workers)
+        with _worker_pool(
+            ctx, min(workers, len(chunks)), {"network": network}
+        ) as pool:
+            for chunk, decompositions in zip(
+                chunks, pool.map(_layer1_chunk, chunks)
+            ):
+                for item, decomposition in zip(chunk, decompositions):
+                    layer1[item] = decomposition
+    layer1 = {
+        item: decomposition
+        for item, decomposition in layer1.items()
+        if not decomposition.is_empty()
+    }
+
+    root = TCNode(None, EMPTY_PATTERN, None)
+    nodes: dict[int, TCNode] = {}
+    for item in sorted(layer1):
+        node = TCNode(item, (item,), layer1[item])
+        root.add_child(node)
+        nodes[item] = node
+
+    # ----------------------------------------------------------- phase B
+    # A single surviving layer-1 item has no pairing siblings, so its
+    # subtree is itself — nothing to fan out.
+    if len(layer1) >= 2 and (max_length is None or max_length > 1):
+        costs = {
+            item: float(decomposition.num_edges)
+            for item, decomposition in layer1.items()
+        }
+        chunks = adaptive_chunks(sorted(layer1), costs, workers)
+        deep_reuse = {
+            pattern: decomposition
+            for pattern, decomposition in reuse.items()
+            if len(pattern) >= 2
+        }
+        state = {"network": network, "layer1": layer1, "reuse": deep_reuse}
+        tasks = [(chunk, max_length) for chunk in chunks]
+        with _worker_pool(ctx, min(workers, len(chunks)), state) as pool:
+            for built in pool.map(_subtree_chunk, tasks):
+                for subtree_root in built:
+                    # Graft the worker-built subtree onto the parent-side
+                    # layer-1 node (which holds the original decomposition
+                    # object — reuse identity is preserved at layer 1).
+                    nodes[subtree_root.item].children = subtree_root.children
+
+    # The serial build consumes every captured carrier while expanding;
+    # here the workers consumed their (copy-on-write / shipped) copies, so
+    # drop the parent-side ones for the same steady-state memory: the sum
+    # of the L_p lists, as in the paper.
+    for decomposition in layer1.values():
+        decomposition.carrier0 = None
+
+    return TCTree(root, num_items=len(items))
+
+
+__all__ = [
+    "adaptive_chunks",
+    "build_subtree_chunk",
+    "build_tc_tree_process",
+    "CHUNKS_PER_WORKER",
+]

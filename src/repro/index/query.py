@@ -66,9 +66,12 @@ def query_tc_tree(
     while queue:
         node_f = queue.popleft()
         for child in node_f.children:
+            # A touched node counts as visited even when the item prune
+            # discards it — the Figure 5 RN/VN accounting measures nodes
+            # touched, including pruned ones.
+            answer.visited_nodes += 1
             if query_items is not None and child.item not in query_items:
                 continue  # prune subtree: s_{n_c} ∉ q
-            answer.visited_nodes += 1
             truss = child.decomposition.truss_at(alpha)  # type: ignore[union-attr]
             if truss.is_empty():
                 continue  # prune subtree: Proposition 5.2

@@ -5,13 +5,19 @@ every materialized node stores the decomposed maximal pattern truss
 ``L_p`` of its pattern. Construction is breadth-first:
 
 1. Layer 1: for every item with a non-empty ``C*_{s}(0)``, decompose and
-   attach under the root (the paper parallelizes this layer; we accept a
-   ``workers`` thread count).
+   attach under the root (the paper parallelizes this layer).
 2. For a popped node ``n_f``, each *later* sibling ``n_b``
    (``s_{n_f} ≺ s_{n_b}``) proposes child pattern ``p_f ∪ {s_{n_b}}``;
    the child's truss is computed inside ``C*_{p_f}(0) ∩ C*_{p_b}(0)``
    (Proposition 5.3) and kept only when non-empty (Proposition 5.2
    justifies pruning the whole subtree otherwise).
+
+``workers > 1`` selects a parallel build: ``backend="process"`` (the
+default) fans layer-1 items and whole enumeration subtrees across a
+process pool (:mod:`repro.index.parallel` — real speedup on a GIL-bound
+engine), while ``backend="thread"`` keeps the historical thread pool over
+layer 1 only. The serial path is the parity oracle: both parallel
+backends must reproduce its tree exactly.
 
 During the build each frontier node keeps its ``C*_p(0)`` carrier alive
 for the intersection step; the carriers are released once the node's
@@ -29,6 +35,7 @@ from collections.abc import Iterator
 from concurrent.futures import ThreadPoolExecutor
 
 from repro._ordering import EMPTY_PATTERN, Pattern
+from repro.errors import TCIndexError
 from repro.graphs.csr import GraphLike
 from repro.index.decomposition import (
     TrussDecomposition,
@@ -103,21 +110,95 @@ def _carrier_of(decomposition: TrussDecomposition) -> GraphLike:
     return decomposition.frontier_carrier()
 
 
+def _expand_frontier(
+    network: DatabaseNetwork,
+    queue: deque[TCNode],
+    truss_graphs: dict[int, GraphLike],
+    parent_of: dict[int, TCNode],
+    max_length: int | None = None,
+    reuse: dict[Pattern, TrussDecomposition] | None = None,
+) -> None:
+    """Run the BFS child-generation loop of Algorithm 4 to completion.
+
+    ``queue`` seeds the frontier; ``truss_graphs`` maps ``id(node)`` to
+    the node's live ``C*_p(0)`` carrier and ``parent_of`` maps it to the
+    node whose ``children`` list supplies the pairing siblings. The serial
+    build seeds all of layer 1; the process-parallel subtree workers seed
+    a single layer-1 node whose siblings may arrive carrier-less — those
+    carriers are rebuilt lazily and memoized back into ``truss_graphs``
+    (released, like every carrier, when their node is popped).
+    """
+    reuse = reuse or {}
+    while queue:
+        node_f = queue.popleft()
+        if max_length is not None and len(node_f.pattern) >= max_length:
+            truss_graphs.pop(id(node_f), None)
+            parent_of.pop(id(node_f), None)
+            continue
+        parent = parent_of[id(node_f)]
+        graph_f = truss_graphs[id(node_f)]
+        for node_b in parent.children:
+            if node_b.item <= node_f.item:  # type: ignore[operator]
+                continue  # need s_{n_f} ≺ s_{n_b}
+            graph_b = truss_graphs.get(id(node_b))
+            if graph_b is None:
+                # Sibling carrier not materialized — rebuild it once and
+                # memoize it so every later node_f pairing with this
+                # sibling reuses it instead of paying the O(m) rebuild
+                # again; it is released by the same pop-time lifecycle as
+                # captured carriers.
+                graph_b = _carrier_of(node_b.decomposition)  # type: ignore[arg-type]
+                truss_graphs[id(node_b)] = graph_b
+            carrier = intersect_graphs(graph_f, graph_b)
+            if carrier.num_edges == 0:
+                continue
+            child_pattern = node_f.pattern + (node_b.item,)  # type: ignore[operator]
+            decomposition = reuse.get(child_pattern)
+            if decomposition is None:
+                decomposition = decompose_network_pattern(
+                    network, child_pattern, carrier=carrier,
+                    capture_carrier=True,
+                )
+            if decomposition.is_empty():
+                continue
+            child = TCNode(node_b.item, child_pattern, decomposition)
+            node_f.add_child(child)
+            parent_of[id(child)] = node_f
+            truss_graphs[id(child)] = _carrier_of(decomposition)
+            queue.append(child)
+        truss_graphs.pop(id(node_f), None)
+        parent_of.pop(id(node_f), None)
+
+
 def build_tc_tree(
     network: DatabaseNetwork,
     max_length: int | None = None,
     workers: int = 1,
     reuse: dict[Pattern, TrussDecomposition] | None = None,
+    backend: str = "process",
 ) -> TCTree:
     """Build the TC-Tree of ``network`` (Algorithm 4).
 
-    ``max_length`` optionally caps indexed pattern length; ``workers``
-    parallelizes the first layer across items. ``reuse`` optionally maps
-    patterns to decompositions known to still be valid (the incremental
-    maintenance path — see :mod:`repro.index.updates`); matching patterns
-    skip recomputation entirely.
+    ``max_length`` optionally caps indexed pattern length. ``workers > 1``
+    parallelizes the build: ``backend="process"`` (default) fans layer-1
+    items and their enumeration subtrees across a process pool
+    (:mod:`repro.index.parallel`), ``backend="thread"`` uses the
+    historical GIL-bound thread pool over layer 1 only, and
+    ``backend="serial"`` forces the single-process path regardless of
+    ``workers``. ``reuse`` optionally maps patterns to decompositions
+    known to still be valid (the incremental maintenance path — see
+    :mod:`repro.index.updates`); matching patterns skip recomputation
+    entirely.
     """
+    if backend not in ("process", "thread", "serial"):
+        raise TCIndexError(f"unknown build backend {backend!r}")
     items = network.item_universe()
+    if workers > 1 and len(items) > 1 and backend == "process":
+        from repro.index.parallel import build_tc_tree_process
+
+        return build_tc_tree_process(
+            network, max_length=max_length, workers=workers, reuse=reuse
+        )
     root = TCNode(None, EMPTY_PATTERN, None)
     reuse = reuse or {}
 
@@ -129,7 +210,7 @@ def build_tc_tree(
             network, (item,), capture_carrier=True
         )
 
-    if workers > 1 and len(items) > 1:
+    if workers > 1 and len(items) > 1 and backend == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
             decompositions = list(pool.map(first_layer, items))
     else:
@@ -151,39 +232,9 @@ def build_tc_tree(
         id(child): root for child in root.children
     }
 
-    while queue:
-        node_f = queue.popleft()
-        if max_length is not None and len(node_f.pattern) >= max_length:
-            del truss_graphs[id(node_f)]
-            del parent_of[id(node_f)]
-            continue
-        parent = parent_of[id(node_f)]
-        graph_f = truss_graphs[id(node_f)]
-        for node_b in parent.children:
-            if node_b.item <= node_f.item:  # type: ignore[operator]
-                continue  # need s_{n_f} ≺ s_{n_b}
-            graph_b = truss_graphs.get(id(node_b))
-            if graph_b is None:
-                # Sibling already released its carrier — rebuild it once.
-                graph_b = _carrier_of(node_b.decomposition)  # type: ignore[arg-type]
-            carrier = intersect_graphs(graph_f, graph_b)
-            if carrier.num_edges == 0:
-                continue
-            child_pattern = node_f.pattern + (node_b.item,)  # type: ignore[operator]
-            decomposition = reuse.get(child_pattern)
-            if decomposition is None:
-                decomposition = decompose_network_pattern(
-                    network, child_pattern, carrier=carrier,
-                    capture_carrier=True,
-                )
-            if decomposition.is_empty():
-                continue
-            child = TCNode(node_b.item, child_pattern, decomposition)
-            node_f.add_child(child)
-            parent_of[id(child)] = node_f
-            truss_graphs[id(child)] = _carrier_of(decomposition)
-            queue.append(child)
-        del truss_graphs[id(node_f)]
-        del parent_of[id(node_f)]
+    _expand_frontier(
+        network, queue, truss_graphs, parent_of,
+        max_length=max_length, reuse=reuse,
+    )
 
     return TCTree(root, num_items=len(items))

@@ -23,6 +23,7 @@ from collections.abc import Iterable
 from repro._ordering import Pattern
 from repro.errors import TCIndexError
 from repro.index.decomposition import TrussDecomposition
+from repro.index.tcnode import TCNode
 from repro.index.tctree import TCTree, build_tc_tree
 from repro.network.dbnetwork import DatabaseNetwork
 from repro.txdb.database import TransactionDatabase
@@ -37,13 +38,15 @@ def affected_items(
 
     The union of the vertex's current items (their frequencies drop as the
     denominator grows) and the incoming items (they may newly appear).
+    ``new_transactions`` may be any iterable — including a single-pass
+    generator of generators; it is consumed exactly once.
     """
     items: set[int] = set()
     database = network.databases.get(vertex)
     if database is not None:
         items |= database.items()
     for transaction in new_transactions:
-        items |= set(transaction)
+        items.update(transaction)
     return items
 
 
@@ -61,36 +64,61 @@ def reusable_decompositions(
     return reusable
 
 
+def _clone_tree(tree: TCTree) -> TCTree:
+    """A structurally fresh tree sharing the (immutable-in-practice)
+    decompositions — new :class:`TCNode` objects, same ``L_p`` lists."""
+
+    def clone(node: TCNode) -> TCNode:
+        copy = TCNode(node.item, node.pattern, node.decomposition)
+        for child in node.children:
+            copy.add_child(clone(child))
+        return copy
+
+    return TCTree(clone(tree.root), num_items=tree.num_items)
+
+
 def update_vertex_database(
     network: DatabaseNetwork,
     tree: TCTree,
     vertex: int,
-    new_transactions: list[list[int]],
+    new_transactions: Iterable[Iterable[int]],
     max_length: int | None = None,
     workers: int = 1,
+    backend: str = "process",
 ) -> TCTree:
     """Append transactions to one vertex and return the refreshed TC-Tree.
 
     ``network`` is mutated (the transactions are appended); ``tree`` is
-    left untouched and a new tree is returned. Unaffected subproblems are
-    reused, so the cost is proportional to the work involving the updated
-    vertex's items only.
+    left untouched and a new tree is returned — callers may keep querying
+    the old tree independently, even when the update turns out to be
+    empty. Unaffected subproblems are reused, so the cost is proportional
+    to the work involving the updated vertex's items only.
+
+    ``new_transactions`` may be any iterable of iterables (it is
+    materialized once up front, so single-pass generators are safe);
+    ``workers``/``backend`` select the rebuild parallelism exactly as in
+    :func:`~repro.index.tctree.build_tc_tree`.
     """
     if vertex not in network.graph:
         raise TCIndexError(f"vertex {vertex!r} not in network")
-    if not new_transactions:
-        return tree
+    # Materialize before anything iterates: affected_items and the append
+    # loop below both need a pass, and a generator input would otherwise
+    # be silently exhausted by the first (losing the transactions).
+    transactions = [list(t) for t in new_transactions]
+    if not transactions:
+        return _clone_tree(tree)
 
-    affected = affected_items(network, vertex, new_transactions)
+    affected = affected_items(network, vertex, transactions)
     reuse = reusable_decompositions(tree, affected)
 
     database = network.databases.get(vertex)
     if database is None:
         database = TransactionDatabase()
         network.databases[vertex] = database
-    for transaction in new_transactions:
+    for transaction in transactions:
         database.add_transaction(transaction)
 
     return build_tc_tree(
-        network, max_length=max_length, workers=workers, reuse=reuse
+        network, max_length=max_length, workers=workers, reuse=reuse,
+        backend=backend,
     )

@@ -55,9 +55,19 @@ class ThemeCommunityWarehouse:
         network: DatabaseNetwork,
         max_length: int | None = None,
         workers: int = 1,
+        backend: str = "process",
     ) -> "ThemeCommunityWarehouse":
-        """Index every maximal pattern truss of ``network``."""
-        return cls(build_tc_tree(network, max_length=max_length, workers=workers))
+        """Index every maximal pattern truss of ``network``.
+
+        ``workers``/``backend`` select the build parallelism exactly as in
+        :func:`~repro.index.tctree.build_tc_tree`.
+        """
+        return cls(
+            build_tc_tree(
+                network, max_length=max_length, workers=workers,
+                backend=backend,
+            )
+        )
 
     # ------------------------------------------------------------------
     def query(

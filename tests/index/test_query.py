@@ -48,6 +48,31 @@ class TestToyQueries:
         assert answer.num_trusses == answer.retrieved_nodes
         assert answer.visited_nodes >= answer.retrieved_nodes
 
+    def test_visited_counts_item_pruned_children(self, toy_network):
+        """Regression: a child discarded by the item prune is still a
+        touched node — the Figure 5 VN metric counts it. The old code
+        ``continue``-d before the increment."""
+        tree = build_tc_tree(toy_network)
+        # The toy tree has layer-1 nodes for items 0 and 1. Querying
+        # q = {0} touches both root children but retrieves only one.
+        answer = query_tc_tree(tree, pattern=(0,), alpha=0.0)
+        assert answer.retrieved_nodes == 1
+        assert answer.visited_nodes == len(tree.root.children)
+
+    @settings(deadline=None, max_examples=15)
+    @given(database_networks())
+    def test_visited_nodes_with_full_item_set_counts_all(self, network):
+        """With q = S spelled out explicitly, no child is item-pruned, so
+        VN must match the q = None traversal exactly."""
+        tree = build_tc_tree(network)
+        items = sorted({i for p in tree.patterns() for i in p})
+        if not items:
+            return
+        unrestricted = query_tc_tree(tree, pattern=None, alpha=0.0)
+        explicit = query_tc_tree(tree, pattern=items, alpha=0.0)
+        assert explicit.visited_nodes == unrestricted.visited_nodes
+        assert explicit.patterns() == unrestricted.patterns()
+
 
 class TestQueryCorrectness:
     @settings(deadline=None, max_examples=20)

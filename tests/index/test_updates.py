@@ -47,9 +47,45 @@ class TestReusableDecompositions:
 
 
 class TestUpdateVertexDatabase:
-    def test_no_transactions_is_noop(self, toy_network):
+    def test_no_transactions_returns_fresh_tree(self, toy_network):
+        """Regression: the docstring promises a *new* tree even for an
+        empty update — the old code aliased and returned ``tree``."""
         tree = build_tc_tree(toy_network)
-        assert update_vertex_database(toy_network, tree, 0, []) is tree
+        updated = update_vertex_database(toy_network, tree, 0, [])
+        assert updated is not tree
+        assert updated.root is not tree.root
+        assert updated.patterns() == tree.patterns()
+        for pattern in tree.patterns():
+            old_node = tree.find_node(pattern)
+            new_node = updated.find_node(pattern)
+            assert new_node is not old_node
+            # Decompositions are shared (reuse semantics), nodes are not.
+            assert new_node.decomposition is old_node.decomposition
+
+    def test_generator_input_not_silently_dropped(self, toy_network):
+        """Regression: a single-pass generator of generators used to be
+        exhausted by affected_items, so the append loop saw nothing and
+        the transactions were silently lost."""
+        network = copy.deepcopy(toy_network)
+        vertex = next(iter(network.databases))
+        before = network.databases[vertex].num_transactions
+
+        transactions = [[0], [0, 1]]
+        generator = (iter(t) for t in transactions)
+        tree = build_tc_tree(network)
+        updated = update_vertex_database(network, tree, vertex, generator)
+
+        assert network.databases[vertex].num_transactions == before + 2
+        scratch = build_tc_tree(network)
+        assert updated.patterns() == scratch.patterns()
+
+    def test_affected_items_accepts_generators(self, toy_network):
+        vertex = next(iter(toy_network.databases))
+        old_items = toy_network.databases[vertex].items()
+        generator = (iter(t) for t in [[0], [777]])
+        assert affected_items(toy_network, vertex, generator) == (
+            old_items | {0, 777}
+        )
 
     def test_unknown_vertex_rejected(self, toy_network):
         tree = build_tc_tree(toy_network)

@@ -1,0 +1,157 @@
+"""Query serving: snapshot engine vs the seed load-JSON-per-query path.
+
+The seed CLI re-parsed the whole JSON warehouse document on every
+``repro query`` invocation, so query latency was dominated by
+deserialization rather than Algorithm 5 traversal. The serving layer
+loads a binary snapshot's offset table once and decodes nodes lazily
+behind an LRU cache; this benchmark quantifies the split on the dense
+benchmark network:
+
+- **cold**: snapshot open (TOC parse) and the first query;
+- **seed**: ``ThemeCommunityWarehouse.load(json) + query`` per query —
+  what every pre-serving CLI invocation paid;
+- **warm**: repeated queries against one live engine — the server path.
+
+The acceptance bar is warm ≥ 5× faster than seed per query. Metrics
+(cold-load, warm p50/p95 latency, queries/sec, speedup) go to
+``benchmarks/reports/query_serving.json`` for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+from repro.index.warehouse import ThemeCommunityWarehouse
+from repro.serve.engine import IndexedWarehouse
+from benchmarks.conftest import write_report
+from repro.bench.reporting import format_table
+
+#: Rounds of the query mix timed against the warm engine.
+WARM_ROUNDS = 15
+
+
+def _query_mix(tree) -> list[tuple[tuple[int, ...] | None, float]]:
+    """A serving-shaped mix: QBA at several thresholds + QBP prefixes."""
+    high = tree.max_alpha()
+    items = sorted({item for p in tree.patterns() for item in p})
+    mix: list[tuple[tuple[int, ...] | None, float]] = [
+        (None, 0.25 * high),
+        (None, 0.5 * high),
+        (None, 0.75 * high),
+        (None, 0.0),
+    ]
+    if items:
+        mix.append((tuple(items[:1]), 0.0))
+        mix.append((tuple(items[:2]), 0.25 * high))
+    return mix
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(
+        len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+def test_query_serving(benchmark, report_dir, tmp_path, dense_network):
+    warehouse = ThemeCommunityWarehouse.build(dense_network)
+    json_path = tmp_path / "dense.tctree.json"
+    snap_path = tmp_path / "dense.tcsnap"
+    warehouse.save(json_path)
+    warehouse.save_snapshot(snap_path)
+    mix = _query_mix(warehouse.tree)
+
+    # -- cold: TOC parse + first query --------------------------------
+    start = time.perf_counter()
+    engine = IndexedWarehouse.open(snap_path)
+    cold_open_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    first = engine.query(pattern=mix[0][0], alpha=mix[0][1])
+    cold_first_query_seconds = time.perf_counter() - start
+
+    # -- seed path: load the JSON document for every query ------------
+    seed_samples: list[float] = []
+    for pattern, alpha in mix:
+        start = time.perf_counter()
+        loaded = ThemeCommunityWarehouse.load(json_path)
+        answer = loaded.query(pattern=pattern, alpha=alpha)
+        seed_samples.append(time.perf_counter() - start)
+        # Parity guard: the serving path answers exactly the same.
+        served = engine.query(pattern=pattern, alpha=alpha)
+        assert served.retrieved_nodes == answer.retrieved_nodes
+        assert served.visited_nodes == answer.visited_nodes
+        assert served.patterns() == answer.patterns()
+
+    # -- warm path: repeated queries against the live engine ----------
+    warm_samples: list[float] = []
+    for _ in range(WARM_ROUNDS):
+        for pattern, alpha in mix:
+            start = time.perf_counter()
+            engine.query(pattern=pattern, alpha=alpha)
+            warm_samples.append(time.perf_counter() - start)
+
+    warm_mean = statistics.mean(warm_samples)
+    seed_mean = statistics.mean(seed_samples)
+    speedup = seed_mean / warm_mean
+    queries_per_second = 1.0 / warm_mean
+
+    rows = [
+        {
+            "cold_open_ms": round(cold_open_seconds * 1e3, 3),
+            "cold_first_query_ms": round(
+                cold_first_query_seconds * 1e3, 3
+            ),
+            "seed_per_query_ms": round(seed_mean * 1e3, 3),
+            "warm_p50_ms": round(_percentile(warm_samples, 0.5) * 1e3, 3),
+            "warm_p95_ms": round(_percentile(warm_samples, 0.95) * 1e3, 3),
+            "queries_per_sec": round(queries_per_second, 1),
+            "speedup": round(speedup, 1),
+        }
+    ]
+    write_report(
+        report_dir,
+        "query_serving",
+        format_table(
+            rows, title="Query serving: warm snapshot vs JSON-per-query"
+        ),
+    )
+    (report_dir / "query_serving.json").write_text(
+        json.dumps(
+            {
+                "network": "dense",
+                "indexed_trusses": engine.num_indexed_trusses,
+                "snapshot_bytes": snap_path.stat().st_size,
+                "json_bytes": json_path.stat().st_size,
+                "query_mix": [
+                    {"pattern": list(p) if p else None, "alpha": a}
+                    for p, a in mix
+                ],
+                "cold_open_seconds": cold_open_seconds,
+                "cold_first_query_seconds": cold_first_query_seconds,
+                "seed_per_query_seconds": seed_mean,
+                "warm_p50_seconds": _percentile(warm_samples, 0.5),
+                "warm_p95_seconds": _percentile(warm_samples, 0.95),
+                "queries_per_second": queries_per_second,
+                "speedup_vs_seed": speedup,
+                "cache": engine.stats()["cache"],
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    assert first.retrieved_nodes >= 0
+    # The acceptance bar: serving from a warm engine must beat the seed
+    # load-per-query path by at least 5x on the dense network.
+    assert speedup >= 5.0, f"warm speedup {speedup:.1f}x < 5x"
+
+    def run_mix() -> None:
+        for pattern, alpha in mix:
+            engine.query(pattern=pattern, alpha=alpha)
+
+    benchmark(run_mix)
+    engine.close()

@@ -3,10 +3,12 @@
 Subcommands::
 
     repro generate --dataset BK --scale small --out bk.json
-    repro stats bk.json
+    repro stats bk.json                      # also accepts index files
     repro mine bk.json --alpha 0.2 --method tcfi
-    repro index bk.json --out bk.tctree.json
-    repro query bk.tctree.json --alpha 0.2 [--pattern 3,7]
+    repro index bk.json --out bk.tcsnap --format snapshot
+    repro snapshot bk.tctree.json --out bk.tcsnap
+    repro query bk.tcsnap --alpha 0.2 [--pattern 3,7] [--top-k 5]
+    repro serve bk.tcsnap --port 8080
     repro search bk.json --vertex 12 --alpha 0.2 [--top 5]
     repro export bk.json --format graphml --out bk.graphml [--alpha 0.2]
     repro experiment table2 --scale tiny
@@ -42,11 +44,35 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.index.stats import tc_tree_statistics
+    from repro.serve.snapshot import is_snapshot_file
+
+    if is_snapshot_file(args.network) or _is_index_document(args.network):
+        # An index file (binary snapshot or JSON warehouse document):
+        # report the TC-Tree profile instead of network statistics.
+        warehouse = ThemeCommunityWarehouse.load(args.network)
+        stats = tc_tree_statistics(warehouse.tree)
+        print(
+            format_table(
+                [stats.as_row()],
+                title=f"TC-Tree statistics of {args.network}",
+            )
+        )
+        return 0
     network = load_network(args.network)
     stats = network_statistics(network)
     rows = [dict(stats.as_row(), **{"#Triangles": stats.num_triangles})]
     print(format_table(rows, title=f"statistics of {args.network}"))
     return 0
+
+
+def _is_index_document(path: str) -> bool:
+    """Cheap sniff: does the file open with a repro-tctree JSON header?"""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return '"repro-tctree"' in handle.read(256)
+    except (OSError, UnicodeDecodeError):
+        return False
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -80,21 +106,62 @@ def _cmd_index(args: argparse.Namespace) -> int:
         workers=args.workers,
         backend=args.backend,
     )
-    warehouse.save(args.out)
+    if args.format == "snapshot":
+        warehouse.save_snapshot(args.out)
+    else:
+        warehouse.save(args.out)
     low, high = warehouse.alpha_range()
     print(
-        f"wrote {args.out}: {warehouse.num_indexed_trusses} trusses, "
+        f"wrote {args.out} ({args.format}): "
+        f"{warehouse.num_indexed_trusses} trusses, "
         f"non-trivial alpha range [{low}, {high:.4g})"
     )
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.serve.snapshot import migrate_json_to_snapshot
+
+    json_bytes, snapshot_bytes = migrate_json_to_snapshot(
+        args.index, args.out
+    )
+    print(
+        f"wrote {args.out}: {snapshot_bytes} bytes "
+        f"(JSON was {json_bytes} bytes, "
+        f"x{json_bytes / max(1, snapshot_bytes):.2f})"
+    )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    warehouse = ThemeCommunityWarehouse.load(args.index)
+    from repro.serve.engine import IndexedWarehouse
+
     pattern = None
     if args.pattern:
         pattern = tuple(int(x) for x in args.pattern.split(","))
-    answer = warehouse.query(pattern=pattern, alpha=args.alpha)
+    # The engine answers both index formats (binary snapshots lazily,
+    # JSON documents from memory) bit-identically to the in-memory tree.
+    with IndexedWarehouse.open(args.index) as engine:
+        if args.top_k is not None:
+            communities = engine.top_k(
+                args.top_k, pattern=pattern, alpha=args.alpha,
+                min_size=args.min_size,
+            )
+            print(
+                f"top {len(communities)} theme communities "
+                f"(alpha={args.alpha})"
+            )
+            for community in communities:
+                members = ",".join(
+                    str(m) for m in sorted(community.members)[:10]
+                )
+                suffix = "..." if community.size > 10 else ""
+                print(
+                    f"  pattern={community.pattern} "
+                    f"size={community.size}: {members}{suffix}"
+                )
+            return 0
+        answer = engine.query(pattern=pattern, alpha=args.alpha)
     print(
         f"retrieved {answer.retrieved_nodes} trusses "
         f"(visited {answer.visited_nodes} nodes)"
@@ -104,6 +171,32 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"  pattern={truss.pattern} |V|={truss.num_vertices} "
             f"|E|={truss.num_edges} communities={len(truss.communities())}"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.engine import IndexedWarehouse
+    from repro.serve.server import create_server
+
+    engine = IndexedWarehouse.open(args.index, cache_size=args.cache_size)
+    server = create_server(
+        engine, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving {args.index} ({engine.backend}, "
+        f"{engine.num_indexed_trusses} trusses) "
+        f"on http://{host}:{port} — endpoints: "
+        "/query /top-k /stats /healthz",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        engine.close()
     return 0
 
 
@@ -223,15 +316,45 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("process", "thread", "serial"),
                    help="parallel backend for --workers > 1; processes "
                         "scale with cores, threads are GIL-bound")
+    p.add_argument("--format", default="json",
+                   choices=("json", "snapshot"),
+                   help="persistence format: json interchange document "
+                        "or binary serving snapshot")
     p.set_defaults(func=_cmd_index)
 
+    p = sub.add_parser(
+        "snapshot", help="migrate a JSON index to a binary snapshot"
+    )
+    p.add_argument("index", help="a repro-tctree JSON document")
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_snapshot)
+
     p = sub.add_parser("query", help="query a saved TC-Tree")
-    p.add_argument("index")
+    p.add_argument("index",
+                   help="binary snapshot or JSON warehouse document")
     p.add_argument("--alpha", type=float, default=0.0)
     p.add_argument("--pattern", default=None,
                    help="comma-separated item ids (default: all items)")
     p.add_argument("--top", type=int, default=20)
+    p.add_argument("--top-k", type=int, default=None,
+                   help="rank and return only the K best-scoring theme "
+                        "communities instead of dumping every truss")
+    p.add_argument("--min-size", type=int, default=3,
+                   help="smallest community size --top-k may return")
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "serve", help="serve a TC-Tree index over HTTP (threaded)"
+    )
+    p.add_argument("index",
+                   help="binary snapshot or JSON warehouse document")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="decoded-carrier LRU cache capacity, in nodes")
+    p.add_argument("--verbose", action="store_true",
+                   help="log one line per request to stderr")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("validate", help="check a network for problems")
     p.add_argument("network")

@@ -46,6 +46,31 @@ class QueryAnswer:
         """Theme communities of all retrieved trusses (Definition 3.5)."""
         return extract_theme_communities(self.trusses)
 
+    def to_payload(self) -> dict:
+        """JSON-serializable form (the serving layer's wire format)."""
+        return {
+            "query_pattern": (
+                None if self.query_pattern is None
+                else list(self.query_pattern)
+            ),
+            "alpha": self.alpha,
+            "retrieved_nodes": self.retrieved_nodes,
+            "visited_nodes": self.visited_nodes,
+            "num_trusses": self.num_trusses,
+            "trusses": [
+                {
+                    "pattern": list(truss.pattern),
+                    "num_vertices": truss.num_vertices,
+                    "num_edges": truss.num_edges,
+                    "communities": [
+                        sorted(component)
+                        for component in truss.communities()
+                    ],
+                }
+                for truss in self.trusses
+            ],
+        }
+
 
 def query_tc_tree(
     tree: TCTree,

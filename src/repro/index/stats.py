@@ -4,6 +4,11 @@ Table 3 reports size-level quantities per index; this module computes a
 fuller profile — nodes per depth, edges stored, decomposition-level
 distribution, an estimate of serialized size — useful both for reporting
 and for capacity planning before indexing a large network.
+
+Two size estimates are reported: the JSON interchange document
+(approximate — JSON length depends on how floats print) and the binary
+serving snapshot (exact — the format of :mod:`repro.serve.snapshot` is
+fully determined by the counts collected here).
 """
 
 from __future__ import annotations
@@ -11,6 +16,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.index.tctree import TCTree
+
+#: Calibrated per-record JSON character costs (compact ``json.dump``):
+#: node envelope ``{"pattern": ..., "frequencies": ..., "levels": ...}``,
+#: one frequency entry ``"123": 0.123456789, ``, one level envelope
+#: ``[0.123456789, [...]], `` and one edge ``[12, 34], ``. Floats print
+#: shortest-round-trip, so real documents land within a small factor.
+_JSON_DOCUMENT_OVERHEAD = 70
+_JSON_NODE_OVERHEAD = 44
+_JSON_PATTERN_ITEM = 5
+_JSON_FREQUENCY_ENTRY = 26
+_JSON_LEVEL_OVERHEAD = 22
+_JSON_EDGE = 10
 
 
 @dataclass
@@ -22,6 +39,8 @@ class TCTreeStatistics:
     nodes_per_depth: dict[int, int] = field(default_factory=dict)
     total_edges_stored: int = 0
     total_decomposition_levels: int = 0
+    total_frequency_entries: int = 0
+    total_pattern_items: int = 0
     max_alpha: float = 0.0
 
     @property
@@ -36,6 +55,38 @@ class TCTreeStatistics:
             return 0.0
         return self.total_edges_stored / self.num_nodes
 
+    # ------------------------------------------------------------------
+    @property
+    def estimated_json_bytes(self) -> int:
+        """Approximate size of the JSON warehouse document."""
+        return (
+            _JSON_DOCUMENT_OVERHEAD
+            + self.num_nodes * _JSON_NODE_OVERHEAD
+            + self.total_pattern_items * _JSON_PATTERN_ITEM
+            + self.total_frequency_entries * _JSON_FREQUENCY_ENTRY
+            + self.total_decomposition_levels * _JSON_LEVEL_OVERHEAD
+            + self.total_edges_stored * _JSON_EDGE
+        )
+
+    @property
+    def estimated_snapshot_bytes(self) -> int:
+        """Exact size of the binary serving snapshot."""
+        from repro.serve.snapshot import estimate_snapshot_bytes
+
+        return estimate_snapshot_bytes(
+            self.num_nodes,
+            self.total_decomposition_levels,
+            self.total_edges_stored,
+            self.total_frequency_entries,
+        )
+
+    def estimated_bytes(self) -> dict[str, int]:
+        """Serialized-size estimates per persistence format."""
+        return {
+            "json": self.estimated_json_bytes,
+            "snapshot": self.estimated_snapshot_bytes,
+        }
+
     def as_row(self) -> dict[str, float]:
         return {
             "nodes": self.num_nodes,
@@ -44,6 +95,10 @@ class TCTreeStatistics:
             "levels": self.total_decomposition_levels,
             "levels/node": round(self.average_levels_per_node, 3),
             "alpha*": round(self.max_alpha, 6),
+            "est_json_KiB": round(self.estimated_json_bytes / 1024, 1),
+            "est_snap_KiB": round(
+                self.estimated_snapshot_bytes / 1024, 1
+            ),
         }
 
 
@@ -56,9 +111,13 @@ def tc_tree_statistics(tree: TCTree) -> TCTreeStatistics:
         stats.nodes_per_depth[depth] = (
             stats.nodes_per_depth.get(depth, 0) + 1
         )
+        stats.total_pattern_items += depth
         decomposition = node.decomposition
         if decomposition is not None:
             stats.total_edges_stored += decomposition.num_edges
             stats.total_decomposition_levels += len(decomposition.levels)
+            stats.total_frequency_entries += len(
+                decomposition.frequencies
+            )
             stats.max_alpha = max(stats.max_alpha, decomposition.max_alpha)
     return stats

@@ -19,8 +19,16 @@ Persistence format (version 1)::
       ]
     }
 
-Nodes are listed in BFS order; the tree shape is implied by the patterns
-(each node's parent is its pattern minus the last item).
+Nodes are listed parent-before-child; the tree shape is implied by the
+patterns (each node's parent is its pattern minus the last item).
+
+JSON is the *interchange* format. For serving-grade load times use the
+binary snapshot format of :mod:`repro.serve.snapshot`
+(:meth:`ThemeCommunityWarehouse.save_snapshot`, ``repro snapshot``):
+flat sections plus a per-node offset table, decodable node-by-node by
+the lazy query engine (:class:`repro.serve.engine.IndexedWarehouse`).
+:meth:`ThemeCommunityWarehouse.load` sniffs the magic bytes and accepts
+both formats.
 """
 
 from __future__ import annotations
@@ -141,6 +149,12 @@ class ThemeCommunityWarehouse:
         nodes_by_pattern: dict[Pattern, TCNode] = {}
         for entry in document["nodes"]:
             pattern: Pattern = tuple(entry["pattern"])
+            if not pattern:
+                raise TCIndexError("node with empty pattern")
+            if pattern in nodes_by_pattern:
+                # A duplicate entry would add_child twice and silently
+                # build a malformed tree (two siblings with one item).
+                raise TCIndexError(f"duplicate node for pattern {pattern}")
             decomposition = TrussDecomposition(
                 pattern=pattern,
                 levels=[
@@ -169,16 +183,41 @@ class ThemeCommunityWarehouse:
         return cls(TCTree(root, num_items=int(document["num_items"])))
 
     def save(self, path: str | Path) -> None:
+        """Write the JSON interchange document."""
         path = Path(path)
         with path.open("w", encoding="utf-8") as handle:
             json.dump(self.to_dict(), handle)
 
+    def save_snapshot(self, path: str | Path) -> int:
+        """Write the binary serving snapshot; returns its byte size.
+
+        See :mod:`repro.serve.snapshot` for the format. Prefer this for
+        anything the query engine or ``repro serve`` will load.
+        """
+        from repro.serve.snapshot import write_snapshot
+
+        return write_snapshot(self.tree, path)
+
     @classmethod
     def load(cls, path: str | Path) -> "ThemeCommunityWarehouse":
+        """Load either persistence format (sniffed by magic bytes).
+
+        Binary snapshots are fully materialized here; use
+        :class:`repro.serve.engine.IndexedWarehouse` to query one lazily.
+        """
+        from repro.serve.snapshot import TCTreeSnapshot, is_snapshot_file
+
         path = Path(path)
+        if is_snapshot_file(path):
+            with TCTreeSnapshot.open(path) as snapshot:
+                return snapshot.materialize()
         try:
             with path.open("r", encoding="utf-8") as handle:
                 document = json.load(handle)
         except json.JSONDecodeError as exc:
             raise TCIndexError(f"invalid JSON in {path}: {exc}") from exc
+        except UnicodeDecodeError as exc:
+            raise TCIndexError(
+                f"{path} is neither a snapshot nor a JSON document"
+            ) from exc
         return cls.from_dict(document)

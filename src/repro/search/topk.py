@@ -12,7 +12,7 @@ from collections.abc import Callable, Iterable
 from repro.core.communities import ThemeCommunity, extract_theme_communities
 from repro.core.results import MiningResult
 from repro.errors import MiningError
-from repro.index.query import query_tc_tree
+from repro.index.query import QueryAnswer, query_tc_tree
 from repro.index.tctree import TCTree
 
 Score = Callable[[ThemeCommunity], float]
@@ -24,7 +24,7 @@ def default_score(community: ThemeCommunity) -> float:
 
 
 def top_k_communities(
-    source: MiningResult | TCTree,
+    source: MiningResult | TCTree | QueryAnswer,
     k: int,
     pattern: Iterable[int] | None = None,
     alpha: float = 0.0,
@@ -33,23 +33,30 @@ def top_k_communities(
 ) -> list[ThemeCommunity]:
     """The ``k`` best-scoring theme communities.
 
-    ``source`` is a mining result or a TC-Tree (queried at ``alpha`` with
-    optional query ``pattern``). Ties break deterministically by pattern
-    then members.
+    ``source`` is a mining result, a TC-Tree (queried at ``alpha`` with
+    optional query ``pattern``), or an already-computed
+    :class:`QueryAnswer` — the serving engine's path, where the query ran
+    against a snapshot and only ranking remains (its own ``alpha`` is
+    authoritative; the ``alpha`` argument is ignored for this source).
+    Ties break deterministically by pattern then members.
     """
     if k < 1:
         raise MiningError(f"k must be >= 1, got {k}")
     if isinstance(source, TCTree):
+        # query_tc_tree already restricts to sub-patterns of ``pattern``;
+        # the shared filter below is then a no-op.
         communities = query_tc_tree(
             source, pattern=pattern, alpha=alpha
         ).communities()
+    elif isinstance(source, QueryAnswer):
+        communities = source.communities()
     else:
         communities = extract_theme_communities(source)
-        if pattern is not None:
-            allowed = set(pattern)
-            communities = [
-                c for c in communities if set(c.pattern) <= allowed
-            ]
+    if pattern is not None:
+        allowed = set(pattern)
+        communities = [
+            c for c in communities if set(c.pattern) <= allowed
+        ]
     communities = [c for c in communities if c.size >= min_size]
     communities.sort(
         key=lambda c: (-score(c), c.pattern, sorted(c.members))

@@ -1,0 +1,34 @@
+"""The warehouse serving layer (build-once / query-many, Section 6).
+
+The analytical side of the system — parallel TC-Tree construction — feeds
+this read-optimized serving path:
+
+- :mod:`repro.serve.snapshot` — a versioned binary TC-Tree snapshot whose
+  per-node offset table lets a single node's decomposition be decoded on
+  demand, plus a JSON→binary migration path;
+- :mod:`repro.serve.engine` — :class:`IndexedWarehouse`, a lazy-decoding
+  query engine with an LRU carrier cache, offset-table subtree pruning,
+  batched execution, and top-k integration. Answers are bit-identical to
+  :func:`repro.index.query.query_tc_tree` on the in-memory tree;
+- :mod:`repro.serve.server` — a threaded stdlib HTTP endpoint
+  (``/query``, ``/top-k``, ``/stats``, ``/healthz``) sharing one engine
+  across requests; exposed as ``repro serve``.
+"""
+
+from repro.serve.engine import IndexedWarehouse
+from repro.serve.snapshot import (
+    TCTreeSnapshot,
+    is_snapshot_file,
+    migrate_json_to_snapshot,
+    write_snapshot,
+)
+from repro.serve.server import create_server
+
+__all__ = [
+    "IndexedWarehouse",
+    "TCTreeSnapshot",
+    "is_snapshot_file",
+    "migrate_json_to_snapshot",
+    "write_snapshot",
+    "create_server",
+]

@@ -1,0 +1,307 @@
+"""Lazy-loading warehouse query engine (:class:`IndexedWarehouse`).
+
+Answers ``(q, α)`` queries against a binary snapshot without ever
+materializing the whole tree: the traversal runs Algorithm 5 over the
+snapshot's table of contents, pruning item-disjoint subtrees and
+empty-truss subtrees (Proposition 5.2) from TOC data alone, and decodes a
+node's decomposition — through a thread-safe LRU carrier cache — only
+when the node is actually retrieved.
+
+Answers are bit-identical to :func:`repro.index.query.query_tc_tree` on
+the in-memory tree: same trusses, same ``retrieved_nodes``, same
+``visited_nodes``. The emptiness prune compares the TOC's per-node
+``prune_alpha`` with ``α + COHESION_TOLERANCE`` — exactly the predicate
+:meth:`TrussDecomposition.edges_at` evaluates after a decode — so
+skipping the decode never changes the answer. A JSON warehouse document
+opens through the same API as the compatible fallback (fully decoded at
+load, as before).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro._ordering import make_pattern
+from repro.core.communities import ThemeCommunity
+from repro.core.mptd import COHESION_TOLERANCE
+from repro.errors import TCIndexError
+from repro.index.decomposition import TrussDecomposition
+from repro.index.query import QueryAnswer, query_tc_tree
+from repro.index.tctree import TCTree
+from repro.search.topk import Score, default_score, top_k_communities
+from repro.serve.snapshot import ROOT, TCTreeSnapshot, is_snapshot_file
+
+#: Default capacity of the decoded-carrier LRU cache, in nodes. Sized so
+#: a warm serving mix keeps every hot subtree decoded while a worst-case
+#: entry (levels + edges of one node) stays far below the snapshot size.
+DEFAULT_CACHE_SIZE = 1024
+
+QuerySpec = tuple[Sequence[int] | None, float]
+
+
+class CarrierCache:
+    """Thread-safe LRU map from snapshot node index to its decomposition.
+
+    Decoding happens outside the lock (it is pure and idempotent), so a
+    rare concurrent miss on the same node costs one duplicate decode
+    rather than serializing every reader behind the buffer parse.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise TCIndexError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[int, TrussDecomposition] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: int) -> TrussDecomposition | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: int, value: TrussDecomposition) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+class IndexedWarehouse:
+    """Read-optimized warehouse facade over a snapshot (or JSON fallback).
+
+    One instance is safe to share across server threads: the snapshot
+    buffer is immutable, the carrier cache locks internally, and query
+    state is per-call.
+    """
+
+    def __init__(
+        self,
+        snapshot: TCTreeSnapshot | None = None,
+        tree: TCTree | None = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if (snapshot is None) == (tree is None):
+            raise TCIndexError(
+                "exactly one of snapshot/tree must be given"
+            )
+        self._snapshot = snapshot
+        self._tree = tree
+        self._cache = CarrierCache(cache_size)
+        self._queries_served = 0
+        self._count_lock = threading.Lock()
+        # Captured once: the file may be replaced or deleted while the
+        # live mmap keeps serving, so /stats must not re-stat it.
+        self._snapshot_bytes = (
+            snapshot.path.stat().st_size
+            if snapshot is not None and snapshot.path is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls, path: str | Path, cache_size: int = DEFAULT_CACHE_SIZE
+    ) -> "IndexedWarehouse":
+        """Open a binary snapshot, or a JSON document as the fallback."""
+        path = Path(path)
+        if is_snapshot_file(path):
+            return cls(
+                snapshot=TCTreeSnapshot.open(path), cache_size=cache_size
+            )
+        from repro.index.warehouse import ThemeCommunityWarehouse
+
+        return cls(
+            tree=ThemeCommunityWarehouse.load(path).tree,
+            cache_size=cache_size,
+        )
+
+    def close(self) -> None:
+        if self._snapshot is not None:
+            self._snapshot.close()
+
+    def __enter__(self) -> "IndexedWarehouse":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        return "snapshot" if self._snapshot is not None else "memory"
+
+    @property
+    def num_indexed_trusses(self) -> int:
+        if self._snapshot is not None:
+            return self._snapshot.num_nodes
+        return self._tree.num_nodes  # type: ignore[union-attr]
+
+    @property
+    def num_items(self) -> int:
+        if self._snapshot is not None:
+            return self._snapshot.num_items
+        return self._tree.num_items  # type: ignore[union-attr]
+
+    def patterns(self) -> list:
+        if self._snapshot is not None:
+            return self._snapshot.patterns()
+        return self._tree.patterns()  # type: ignore[union-attr]
+
+    def alpha_range(self) -> tuple[float, float]:
+        """The non-trivial query range ``[0, α*)`` — TOC-only on snapshots."""
+        if self._snapshot is not None:
+            snapshot = self._snapshot
+            return (
+                0.0,
+                max(
+                    (
+                        snapshot.prune_alpha(i)
+                        for i in range(snapshot.num_nodes)
+                    ),
+                    default=0.0,
+                ),
+            )
+        return (0.0, self._tree.max_alpha())  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        pattern: Iterable[int] | None = None,
+        alpha: float = 0.0,
+    ) -> QueryAnswer:
+        """Answer ``(q, α_q)`` — Algorithm 5 over the lazy backend."""
+        with self._count_lock:
+            self._queries_served += 1
+        if self._tree is not None:
+            return query_tc_tree(self._tree, pattern=pattern, alpha=alpha)
+        return self._query_snapshot(pattern, alpha)
+
+    def query_batch(
+        self, queries: Iterable[QuerySpec]
+    ) -> list[QueryAnswer]:
+        """Answer many ``(pattern, alpha)`` pairs against one warm cache.
+
+        Answers come back in input order; the shared carrier cache makes
+        the batch asymptotically one decode per distinct retrieved node.
+        """
+        return [
+            self.query(pattern=pattern, alpha=alpha)
+            for pattern, alpha in queries
+        ]
+
+    def top_k(
+        self,
+        k: int,
+        pattern: Iterable[int] | None = None,
+        alpha: float = 0.0,
+        score: Score = default_score,
+        min_size: int = 3,
+    ) -> list[ThemeCommunity]:
+        """The ``k`` best-scoring communities of a query answer."""
+        return top_k_communities(
+            self.query(pattern=pattern, alpha=alpha),
+            k,
+            score=score,
+            min_size=min_size,
+        )
+
+    # ------------------------------------------------------------------
+    def _decomposition(self, index: int) -> TrussDecomposition:
+        cached = self._cache.get(index)
+        if cached is not None:
+            return cached
+        decomposition = self._snapshot.decode(index)  # type: ignore[union-attr]
+        self._cache.put(index, decomposition)
+        return decomposition
+
+    def _query_snapshot(
+        self, pattern: Iterable[int] | None, alpha: float
+    ) -> QueryAnswer:
+        if alpha < 0.0:
+            raise TCIndexError(f"alpha must be >= 0, got {alpha}")
+        snapshot = self._snapshot
+        assert snapshot is not None
+        query_pattern = None if pattern is None else make_pattern(pattern)
+        query_items = (
+            None if query_pattern is None else set(query_pattern)
+        )
+        answer = QueryAnswer(query_pattern=query_pattern, alpha=alpha)
+        bound = alpha + COHESION_TOLERANCE
+
+        queue: deque[int] = deque([ROOT])
+        while queue:
+            node = queue.popleft()
+            for child in snapshot.children(node):
+                # Same RN/VN accounting as query_tc_tree: a touched child
+                # counts as visited even when a prune discards it.
+                answer.visited_nodes += 1
+                if (
+                    query_items is not None
+                    and snapshot.item(child) not in query_items
+                ):
+                    continue  # prune subtree: s_{n_c} ∉ q
+                if not snapshot.prune_alpha(child) > bound:
+                    # Proposition 5.2 prune straight from the offset
+                    # table: C*_p(α) reconstructs empty, so neither this
+                    # node nor any descendant needs decoding.
+                    continue
+                truss = self._decomposition(child).truss_at(alpha)
+                if truss.is_empty():
+                    continue  # unreachable on well-formed snapshots
+                answer.trusses.append(truss)
+                answer.retrieved_nodes += 1
+                queue.append(child)
+        return answer
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Operational counters for the ``/stats`` endpoint."""
+        info: dict = {
+            "backend": self.backend,
+            "indexed_trusses": self.num_indexed_trusses,
+            "num_items": self.num_items,
+            "queries_served": self._queries_served,
+            "cache": self._cache.stats(),
+        }
+        if self._snapshot is not None and self._snapshot.path is not None:
+            info["snapshot_path"] = str(self._snapshot.path)
+            info["snapshot_bytes"] = self._snapshot_bytes
+        return info
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexedWarehouse(backend={self.backend!r}, "
+            f"trusses={self.num_indexed_trusses})"
+        )
+
+
+__all__ = [
+    "IndexedWarehouse",
+    "CarrierCache",
+    "DEFAULT_CACHE_SIZE",
+]

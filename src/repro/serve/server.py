@@ -1,0 +1,250 @@
+"""Threaded HTTP query server over one shared :class:`IndexedWarehouse`.
+
+Stdlib-only (``http.server``): one engine instance is shared by every
+request thread — the snapshot buffer is immutable and the carrier cache
+locks internally, so concurrent queries are answered from one warm cache.
+
+Endpoints (all JSON):
+
+- ``GET /healthz`` — liveness: ``{"status": "ok"}``;
+- ``GET /stats`` — engine counters (backend, cache hits/misses, queries
+  served, snapshot size);
+- ``GET /query?alpha=0.2&pattern=3,7`` — one ``(q, α)`` answer in
+  :meth:`QueryAnswer.to_payload` form; omit ``pattern`` for ``q = S``;
+- ``POST /query`` with body ``{"queries": [{"pattern": [3,7]|null,
+  "alpha": 0.2}, ...]}`` — batched execution against the shared cache;
+- ``GET /top-k?k=5&alpha=0.2&pattern=3,7&min-size=3`` — the k
+  best-scoring theme communities of the answer.
+
+Run it with ``repro serve INDEX [--host H] [--port P] [--cache-size N]``
+(accepts both binary snapshots and JSON warehouse documents).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ReproError
+from repro.serve.engine import IndexedWarehouse
+
+
+def _parse_pattern(text: str | None):
+    if text is None or text == "":
+        return None
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise ValueError(
+            f"pattern must be comma-separated integers, got {text!r}"
+        ) from None
+
+
+def _parse_float(params: dict, name: str, default: float) -> float:
+    raw = params.get(name, [None])[0]
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+    return _finite(value, name)
+
+
+def _finite(value: float, name: str) -> float:
+    # NaN/Infinity would sail through the engine's `alpha < 0` guard and
+    # come back as bare `NaN` literals that strict JSON parsers reject.
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def _parse_int(params: dict, name: str, default: int) -> int:
+    raw = params.get(name, [None])[0]
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def _community_payload(community) -> dict:
+    return {
+        "pattern": list(community.pattern),
+        "alpha": community.alpha,
+        "size": community.size,
+        "members": sorted(community.members),
+    }
+
+
+class WarehouseRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server's shared engine."""
+
+    protocol_version = "HTTP/1.1"
+    server: "ThemeCommunityServer"
+
+    # ------------------------------------------------------------------
+    def _send_json(self, payload: dict | list, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int = 400) -> None:
+        self._send_json({"error": message}, status=status)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlsplit(self.path)
+        params = parse_qs(url.query)
+        try:
+            if url.path == "/healthz":
+                self._send_json({"status": "ok"})
+            elif url.path == "/stats":
+                self._send_json(self.server.engine.stats())
+            elif url.path == "/query":
+                answer = self.server.engine.query(
+                    pattern=_parse_pattern(
+                        params.get("pattern", [None])[0]
+                    ),
+                    alpha=_parse_float(params, "alpha", 0.0),
+                )
+                self._send_json(answer.to_payload())
+            elif url.path == "/top-k":
+                communities = self.server.engine.top_k(
+                    k=_parse_int(params, "k", 10),
+                    pattern=_parse_pattern(
+                        params.get("pattern", [None])[0]
+                    ),
+                    alpha=_parse_float(params, "alpha", 0.0),
+                    min_size=_parse_int(params, "min-size", 3),
+                )
+                self._send_json(
+                    {
+                        "k": len(communities),
+                        "communities": [
+                            _community_payload(c) for c in communities
+                        ],
+                    }
+                )
+            else:
+                self._send_error_json(
+                    f"unknown endpoint {url.path}", status=404
+                )
+        except (ValueError, ReproError) as exc:
+            self._send_error_json(str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        url = urlsplit(self.path)
+        # HTTP/1.1 keeps connections alive, so the body must be drained
+        # even on error paths — leftover bytes would be parsed as the
+        # start of the next request on a pooled connection.
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length)
+        if url.path != "/query":
+            self._send_error_json(
+                f"unknown endpoint {url.path}", status=404
+            )
+            return
+        try:
+            document = json.loads(body or b"{}")
+            if not isinstance(document, dict):
+                raise ValueError(
+                    'body must be an object with a "queries" list'
+                )
+            queries = document.get("queries")
+            if not isinstance(queries, list):
+                raise ValueError('body must carry a "queries" list')
+            specs = []
+            for entry in queries:
+                if not isinstance(entry, dict):
+                    raise ValueError(
+                        f"each query must be an object, got {entry!r}"
+                    )
+                pattern = entry.get("pattern")
+                if pattern is not None:
+                    # Same coercion as GET's _parse_pattern: item ids
+                    # must be integers (a bare string would otherwise
+                    # iterate into characters and silently prune all).
+                    if isinstance(pattern, str) or not isinstance(
+                        pattern, (list, tuple)
+                    ):
+                        raise ValueError(
+                            f"pattern must be a list of item ids, "
+                            f"got {pattern!r}"
+                        )
+                    pattern = tuple(int(item) for item in pattern)
+                specs.append(
+                    (
+                        pattern,
+                        _finite(
+                            float(entry.get("alpha", 0.0)), "alpha"
+                        ),
+                    )
+                )
+            answers = self.server.engine.query_batch(specs)
+            self._send_json(
+                {"answers": [answer.to_payload() for answer in answers]}
+            )
+        except (ValueError, KeyError, TypeError, ReproError) as exc:
+            self._send_error_json(str(exc))
+
+    # Quiet by default: the serving benchmark and the concurrency tests
+    # hammer the endpoint, and per-request stderr lines drown real logs.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class ThemeCommunityServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared engine."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: IndexedWarehouse,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, WarehouseRequestHandler)
+        self.engine = engine
+        self.verbose = verbose
+
+
+def create_server(
+    engine: IndexedWarehouse,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThemeCommunityServer:
+    """Bind a server on ``(host, port)`` (port 0 = ephemeral)."""
+    return ThemeCommunityServer((host, port), engine, verbose=verbose)
+
+
+def start_server_thread(
+    engine: IndexedWarehouse, host: str = "127.0.0.1", port: int = 0
+) -> tuple[ThemeCommunityServer, threading.Thread]:
+    """Run a server in a daemon thread; returns ``(server, thread)``.
+
+    Test/benchmark helper: the caller reads the bound port from
+    ``server.server_address`` and must call ``server.shutdown()``.
+    """
+    server = create_server(engine, host=host, port=port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+__all__ = [
+    "WarehouseRequestHandler",
+    "ThemeCommunityServer",
+    "create_server",
+    "start_server_thread",
+]

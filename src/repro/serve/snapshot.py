@@ -1,0 +1,465 @@
+"""Binary TC-Tree snapshot format (serving-layer persistence, version 1).
+
+The JSON warehouse document re-parses every node on every load, so query
+latency on the CLI path is dominated by deserialization. The snapshot
+packs the same information into flat little-endian sections with a
+per-node offset table, so a reader can open the file, learn the whole
+tree *shape* from the table of contents alone, and decode an individual
+node's decomposition only when a query actually retrieves it.
+
+Layout (all integers little-endian)::
+
+    header   <8sIIQQQQ : magic "REPROTCS", version, flags,
+                          num_items, num_nodes, toc_off, payload_off
+    TOC      five flat arrays of num_nodes entries each:
+               items        int64  — item appended at the node
+               parents      int64  — index of the parent node (-1 = root)
+               offsets      uint64 — payload offset, relative to payload_off
+               lengths      uint64 — payload byte length
+               prune_alphas float64 — least α at which C*_p(α) is empty
+    payload  one blob per node:
+               <QQQ num_frequencies, num_levels, num_edges
+               vertices  int64[num_frequencies]
+               values    float64[num_frequencies]
+               alphas    float64[num_levels]
+               counts    uint64[num_levels]   (removed edges per level)
+               edge_u    int64[num_edges]     (flat across levels)
+               edge_v    int64[num_edges]
+
+Nodes appear in depth-first preorder (parents before children, siblings
+in item order ≺), so the TOC alone reconstructs every pattern and the
+child adjacency. ``prune_alphas`` mirrors the emptiness test of
+:meth:`~repro.index.decomposition.TrussDecomposition.edges_at` exactly:
+``C*_p(α)`` is empty iff ``prune_alpha <= α + COHESION_TOLERANCE``, so
+the engine prunes Proposition 5.2 subtrees without touching the payload.
+
+JSON (:class:`~repro.index.warehouse.ThemeCommunityWarehouse` documents)
+remains the compatible interchange format; :func:`migrate_json_to_snapshot`
+converts existing indexes, and both loaders sniff the magic bytes.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import sys
+from array import array
+from pathlib import Path
+
+from repro._ordering import Pattern
+from repro.errors import TCIndexError
+from repro.index.decomposition import DecompositionLevel, TrussDecomposition
+from repro.index.tcnode import TCNode
+from repro.index.tctree import TCTree
+
+MAGIC = b"REPROTCS"
+VERSION = 1
+
+_HEADER = struct.Struct("<8sIIQQQQ")
+_PAYLOAD_PREFIX = struct.Struct("<QQQ")
+
+#: Sentinel parent index of layer-1 nodes (children of the virtual root).
+ROOT = -1
+
+_BIG_ENDIAN = sys.byteorder == "big"
+
+
+def _array_bytes(typecode: str, values) -> bytes:
+    """Serialize ``values`` as a little-endian flat array."""
+    arr = array(typecode, values)
+    if _BIG_ENDIAN:
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _array_from(typecode: str, buffer, count: int) -> array:
+    """Deserialize ``count`` little-endian items from ``buffer``."""
+    arr = array(typecode)
+    arr.frombytes(bytes(buffer[: count * arr.itemsize]))
+    if _BIG_ENDIAN:
+        arr.byteswap()
+    if len(arr) != count:
+        raise TCIndexError("truncated snapshot section")
+    return arr
+
+
+def prune_alpha_of(decomposition: TrussDecomposition) -> float:
+    """The least α at which ``C*_p(α)`` reconstructs empty.
+
+    ``edges_at(α)`` keeps levels with ``alpha > α + tolerance`` — the
+    result is non-empty iff some such level carries edges, so the cutoff
+    is the largest threshold among edge-carrying levels (0.0 when the
+    decomposition holds no edges at all).
+    """
+    return max(
+        (
+            level.alpha
+            for level in decomposition.levels
+            if level.removed_edges
+        ),
+        default=0.0,
+    )
+
+
+def _encode_payload(decomposition: TrussDecomposition) -> bytes:
+    vertices = sorted(decomposition.frequencies)
+    values = [decomposition.frequencies[v] for v in vertices]
+    alphas: list[float] = []
+    counts: list[int] = []
+    edge_u: list[int] = []
+    edge_v: list[int] = []
+    for level in decomposition.levels:
+        alphas.append(level.alpha)
+        counts.append(len(level.removed_edges))
+        for u, v in level.removed_edges:
+            edge_u.append(u)
+            edge_v.append(v)
+    return b"".join(
+        (
+            _PAYLOAD_PREFIX.pack(len(vertices), len(alphas), len(edge_u)),
+            _array_bytes("q", vertices),
+            _array_bytes("d", values),
+            _array_bytes("d", alphas),
+            _array_bytes("Q", counts),
+            _array_bytes("q", edge_u),
+            _array_bytes("q", edge_v),
+        )
+    )
+
+
+def _decode_payload(pattern: Pattern, blob) -> TrussDecomposition:
+    if len(blob) < _PAYLOAD_PREFIX.size:
+        raise TCIndexError("truncated snapshot payload")
+    num_freq, num_levels, num_edges = _PAYLOAD_PREFIX.unpack_from(blob, 0)
+    view = memoryview(blob)[_PAYLOAD_PREFIX.size:]
+    vertices = _array_from("q", view, num_freq)
+    view = view[num_freq * 8:]
+    values = _array_from("d", view, num_freq)
+    view = view[num_freq * 8:]
+    alphas = _array_from("d", view, num_levels)
+    view = view[num_levels * 8:]
+    counts = _array_from("Q", view, num_levels)
+    view = view[num_levels * 8:]
+    edge_u = _array_from("q", view, num_edges)
+    view = view[num_edges * 8:]
+    edge_v = _array_from("q", view, num_edges)
+    levels: list[DecompositionLevel] = []
+    cursor = 0
+    for k in range(num_levels):
+        count = counts[k]
+        levels.append(
+            DecompositionLevel(
+                alphas[k],
+                [
+                    (edge_u[e], edge_v[e])
+                    for e in range(cursor, cursor + count)
+                ],
+            )
+        )
+        cursor += count
+    if cursor != num_edges:
+        raise TCIndexError("snapshot level edge counts disagree with total")
+    return TrussDecomposition(
+        pattern=pattern,
+        levels=levels,
+        frequencies=dict(zip(vertices, values)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# writer
+# ---------------------------------------------------------------------------
+
+def write_snapshot(tree: TCTree, path: str | Path) -> int:
+    """Serialize ``tree`` to ``path``; returns the snapshot byte size."""
+    items: list[int] = []
+    parents: list[int] = []
+    offsets: list[int] = []
+    lengths: list[int] = []
+    prune_alphas: list[float] = []
+    index_of: dict[Pattern, int] = {}
+    payload = bytearray()
+    for node in tree.iter_nodes():
+        decomposition = node.decomposition
+        if decomposition is None or node.item is None:
+            raise TCIndexError(
+                f"node {node.pattern} has no decomposition; "
+                "only built trees can be snapshotted"
+            )
+        parent_pattern = node.pattern[:-1]
+        if parent_pattern and parent_pattern not in index_of:
+            raise TCIndexError(
+                f"node {node.pattern} appears before its parent"
+            )
+        index_of[node.pattern] = len(items)
+        items.append(node.item)
+        parents.append(
+            index_of[parent_pattern] if parent_pattern else ROOT
+        )
+        blob = _encode_payload(decomposition)
+        offsets.append(len(payload))
+        lengths.append(len(blob))
+        prune_alphas.append(prune_alpha_of(decomposition))
+        payload.extend(blob)
+
+    num_nodes = len(items)
+    toc = b"".join(
+        (
+            _array_bytes("q", items),
+            _array_bytes("q", parents),
+            _array_bytes("Q", offsets),
+            _array_bytes("Q", lengths),
+            _array_bytes("d", prune_alphas),
+        )
+    )
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        0,
+        tree.num_items,
+        num_nodes,
+        _HEADER.size,
+        _HEADER.size + len(toc),
+    )
+    # Write-to-temp + atomic rename: a live server mmaps the target
+    # file, and truncating a mapped inode in place would SIGBUS it —
+    # replacement must swap the whole inode or nothing.
+    path = Path(path)
+    temporary = path.with_name(path.name + ".tmp")
+    try:
+        with temporary.open("wb") as handle:
+            handle.write(header)
+            handle.write(toc)
+            handle.write(payload)
+        os.replace(temporary, path)
+    except BaseException:
+        temporary.unlink(missing_ok=True)
+        raise
+    return len(header) + len(toc) + len(payload)
+
+
+def estimate_snapshot_bytes(
+    num_nodes: int,
+    total_levels: int,
+    total_edges: int,
+    total_frequencies: int,
+) -> int:
+    """Exact snapshot size implied by the format, from count statistics."""
+    return (
+        _HEADER.size
+        + num_nodes * (5 * 8 + _PAYLOAD_PREFIX.size)
+        + 16 * (total_frequencies + total_levels + total_edges)
+    )
+
+
+# ---------------------------------------------------------------------------
+# reader
+# ---------------------------------------------------------------------------
+
+class TCTreeSnapshot:
+    """A memory-mapped binary TC-Tree snapshot with on-demand decoding.
+
+    Opening parses only the header and the table of contents: the item,
+    parent link, payload extent, and pruning threshold of every node.
+    Patterns and the child adjacency come from that alone; a node's
+    decomposition is decoded from its payload slice only when
+    :meth:`decode` is called (the engine does so only for retrieved
+    nodes, through its LRU cache).
+    """
+
+    def __init__(self, buffer, path: Path | None = None) -> None:
+        self.path = path
+        self._buffer = buffer
+        self._mmap: mmap.mmap | None = None
+        if len(buffer) < _HEADER.size:
+            raise TCIndexError("not a TC-Tree snapshot: file too short")
+        (
+            magic,
+            version,
+            _flags,
+            self.num_items,
+            self.num_nodes,
+            toc_off,
+            self._payload_off,
+        ) = _HEADER.unpack_from(buffer, 0)
+        if magic != MAGIC:
+            raise TCIndexError(
+                f"not a TC-Tree snapshot: bad magic {magic!r}"
+            )
+        if version != VERSION:
+            raise TCIndexError(f"unsupported snapshot version {version}")
+        n = self.num_nodes
+        if self._payload_off > len(buffer) or toc_off + 40 * n > len(buffer):
+            raise TCIndexError("truncated snapshot: TOC out of bounds")
+        # Copy the TOC region out of the buffer: memoryviews over an
+        # mmap would pin it open (BufferError on close) from the frames
+        # a parse error's traceback keeps alive.
+        view = memoryview(bytes(buffer[toc_off: toc_off + 40 * n]))
+        self.items = _array_from("q", view, n)
+        view = view[8 * n:]
+        self.parents = _array_from("q", view, n)
+        view = view[8 * n:]
+        self.offsets = _array_from("Q", view, n)
+        view = view[8 * n:]
+        self.lengths = _array_from("Q", view, n)
+        view = view[8 * n:]
+        self.prune_alphas = _array_from("d", view, n)
+
+        payload_size = len(buffer) - self._payload_off
+        self._patterns: list[Pattern] = []
+        self._children: list[list[int]] = [[] for _ in range(n)]
+        self._root_children: list[int] = []
+        seen_siblings: set[tuple[int, int]] = set()
+        for i in range(n):
+            parent = self.parents[i]
+            if parent == ROOT:
+                pattern: Pattern = (self.items[i],)
+            elif 0 <= parent < i:
+                pattern = self._patterns[parent] + (self.items[i],)
+            else:
+                raise TCIndexError(
+                    f"snapshot node {i} has invalid parent {parent}"
+                )
+            # Same invariant from_dict enforces on JSON documents: two
+            # siblings carrying one item are two nodes for one pattern —
+            # a malformed tree that double-counts trusses in queries.
+            sibling_key = (parent, self.items[i])
+            if sibling_key in seen_siblings:
+                raise TCIndexError(
+                    f"duplicate node for pattern {pattern}"
+                )
+            seen_siblings.add(sibling_key)
+            self._patterns.append(pattern)
+            if parent == ROOT:
+                self._root_children.append(i)
+            else:
+                self._children[parent].append(i)
+            if self.offsets[i] + self.lengths[i] > payload_size:
+                raise TCIndexError(
+                    f"snapshot node {i} payload out of bounds"
+                )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str | Path) -> "TCTreeSnapshot":
+        """Map ``path`` read-only and parse its table of contents."""
+        path = Path(path)
+        with path.open("rb") as handle:
+            try:
+                mapped = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            except ValueError:  # zero-length file cannot be mapped
+                raise TCIndexError(
+                    "not a TC-Tree snapshot: file too short"
+                ) from None
+        try:
+            snapshot = cls(mapped, path=path)
+        except Exception:
+            mapped.close()
+            raise
+        snapshot._mmap = mapped
+        return snapshot
+
+    def close(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+
+    def __enter__(self) -> "TCTreeSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def children(self, index: int) -> list[int]:
+        """Child node indices of ``index`` (:data:`ROOT` for layer 1)."""
+        if index == ROOT:
+            return self._root_children
+        return self._children[index]
+
+    def item(self, index: int) -> int:
+        return self.items[index]
+
+    def pattern(self, index: int) -> Pattern:
+        return self._patterns[index]
+
+    def prune_alpha(self, index: int) -> float:
+        """Least α at which node ``index`` answers empty (TOC, no decode)."""
+        return self.prune_alphas[index]
+
+    def patterns(self) -> list[Pattern]:
+        return sorted(self._patterns)
+
+    def decode(self, index: int) -> TrussDecomposition:
+        """Decode node ``index``'s decomposition from its payload slice."""
+        start = self._payload_off + self.offsets[index]
+        blob = self._buffer[start: start + self.lengths[index]]
+        return _decode_payload(self._patterns[index], blob)
+
+    # ------------------------------------------------------------------
+    def materialize(self):
+        """Decode every node into an in-memory warehouse (migration path)."""
+        from repro.index.warehouse import ThemeCommunityWarehouse
+
+        root = TCNode(None, (), None)
+        nodes: list[TCNode] = []
+        for i in range(self.num_nodes):
+            node = TCNode(self.items[i], self._patterns[i], self.decode(i))
+            parent = self.parents[i]
+            (root if parent == ROOT else nodes[parent]).add_child(node)
+            nodes.append(node)
+        return ThemeCommunityWarehouse(
+            TCTree(root, num_items=self.num_items)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TCTreeSnapshot(nodes={self.num_nodes}, "
+            f"items={self.num_items}, path={self.path})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# format sniffing + migration
+# ---------------------------------------------------------------------------
+
+def is_snapshot_file(path: str | Path) -> bool:
+    """True when ``path`` starts with the snapshot magic bytes."""
+    try:
+        with Path(path).open("rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def migrate_json_to_snapshot(
+    json_path: str | Path, snapshot_path: str | Path
+) -> tuple[int, int]:
+    """Convert a JSON warehouse document to a binary snapshot.
+
+    Returns ``(json_bytes, snapshot_bytes)``. The conversion is lossless:
+    patterns, thresholds, removed-edge lists, and frequencies round-trip
+    exactly (floats are binary64 in both formats).
+    """
+    from repro.index.warehouse import ThemeCommunityWarehouse
+
+    json_path = Path(json_path)
+    warehouse = ThemeCommunityWarehouse.load(json_path)
+    snapshot_bytes = write_snapshot(warehouse.tree, snapshot_path)
+    return json_path.stat().st_size, snapshot_bytes
+
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "ROOT",
+    "TCTreeSnapshot",
+    "write_snapshot",
+    "estimate_snapshot_bytes",
+    "is_snapshot_file",
+    "migrate_json_to_snapshot",
+    "prune_alpha_of",
+]

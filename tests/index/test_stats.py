@@ -39,6 +39,32 @@ class TestTCTreeStatistics:
         row = tc_tree_statistics(build_tc_tree(toy_network)).as_row()
         assert row["nodes"] == 2
         assert row["alpha*"] == pytest.approx(0.6)
+        assert row["est_json_KiB"] > 0
+        assert row["est_snap_KiB"] > 0
+
+    def test_estimated_snapshot_bytes_exact(self, toy_network, tmp_path):
+        """The binary format is fully determined by the counts, so the
+        snapshot estimate must equal the real file size."""
+        from repro.index.warehouse import ThemeCommunityWarehouse
+
+        warehouse = ThemeCommunityWarehouse.build(toy_network)
+        stats = tc_tree_statistics(warehouse.tree)
+        written = warehouse.save_snapshot(tmp_path / "toy.tcsnap")
+        assert stats.estimated_snapshot_bytes == written
+        assert stats.estimated_bytes()["snapshot"] == written
+
+    def test_estimated_json_bytes_close(self, toy_network, tmp_path):
+        """JSON length depends on float printing; the estimate only has
+        to land within a small factor of the real document."""
+        import json
+
+        from repro.index.warehouse import ThemeCommunityWarehouse
+
+        warehouse = ThemeCommunityWarehouse.build(toy_network)
+        stats = tc_tree_statistics(warehouse.tree)
+        actual = len(json.dumps(warehouse.to_dict()))
+        estimate = stats.estimated_bytes()["json"]
+        assert actual / 3 <= estimate <= actual * 3
 
     def test_edges_stored_matches_mining(self, toy_network):
         """Total stored edges = Σ |E*_p(0)| over indexed patterns."""

@@ -74,6 +74,50 @@ class TestPersistence:
                 {"format": "repro-tctree", "version": 42}
             )
 
+    def test_duplicate_pattern_rejected(self):
+        """A duplicate node entry used to call add_child twice and build
+        a malformed tree with two siblings for one item — it must raise."""
+        node = {
+            "pattern": [0],
+            "frequencies": {"1": 0.5},
+            "levels": [[0.5, [[1, 2]]]],
+        }
+        document = {
+            "format": "repro-tctree",
+            "version": 1,
+            "num_items": 3,
+            "nodes": [node, dict(node)],
+        }
+        with pytest.raises(TCIndexError, match="duplicate"):
+            ThemeCommunityWarehouse.from_dict(document)
+
+    def test_empty_pattern_rejected(self):
+        document = {
+            "format": "repro-tctree",
+            "version": 1,
+            "num_items": 3,
+            "nodes": [
+                {"pattern": [], "frequencies": {}, "levels": []}
+            ],
+        }
+        with pytest.raises(TCIndexError, match="empty pattern"):
+            ThemeCommunityWarehouse.from_dict(document)
+
+    def test_snapshot_round_trip_via_warehouse(self, toy_network, tmp_path):
+        """save_snapshot + format-sniffing load round-trips losslessly."""
+        warehouse = ThemeCommunityWarehouse.build(toy_network)
+        path = tmp_path / "toy.tcsnap"
+        written = warehouse.save_snapshot(path)
+        assert path.stat().st_size == written
+        loaded = ThemeCommunityWarehouse.load(path)
+        assert loaded.tree.patterns() == warehouse.tree.patterns()
+        for alpha in (0.0, 0.35, 0.45):
+            original = query_by_alpha(warehouse.tree, alpha)
+            restored = query_by_alpha(loaded.tree, alpha)
+            assert original.patterns() == restored.patterns()
+            for a, b in zip(original.trusses, restored.trusses):
+                assert set(a.graph.iter_edges()) == set(b.graph.iter_edges())
+
     def test_orphan_node_rejected(self):
         document = {
             "format": "repro-tctree",

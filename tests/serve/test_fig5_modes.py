@@ -1,0 +1,142 @@
+"""Figure 5 query-mode sweeps, on the tree and on the snapshot engine.
+
+The paper's serving evaluation runs two sweeps: QBA fixes ``q = S`` and
+raises ``α_q`` (retrieved/visited node counts can only fall — Theorem
+6.1 shrinks every truss), and QBP fixes ``α_q = 0`` and grows the query
+pattern (counts can only rise — a larger item set prunes fewer
+subtrees). Both backends must show the same monotone curves, and the
+same *numbers*: the engine is held to bit-identical parity everywhere.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.index.query import query_tc_tree
+from repro.index.warehouse import ThemeCommunityWarehouse
+from repro.serve.engine import IndexedWarehouse
+from repro.serve.snapshot import write_snapshot
+from tests.conftest import database_networks
+
+
+def _qba_alphas(tree) -> list[float]:
+    high = tree.max_alpha()
+    return [fraction * high for fraction in (0.0, 0.25, 0.5, 0.75, 1.0)]
+
+
+def _qbp_patterns(tree) -> list[tuple[int, ...]]:
+    items = sorted({item for p in tree.patterns() for item in p})
+    return [tuple(items[:length]) for length in range(1, len(items) + 1)]
+
+
+def _sweep(query, arguments, mode):
+    answers = [query(argument) for argument in arguments]
+    retrieved = [a.retrieved_nodes for a in answers]
+    visited = [a.visited_nodes for a in answers]
+    if mode == "qba":  # rising α_q → counts fall
+        assert retrieved == sorted(retrieved, reverse=True)
+        assert visited == sorted(visited, reverse=True)
+    else:  # growing q → counts rise
+        assert retrieved == sorted(retrieved)
+        assert visited == sorted(visited)
+    return retrieved, visited
+
+
+class TestInMemorySweeps:
+    def test_qba_monotone_toy(self, toy_warehouse):
+        tree = toy_warehouse.tree
+        _sweep(
+            lambda alpha: query_tc_tree(tree, alpha=alpha),
+            _qba_alphas(tree),
+            "qba",
+        )
+
+    def test_qbp_monotone_toy(self, toy_warehouse):
+        tree = toy_warehouse.tree
+        patterns = _qbp_patterns(tree)
+        assert patterns, "toy tree indexes at least one item"
+        _sweep(
+            lambda pattern: query_tc_tree(tree, pattern=pattern),
+            patterns,
+            "qbp",
+        )
+
+    @settings(deadline=None, max_examples=15)
+    @given(database_networks())
+    def test_qba_monotone_random(self, network):
+        tree = ThemeCommunityWarehouse.build(network).tree
+        _sweep(
+            lambda alpha: query_tc_tree(tree, alpha=alpha),
+            _qba_alphas(tree),
+            "qba",
+        )
+
+    @settings(deadline=None, max_examples=15)
+    @given(database_networks())
+    def test_qbp_monotone_random(self, network):
+        tree = ThemeCommunityWarehouse.build(network).tree
+        patterns = _qbp_patterns(tree)
+        if not patterns:
+            return
+        _sweep(
+            lambda pattern: query_tc_tree(tree, pattern=pattern),
+            patterns,
+            "qbp",
+        )
+
+
+class TestSnapshotEngineSweeps:
+    def test_qba_monotone_and_identical(
+        self, toy_warehouse, toy_snapshot_path
+    ):
+        tree = toy_warehouse.tree
+        with IndexedWarehouse.open(toy_snapshot_path) as engine:
+            engine_curve = _sweep(
+                lambda alpha: engine.query(alpha=alpha),
+                _qba_alphas(tree),
+                "qba",
+            )
+            tree_curve = _sweep(
+                lambda alpha: query_tc_tree(tree, alpha=alpha),
+                _qba_alphas(tree),
+                "qba",
+            )
+            assert engine_curve == tree_curve
+
+    def test_qbp_monotone_and_identical(
+        self, toy_warehouse, toy_snapshot_path
+    ):
+        tree = toy_warehouse.tree
+        patterns = _qbp_patterns(tree)
+        with IndexedWarehouse.open(toy_snapshot_path) as engine:
+            engine_curve = _sweep(
+                lambda pattern: engine.query(pattern=pattern),
+                patterns,
+                "qbp",
+            )
+            tree_curve = _sweep(
+                lambda pattern: query_tc_tree(tree, pattern=pattern),
+                patterns,
+                "qbp",
+            )
+            assert engine_curve == tree_curve
+
+    @settings(deadline=None, max_examples=10)
+    @given(database_networks())
+    def test_random_sweeps_identical(self, tmp_path_factory, network):
+        """Both Figure 5 sweeps, random networks, both backends."""
+        warehouse = ThemeCommunityWarehouse.build(network)
+        tree = warehouse.tree
+        path = tmp_path_factory.mktemp("fig5") / "net.tcsnap"
+        write_snapshot(tree, path)
+        with IndexedWarehouse.open(path) as engine:
+            for alpha in _qba_alphas(tree):
+                ours = engine.query(alpha=alpha)
+                theirs = query_tc_tree(tree, alpha=alpha)
+                assert ours.retrieved_nodes == theirs.retrieved_nodes
+                assert ours.visited_nodes == theirs.visited_nodes
+            for pattern in _qbp_patterns(tree):
+                ours = engine.query(pattern=pattern)
+                theirs = query_tc_tree(tree, pattern=pattern)
+                assert ours.retrieved_nodes == theirs.retrieved_nodes
+                assert ours.visited_nodes == theirs.visited_nodes

@@ -1,0 +1,267 @@
+"""Tests for the threaded HTTP query server (incl. concurrency parity)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.index.query import query_tc_tree
+from repro.serve.engine import IndexedWarehouse
+from repro.serve.server import start_server_thread
+
+
+@pytest.fixture()
+def running_server(toy_snapshot_path):
+    engine = IndexedWarehouse.open(toy_snapshot_path)
+    server, _thread = start_server_thread(engine)
+    yield f"http://127.0.0.1:{server.server_address[1]}", engine
+    server.shutdown()
+    server.server_close()
+    engine.close()
+
+
+def _get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return json.load(response)
+
+
+def _post(base: str, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.load(response)
+
+
+class TestEndpoints:
+    def test_healthz(self, running_server):
+        base, _engine = running_server
+        assert _get(base, "/healthz") == {"status": "ok"}
+
+    def test_stats(self, running_server):
+        base, engine = running_server
+        stats = _get(base, "/stats")
+        assert stats["backend"] == "snapshot"
+        assert stats["indexed_trusses"] == engine.num_indexed_trusses
+
+    def test_query_matches_engine(self, running_server, toy_warehouse):
+        base, _engine = running_server
+        payload = _get(base, "/query?alpha=0.35")
+        expected = query_tc_tree(toy_warehouse.tree, alpha=0.35)
+        assert payload == expected.to_payload()
+
+    def test_query_with_pattern(self, running_server, toy_warehouse):
+        base, _engine = running_server
+        payload = _get(base, "/query?pattern=0&alpha=0.0")
+        expected = query_tc_tree(
+            toy_warehouse.tree, pattern=(0,), alpha=0.0
+        )
+        assert payload == expected.to_payload()
+
+    def test_top_k(self, running_server, toy_warehouse):
+        base, _engine = running_server
+        payload = _get(base, "/top-k?k=2&alpha=0.1")
+        assert payload["k"] <= 2
+        for community in payload["communities"]:
+            assert community["size"] >= 3
+            assert community["members"] == sorted(community["members"])
+
+    def test_batch_post(self, running_server, toy_warehouse):
+        base, _engine = running_server
+        payload = _post(
+            base,
+            "/query",
+            {
+                "queries": [
+                    {"pattern": None, "alpha": 0.0},
+                    {"pattern": [0], "alpha": 0.2},
+                ]
+            },
+        )
+        expected = [
+            query_tc_tree(toy_warehouse.tree, alpha=0.0),
+            query_tc_tree(toy_warehouse.tree, pattern=(0,), alpha=0.2),
+        ]
+        assert payload["answers"] == [a.to_payload() for a in expected]
+
+    def test_batch_coerces_string_item_ids(
+        self, running_server, toy_warehouse
+    ):
+        """JSON-stringified ids behave like GET's pattern=0 parsing."""
+        base, _engine = running_server
+        payload = _post(
+            base,
+            "/query",
+            {"queries": [{"pattern": ["0"], "alpha": 0.0}]},
+        )
+        expected = query_tc_tree(
+            toy_warehouse.tree, pattern=(0,), alpha=0.0
+        )
+        assert payload["answers"] == [expected.to_payload()]
+
+    def test_batch_rejects_string_pattern(self, running_server):
+        """A bare "3,7" pattern must 400, not iterate into characters."""
+        base, _engine = running_server
+        request = urllib.request.Request(
+            base + "/query",
+            data=json.dumps(
+                {"queries": [{"pattern": "0,1", "alpha": 0.0}]}
+            ).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestErrorHandling:
+    def _status_of(self, base: str, path: str) -> tuple[int, dict]:
+        try:
+            with urllib.request.urlopen(base + path, timeout=10) as resp:
+                return resp.status, json.load(resp)
+        except urllib.error.HTTPError as error:
+            return error.code, json.load(error)
+
+    def test_unknown_endpoint_404(self, running_server):
+        base, _engine = running_server
+        status, payload = self._status_of(base, "/nope")
+        assert status == 404
+        assert "error" in payload
+
+    def test_post_404_drains_body_on_keepalive(self, running_server):
+        """A 404'd POST must consume its body: leftover bytes would be
+        parsed as the next request on the persistent connection."""
+        import http.client
+
+        base, _engine = running_server
+        host_port = base.removeprefix("http://")
+        connection = http.client.HTTPConnection(host_port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/nope", body=json.dumps({"queries": []})
+            )
+            assert connection.getresponse().read() is not None
+            # Reuse the same socket: this fails with a 400 parse error
+            # if the body was left unread.
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read()) == {"status": "ok"}
+        finally:
+            connection.close()
+
+    def test_bad_alpha_400(self, running_server):
+        base, _engine = running_server
+        status, payload = self._status_of(base, "/query?alpha=abc")
+        assert status == 400
+        assert "alpha" in payload["error"]
+
+    def test_negative_alpha_400(self, running_server):
+        base, _engine = running_server
+        status, _payload = self._status_of(base, "/query?alpha=-1")
+        assert status == 400
+
+    def test_non_finite_alpha_400(self, running_server):
+        """NaN/Infinity would serialize as invalid JSON literals."""
+        base, _engine = running_server
+        for raw in ("nan", "inf", "-inf"):
+            status, payload = self._status_of(
+                base, f"/query?alpha={raw}"
+            )
+            assert status == 400, raw
+            assert "finite" in payload["error"]
+
+    def test_bad_pattern_400(self, running_server):
+        base, _engine = running_server
+        status, payload = self._status_of(base, "/query?pattern=a,b")
+        assert status == 400
+        assert "pattern" in payload["error"]
+
+    def test_non_object_batch_entry_400(self, running_server):
+        """A scalar in the queries list must come back as a JSON 400,
+        not an AttributeError-dropped connection."""
+        base, _engine = running_server
+        request = urllib.request.Request(
+            base + "/query",
+            data=json.dumps({"queries": [3]}).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert "error" in json.load(excinfo.value)
+
+    def test_non_object_batch_document_400(self, running_server):
+        """A JSON body that is a list/scalar (not an object) must be a
+        400, not a dropped connection."""
+        base, _engine = running_server
+        for body in (b"[1, 2]", b'"hi"', b"123"):
+            request = urllib.request.Request(
+                base + "/query", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+
+    def test_bad_batch_body_400(self, running_server):
+        base, _engine = running_server
+        request = urllib.request.Request(
+            base + "/query", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestConcurrency:
+    def test_concurrent_queries_share_one_engine(
+        self, running_server, toy_warehouse
+    ):
+        """8 threads × mixed queries: every response equals the oracle.
+
+        The engine instance is shared across request threads, so this
+        exercises the carrier cache's locking and the snapshot buffer's
+        concurrent reads.
+        """
+        base, engine = running_server
+        specs = [
+            ("/query?alpha=0.0", None, 0.0),
+            ("/query?alpha=0.35", None, 0.35),
+            ("/query?pattern=0&alpha=0.0", (0,), 0.0),
+            ("/query?pattern=0,1&alpha=0.1", (0, 1), 0.1),
+        ]
+        expected = {
+            path: query_tc_tree(
+                toy_warehouse.tree, pattern=pattern, alpha=alpha
+            ).to_payload()
+            for path, pattern, alpha in specs
+        }
+        failures: list[str] = []
+        barrier = threading.Barrier(8)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            for round_number in range(5):
+                path = specs[(worker_id + round_number) % len(specs)][0]
+                try:
+                    if _get(base, path) != expected[path]:
+                        failures.append(f"mismatch on {path}")
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    failures.append(f"{path}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures
+        assert engine.stats()["queries_served"] >= 40

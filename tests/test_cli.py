@@ -72,6 +72,63 @@ class TestPipeline:
             ["query", str(index_file), "--pattern", "0,1"]
         ) == 0
 
+    def test_index_snapshot_format_and_query(
+        self, network_file, tmp_path, capsys
+    ):
+        snap_file = tmp_path / "net.tcsnap"
+        assert main(
+            ["index", str(network_file), "--out", str(snap_file),
+             "--max-length", "2", "--format", "snapshot"]
+        ) == 0
+        assert snap_file.read_bytes()[:8] == b"REPROTCS"
+        capsys.readouterr()
+        assert main(["query", str(snap_file), "--alpha", "0.1"]) == 0
+        assert "retrieved" in capsys.readouterr().out
+
+    def test_snapshot_migration_parity(
+        self, network_file, tmp_path, capsys
+    ):
+        """repro snapshot migrates JSON → binary; both answer alike."""
+        index_file = tmp_path / "net.tctree.json"
+        snap_file = tmp_path / "net.tcsnap"
+        main(["index", str(network_file), "--out", str(index_file),
+              "--max-length", "2"])
+        capsys.readouterr()
+        assert main(
+            ["snapshot", str(index_file), "--out", str(snap_file)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["query", str(index_file), "--alpha", "0.2"]) == 0
+        from_json = capsys.readouterr().out
+        assert main(["query", str(snap_file), "--alpha", "0.2"]) == 0
+        assert capsys.readouterr().out == from_json
+
+    def test_query_top_k(self, network_file, tmp_path, capsys):
+        index_file = tmp_path / "net.tctree.json"
+        main(["index", str(network_file), "--out", str(index_file),
+              "--max-length", "2"])
+        capsys.readouterr()
+        assert main(
+            ["query", str(index_file), "--top-k", "3", "--min-size", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "top" in out
+        assert out.count("pattern=") <= 3
+
+    def test_stats_on_index_files(self, network_file, tmp_path, capsys):
+        """repro stats detects index files and prints tree statistics."""
+        index_file = tmp_path / "net.tctree.json"
+        snap_file = tmp_path / "net.tcsnap"
+        main(["index", str(network_file), "--out", str(index_file),
+              "--max-length", "2"])
+        main(["snapshot", str(index_file), "--out", str(snap_file)])
+        capsys.readouterr()
+        for path in (index_file, snap_file):
+            assert main(["stats", str(path)]) == 0
+            out = capsys.readouterr().out
+            assert "TC-Tree statistics" in out
+            assert "est_snap_KiB" in out
+
 
 class TestSearchAndExport:
     @pytest.fixture()
@@ -117,6 +174,19 @@ class TestSearchAndExport:
              "--out", str(out)]
         ) == 0
         assert out.read_text().startswith("graph repro {")
+
+
+class TestServeParser:
+    def test_serve_registered(self):
+        """The serve loop runs forever, so only the wiring is testable
+        here; the CI smoke step exercises the live server."""
+        from repro.cli import _cmd_serve, build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "x.tcsnap", "--port", "0", "--cache-size", "16"]
+        )
+        assert args.func is _cmd_serve
+        assert args.cache_size == 16
 
 
 class TestValidate:

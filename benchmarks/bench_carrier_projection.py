@@ -1,0 +1,109 @@
+"""Carrier-projection fast path: A/B against the re-enumeration oracle.
+
+Not a paper figure — this is the regression guard for the PR 4 build
+pipeline (``CSRGraph.project`` + derived triangle indexes + masked
+carriers). It builds a dense mid-coverage TC-Tree — the regime where
+every child carrier is a strict subset of the network, so the old code
+either re-enumerated each carrier's triangles from scratch or re-peeled
+the whole network per child — with projection enabled and with the
+serial re-enumeration oracle, in interleaved rounds, asserts the trees
+are **bit-identical** (exact thresholds, levels, frequencies), and
+reports the medians.
+
+Interpretation note: the oracle itself shares every other PR 4
+improvement (masked carriers, merge-based enumeration, vectorized
+engine loops), so the on/off delta isolates derivation alone. Against
+the *PR 3 baseline* the projected build of this exact network measured
+8.08 s → 5.02 s (×1.61) on the dev container — see README "Carrier
+projection".
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.graphs.support import projection
+from repro.index.tctree import build_tc_tree
+
+from benchmarks.conftest import write_report
+
+ROUNDS = 2
+MAX_LENGTH = 2
+
+
+@pytest.fixture(scope="module")
+def projection_network():
+    """Dense mid-coverage network: 14 items whose carriers span 20–60%
+    of a 17.7k-edge powerlaw graph — child decompositions dominate."""
+    from repro.datasets.synthetic import generate_synthetic_network
+    from repro.graphs.generators import powerlaw_cluster_graph
+
+    graph = powerlaw_cluster_graph(1000, 18, 0.8, seed=7)
+    return generate_synthetic_network(
+        num_items=14,
+        num_seeds=3,
+        mutation_rate=0.5,
+        max_transactions=18,
+        max_transaction_length=3,
+        graph=graph,
+        seed=7,
+    )
+
+
+def assert_trees_bit_identical(expected, actual):
+    assert expected.patterns() == actual.patterns()
+    for pattern in expected.patterns():
+        a = expected.find_node(pattern).decomposition
+        b = actual.find_node(pattern).decomposition
+        assert a.thresholds() == b.thresholds()
+        assert a.frequencies == b.frequencies
+        assert [
+            sorted(level.removed_edges) for level in a.levels
+        ] == [sorted(level.removed_edges) for level in b.levels]
+
+
+def test_projection_speedup_and_parity(projection_network, report_dir):
+    times: dict[bool, list[float]] = {False: [], True: []}
+    trees: dict[bool, object] = {}
+    for _ in range(ROUNDS):
+        for enabled in (False, True):  # interleaved A/B rounds
+            with projection(enabled):
+                start = time.perf_counter()
+                trees[enabled] = build_tc_tree(
+                    projection_network, max_length=MAX_LENGTH
+                )
+                times[enabled].append(time.perf_counter() - start)
+
+    assert_trees_bit_identical(trees[False], trees[True])
+
+    oracle = statistics.median(times[False])
+    projected = statistics.median(times[True])
+    lines = [
+        "carrier-projection TC-Tree build, dense mid-coverage network "
+        "(medians, interleaved)",
+        f"  re-enumeration oracle: {oracle:.3f}s",
+        f"  projection enabled:    {projected:.3f}s "
+        f"(x{oracle / projected:.2f} vs oracle)",
+        f"  nodes={trees[True].num_nodes}  "
+        f"edges={projection_network.num_edges}",
+        "  (vs PR 3 baseline measured offline: 8.08s -> 5.02s, x1.61)",
+    ]
+    report = "\n".join(lines)
+    print(report)
+    write_report(report_dir, "bench_carrier_projection", report)
+
+
+def test_projected_build(benchmark, projection_network):
+    """The tracked unit for this file's JSON artifact: the dense build
+    with the projection fast path on (the production default)."""
+    tree = benchmark.pedantic(
+        build_tc_tree,
+        args=(projection_network,),
+        kwargs={"max_length": MAX_LENGTH},
+        rounds=2,
+        iterations=1,
+    )
+    assert tree.num_nodes == 105

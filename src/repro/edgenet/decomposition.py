@@ -14,12 +14,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro._ordering import Pattern
+from repro._ordering import Pattern, make_pattern
 from repro.core.mptd import COHESION_TOLERANCE
 from repro.edgenet.cohesion import edge_theme_cohesion_table
 from repro.edgenet.network import EdgeDatabaseNetwork
 from repro.edgenet.theme import EdgeFrequencyMap, induce_edge_theme_network
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph, GraphLike, as_csr
 from repro.graphs.graph import Edge, Graph
+from repro.graphs.support import CSR_MIN_EDGES, decompose_cohesion_edges
 
 
 @dataclass
@@ -97,17 +100,115 @@ def decompose_edge_truss(
     return decomposition
 
 
+def _decompose_edge_theme_csr(
+    pattern: Pattern,
+    csr: CSRGraph,
+    frequencies: EdgeFrequencyMap,
+) -> EdgeTrussDecomposition:
+    """CSR-native edge decomposition: per-edge weights, one engine call.
+
+    Runs :func:`~repro.graphs.support.decompose_cohesion_edges` — which
+    derives the triangle index from ``csr``'s projection parent when one
+    is cached — then converts edge ids back to canonical label pairs.
+    Per-level removed sets are sorted into the legacy
+    :func:`decompose_edge_truss` shape; as with the vertex engine,
+    cross-engine parity is exact on level membership and
+    tolerance-level on threshold floats (the two engines sum cohesion
+    in different orders), while projection on/off parity within this
+    engine is exact.
+    """
+    labels = csr.labels
+    edge_u = csr.edge_u
+    edge_v = csr.edge_v
+    m = csr.num_edges
+    freq_list = [
+        frequencies.get((labels[edge_u[e]], labels[edge_v[e]]), 0.0)
+        for e in range(m)
+    ]
+    alive, levels = decompose_cohesion_edges(csr, freq_list)
+    decomposition = EdgeTrussDecomposition(
+        pattern=pattern,
+        frequencies={
+            (labels[edge_u[e]], labels[edge_v[e]]): freq_list[e]
+            for e in range(m)
+            if alive[e]
+        },
+    )
+    for beta, removed in levels:
+        decomposition.levels.append(
+            EdgeDecompositionLevel(
+                beta,
+                sorted(
+                    (labels[edge_u[e]], labels[edge_v[e]]) for e in removed
+                ),
+            )
+        )
+    return decomposition
+
+
 def decompose_edge_network_pattern(
     network: EdgeDatabaseNetwork,
     pattern: Pattern,
-    carrier: Graph | None = None,
+    carrier: GraphLike | None = None,
+    engine: str = "auto",
 ) -> EdgeTrussDecomposition:
-    """Induce, peel at α = 0, decompose — one call."""
+    """Induce, peel at α = 0, decompose — one call.
+
+    ``engine`` mirrors the vertex model: ``"auto"`` routes big
+    int-labelled edge theme networks through the flat CSR engine
+    (per-edge triangle weights; a CSR ``carrier`` is *projected* down to
+    its frequency-positive edges so the child theme network derives its
+    triangle index from the carrier's chain instead of re-enumerating),
+    ``"csr"`` forces the engine, ``"legacy"`` forces the adjacency-set
+    path — the parity oracle.
+    """
     from repro.edgenet.finder import maximal_edge_pattern_truss
 
-    graph, frequencies = induce_edge_theme_network(
-        network, pattern, carrier=carrier
-    )
+    if engine not in ("auto", "csr", "legacy"):
+        raise GraphError(f"unknown decomposition engine {engine!r}")
+    if engine != "legacy" and isinstance(carrier, CSRGraph):
+        # Probe only carrier edges, build the f_e > 0 mask, and project:
+        # the edge theme network *is* the carrier minus zero-frequency
+        # edges, and projection provenance keeps derivation available.
+        canonical = make_pattern(pattern)
+        databases = network.databases
+        labels = carrier.labels
+        edge_u = carrier.edge_u
+        edge_v = carrier.edge_v
+        frequencies: EdgeFrequencyMap = {}
+        mask = bytearray(carrier.num_edges)
+        kept = 0
+        for e in range(carrier.num_edges):
+            edge = (labels[edge_u[e]], labels[edge_v[e]])
+            database = databases.get(edge)
+            if database is None:
+                continue
+            f = database.frequency(canonical)
+            if f > 0.0:
+                mask[e] = 1
+                kept += 1
+                frequencies[edge] = f
+        if engine == "csr" or kept >= CSR_MIN_EDGES:
+            return _decompose_edge_theme_csr(
+                pattern, carrier.project(mask), frequencies
+            )
+        graph = Graph()
+        for u, v in frequencies:
+            graph.add_edge(u, v)
+    else:
+        graph, frequencies = induce_edge_theme_network(
+            network, pattern, carrier=carrier
+        )
+        if engine == "csr" or (
+            engine == "auto" and graph.num_edges >= CSR_MIN_EDGES
+        ):
+            csr = as_csr(graph)
+            if csr is not None:
+                return _decompose_edge_theme_csr(pattern, csr, frequencies)
+            if engine == "csr":
+                raise GraphError(
+                    "graph is not CSR-eligible (non-int labels)"
+                )
     truss, cohesion = maximal_edge_pattern_truss(graph, frequencies, 0.0)
     # Re-derive the cohesion table bound to the peeled graph copy so the
     # decomposition owns mutable state.

@@ -26,7 +26,9 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left, bisect_right
+from collections import deque
 from collections.abc import Hashable, Iterable, Iterator
+from itertools import compress, count, repeat
 
 from repro.errors import GraphError
 from repro.graphs.graph import Edge, Graph, Vertex
@@ -65,7 +67,8 @@ class CSRGraph:
 
     __slots__ = (
         "labels", "indptr", "indices", "edge_ids", "edge_u", "edge_v",
-        "_index", "_tri",
+        "_index", "_tri", "_proj_parent", "_proj_eids", "_proj_mask",
+        "_proj_vmap", "_proj_emap", "_buffer_owner",
     )
 
     def __init__(
@@ -87,6 +90,26 @@ class CSRGraph:
         #: Cached TriangleIndex (topology-only, so safe to memoize on an
         #: immutable graph) — built lazily by repro.graphs.support.
         self._tri = None
+        #: Projection provenance (:meth:`project`): the graph this one was
+        #: edge-filtered from and the parallel edge-id remap table
+        #: (``_proj_eids[child eid] = parent eid``). Lets
+        #: :func:`repro.graphs.support.triangle_index` *derive* this
+        #: graph's triangle index from the parent's cached one instead of
+        #: re-enumerating. Never pickled.
+        self._proj_parent: "CSRGraph | None" = None
+        self._proj_eids: array | None = None
+        #: One-shot derivation accelerators stashed by the flat-filter
+        #: projection path: the parent-space edge mask and the
+        #: parent→child vertex/edge remap tables it already computed.
+        #: :func:`repro.graphs.support.derive_triangle_index` consumes
+        #: (and clears) them instead of rebuilding. Never pickled.
+        self._proj_mask = None
+        self._proj_vmap: array | None = None
+        self._proj_emap: array | None = None
+        #: Keep-alive reference for graphs whose arrays view an external
+        #: buffer (a shared-memory store): guarantees the mapping is
+        #: finalized only after every graph built from it. Never pickled.
+        self._buffer_owner = None
 
     # ------------------------------------------------------------------
     # construction
@@ -326,20 +349,165 @@ class CSRGraph:
         )
         return CSRGraph._from_canonical_edges(kept_edges, vertices=kept_labels)
 
-    def intersect(self, other: "CSRGraph") -> "CSRGraph":
-        """Edge intersection in label space via sorted-adjacency merges.
+    def project(self, edge_mask) -> "CSRGraph":
+        """Edge-filtered copy: keep exactly the edges whose mask slot is
+        truthy (``edge_mask`` is indexed by edge id).
 
-        This is the TCFI/TC-Tree carrier operation ``C*_1 ∩ C*_2``
-        (Proposition 5.3). The result contains only the endpoints of
-        surviving edges, matching the legacy
-        :func:`repro.network.theme.intersect_graphs` contract.
+        Kept edges stay in canonical (edge-id) order, so the result feeds
+        the fast constructor; only endpoints of surviving edges are
+        retained, matching the carrier contract of :meth:`intersect`.
+        When every edge survives and no vertex is isolated the graph
+        itself is returned (immutable, safe to share).
+
+        The result records *projection provenance*: the graph it was
+        filtered from plus the edge-id remap table, which lets
+        :func:`repro.graphs.support.triangle_index` derive the child's
+        triangle index from the parent's cached one instead of
+        re-enumerating. Chains compose: projecting a projection whose own
+        index was never built points the grandchild directly at the
+        nearest ancestor that can supply one, so intermediates are
+        released and derivation stays a single filter pass.
+
+        Construction filters the parent's flat arrays directly (compress
+        + remap at C speed — the adjacency stays row-sorted because the
+        vertex remap is monotone) instead of routing label pairs through
+        the generic constructor.
+        """
+        labels = self.labels
+        indptr = self.indptr
+        indices = self.indices
+        edge_ids = self.edge_ids
+        edge_u = self.edge_u
+        edge_v = self.edge_v
+        n = len(labels)
+        m = len(edge_u)
+        if not isinstance(edge_mask, (bytes, bytearray)):
+            edge_mask = bytearray(map(bool, edge_mask))
+        kept = list(compress(range(m), edge_mask))
+        if len(kept) == m and not self.has_isolated_vertices():
+            return self
+        if 4 * len(kept) < m:
+            # Sparse survival: the flat-filter path below works in
+            # O(parent), the generic constructor in O(child) — for thin
+            # intersections (most TC-Tree leaves) the child is tiny.
+            child = CSRGraph._from_canonical_edges(
+                [(labels[edge_u[e]], labels[edge_v[e]]) for e in kept]
+            )
+            self._attach_provenance(child, kept)
+            return child
+        # Vertex survival (edge endpoints only) and monotone remaps —
+        # scatter writes dispatched through map (drained by a 0-length
+        # deque) so the loops run at C speed.
+        drain = deque(maxlen=0)
+        vkeep = bytearray(n)
+        drain.extend(
+            map(vkeep.__setitem__, compress(edge_u, edge_mask), repeat(1))
+        )
+        drain.extend(
+            map(vkeep.__setitem__, compress(edge_v, edge_mask), repeat(1))
+        )
+        old2new_v = array(INDEX_TYPECODE, [-1]) * n
+        drain.extend(
+            map(old2new_v.__setitem__, compress(range(n), vkeep), count())
+        )
+        old2new_e = array(INDEX_TYPECODE, [-1]) * m
+        drain.extend(map(old2new_e.__setitem__, kept, count()))
+        # Child arrays: kept edges stay in parent edge-id (= canonical)
+        # order, every adjacency row is filtered in place.
+        gv = old2new_v.__getitem__
+        child_edge_u = array(
+            INDEX_TYPECODE, map(gv, compress(edge_u, edge_mask))
+        )
+        child_edge_v = array(
+            INDEX_TYPECODE, map(gv, compress(edge_v, edge_mask))
+        )
+        slot_keep = bytes(map(edge_mask.__getitem__, edge_ids))
+        child_indices = array(
+            INDEX_TYPECODE, map(gv, compress(indices, slot_keep))
+        )
+        child_edge_ids = array(
+            INDEX_TYPECODE,
+            map(old2new_e.__getitem__, compress(edge_ids, slot_keep)),
+        )
+        n_child = sum(vkeep)
+        child_indptr = array(INDEX_TYPECODE, [0]) * (n_child + 1)
+        slots = memoryview(slot_keep)
+        running = 0
+        j = 0
+        for x in range(n):
+            if vkeep[x]:
+                child_indptr[j] = running
+                running += sum(slots[indptr[x]:indptr[x + 1]])
+                j += 1
+        child_indptr[n_child] = running
+        child = CSRGraph(
+            tuple(compress(labels, vkeep)),
+            child_indptr,
+            child_indices,
+            child_edge_ids,
+            child_edge_u,
+            child_edge_v,
+        )
+        if self._attach_provenance(child, kept):
+            # The remaps just computed are exactly the tables derivation
+            # needs — stash them for one-shot reuse (valid only when the
+            # provenance points at self, i.e. the non-composed case).
+            child._proj_mask = edge_mask
+            child._proj_vmap = old2new_v
+            child._proj_emap = old2new_e
+        return child
+
+    def _attach_provenance(self, child: "CSRGraph", kept: list[int]) -> bool:
+        """Record where ``child`` was projected from.
+
+        Chains compose: when this graph never built its own triangle
+        index but is itself a projection, the child points straight at
+        the nearest ancestor that can supply one. Returns True when the
+        provenance points at ``self`` (remap stashes are then valid).
+        """
+        if self._tri is None and self._proj_parent is not None:
+            parent_eids = self._proj_eids
+            child._proj_parent = self._proj_parent
+            child._proj_eids = array(
+                INDEX_TYPECODE, map(parent_eids.__getitem__, kept)
+            )
+            return False
+        child._proj_parent = self
+        child._proj_eids = array(INDEX_TYPECODE, kept)
+        return True
+
+    def release_projection(self) -> None:
+        """Drop the projection provenance (frees the parent for GC).
+
+        Once a graph's own triangle index is built — or known to be
+        unneeded — the back-reference only pins the parent's arrays and
+        cached index in memory.
+        """
+        self._proj_parent = None
+        self._proj_eids = None
+        self._proj_mask = None
+        self._proj_vmap = None
+        self._proj_emap = None
+
+    def intersect_mask(
+        self, other: "CSRGraph"
+    ) -> tuple["CSRGraph", bytearray, int]:
+        """Edge-survival mask of ``self ∩ other``.
+
+        Returns ``(base, mask, count)``: the smaller operand, a
+        per-edge-id mask of its edges that also exist in the other
+        operand, and the number of surviving edges. This is the
+        mask-level half of :meth:`intersect` — the TC-Tree frontier uses
+        it to defer (or entirely skip) materializing the carrier.
         """
         if self.num_edges > other.num_edges:
             self, other = other, self
-        edges: list[Edge] = []
+        mask = bytearray(self.num_edges)
+        count = 0
         s_labels = self.labels
         s_indptr = self.indptr
         s_indices = self.indices
+        s_edge_ids = self.edge_ids
         o_labels = other.labels
         o_indptr = other.indptr
         o_indices = other.indices
@@ -364,23 +532,43 @@ class CSRGraph:
                 elif lb < la:
                     b += 1
                 else:
-                    edges.append((label, la))
+                    mask[s_edge_ids[a]] = 1
+                    count += 1
                     a += 1
                     b += 1
-        if len(edges) == self.num_edges and not self.has_isolated_vertices():
-            return self  # every edge survived; immutable, safe to share
-        return CSRGraph._from_canonical_edges(edges)
+        return self, mask, count
+
+    def intersect(self, other: "CSRGraph") -> "CSRGraph":
+        """Edge intersection in label space via sorted-adjacency merges.
+
+        This is the TCFI/TC-Tree carrier operation ``C*_1 ∩ C*_2``
+        (Proposition 5.3). The result contains only the endpoints of
+        surviving edges, matching the legacy
+        :func:`repro.network.theme.intersect_graphs` contract. It is
+        built as a :meth:`project` of the smaller operand, so the child
+        carrier can derive its triangle index from that operand's chain.
+        """
+        base, mask, _count = self.intersect_mask(other)
+        return base.project(mask)
 
     # ------------------------------------------------------------------
     # pickling (the process-parallel TC-Tree build ships carriers between
     # processes; see repro.index.parallel)
     # ------------------------------------------------------------------
     def __getstate__(self):
-        """Ship only the flat arrays: the label index is derivable and the
-        cached triangle index can dwarf the graph itself."""
+        """Ship only the flat arrays: the label index is derivable, the
+        cached triangle index can dwarf the graph itself, and projection
+        provenance would drag the whole ancestor chain across the wire.
+        Shared-memory-backed views (:mod:`repro.index.shm`) are copied
+        into plain arrays so the payload never references the segment."""
+        def plain(values):
+            if isinstance(values, array):
+                return values
+            return array(INDEX_TYPECODE, values)
+
         return (
-            self.labels, self.indptr, self.indices, self.edge_ids,
-            self.edge_u, self.edge_v,
+            self.labels, plain(self.indptr), plain(self.indices),
+            plain(self.edge_ids), plain(self.edge_u), plain(self.edge_v),
         )
 
     def __setstate__(self, state) -> None:
@@ -393,6 +581,12 @@ class CSRGraph:
         self.edge_v = edge_v
         self._index = {label: i for i, label in enumerate(labels)}
         self._tri = None
+        self._proj_parent = None
+        self._proj_eids = None
+        self._proj_mask = None
+        self._proj_vmap = None
+        self._proj_emap = None
+        self._buffer_owner = None
 
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:

@@ -27,9 +27,12 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from collections import deque
+from contextlib import contextmanager
 from heapq import heapify, heappop, heappush
+from itertools import compress, count, repeat
 
-from repro.graphs.csr import CSRGraph
+from repro.graphs.csr import INDEX_TYPECODE, CSRGraph
+from array import array
 
 #: Re-exported tolerance — kept numerically identical to the legacy MPTD
 #: comparison so the CSR and dict-of-sets paths make the same keep/peel
@@ -51,11 +54,22 @@ class TriangleIndex:
     of ``(u,v)``, ``(u,w)``, ``(v,w)``. ``edge_tris[e]`` flattens the
     triangles of edge ``e`` as ``[a0, b0, t0, a1, b1, t1, ...]`` —
     partner edge ids plus the triangle id (for weight lookup).
+
+    Triangles are listed in ascending ``(e1, w)`` order — edges in
+    canonical id order, third vertices ascending within an edge. The
+    order is load-bearing: per-edge cohesions are float sums accumulated
+    in triangle order, and :func:`derive_triangle_index` relies on mask
+    filtering preserving exactly this order so a derived index is
+    *element-identical* to a fresh enumeration of the same subgraph.
+
+    ``source`` records how the tables were built: ``"enumerated"`` (full
+    adjacency-merge enumeration) or ``"derived"`` (filtered from a
+    projection parent's cached index).
     """
 
     __slots__ = (
         "tri_u", "tri_v", "tri_w", "tri_e1", "tri_e2", "tri_e3",
-        "edge_tris",
+        "edge_tris", "source",
     )
 
     def __init__(self, csr: CSRGraph) -> None:
@@ -64,18 +78,7 @@ class TriangleIndex:
         edge_ids = csr.edge_ids
         edge_u = csr.edge_u
         edge_v = csr.edge_v
-        n = csr.num_vertices
         m = csr.num_edges
-        nbr: list[set[int]] = [
-            set(indices[indptr[x]:indptr[x + 1]]) for x in range(n)
-        ]
-        row_eid: list[dict[int, int]] = [
-            dict(zip(
-                indices[indptr[x]:indptr[x + 1]],
-                edge_ids[indptr[x]:indptr[x + 1]],
-            ))
-            for x in range(n)
-        ]
         tri_u: list[int] = []
         tri_v: list[int] = []
         tri_w: list[int] = []
@@ -87,18 +90,27 @@ class TriangleIndex:
         for e in range(m):
             u = edge_u[e]
             v = edge_v[e]
-            su = nbr[u]
-            sv = nbr[v]
-            common = sv & su if len(su) > len(sv) else su & sv
-            ru = row_eid[u]
-            rv = row_eid[v]
-            for w in common:
-                if w > v:  # each triangle u < v < w exactly once
-                    e_uw = ru[w]
-                    e_vw = rv[w]
+            # Merge the sorted ``> v`` suffixes of both adjacency rows:
+            # every common neighbour w yields triangle u < v < w exactly
+            # once, in ascending w, with both partner edge ids read off
+            # the parallel edge_ids slots — no sets, no dicts.
+            a_hi = indptr[u + 1]
+            a = bisect_right(indices, v, indptr[u], a_hi)
+            b_hi = indptr[v + 1]
+            b = bisect_right(indices, v, indptr[v], b_hi)
+            while a < a_hi and b < b_hi:
+                wa = indices[a]
+                wb = indices[b]
+                if wa < wb:
+                    a += 1
+                elif wa > wb:
+                    b += 1
+                else:
+                    e_uw = edge_ids[a]
+                    e_vw = edge_ids[b]
                     tri_u.append(u)
                     tri_v.append(v)
-                    tri_w.append(w)
+                    tri_w.append(wa)
                     tri_e1.append(e)
                     tri_e2.append(e_uw)
                     tri_e3.append(e_vw)
@@ -115,6 +127,8 @@ class TriangleIndex:
                     lst.append(e_uw)
                     lst.append(t)
                     t += 1
+                    a += 1
+                    b += 1
         self.tri_u = tri_u
         self.tri_v = tri_v
         self.tri_w = tri_w
@@ -122,18 +136,174 @@ class TriangleIndex:
         self.tri_e2 = tri_e2
         self.tri_e3 = tri_e3
         self.edge_tris = edge_tris
+        self.source = "enumerated"
+
+    @classmethod
+    def _derived(
+        cls,
+        parent: "TriangleIndex",
+        child: CSRGraph,
+        old2new_e,
+        old2new_v,
+        survival: bytes,
+    ) -> "TriangleIndex":
+        """Filter-and-remap construction from a projection parent's index.
+
+        ``survival`` flags (per parent triangle) whether all three edges
+        survive in ``child``; ``old2new_e``/``old2new_v`` map parent edge
+        and vertex ids to child ids. Filtering preserves the canonical
+        ``(e1, w)`` order because the projection's edge-id remap is
+        monotone, so the result equals a fresh enumeration of ``child``
+        element for element.
+        """
+        self = cls.__new__(cls)
+        ge = old2new_e.__getitem__
+        gv = old2new_v.__getitem__
+        self.tri_u = list(map(gv, compress(parent.tri_u, survival)))
+        self.tri_v = list(map(gv, compress(parent.tri_v, survival)))
+        self.tri_w = list(map(gv, compress(parent.tri_w, survival)))
+        tri_e1 = list(map(ge, compress(parent.tri_e1, survival)))
+        tri_e2 = list(map(ge, compress(parent.tri_e2, survival)))
+        tri_e3 = list(map(ge, compress(parent.tri_e3, survival)))
+        self.tri_e1 = tri_e1
+        self.tri_e2 = tri_e2
+        self.tri_e3 = tri_e3
+        edge_tris: list[list[int]] = [[] for _ in range(child.num_edges)]
+        t = 0
+        for e, e_uw, e_vw in zip(tri_e1, tri_e2, tri_e3):
+            edge_tris[e] += (e_uw, e_vw, t)
+            edge_tris[e_uw] += (e, e_vw, t)
+            edge_tris[e_vw] += (e, e_uw, t)
+            t += 1
+        self.edge_tris = edge_tris
+        self.source = "derived"
+        return self
 
     @property
     def num_triangles(self) -> int:
         return len(self.tri_u)
 
 
+#: Module switch for the carrier-projection fast path. When off,
+#: :func:`triangle_index` always re-enumerates — the parity oracle the
+#: property suite compares against (and the pre-projection behaviour).
+_PROJECTION_ENABLED = True
+
+
+def projection_enabled() -> bool:
+    """Whether derived (projected) triangle indexes are in use."""
+    return _PROJECTION_ENABLED
+
+
+def set_projection_enabled(enabled: bool) -> bool:
+    """Set the projection switch; returns the previous value."""
+    global _PROJECTION_ENABLED
+    previous = _PROJECTION_ENABLED
+    _PROJECTION_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def projection(enabled: bool):
+    """Scoped projection switch (the benches/tests A/B toggle)."""
+    previous = set_projection_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_projection_enabled(previous)
+
+
+def derivable(csr: CSRGraph) -> bool:
+    """True when a projection of ``csr`` could derive its triangle index
+    (``csr`` itself, or the parent it projects from, holds a cached one).
+    Cutover heuristics use this: without a warm ancestor index the
+    projected path would have to re-enumerate anyway.
+    """
+    if csr._tri is not None:
+        return True
+    parent = csr._proj_parent
+    return parent is not None and parent._tri is not None
+
+
+def derive_triangle_index(csr: CSRGraph) -> TriangleIndex | None:
+    """The triangle index of a projected graph, derived from its parent.
+
+    Returns None when ``csr`` has no projection provenance or the parent
+    never built an index (deriving would then cost a full parent
+    enumeration first — worse than enumerating the child directly).
+
+    A child triangle is exactly a parent triangle whose three edges all
+    survive the projection, so derivation is one C-speed survival filter
+    over the parent's flat tables (byte maps + big-int AND) followed by a
+    remap of the surviving rows.
+    """
+    base = csr._proj_parent
+    if base is None:
+        return None
+    parent_tri = base._tri
+    if parent_tri is None:
+        return None
+    if (
+        csr._proj_emap is not None
+        and csr._proj_vmap is not None
+        and csr._proj_mask is not None
+    ):
+        # One-shot reuse of the tables the projection itself computed.
+        old2new_e = csr._proj_emap
+        old2new_v = csr._proj_vmap
+        alive = csr._proj_mask
+        csr._proj_emap = None
+        csr._proj_vmap = None
+        csr._proj_mask = None
+    else:
+        proj_eids = csr._proj_eids
+        drain = deque(maxlen=0)
+        old2new_e = array(INDEX_TYPECODE, [-1]) * base.num_edges
+        drain.extend(map(old2new_e.__setitem__, proj_eids, count()))
+        alive = bytearray(base.num_edges)
+        drain.extend(map(alive.__setitem__, proj_eids, repeat(1)))
+        old2new_v = array(INDEX_TYPECODE, [-1]) * base.num_vertices
+        drain.extend(
+            map(
+                old2new_v.__setitem__,
+                map(base._index.__getitem__, csr.labels),
+                count(),
+            )
+        )
+    num_tris = parent_tri.num_triangles
+    if num_tris == 0:
+        survival = b""
+    else:
+        keep = alive.__getitem__
+        survival = (
+            int.from_bytes(bytes(map(keep, parent_tri.tri_e1)), "little")
+            & int.from_bytes(bytes(map(keep, parent_tri.tri_e2)), "little")
+            & int.from_bytes(bytes(map(keep, parent_tri.tri_e3)), "little")
+        ).to_bytes(num_tris, "little")
+    return TriangleIndex._derived(
+        parent_tri, csr, old2new_e, old2new_v, survival
+    )
+
+
 def triangle_index(csr: CSRGraph) -> TriangleIndex:
-    """The (cached) triangle index of ``csr`` — built on first use."""
+    """The (cached) triangle index of ``csr`` — built on first use.
+
+    A projected graph (see :meth:`CSRGraph.project`) whose parent holds a
+    cached index derives its own by intersection-filtering instead of
+    re-enumerating, unless the projection switch is off.
+    """
     tri = csr._tri
     if tri is None:
-        tri = TriangleIndex(csr)
+        if _PROJECTION_ENABLED:
+            tri = derive_triangle_index(csr)
+        if tri is None:
+            tri = TriangleIndex(csr)
         csr._tri = tri
+        # With its own index cached the graph no longer needs the
+        # ancestor chain — children now derive from *this* graph, and
+        # keeping the back-reference would pin the ancestor's arrays and
+        # (potentially huge) triangle index for this graph's lifetime.
+        csr.release_projection()
     return tri
 
 
@@ -190,27 +360,54 @@ def cohesion_values(
     internal vertex id.
     """
     tri = triangle_index(csr)
-    tri_u = tri.tri_u
-    tri_v = tri.tri_v
-    tri_w = tri.tri_w
-    tri_e1 = tri.tri_e1
-    tri_e2 = tri.tri_e2
-    tri_e3 = tri.tri_e3
-    weights = [0.0] * len(tri_u)
+    get = frequencies.__getitem__
+    # min() dispatched by map over three C-speed lookup streams.
+    weights = list(
+        map(
+            min,
+            map(get, tri.tri_u),
+            map(get, tri.tri_v),
+            map(get, tri.tri_w),
+        )
+    )
+    return weights, _accumulate_cohesion(csr, tri, weights)
+
+
+def edge_cohesion_values(
+    csr: CSRGraph, edge_frequencies: list[float]
+) -> tuple[list[float], list[float]]:
+    """Per-triangle weights and per-edge cohesion under per-*edge*
+    frequencies (edge theme networks): a triangle weighs the minimum
+    frequency of its three edges. ``edge_frequencies`` is indexed by
+    canonical edge id. One flat pass, mirroring :func:`cohesion_values`.
+    """
+    tri = triangle_index(csr)
+    get = edge_frequencies.__getitem__
+    weights = list(
+        map(
+            min,
+            map(get, tri.tri_e1),
+            map(get, tri.tri_e2),
+            map(get, tri.tri_e3),
+        )
+    )
+    return weights, _accumulate_cohesion(csr, tri, weights)
+
+
+def _accumulate_cohesion(
+    csr: CSRGraph, tri: TriangleIndex, weights: list[float]
+) -> list[float]:
+    """Per-edge cohesion from per-triangle weights — shared by the vertex
+    and edge engines. Weights are added in triangle-id order, the
+    per-edge summation order the bit-identical parity contract depends
+    on; keep both engines on this one loop.
+    """
     cohesion = [0.0] * csr.num_edges
-    for t in range(len(tri_u)):
-        f = frequencies[tri_u[t]]
-        f_v = frequencies[tri_v[t]]
-        if f_v < f:
-            f = f_v
-        f_w = frequencies[tri_w[t]]
-        if f_w < f:
-            f = f_w
-        weights[t] = f
-        cohesion[tri_e1[t]] += f
-        cohesion[tri_e2[t]] += f
-        cohesion[tri_e3[t]] += f
-    return weights, cohesion
+    for f, e1, e2, e3 in zip(weights, tri.tri_e1, tri.tri_e2, tri.tri_e3):
+        cohesion[e1] += f
+        cohesion[e2] += f
+        cohesion[e3] += f
+    return cohesion
 
 
 def peel_cohesion(
@@ -230,23 +427,22 @@ def peel_cohesion(
     edge_tris = triangle_index(csr).edge_tris
     bound = alpha + COHESION_TOLERANCE
     m = len(cohesion)
-    queue: deque[int] = deque()
+    # Seed scan at C speed: float compares via map, ids via compress.
+    # Dead seeds are harmless — the pop loop re-checks ``alive``.
+    queue: deque[int] = deque(
+        compress(count(), map(bound.__ge__, cohesion))
+    )
     queued = bytearray(m)
-    for e in range(m):
-        if alive[e] and cohesion[e] <= bound:
-            queued[e] = 1
-            queue.append(e)
+    deque(map(queued.__setitem__, queue, repeat(1)), maxlen=0)
     while queue:
         e = queue.popleft()
         if not alive[e]:
             continue
         alive[e] = 0
-        lst = edge_tris[e]
-        for k in range(0, len(lst), 3):
-            a = lst[k]
-            b = lst[k + 1]
+        it = iter(edge_tris[e])
+        for a, b, t in zip(it, it, it):
             if alive[a] and alive[b]:
-                w = weights[lst[k + 2]]
+                w = weights[t]
                 new_value = cohesion[a] - w
                 cohesion[a] = new_value
                 if new_value <= bound and not queued[a]:
@@ -282,8 +478,31 @@ def decompose_cohesion(
       decompositions over one CSR graph (the TC-Tree first layer) share
       the enumeration.
     """
-    m = csr.num_edges
     weights, cohesion = cohesion_values(csr, frequencies)
+    return _decompose_from_cohesion(csr, weights, cohesion)
+
+
+def decompose_cohesion_edges(
+    csr: CSRGraph,
+    edge_frequencies: list[float],
+) -> tuple[bytearray, list[tuple[float, list[int]]]]:
+    """Full cohesion decomposition under per-*edge* frequencies.
+
+    The edge theme network analogue of :func:`decompose_cohesion`
+    (Theorem 6.1 carries over verbatim — cohesion is still a sum of
+    per-triangle minima); only Phase 1 differs.
+    """
+    weights, cohesion = edge_cohesion_values(csr, edge_frequencies)
+    return _decompose_from_cohesion(csr, weights, cohesion)
+
+
+def _decompose_from_cohesion(
+    csr: CSRGraph,
+    weights: list[float],
+    cohesion: list[float],
+) -> tuple[bytearray, list[tuple[float, list[int]]]]:
+    """The α = 0 peel plus iterated threshold peeling, weight-agnostic."""
+    m = csr.num_edges
     edge_tris = triangle_index(csr).edge_tris
     alive = bytearray(b"\x01") * m
 
@@ -305,7 +524,7 @@ def decompose_cohesion(
     # edge per round instead of one per triangle destruction. Stale
     # entries (dead edge, or stored value no longer current) are skipped
     # on pop.
-    heap = [(cohesion[e], e) for e in range(m) if alive[e]]
+    heap = list(compress(zip(cohesion, count()), alive))
     heapify(heap)
     push = heappush
     pop = heappop
@@ -327,12 +546,10 @@ def decompose_cohesion(
             alive[e] = 0
             remaining -= 1
             removed.append(e)
-            lst = edge_tris[e]
-            for k in range(0, len(lst), 3):
-                a = lst[k]
-                b = lst[k + 1]
+            it = iter(edge_tris[e])
+            for a, b, t in zip(it, it, it):
                 if alive[a] and alive[b]:
-                    w = weights[lst[k + 2]]
+                    w = weights[t]
                     new_value = cohesion[a] - w
                     cohesion[a] = new_value
                     if new_value <= bound:

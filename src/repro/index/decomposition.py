@@ -22,6 +22,7 @@ peel round is flat-array bookkeeping — the legacy path pays a full
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import compress
 
 from repro._ordering import Pattern
 from repro.core.cohesion import FrequencyMap
@@ -35,7 +36,13 @@ from repro.core.truss import PatternTruss
 from repro.errors import GraphError
 from repro.graphs.csr import CSRGraph, GraphLike, as_csr, as_graph
 from repro.graphs.graph import Edge, Graph
-from repro.graphs.support import CSR_MIN_EDGES, decompose_cohesion
+from repro.graphs.support import (
+    CSR_MIN_EDGES,
+    decompose_cohesion,
+    derivable,
+    projection_enabled,
+    triangle_index,
+)
 from repro.network.dbnetwork import DatabaseNetwork
 from repro.network.theme import (
     induce_theme_network,
@@ -60,6 +67,83 @@ class DecompositionLevel:
     removed_edges: list[Edge]
 
 
+class MaskedCarrier:
+    """A child carrier kept as (base CSR graph, edge-survival mask).
+
+    The Proposition 5.3 intersection ``C*_f(0) ∩ C*_b(0)`` arrives from
+    :meth:`CSRGraph.intersect_mask` without ever being materialized: the
+    frequency probes only need the surviving endpoints, the network-reuse
+    cutover only needs the edge count, and the restricted decomposition
+    graph is built by **one** projection of the base under the AND of the
+    intersection mask and the frequency mask — instead of carrier
+    materialization followed by a second subgraph build.
+    """
+
+    __slots__ = ("base", "mask", "num_edges", "_vertex_ids")
+
+    def __init__(self, base: CSRGraph, mask: bytearray, num_edges: int):
+        self.base = base
+        self.mask = mask
+        self.num_edges = num_edges
+        self._vertex_ids: set[int] | None = None
+
+    def vertex_ids(self) -> set[int]:
+        """Internal ids (in base space) of surviving-edge endpoints."""
+        ids = self._vertex_ids
+        if ids is None:
+            mask = self.mask
+            ids = set(compress(self.base.edge_u, mask))
+            ids.update(compress(self.base.edge_v, mask))
+            self._vertex_ids = ids
+        return ids
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_ids())
+
+    def vertices(self) -> list:
+        """Surviving endpoint labels (the frequency-probe candidates)."""
+        labels = self.base.labels
+        return [labels[i] for i in self.vertex_ids()]
+
+    def materialize(self) -> CSRGraph:
+        return self.base.project(self.mask)
+
+
+class _PendingProjection:
+    """A captured ``C*_p(0)`` carrier as (decomposed CSR, alive mask).
+
+    The projection itself is deferred to
+    :meth:`TrussDecomposition.take_carrier`, so nodes whose carrier is
+    never requested pay nothing; when it *is* materialized the result
+    carries projection provenance back to the decomposed graph — whose
+    triangle index is warm from the decomposition that just ran — so the
+    child build derives triangle indexes instead of re-enumerating.
+    """
+
+    __slots__ = ("csr", "alive")
+
+    def __init__(self, csr: CSRGraph, alive: bytearray) -> None:
+        self.csr = csr
+        self.alive = alive
+
+    def materialize(self) -> CSRGraph:
+        return self.csr.project(self.alive)
+
+    def edges(self) -> list[Edge]:
+        """Canonical-sorted alive edge list (the pickle exchange shape)."""
+        csr = self.csr
+        labels = csr.labels
+        edge_u = csr.edge_u
+        edge_v = csr.edge_v
+        alive = self.alive
+        return [
+            (labels[edge_u[e]], labels[edge_v[e]])
+            for e in range(len(alive))
+            if alive[e]
+        ]
+
+
 @dataclass
 class TrussDecomposition:
     """The linked list ``L_p`` plus the data needed to rebuild trusses.
@@ -73,13 +157,20 @@ class TrussDecomposition:
     pattern: Pattern
     levels: list[DecompositionLevel] = field(default_factory=list)
     frequencies: FrequencyMap = field(default_factory=dict)
-    #: ``C*_p(0)`` captured by the CSR engine: either an already-built
-    #: CSRGraph (nothing was peeled) or the canonical-sorted alive edge
-    #: list, materialized lazily — leaf nodes of the TC-Tree never pay
-    #: the build. Excluded from equality and repr.
-    carrier0: CSRGraph | list[Edge] | None = field(
+    #: ``C*_p(0)`` captured by the CSR engine: an already-built CSRGraph
+    #: (nothing was peeled), a pending projection of the decomposed graph
+    #: (projection fast path), or the canonical-sorted alive edge list
+    #: (oracle path) — materialized lazily, so leaf nodes of the TC-Tree
+    #: never pay the build. Excluded from equality and repr.
+    carrier0: CSRGraph | list[Edge] | _PendingProjection | None = field(
         default=None, repr=False, compare=False
     )
+    #: How this decomposition was computed — ``"<graph choice>+<engine>"``
+    #: (e.g. ``"carrier-projected+csr"``, ``"net-reuse+csr"``,
+    #: ``"net-small+legacy"``), or just the engine when
+    #: :func:`decompose_theme` was called directly. Diagnostic only: the
+    #: cutover boundary tests assert on it; excluded from equality.
+    route: str | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     def is_empty(self) -> bool:
@@ -146,6 +237,8 @@ class TrussDecomposition:
         self.carrier0 = None
         if carrier is None or isinstance(carrier, CSRGraph):
             return carrier
+        if isinstance(carrier, _PendingProjection):
+            return carrier.materialize()
         return CSRGraph._from_canonical_edges(carrier)
 
     def frontier_carrier(self) -> "Graph | CSRGraph":
@@ -180,7 +273,7 @@ class TrussDecomposition:
         """
         state = self.__dict__.copy()
         carrier = state.get("carrier0")
-        if isinstance(carrier, CSRGraph):
+        if isinstance(carrier, (CSRGraph, _PendingProjection)):
             state["carrier0"] = carrier.edges()
         return state
 
@@ -254,8 +347,16 @@ def decompose_theme(
         truss_graph, cohesion = _maximal_pattern_truss_legacy(
             as_graph(graph), frequencies, 0.0
         )
-        return decompose_truss(pattern, truss_graph, frequencies, cohesion)
-    return _decompose_theme_csr(pattern, csr, frequencies, capture_carrier)
+        decomposition = decompose_truss(
+            pattern, truss_graph, frequencies, cohesion
+        )
+        decomposition.route = "legacy"
+        return decomposition
+    decomposition = _decompose_theme_csr(
+        pattern, csr, frequencies, capture_carrier
+    )
+    decomposition.route = "csr"
+    return decomposition
 
 
 def _decompose_theme_csr(
@@ -273,25 +374,24 @@ def _decompose_theme_csr(
     edge_u = csr.edge_u
     edge_v = csr.edge_v
     alive_count = sum(alive)
-    surviving: set = set()
-    alive_edges: list[Edge] = []
-    for eid in range(len(alive)):
-        if alive[eid]:
-            u = labels[edge_u[eid]]
-            v = labels[edge_v[eid]]
-            surviving.add(u)
-            surviving.add(v)
-            alive_edges.append((u, v))
-    carrier0: CSRGraph | list[Edge] | None = None
+    # Surviving endpoints via compress/map pipelines.
+    gl = labels.__getitem__
+    surviving = set(map(gl, compress(edge_u, alive)))
+    surviving.update(map(gl, compress(edge_v, alive)))
+    carrier0: CSRGraph | list[Edge] | _PendingProjection | None = None
     if capture_carrier:
         # C*_p(0) as a CSR carrier, for free: when nothing was peeled the
         # input graph (sans isolated vertices) *is* the carrier; otherwise
-        # keep the canonical-sorted alive edge list and let
-        # :meth:`TrussDecomposition.take_carrier` build lazily.
+        # defer to :meth:`TrussDecomposition.take_carrier`. The capture
+        # keeps (graph, alive mask) so the materialized carrier carries
+        # provenance back to the decomposed graph — whether a later
+        # triangle index is then *derived* from that provenance or
+        # re-enumerated is decided (flag-gated) at build time, keeping
+        # capture itself identical on both sides of the parity oracle.
         if alive_count == csr.num_edges and not csr.has_isolated_vertices():
             carrier0 = csr
         else:
-            carrier0 = alive_edges
+            carrier0 = _PendingProjection(csr, alive)
     decomposition = TrussDecomposition(
         pattern=pattern,
         frequencies={
@@ -299,11 +399,16 @@ def _decompose_theme_csr(
         },
         carrier0=carrier0,
     )
+    ge_u = edge_u.__getitem__
+    ge_v = edge_v.__getitem__
     for beta, removed in levels:
         decomposition.levels.append(
             DecompositionLevel(
                 beta,
-                [(labels[edge_u[e]], labels[edge_v[e]]) for e in removed],
+                list(zip(
+                    map(gl, map(ge_u, removed)),
+                    map(gl, map(ge_v, removed)),
+                )),
             )
         )
     return decomposition
@@ -321,24 +426,50 @@ def decompose_network_pattern(
     ``carrier`` optionally restricts the induction to a known superset of
     the truss (Proposition 5.3), which is how the TC-Tree builds children
     inside parent intersections; a CSR carrier keeps the whole round trip
-    on the fast path.
+    on the fast path — and, since carriers arrive as projections of a
+    parent whose triangle index is warm, the child decomposition derives
+    its index instead of re-enumerating.
     """
     if carrier is None:
         csr_net = network.csr_graph() if engine != "legacy" else None
         if csr_net is not None:
             frequencies = theme_frequencies(network, pattern)
-            graph: GraphLike = _restrict_for_decomposition(
+            graph: GraphLike
+            graph, graph_route = _restrict_for_decomposition(
                 csr_net, frequencies
             )
+            graph_route = "net-" + graph_route
         else:
             graph, frequencies = induce_theme_network(network, pattern)
-    elif isinstance(carrier, CSRGraph) and engine != "legacy":
-        frequencies = theme_frequencies(network, pattern, candidates=carrier)
+            graph_route = "induced"
+    elif (
+        isinstance(carrier, (CSRGraph, MaskedCarrier))
+        and engine != "legacy"
+    ):
+        masked = isinstance(carrier, MaskedCarrier)
+        frequencies = theme_frequencies(
+            network, pattern,
+            candidates=carrier.vertices() if masked else carrier,
+        )
         csr_net = network.csr_graph()
+        derivation_base = carrier.base if masked else carrier
+        # NOTE: the route choice must NOT depend on the projection
+        # switch — the switch only picks derive-vs-re-enumerate for
+        # triangle indexes (provably element-identical), so keeping
+        # routes fixed is what makes the projection on/off parity
+        # bit-exact by construction rather than by float luck.
+        if csr_net is None:
+            reuse_net = False
+        elif derivable(derivation_base):
+            reuse_net = _prefer_network_reuse(
+                carrier.num_edges, derivation_base, csr_net
+            )
+        else:
+            reuse_net = 3 * carrier.num_edges >= csr_net.num_edges
         if (
             csr_net is not None
             and carrier.num_edges >= CSR_NET_REUSE_MIN_EDGES
-            and 3 * carrier.num_edges >= csr_net.num_edges
+            and reuse_net
         ):
             # The carrier spans most of the network: decompose over the
             # network CSR itself and let the α = 0 peel prune. Vertices
@@ -346,30 +477,114 @@ def decompose_network_pattern(
             # monotonicity argument of Proposition 5.3 leaves C*_p and
             # its levels unchanged — and the network CSR's cached
             # triangle index is shared by every node of the build.
+            # (Below this cutover the projected carrier wins: deriving
+            # its index costs one filter pass, while re-peeling the
+            # whole network costs a flat pass over *all* its triangles
+            # per child.)
             graph = csr_net
+            graph_route = "net-reuse"
+        elif masked:
+            graph, graph_route = _restrict_for_decomposition(
+                carrier.base, frequencies, carrier=carrier
+            )
+            graph_route = "carrier-" + graph_route
         else:
-            graph = _restrict_for_decomposition(carrier, frequencies)
+            graph, graph_route = _restrict_for_decomposition(
+                carrier, frequencies
+            )
+            graph_route = "carrier-" + graph_route
     else:
+        if isinstance(carrier, MaskedCarrier):
+            carrier = carrier.materialize()
         graph, frequencies = theme_network_within(network, pattern, carrier)
-    return decompose_theme(
+        graph_route = "within"
+    decomposition = decompose_theme(
         pattern, graph, frequencies,
         engine=engine, capture_carrier=capture_carrier,
     )
+    decomposition.route = f"{graph_route}+{decomposition.route}"
+    return decomposition
+
+
+def _prefer_network_reuse(
+    carrier_edges: int, base: CSRGraph, csr_net: CSRGraph
+) -> bool:
+    """Net-reuse vs carrier projection, for a derivable carrier.
+
+    Decomposing over the network CSR pays a Phase-1 pass over *all* its
+    triangles plus the α = 0 peel of every non-carrier edge (each dying
+    edge cascades through its triangles) but builds no index; the
+    projected carrier pays the derived-index build over its own
+    (smaller) triangle set. Measured on the dense benchmark family,
+    projection wins essentially everywhere the carrier is a strict
+    subset — reuse only when the carrier *is* nearly the network, where
+    projecting buys nothing and the build cost is pure overhead. Either
+    choice yields bit-identical decompositions (the Proposition 5.3
+    zero-frequency argument), so this is purely a cost heuristic.
+    """
+    return 10 * carrier_edges >= 9 * csr_net.num_edges
+
+
+def warm_network_triangles(
+    network: DatabaseNetwork, items: list[int]
+) -> bool:
+    """Pre-enumerate the network CSR's triangle index when layer 1 will
+    amortize it; returns True when warming happened.
+
+    With projection on, every layer-1 theme graph that is a projection of
+    the network CSR *derives* its triangle index from the network's — so
+    one up-front enumeration replaces one per item. The expected cost of
+    enumerating item ``s``'s theme subgraph scales like ``share_s²`` of
+    the network enumeration (both endpoints of an edge must support the
+    item), so warming pays off as soon as ``Σ share_s² ≥ 1``. With
+    projection off only the covers-most regime reuses the network index
+    (those decompositions run over the network CSR itself — the PR 2
+    fork-warming predicate).
+    """
+    csr = network.csr_graph()
+    if (
+        csr is None
+        or csr.num_edges < CSR_NET_REUSE_MIN_EDGES
+        or csr.num_vertices == 0
+    ):
+        return False
+    if csr._tri is not None:
+        return True
+    n = csr.num_vertices
+    if projection_enabled():
+        load = 0.0
+        for item in items:
+            share = len(network.vertices_containing_item(item)) / n
+            load += share * share
+            if load >= 1.0:
+                triangle_index(csr)
+                return True
+        return False
+    for item in items:
+        if covers_most_vertices(
+            len(network.vertices_containing_item(item)), n
+        ):
+            triangle_index(csr)
+            return True
+    return False
 
 
 def covers_most_vertices(num_positive: int, num_vertices: int) -> bool:
     """The ≥90% frequency-coverage cutoff: decompose over the unfiltered
     network CSR instead of building a subgraph. One predicate shared by
-    :func:`_restrict_for_decomposition` and the fork-path cache warming
-    (:func:`repro.index.parallel._warm_shared_caches`) so tuning it never
-    desynchronizes the two."""
+    :func:`_restrict_for_decomposition` and the projection-off branch of
+    :func:`warm_network_triangles` so tuning it never desynchronizes the
+    two."""
     return 10 * num_positive >= 9 * num_vertices
 
 
 def _restrict_for_decomposition(
-    csr: CSRGraph, frequencies: FrequencyMap
-) -> GraphLike:
-    """The graph to decompose for a frequency-positive vertex set.
+    csr: CSRGraph,
+    frequencies: FrequencyMap,
+    carrier: MaskedCarrier | None = None,
+) -> tuple[GraphLike, str]:
+    """The graph to decompose for a frequency-positive vertex set, plus
+    the route tag recorded on the decomposition.
 
     A vertex with ``f_v(p) = 0`` contributes weight 0 to every triangle
     through it, so each of its edges has cohesion 0 and dies in the α = 0
@@ -377,21 +592,59 @@ def _restrict_for_decomposition(
     graph with zero-filled frequencies is mathematically identical to
     decomposing the vertex-induced theme subgraph. When most vertices are
     frequency-positive we therefore skip the subgraph build entirely and
-    let the peel do the filtering. A sparser theme gets one filter pass,
-    and the surviving edge count picks the representation: CSR for the
-    engine, adjacency sets below the :data:`CSR_MIN_EDGES` cutover.
+    let the peel do the filtering (``"full"``). A sparser theme gets one
+    filter pass, and the surviving edge count picks the representation: a
+    :meth:`CSRGraph.project` for the engine (``"projected"`` — provenance
+    intact, so its triangle index derives from ``csr``'s cached one), or
+    adjacency sets below the :data:`CSR_MIN_EDGES` cutover (``"small"``).
+
+    With ``carrier`` (an unmaterialized intersection over ``csr``), its
+    edge mask simply ANDs into the frequency mask, so the decomposition
+    graph is a **single** projection of the base — same edges, same
+    vertex set, bit-identical decompositions to materialize-then-filter
+    at a fraction of the construction cost.
     """
-    if covers_most_vertices(len(frequencies), csr.num_vertices):
-        return csr
-    kept_edges, kept_labels = csr.induced_edges(frequencies.keys())
-    if len(kept_edges) >= CSR_MIN_EDGES:
-        return CSRGraph._from_canonical_edges(kept_edges, vertices=kept_labels)
+    num_vertices = (
+        carrier.num_vertices if carrier is not None else csr.num_vertices
+    )
+    if covers_most_vertices(len(frequencies), num_vertices):
+        if carrier is not None:
+            return carrier.materialize(), "full"
+        return csr, "full"
+    index = csr._index
+    keep = bytearray(csr.num_vertices)
+    for label in frequencies:
+        i = index.get(label)
+        if i is not None:
+            keep[i] = 1
+    edge_u = csr.edge_u
+    edge_v = csr.edge_v
+    m = len(edge_u)
+    # An edge survives iff both endpoints are frequency-positive (and it
+    # is in the carrier, when one is given): byte maps ANDed as big
+    # ints — C speed end to end.
+    at = keep.__getitem__
+    if m:
+        mask_int = (
+            int.from_bytes(bytes(map(at, edge_u)), "little")
+            & int.from_bytes(bytes(map(at, edge_v)), "little")
+        )
+        if carrier is not None:
+            mask_int &= int.from_bytes(bytes(carrier.mask), "little")
+        mask = mask_int.to_bytes(m, "little")
+    else:
+        mask = b""
+    kept_count = sum(mask)
+    if kept_count >= CSR_MIN_EDGES:
+        return csr.project(mask), "projected"
+    labels = csr.labels
     graph = Graph()
-    for label in kept_labels:
-        graph.add_vertex(label)
-    for u, v in kept_edges:
-        graph.add_edge(u, v)
-    return graph
+    for i in range(len(keep)):
+        if keep[i]:
+            graph.add_vertex(labels[i])
+    for e in compress(range(m), mask):
+        graph.add_edge(labels[edge_u[e]], labels[edge_v[e]])
+    return graph, "small"
 
 
 __all__ = [
@@ -401,4 +654,5 @@ __all__ = [
     "decompose_theme",
     "decompose_network_pattern",
     "maximal_pattern_truss",
+    "warm_network_triangles",
 ]

@@ -23,7 +23,13 @@ The exchange format is deliberately compact: ``CSRGraph`` pickles as its
 flat arrays only (label index and cached triangle index are rebuilt or
 dropped), and ``TrussDecomposition.__getstate__`` flattens a live CSR
 ``carrier0`` into its canonical edge list, so workers ship levels +
-frequencies + flat edge lists rather than live CSR objects.
+frequencies + flat edge lists rather than live CSR objects. With carrier
+sharing on (the default where :mod:`multiprocessing.shared_memory`
+exists), the layer-1 carriers skip pickling entirely: phase-A workers
+write their chunk's ``C*_s(0)`` CSR arrays into one shared segment and
+return only a handle, and phase-B workers attach zero-copy
+(:mod:`repro.index.shm`) — cutting the phase-A result-pickling term the
+parallel benchmark tracks.
 
 On fork platforms the *inbound* half of the protocol is free: worker
 state (network, layer-1 map, reuse table) is published in module globals
@@ -44,19 +50,25 @@ bit-for-bit and acts as the parity oracle for this module's tests.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import threading
+import uuid
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from heapq import heapify, heappop, heappush
 
 from repro._ordering import EMPTY_PATTERN, Pattern
-from repro.graphs.csr import GraphLike
-from repro.graphs.support import CSR_MIN_EDGES, triangle_index
+from repro.graphs.csr import CSRGraph, GraphLike
 from repro.index.decomposition import (
     TrussDecomposition,
-    covers_most_vertices,
     decompose_network_pattern,
+    warm_network_triangles,
+)
+from repro.index.shm import (
+    HAS_SHARED_MEMORY,
+    SharedCarrierStore,
+    unlink_handle,
 )
 from repro.index.tcnode import TCNode
 from repro.index.tctree import (
@@ -138,6 +150,9 @@ _WORKER_STATE: dict = {}
 #: shared across the subtree chunks a worker executes so each sibling
 #: carrier is built at most once per process.
 _WORKER_CARRIERS: dict[int, GraphLike] = {}
+#: Shared-memory stores this worker has attached (phase B). Held so the
+#: mappings outlive the graphs built from them; reset per pool.
+_WORKER_SHM: list[SharedCarrierStore] = []
 #: Serializes fork-path pools across threads: :data:`_WORKER_STATE` is a
 #: module global, so two concurrent builds in one parent process would
 #: otherwise clobber each other's state between publish and fork.
@@ -148,34 +163,103 @@ def _init_worker(payload: bytes) -> None:
     global _WORKER_STATE
     _WORKER_STATE = pickle.loads(payload)
     _WORKER_CARRIERS.clear()
+    _WORKER_SHM.clear()
 
 
-def _layer1_chunk(items: list[int]) -> list[TrussDecomposition]:
-    """Phase A task: decompose one chunk of single-item patterns."""
+def _layer1_chunk(
+    task: tuple[list[int], str | None],
+) -> tuple[list[TrussDecomposition], dict | None]:
+    """Phase A task: decompose one chunk of single-item patterns.
+
+    With carrier sharing on, the chunk's captured ``C*_s(0)`` CSR
+    carriers are written to one shared-memory segment (under the
+    orchestrator-chosen ``segment_name``, so the orchestrator can clean
+    up even when the pool aborts before this task's result is consumed)
+    and the task returns ``(decompositions, handle)`` — the
+    decompositions travel back through the result pipe *without* their
+    carrier edge lists, which is the result-pickling term
+    ``bench_parallel_build.py`` tracks. The orchestrator owns the
+    segment's unlink.
+    """
+    items, segment_name = task
     network = _WORKER_STATE["network"]
-    return [
+    decompositions = [
         decompose_network_pattern(network, (item,), capture_carrier=True)
         for item in items
     ]
+    handle = None
+    if segment_name is not None:
+        carriers: dict[int, CSRGraph] = {}
+        for item, decomposition in zip(items, decompositions):
+            carrier = decomposition.take_carrier()
+            if not isinstance(carrier, CSRGraph) or not carrier.num_edges:
+                continue
+            labels = carrier.labels
+            if labels[0] < -(2 ** 63) or labels[-1] >= 2 ** 63:
+                # Labels outside int64 cannot ride the flat segment —
+                # hand the carrier back so it ships over the PR 2
+                # pickled-edge-list protocol instead.
+                decomposition.carrier0 = carrier
+                continue
+            carriers[item] = carrier
+        if carriers:
+            store = SharedCarrierStore.create(carriers, name=segment_name)
+            handle = store.handle()
+            store.close()
+    return decompositions, handle
+
+
+def _attach_shared_carriers() -> None:
+    """Attach every phase-A segment once per worker process and seed the
+    carrier memo with zero-copy graphs."""
+    handles = _WORKER_STATE.get("carrier_handles")
+    if not handles or _WORKER_SHM:
+        return
+    for handle in handles:
+        store = SharedCarrierStore.attach(handle)
+        _WORKER_SHM.append(store)
+        for key in store.keys():
+            _WORKER_CARRIERS.setdefault(key, store.graph(key))
+
+
+def _release_chunk_caches() -> None:
+    """Per-chunk teardown of derived state pinned by the carrier memo.
+
+    Expanding a chunk builds (or derives) triangle indexes on the memoized
+    carriers and leaves projection back-references to the decomposition
+    graphs they were filtered from — state that would otherwise accumulate
+    in the worker across every chunk it executes. Dropping it caps worker
+    memory at one chunk's working set; the fork-inherited *network* index
+    lives on `_WORKER_STATE["network"]`'s CSR (copy-on-write, shared) and
+    is deliberately untouched.
+    """
+    for carrier in _WORKER_CARRIERS.values():
+        if isinstance(carrier, CSRGraph):
+            carrier._tri = None
+            carrier.release_projection()
 
 
 def _subtree_chunk(task: tuple[list[int], int | None]) -> list[TCNode]:
     """Phase B task: build the enumeration subtrees of one chunk of roots."""
     roots, max_length = task
+    _attach_shared_carriers()
     members = set(roots)
     reuse = {
         pattern: decomposition
         for pattern, decomposition in _WORKER_STATE["reuse"].items()
         if pattern[0] in members
     }
-    return build_subtree_chunk(
-        _WORKER_STATE["network"],
-        _WORKER_STATE["layer1"],
-        roots,
-        max_length=max_length,
-        reuse=reuse,
-        carrier_cache=_WORKER_CARRIERS,
-    )
+    try:
+        return build_subtree_chunk(
+            _WORKER_STATE["network"],
+            _WORKER_STATE["layer1"],
+            roots,
+            max_length=max_length,
+            reuse=reuse,
+            carrier_cache=_WORKER_CARRIERS,
+        )
+    finally:
+        _release_chunk_caches()
 
 
 def build_subtree_chunk(
@@ -308,22 +392,15 @@ class _worker_pool:
 def _warm_shared_caches(network: DatabaseNetwork, items: list[int]) -> None:
     """Build the caches forked workers should inherit instead of redoing.
 
-    The network CSR is always warmed. Its triangle index is warmed only
-    when some item's support covers most vertices — the regime where
-    layer-1 decompositions run over the network CSR itself (the shared
-    :func:`covers_most_vertices` predicate is exactly the one
-    ``_restrict_for_decomposition`` applies) and every worker would
-    otherwise re-enumerate the same triangles.
+    The network CSR is always warmed (the ``csr_graph()`` call caches
+    it); its triangle index is warmed by the shared
+    :func:`~repro.index.decomposition.warm_network_triangles` predicate —
+    with projection on, any layer-1 theme subgraph that projects off the
+    network CSR derives its index from the inherited one, so no worker
+    re-enumerates the same triangles.
     """
-    csr = network.csr_graph()
-    if csr is None or csr.num_edges < CSR_MIN_EDGES:
-        return
-    for item in items:
-        if covers_most_vertices(
-            len(network.vertices_containing_item(item)), csr.num_vertices
-        ):
-            triangle_index(csr)
-            return
+    network.csr_graph()
+    warm_network_triangles(network, items)
 
 
 def build_tc_tree_process(
@@ -331,6 +408,7 @@ def build_tc_tree_process(
     max_length: int | None = None,
     workers: int = 2,
     reuse: dict[Pattern, TrussDecomposition] | None = None,
+    share_carriers: bool | None = None,
 ) -> TCTree:
     """Build the TC-Tree with a process pool (two fan-out phases).
 
@@ -340,9 +418,25 @@ def build_tc_tree_process(
     decompositions for layer-1 patterns keep object identity; deeper
     reused decompositions cross a process boundary and come back as equal
     copies.
+
+    ``share_carriers`` (default: on wherever
+    :mod:`multiprocessing.shared_memory` exists) exchanges the layer-1
+    ``C*_s(0)`` carriers through shared-memory segments instead of
+    pickled edge lists: phase-A workers export their chunk's carriers and
+    return a handle, phase-B workers attach and wrap the flat arrays
+    zero-copy. The orchestrator unlinks every segment when the build
+    finishes, success or not.
     """
     items = network.item_universe()
     reuse = reuse or {}
+    # POSIX-only default: on Windows a named segment is destroyed when
+    # its last open handle closes, and the phase-A creator closes its
+    # handle before phase B attaches.
+    shm_usable = HAS_SHARED_MEMORY and os.name == "posix"
+    if share_carriers is None:
+        share_carriers = shm_usable
+    else:
+        share_carriers = bool(share_carriers) and shm_usable
     if workers <= 1 or len(items) < 2:
         return build_tc_tree(
             network, max_length=max_length, workers=1, reuse=reuse,
@@ -352,63 +446,111 @@ def build_tc_tree_process(
     ctx = _pool_context()
     if ctx.get_start_method() == "fork":
         _warm_shared_caches(network, items)
+    if share_carriers:
+        # Start the resource tracker in the parent *before* the pool
+        # forks: workers then inherit it and their segment registrations
+        # land in the same tracker the parent's unlinks unregister from —
+        # otherwise every worker spawns its own tracker, which warns
+        # about "leaked" (already-unlinked) segments at shutdown.
+        try:
+            from multiprocessing import resource_tracker
 
-    # ----------------------------------------------------------- phase A
-    layer1: dict[int, TrussDecomposition] = {
-        item: reuse[(item,)] for item in items if (item,) in reuse
-    }
-    todo = [item for item in items if item not in layer1]
-    if todo:
-        chunks = adaptive_chunks(todo, _layer1_costs(network, todo), workers)
-        with _worker_pool(
-            ctx, min(workers, len(chunks)), {"network": network}
-        ) as pool:
-            for chunk, decompositions in zip(
-                chunks, pool.map(_layer1_chunk, chunks)
-            ):
-                for item, decomposition in zip(chunk, decompositions):
-                    layer1[item] = decomposition
-    layer1 = {
-        item: decomposition
-        for item, decomposition in layer1.items()
-        if not decomposition.is_empty()
-    }
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker is best-effort
+            pass
 
-    root = TCNode(None, EMPTY_PATTERN, None)
-    nodes: dict[int, TCNode] = {}
-    for item in sorted(layer1):
-        node = TCNode(item, (item,), layer1[item])
-        root.add_child(node)
-        nodes[item] = node
-
-    # ----------------------------------------------------------- phase B
-    # A single surviving layer-1 item has no pairing siblings, so its
-    # subtree is itself — nothing to fan out.
-    if len(layer1) >= 2 and (max_length is None or max_length > 1):
-        costs = {
-            item: float(decomposition.num_edges)
+    carrier_handles: list[dict] = []
+    segment_names: list[str] = []
+    try:
+        # ------------------------------------------------------- phase A
+        layer1: dict[int, TrussDecomposition] = {
+            item: reuse[(item,)] for item in items if (item,) in reuse
+        }
+        todo = [item for item in items if item not in layer1]
+        if todo:
+            chunks = adaptive_chunks(
+                todo, _layer1_costs(network, todo), workers
+            )
+            # Exporting carriers only pays off when phase B will attach
+            # them — with max_length=1 there are no children to build.
+            if share_carriers and (max_length is None or max_length > 1):
+                # Orchestrator-assigned names: cleanup below can unlink
+                # every *possible* segment even when the pool aborts
+                # before a creating task reports back.
+                token = uuid.uuid4().hex[:12]
+                segment_names = [
+                    f"rp{token}a{k}" for k in range(len(chunks))
+                ]
+                tasks = list(zip(chunks, segment_names))
+            else:
+                tasks = [(chunk, None) for chunk in chunks]
+            state = {"network": network}
+            with _worker_pool(
+                ctx, min(workers, len(chunks)), state
+            ) as pool:
+                for chunk, (decompositions, handle) in zip(
+                    chunks, pool.map(_layer1_chunk, tasks)
+                ):
+                    if handle is not None:
+                        carrier_handles.append(handle)
+                    for item, decomposition in zip(chunk, decompositions):
+                        layer1[item] = decomposition
+        layer1 = {
+            item: decomposition
             for item, decomposition in layer1.items()
+            if not decomposition.is_empty()
         }
-        chunks = adaptive_chunks(sorted(layer1), costs, workers)
-        deep_reuse = {
-            pattern: decomposition
-            for pattern, decomposition in reuse.items()
-            if len(pattern) >= 2
-        }
-        state = {"network": network, "layer1": layer1, "reuse": deep_reuse}
-        tasks = [(chunk, max_length) for chunk in chunks]
-        with _worker_pool(ctx, min(workers, len(chunks)), state) as pool:
-            for built in pool.map(_subtree_chunk, tasks):
-                for subtree_root in built:
-                    # Graft the worker-built subtree onto the parent-side
-                    # layer-1 node (which holds the original decomposition
-                    # object — reuse identity is preserved at layer 1).
-                    nodes[subtree_root.item].children = subtree_root.children
+
+        root = TCNode(None, EMPTY_PATTERN, None)
+        nodes: dict[int, TCNode] = {}
+        for item in sorted(layer1):
+            node = TCNode(item, (item,), layer1[item])
+            root.add_child(node)
+            nodes[item] = node
+
+        # ------------------------------------------------------- phase B
+        # A single surviving layer-1 item has no pairing siblings, so its
+        # subtree is itself — nothing to fan out.
+        if len(layer1) >= 2 and (max_length is None or max_length > 1):
+            costs = {
+                item: float(decomposition.num_edges)
+                for item, decomposition in layer1.items()
+            }
+            chunks = adaptive_chunks(sorted(layer1), costs, workers)
+            deep_reuse = {
+                pattern: decomposition
+                for pattern, decomposition in reuse.items()
+                if len(pattern) >= 2
+            }
+            state = {
+                "network": network,
+                "layer1": layer1,
+                "reuse": deep_reuse,
+                "carrier_handles": carrier_handles,
+            }
+            tasks = [(chunk, max_length) for chunk in chunks]
+            with _worker_pool(
+                ctx, min(workers, len(chunks)), state
+            ) as pool:
+                for built in pool.map(_subtree_chunk, tasks):
+                    for subtree_root in built:
+                        # Graft the worker-built subtree onto the
+                        # parent-side layer-1 node (which holds the
+                        # original decomposition object — reuse identity
+                        # is preserved at layer 1).
+                        nodes[subtree_root.item].children = (
+                            subtree_root.children
+                        )
+    finally:
+        # Every candidate name, not just reported handles — a pool abort
+        # can leave segments whose creating task never returned.
+        for name in segment_names:
+            unlink_handle({"name": name})
 
     # The serial build consumes every captured carrier while expanding;
-    # here the workers consumed their (copy-on-write / shipped) copies, so
-    # drop the parent-side ones for the same steady-state memory: the sum
-    # of the L_p lists, as in the paper.
+    # here the workers consumed their (copy-on-write / shipped / shared)
+    # copies, so drop the parent-side ones for the same steady-state
+    # memory: the sum of the L_p lists, as in the paper.
     for decomposition in layer1.values():
         decomposition.carrier0 = None
 

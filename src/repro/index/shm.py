@@ -1,0 +1,198 @@
+"""Shared-memory exchange of CSR carriers for the process-parallel build.
+
+PR 2's exchange protocol ships ``C*_s(0)`` carriers between processes by
+pickling their canonical edge lists — every layer-1 task result carries
+``O(m)`` Python tuples through a pipe, and every phase-B worker pays an
+``O(m log m)`` rebuild per carrier it touches. This module replaces that
+with one flat int64 :mod:`multiprocessing.shared_memory` segment per
+phase-A chunk: the producing worker writes the carriers' raw CSR arrays
+(labels, indptr, indices, edge_ids, edge_u, edge_v) into the segment and
+returns only a tiny picklable *handle* (segment name + table of
+contents); consumers attach and wrap zero-copy ``memoryview`` casts in
+:class:`~repro.graphs.csr.CSRGraph` objects. The result-pickling term
+tracked by ``benchmarks/bench_parallel_build.py`` drops to the handle
+size, and attached carriers are backed by one kernel mapping shared by
+every worker instead of per-process copies.
+
+Lifecycle: the worker that creates a segment closes its own mapping
+immediately after writing (the segment persists); the orchestrator owns
+unlinking and does so in a ``finally`` once the pool is done
+(:func:`unlink_handle`). Attached mappings live as long as the graphs
+built from them — the memoryviews pin the mapping — and are dropped with
+the worker process.
+
+Segment layout: one int64 run per graph at ``offset`` words::
+
+    labels    int64[n]      sorted vertex labels
+    indptr    int64[n + 1]
+    indices   int64[2 m]
+    edge_ids  int64[2 m]
+    edge_u    int64[m]
+    edge_v    int64[m]
+
+The handle is ``{"name": <segment>, "toc": {key: (offset, n, m)}}``.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.graphs.csr import INDEX_TYPECODE, CSRGraph
+
+try:  # pragma: no cover - import guard exercised only on exotic builds
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+
+#: Whether the platform offers POSIX/Windows shared memory at all.
+HAS_SHARED_MEMORY = shared_memory is not None
+
+#: Mappings whose close() found live exported views (graphs still using
+#: the buffer). Parking them here keeps ``SharedMemory.__del__`` from
+#: firing mid-GC with exports alive (a BufferError warning); the OS
+#: reclaims the mappings at process exit.
+_PENDING_CLOSE: list = []
+
+#: int64 words per graph: 2n + 1 + 6m (see module docstring layout).
+
+
+def _graph_words(n: int, m: int) -> int:
+    return 2 * n + 1 + 6 * m
+
+
+def _as_words(values) -> array:
+    if isinstance(values, array):
+        return values
+    return array(INDEX_TYPECODE, values)
+
+
+class SharedCarrierStore:
+    """A set of CSR graphs packed into one shared-memory segment."""
+
+    def __init__(self, shm, toc: dict, owner: bool) -> None:
+        self._shm = shm
+        self._toc = toc
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, graphs: dict[int, CSRGraph], name: str | None = None
+    ) -> "SharedCarrierStore":
+        """Pack ``graphs`` (non-empty) into a fresh segment.
+
+        ``name`` optionally fixes the segment name — the parallel build
+        pre-assigns names so the orchestrator can unlink segments whose
+        creating task never got to report a handle (aborted pools).
+        """
+        if shared_memory is None:  # pragma: no cover
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        toc: dict[int, tuple[int, int, int]] = {}
+        total = 0
+        for key, graph in graphs.items():
+            n = graph.num_vertices
+            m = graph.num_edges
+            toc[key] = (total, n, m)
+            total += _graph_words(n, m)
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(total * 8, 1)
+        )
+        words = memoryview(shm.buf).cast(INDEX_TYPECODE)
+        try:
+            for key, graph in graphs.items():
+                offset, n, m = toc[key]
+                cursor = offset
+                for section, length in (
+                    (graph.labels, n),
+                    (graph.indptr, n + 1),
+                    (graph.indices, 2 * m),
+                    (graph.edge_ids, 2 * m),
+                    (graph.edge_u, m),
+                    (graph.edge_v, m),
+                ):
+                    words[cursor:cursor + length] = _as_words(section)
+                    cursor += length
+        finally:
+            words.release()
+        return cls(shm, toc, owner=True)
+
+    def handle(self) -> dict:
+        """The picklable attachment token."""
+        return {"name": self._shm.name, "toc": self._toc}
+
+    @classmethod
+    def attach(cls, handle: dict) -> "SharedCarrierStore":
+        """Attach to a segment created elsewhere (read-only use)."""
+        if shared_memory is None:  # pragma: no cover
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        shm = shared_memory.SharedMemory(name=handle["name"])
+        return cls(shm, handle["toc"], owner=False)
+
+    # ------------------------------------------------------------------
+    def keys(self):
+        return self._toc.keys()
+
+    def graph(self, key: int) -> CSRGraph:
+        """``key``'s graph as zero-copy views over the segment.
+
+        The returned graph's flat arrays are ``memoryview`` casts into
+        the mapping (labels are materialized — the label index wants a
+        real tuple); they pin the mapping alive, and
+        :meth:`CSRGraph.__getstate__` copies them into plain arrays if
+        such a graph is ever pickled onward.
+        """
+        offset, n, m = self._toc[key]
+        words = memoryview(self._shm.buf).cast(INDEX_TYPECODE)
+        cursor = offset
+        sections = []
+        for length in (n, n + 1, 2 * m, 2 * m, m, m):
+            sections.append(words[cursor:cursor + length])
+            cursor += length
+        graph = CSRGraph(tuple(sections[0]), *sections[1:])
+        # The graph keeps the store (and so the mapping) alive: the
+        # segment can only finalize after every graph built from it.
+        graph._buffer_owner = self
+        return graph
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap this process's view (the segment itself persists).
+
+        When graphs built by :meth:`graph` still export views into the
+        mapping it cannot be unmapped now — it is parked instead and the
+        OS reclaims it with the process.
+        """
+        try:
+            self._shm.close()
+        except BufferError:
+            _PENDING_CLOSE.append(self._shm)
+
+    def unlink(self) -> None:
+        """Remove the segment (creator side, after consumers finished)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def unlink_handle(handle: dict) -> None:
+    """Orchestrator-side cleanup of a worker-created segment."""
+    if shared_memory is None:  # pragma: no cover
+        return
+    try:
+        shm = shared_memory.SharedMemory(name=handle["name"])
+    except FileNotFoundError:
+        return
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced cleanup
+        pass
+    finally:
+        shm.close()
+
+
+__all__ = [
+    "HAS_SHARED_MEMORY",
+    "SharedCarrierStore",
+    "unlink_handle",
+]

@@ -36,10 +36,12 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro._ordering import EMPTY_PATTERN, Pattern
 from repro.errors import TCIndexError
-from repro.graphs.csr import GraphLike
+from repro.graphs.csr import CSRGraph, GraphLike
 from repro.index.decomposition import (
+    MaskedCarrier,
     TrussDecomposition,
     decompose_network_pattern,
+    warm_network_triangles,
 )
 from repro.index.tcnode import TCNode
 from repro.network.dbnetwork import DatabaseNetwork
@@ -134,12 +136,21 @@ def _expand_frontier(
         if max_length is not None and len(node_f.pattern) >= max_length:
             truss_graphs.pop(id(node_f), None)
             parent_of.pop(id(node_f), None)
+            # The capture was never needed: a max-depth node pairs with
+            # nobody, so release it instead of letting it ride along in
+            # the finished tree (and in worker result pickles).
+            if node_f.decomposition is not None:
+                node_f.decomposition.carrier0 = None
             continue
         parent = parent_of[id(node_f)]
-        graph_f = truss_graphs[id(node_f)]
+        # Carriers materialize lazily on first pairing: a node with no
+        # later siblings never builds one at all.
+        graph_f = truss_graphs.get(id(node_f))
         for node_b in parent.children:
             if node_b.item <= node_f.item:  # type: ignore[operator]
                 continue  # need s_{n_f} ≺ s_{n_b}
+            if graph_f is None:
+                graph_f = _carrier_of(node_f.decomposition)  # type: ignore[arg-type]
             graph_b = truss_graphs.get(id(node_b))
             if graph_b is None:
                 # Sibling carrier not materialized — rebuild it once and
@@ -149,9 +160,24 @@ def _expand_frontier(
                 # captured carriers.
                 graph_b = _carrier_of(node_b.decomposition)  # type: ignore[arg-type]
                 truss_graphs[id(node_b)] = graph_b
-            carrier = intersect_graphs(graph_f, graph_b)
-            if carrier.num_edges == 0:
-                continue
+            if isinstance(graph_f, CSRGraph) and isinstance(
+                graph_b, CSRGraph
+            ):
+                # Carrier-projection fast path: keep the Proposition 5.3
+                # intersection as (base, mask) — materialized only if the
+                # child decomposition actually needs the subgraph, and
+                # then as a single projection that derives its triangle
+                # index from the parent chain.
+                base, mask, count = graph_f.intersect_mask(graph_b)
+                if count == 0:
+                    continue
+                carrier: "GraphLike | MaskedCarrier" = MaskedCarrier(
+                    base, mask, count
+                )
+            else:
+                carrier = intersect_graphs(graph_f, graph_b)
+                if carrier.num_edges == 0:
+                    continue
             child_pattern = node_f.pattern + (node_b.item,)  # type: ignore[operator]
             decomposition = reuse.get(child_pattern)
             if decomposition is None:
@@ -164,10 +190,11 @@ def _expand_frontier(
             child = TCNode(node_b.item, child_pattern, decomposition)
             node_f.add_child(child)
             parent_of[id(child)] = node_f
-            truss_graphs[id(child)] = _carrier_of(decomposition)
             queue.append(child)
         truss_graphs.pop(id(node_f), None)
         parent_of.pop(id(node_f), None)
+        if node_f.decomposition is not None:
+            node_f.decomposition.carrier0 = None  # release unused capture
 
 
 def build_tc_tree(
@@ -201,6 +228,9 @@ def build_tc_tree(
         )
     root = TCNode(None, EMPTY_PATTERN, None)
     reuse = reuse or {}
+    # One network-triangle enumeration, amortized across every layer-1
+    # theme subgraph that derives its index from it (projection path).
+    warm_network_triangles(network, items)
 
     def first_layer(item: int) -> TrussDecomposition:
         cached = reuse.get((item,))
@@ -217,7 +247,8 @@ def build_tc_tree(
         decompositions = [first_layer(item) for item in items]
 
     # Frontier bookkeeping: the C*_p(0) carrier of every node whose
-    # children are still to be built (CSR when labels permit).
+    # children are still to be built (CSR when labels permit). Carriers
+    # are materialized lazily by the frontier loop.
     truss_graphs: dict[int, GraphLike] = {}
     queue: deque[TCNode] = deque()
     for item, decomposition in zip(items, decompositions):
@@ -225,7 +256,6 @@ def build_tc_tree(
             continue
         node = TCNode(item, (item,), decomposition)
         root.add_child(node)
-        truss_graphs[id(node)] = _carrier_of(decomposition)
         queue.append(node)
 
     parent_of: dict[int, TCNode] = {

@@ -1,0 +1,242 @@
+"""Unit tests for CSR edge-mask projection and derived triangle indexes.
+
+The projection fast path must be *transparent*: a projected graph is
+structurally identical to one built from the filtered edge list, and a
+derived triangle index is element-identical to a fresh enumeration of
+the projected graph (same triangle order, same partner tables) — that
+element identity is what makes projected TC-Tree builds bit-identical
+to the re-enumeration oracle.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.support import (
+    TriangleIndex,
+    derivable,
+    derive_triangle_index,
+    projection,
+    projection_enabled,
+    triangle_index,
+)
+
+TRI_FIELDS = (
+    "tri_u", "tri_v", "tri_w", "tri_e1", "tri_e2", "tri_e3", "edge_tris",
+)
+
+
+def wheel_graph(n: int = 8) -> CSRGraph:
+    """Hub 0 connected to a cycle 1..n — every spoke pair forms triangles."""
+    edges = [(0, i) for i in range(1, n + 1)]
+    edges += [(i, i + 1) for i in range(1, n)]
+    edges.append((1, n))
+    return CSRGraph.from_edges(edges)
+
+
+def assert_same_index(derived: TriangleIndex, fresh: TriangleIndex):
+    for field in TRI_FIELDS:
+        assert getattr(derived, field) == getattr(fresh, field)
+
+
+class TestProject:
+    def test_matches_generic_constructor(self):
+        graph = wheel_graph()
+        mask = bytearray(graph.num_edges)
+        for e in range(0, graph.num_edges, 2):
+            mask[e] = 1
+        child = graph.project(mask)
+        labels = graph.labels
+        reference = CSRGraph._from_canonical_edges(
+            [
+                (labels[graph.edge_u[e]], labels[graph.edge_v[e]])
+                for e in range(graph.num_edges)
+                if mask[e]
+            ]
+        )
+        assert child.labels == reference.labels
+        assert list(child.indptr) == list(reference.indptr)
+        assert list(child.indices) == list(reference.indices)
+        assert list(child.edge_ids) == list(reference.edge_ids)
+        assert list(child.edge_u) == list(reference.edge_u)
+        assert list(child.edge_v) == list(reference.edge_v)
+
+    def test_sparse_and_dense_strategies_agree(self):
+        """project() picks a build strategy by survival rate; both must
+        produce identical graphs and remap tables."""
+        graph = wheel_graph(10)
+        m = graph.num_edges
+        sparse = bytearray(m)
+        sparse[0] = sparse[1] = sparse[2] = 1  # < 1/4 survival
+        dense = bytearray(b"\x01") * m
+        dense[0] = 0  # > 1/4 survival
+        for mask in (sparse, dense):
+            child = graph.project(mask)
+            expected = [e for e in range(m) if mask[e]]
+            assert list(child._proj_eids) == expected
+            assert child._proj_parent is graph
+            assert child.edges() == [
+                graph.edge_label(e) for e in expected
+            ]
+
+    def test_all_kept_returns_self(self):
+        graph = wheel_graph()
+        assert graph.project(bytearray(b"\x01") * graph.num_edges) is graph
+
+    def test_all_kept_with_isolated_vertex_rebuilds(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2)], vertices=[0, 1, 2, 9])
+        child = graph.project(bytearray(b"\x01") * 2)
+        assert child is not graph
+        assert child.labels == (0, 1, 2)
+
+    def test_chain_composes_past_unindexed_intermediate(self):
+        graph = wheel_graph()
+        triangle_index(graph)
+        mask = bytearray(b"\x01") * graph.num_edges
+        mask[0] = 0
+        child = graph.project(mask)  # parent has a cached index
+        assert child._proj_parent is graph
+        mask2 = bytearray(b"\x01") * child.num_edges
+        mask2[0] = 0
+        grandchild = child.project(mask2)  # child has no cached index
+        assert grandchild._proj_parent is graph
+        assert [graph.edge_label(e) for e in grandchild._proj_eids] == (
+            grandchild.edges()
+        )
+
+    def test_projection_links_to_indexed_intermediate(self):
+        graph = wheel_graph()
+        triangle_index(graph)
+        mask = bytearray(b"\x01") * graph.num_edges
+        mask[0] = 0
+        child = graph.project(mask)
+        triangle_index(child)  # derived, now cached on the child
+        mask2 = bytearray(b"\x01") * child.num_edges
+        mask2[0] = 0
+        grandchild = child.project(mask2)
+        assert grandchild._proj_parent is child
+
+    def test_release_projection(self):
+        graph = wheel_graph()
+        mask = bytearray(b"\x01") * graph.num_edges
+        mask[0] = 0
+        child = graph.project(mask)
+        child.release_projection()
+        assert child._proj_parent is None
+        assert child._proj_eids is None
+
+    def test_pickle_drops_provenance(self):
+        graph = wheel_graph()
+        mask = bytearray(b"\x01") * graph.num_edges
+        mask[0] = 0
+        child = graph.project(mask)
+        clone = pickle.loads(pickle.dumps(child))
+        assert clone == child
+        assert clone._proj_parent is None
+        assert clone._proj_eids is None
+
+    def test_intersect_is_a_projection_of_the_smaller_operand(self):
+        big = wheel_graph(10)
+        small = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (7, 11)])
+        result = big.intersect(small)
+        assert result._proj_parent is small
+        assert sorted(result.iter_edges()) == [(0, 1), (0, 2), (1, 2), (3, 4)]
+        base, mask, count = big.intersect_mask(small)
+        assert base is small
+        assert count == 4
+        assert base.project(mask) == result
+
+
+class TestDerivedIndex:
+    def test_derived_equals_fresh(self):
+        graph = wheel_graph()
+        triangle_index(graph)
+        mask = bytearray(b"\x01") * graph.num_edges
+        mask[3] = 0
+        mask[7] = 0
+        child = graph.project(mask)
+        derived = derive_triangle_index(child)
+        assert derived is not None
+        assert derived.source == "derived"
+        fresh = TriangleIndex(child)
+        assert fresh.source == "enumerated"
+        assert_same_index(derived, fresh)
+
+    def test_derivation_requires_cached_parent_index(self):
+        graph = wheel_graph()
+        mask = bytearray(b"\x01") * graph.num_edges
+        mask[0] = 0
+        child = graph.project(mask)  # parent index never built
+        assert derive_triangle_index(child) is None
+        assert not derivable(child)
+        triangle_index(graph)
+        assert derivable(child)
+        assert derive_triangle_index(child) is not None
+
+    def test_triangle_index_routes_through_derivation(self):
+        graph = wheel_graph()
+        triangle_index(graph)
+        mask = bytearray(b"\x01") * graph.num_edges
+        mask[0] = 0
+        child = graph.project(mask)
+        assert triangle_index(child).source == "derived"
+
+    def test_oracle_toggle_forces_re_enumeration(self):
+        graph = wheel_graph()
+        triangle_index(graph)
+        mask = bytearray(b"\x01") * graph.num_edges
+        mask[0] = 0
+        child = graph.project(mask)
+        assert projection_enabled()
+        with projection(False):
+            assert not projection_enabled()
+            tri = triangle_index(child)
+            assert tri.source == "enumerated"
+        assert projection_enabled()
+
+    def test_empty_projection_has_empty_index(self):
+        graph = wheel_graph()
+        triangle_index(graph)
+        child = graph.project(bytearray(graph.num_edges))
+        derived = derive_triangle_index(child)
+        assert derived is not None
+        assert derived.num_triangles == 0
+        assert derived.edge_tris == []
+
+    def test_second_level_derivation(self):
+        graph = wheel_graph(10)
+        triangle_index(graph)
+        mask = bytearray(b"\x01") * graph.num_edges
+        mask[2] = 0
+        child = graph.project(mask)
+        triangle_index(child)
+        mask2 = bytearray(b"\x01") * child.num_edges
+        mask2[5] = 0
+        grandchild = child.project(mask2)
+        derived = derive_triangle_index(grandchild)
+        assert_same_index(derived, TriangleIndex(grandchild))
+
+
+class TestEnumerationOrder:
+    def test_triangles_listed_in_canonical_order(self):
+        """The (e1, w) ascending order is the contract derivation
+        preserves — pin it."""
+        graph = wheel_graph()
+        tri = TriangleIndex(graph)
+        order = list(zip(tri.tri_e1, tri.tri_w))
+        assert order == sorted(order)
+        for u, v, w in zip(tri.tri_u, tri.tri_v, tri.tri_w):
+            assert u < v < w
+
+    def test_wheel_triangle_count(self):
+        tri = TriangleIndex(wheel_graph(8))
+        assert tri.num_triangles == 8
+
+
+@pytest.fixture(autouse=True)
+def _projection_default_restored():
+    yield
+    assert projection_enabled(), "a test leaked the projection toggle"

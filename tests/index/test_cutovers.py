@@ -1,0 +1,193 @@
+"""Boundary tests for the engine cutover constants.
+
+``CSR_MIN_EDGES`` and ``CSR_NET_REUSE_MIN_EDGES`` pick between the
+legacy adjacency-set path, the CSR engine over a projected carrier, and
+decomposition over the shared network CSR. These tests build graphs
+sitting exactly at, one below, and one above each threshold and assert
+the *recorded route* (``TrussDecomposition.route``) — the introspection
+added for exactly this purpose — so a future retuning that accidentally
+inverts a comparison fails loudly instead of silently changing the
+performance profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.graph import Graph
+from repro.graphs.support import (
+    CSR_MIN_EDGES,
+    projection,
+    triangle_index,
+)
+from repro.index.decomposition import (
+    CSR_NET_REUSE_MIN_EDGES,
+    decompose_network_pattern,
+    decompose_theme,
+)
+from repro.network.dbnetwork import DatabaseNetwork
+from repro.txdb.database import TransactionDatabase
+
+
+def path_network(num_edges: int, positive: int | None = None):
+    """A path network of ``num_edges`` edges; the first ``positive``
+    vertices (default: all) carry item 0, the rest item 1 only."""
+    n = num_edges + 1
+    positive = n if positive is None else positive
+    graph = Graph()
+    databases = {}
+    for v in range(n):
+        graph.add_vertex(v)
+        databases[v] = TransactionDatabase(
+            [[0]] if v < positive else [[1]]
+        )
+    for v in range(num_edges):
+        graph.add_edge(v, v + 1)
+    return DatabaseNetwork(graph, databases)
+
+
+def path_graph(num_edges: int) -> Graph:
+    graph = Graph()
+    for v in range(num_edges):
+        graph.add_edge(v, v + 1)
+    return graph
+
+
+class TestCsrMinEdgesEngineCutover:
+    """decompose_theme(engine="auto"): legacy below, CSR at/above."""
+
+    @pytest.mark.parametrize(
+        "num_edges,expected",
+        [
+            (CSR_MIN_EDGES - 1, "legacy"),
+            (CSR_MIN_EDGES, "csr"),
+            (CSR_MIN_EDGES + 1, "csr"),
+        ],
+    )
+    def test_boundary(self, num_edges, expected):
+        graph = path_graph(num_edges)
+        frequencies = {v: 1.0 for v in graph}
+        decomposition = decompose_theme((0,), graph, frequencies)
+        assert decomposition.route == expected
+
+    def test_forced_engines_ignore_the_cutover(self):
+        graph = path_graph(CSR_MIN_EDGES - 1)
+        frequencies = {v: 1.0 for v in graph}
+        forced_csr = decompose_theme(
+            (0,), graph, frequencies, engine="csr"
+        )
+        assert forced_csr.route == "csr"
+        forced_legacy = decompose_theme(
+            (0,), path_graph(CSR_MIN_EDGES + 1),
+            {v: 1.0 for v in range(CSR_MIN_EDGES + 2)}, engine="legacy",
+        )
+        assert forced_legacy.route == "legacy"
+
+
+class TestCsrMinEdgesRestrictCutover:
+    """Carrier restriction: projected CSR at/above, legacy graph below.
+
+    The frequency filter keeps the first ``positive`` vertices of a long
+    path, inducing exactly ``positive - 1`` edges — sized to the
+    boundary. Coverage stays far under 90%, so the pass-through branch
+    cannot mask the cutover.
+    """
+
+    @pytest.mark.parametrize(
+        "induced,expected",
+        [
+            (CSR_MIN_EDGES - 1, "carrier-small+legacy"),
+            (CSR_MIN_EDGES, "carrier-projected+csr"),
+            (CSR_MIN_EDGES + 1, "carrier-projected+csr"),
+        ],
+    )
+    def test_boundary(self, induced, expected):
+        network = path_network(4 * CSR_MIN_EDGES, positive=induced + 1)
+        csr_net = network.csr_graph()
+        # A sub-network carrier below CSR_NET_REUSE_MIN_EDGES, so the
+        # net-reuse branch cannot preempt the restriction under test.
+        carrier_edges = CSR_NET_REUSE_MIN_EDGES - 4
+        assert carrier_edges > induced
+        mask = bytearray(csr_net.num_edges)
+        for e in range(carrier_edges):
+            mask[e] = 1
+        decomposition = decompose_network_pattern(
+            network, (0,), carrier=csr_net.project(mask)
+        )
+        assert decomposition.route == expected
+
+
+class TestNetReuseMinEdgesCutover:
+    """A carrier spanning the whole network reuses the network CSR only
+    at/above ``CSR_NET_REUSE_MIN_EDGES``."""
+
+    @pytest.mark.parametrize(
+        "num_edges,expected",
+        [
+            (CSR_NET_REUSE_MIN_EDGES - 1, "carrier-full+csr"),
+            (CSR_NET_REUSE_MIN_EDGES, "net-reuse+csr"),
+            (CSR_NET_REUSE_MIN_EDGES + 1, "net-reuse+csr"),
+        ],
+    )
+    def test_boundary(self, num_edges, expected):
+        network = path_network(num_edges)
+        carrier = network.csr_graph()
+        decomposition = decompose_network_pattern(
+            network, (0,), carrier=carrier
+        )
+        assert decomposition.route == expected
+
+
+class TestNetReuseRatioCutover:
+    """The share-of-network term of the net-reuse rule, both regimes."""
+
+    def _carrier(self, network, carrier_edges: int) -> CSRGraph:
+        csr_net = network.csr_graph()
+        triangle_index(csr_net)  # make projections of the net derivable
+        mask = bytearray(csr_net.num_edges)
+        for e in range(carrier_edges):
+            mask[e] = 1
+        return csr_net.project(mask)
+
+    def test_derivable_carrier_needs_nine_tenths(self):
+        network = path_network(2000)
+        at = decompose_network_pattern(
+            network, (0,), carrier=self._carrier(network, 1800)
+        )
+        assert at.route.startswith("net-reuse")  # 10·1800 ≥ 9·2000
+        below = decompose_network_pattern(
+            network, (0,), carrier=self._carrier(network, 1799)
+        )
+        assert below.route.startswith("carrier-")
+
+    def test_rule_ignores_the_projection_switch(self):
+        """Routes must not depend on the oracle toggle — that is what
+        keeps projection on/off trees bit-identical by construction."""
+        network = path_network(2000)
+        with projection(False):
+            below = decompose_network_pattern(
+                network, (0,), carrier=self._carrier(network, 1799)
+            )
+        assert below.route.startswith("carrier-")
+
+    def test_underivable_carrier_needs_one_third(self):
+        """Without a warm ancestor index the projected path would have to
+        re-enumerate anyway, so the PR 2 edge-ratio rule stays."""
+        network = path_network(3300)
+        csr_net = network.csr_graph()
+
+        def plain_carrier(carrier_edges):
+            # No provenance, no cached index: rebuilt from raw edges.
+            return CSRGraph._from_canonical_edges(
+                [csr_net.edge_label(e) for e in range(carrier_edges)]
+            )
+
+        at = decompose_network_pattern(
+            network, (0,), carrier=plain_carrier(1100)
+        )
+        below = decompose_network_pattern(
+            network, (0,), carrier=plain_carrier(1099)
+        )
+        assert at.route.startswith("net-reuse")  # 3·1100 ≥ 3300
+        assert below.route.startswith("carrier-")

@@ -6,8 +6,10 @@ Subcommands::
     repro stats bk.json                      # also accepts index files
     repro mine bk.json --alpha 0.2 --method tcfi
     repro index bk.json --out bk.tcsnap --format snapshot
+    repro edge-index coauth.json --out coauth.tcsnap --workers 4
     repro snapshot bk.tctree.json --out bk.tcsnap
     repro query bk.tcsnap --alpha 0.2 [--pattern 3,7] [--top-k 5]
+    repro query coauth.tcsnap --kind edge --alpha 0.2
     repro serve bk.tcsnap --port 8080
     repro search bk.json --vertex 12 --alpha 0.2 [--top 5]
     repro export bk.json --format graphml --out bk.graphml [--alpha 0.2]
@@ -45,17 +47,29 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.index.stats import tc_tree_statistics
-    from repro.serve.snapshot import is_snapshot_file
+    from repro.serve.snapshot import TCTreeSnapshot, is_snapshot_file
 
     if is_snapshot_file(args.network) or _is_index_document(args.network):
         # An index file (binary snapshot or JSON warehouse document):
         # report the TC-Tree profile instead of network statistics.
-        warehouse = ThemeCommunityWarehouse.load(args.network)
-        stats = tc_tree_statistics(warehouse.tree)
+        if is_snapshot_file(args.network):
+            with TCTreeSnapshot.open(args.network) as snapshot:
+                tree = (
+                    snapshot.materialize_edge_tree()
+                    if snapshot.kind == "edge"
+                    else snapshot.materialize().tree
+                )
+        else:
+            tree = ThemeCommunityWarehouse.load(args.network).tree
+        stats = tc_tree_statistics(tree)
+        prefix = (
+            "Edge TC-Tree" if getattr(tree, "kind", "vertex") == "edge"
+            else "TC-Tree"
+        )
         print(
             format_table(
                 [stats.as_row()],
-                title=f"TC-Tree statistics of {args.network}",
+                title=f"{prefix} statistics of {args.network}",
             )
         )
         return 0
@@ -119,6 +133,28 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_edge_index(args: argparse.Namespace) -> int:
+    from repro.edgenet.index import build_edge_tc_tree
+    from repro.edgenet.io import load_edge_network
+    from repro.serve.snapshot import write_snapshot
+
+    network = load_edge_network(args.network)
+    tree = build_edge_tc_tree(
+        network,
+        max_length=args.max_length,
+        workers=args.workers,
+        backend=args.backend,
+    )
+    size = write_snapshot(tree, args.out)
+    low = 0.0
+    print(
+        f"wrote {args.out} (edge snapshot): {tree.num_nodes} trusses, "
+        f"{size} bytes, non-trivial alpha range "
+        f"[{low}, {tree.max_alpha():.4g})"
+    )
+    return 0
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> int:
     from repro.serve.snapshot import migrate_json_to_snapshot
 
@@ -142,6 +178,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     # The engine answers both index formats (binary snapshots lazily,
     # JSON documents from memory) bit-identically to the in-memory tree.
     with IndexedWarehouse.open(args.index) as engine:
+        if args.kind != "auto" and engine.kind != args.kind:
+            print(
+                f"{args.index} serves a {engine.kind} tree, "
+                f"not {args.kind}",
+                file=sys.stderr,
+            )
+            return 2
         if args.top_k is not None:
             communities = engine.top_k(
                 args.top_k, pattern=pattern, alpha=args.alpha,
@@ -323,6 +366,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_index)
 
     p = sub.add_parser(
+        "edge-index",
+        help="build and save an edge TC-Tree (binary snapshot)",
+    )
+    p.add_argument("network", help="a repro-edgenetwork JSON document")
+    p.add_argument("--out", required=True)
+    p.add_argument("--max-length", type=int, default=None)
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel build workers (>1 enables the backend)")
+    p.add_argument("--backend", default="process",
+                   choices=("process", "thread", "serial", "legacy"),
+                   help="build backend; 'legacy' is the dict-of-sets "
+                        "parity oracle")
+    p.set_defaults(func=_cmd_edge_index)
+
+    p = sub.add_parser(
         "snapshot", help="migrate a JSON index to a binary snapshot"
     )
     p.add_argument("index", help="a repro-tctree JSON document")
@@ -341,6 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "communities instead of dumping every truss")
     p.add_argument("--min-size", type=int, default=3,
                    help="smallest community size --top-k may return")
+    p.add_argument("--kind", default="auto",
+                   choices=("auto", "vertex", "edge"),
+                   help="require the index to serve this tree model "
+                        "(auto-detected from the snapshot header)")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser(

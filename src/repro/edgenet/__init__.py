@@ -24,10 +24,20 @@ from repro.edgenet.cohesion import (
     edge_theme_cohesion,
     edge_theme_cohesion_table,
 )
+from repro.edgenet.decomposition import (
+    EdgeTrussDecomposition,
+    decompose_edge_network_pattern,
+)
 from repro.edgenet.finder import (
     EdgeThemeCommunityFinder,
     edge_tcfi,
     maximal_edge_pattern_truss,
+)
+from repro.edgenet.index import (
+    EdgeQueryAnswer,
+    EdgeTCNode,
+    EdgeTCTree,
+    build_edge_tc_tree,
 )
 from repro.edgenet.network import EdgeDatabaseNetwork
 from repro.edgenet.theme import induce_edge_theme_network
@@ -40,4 +50,10 @@ __all__ = [
     "maximal_edge_pattern_truss",
     "edge_tcfi",
     "EdgeThemeCommunityFinder",
+    "EdgeTrussDecomposition",
+    "decompose_edge_network_pattern",
+    "EdgeQueryAnswer",
+    "EdgeTCNode",
+    "EdgeTCTree",
+    "build_edge_tc_tree",
 ]

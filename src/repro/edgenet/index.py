@@ -6,29 +6,55 @@ Algorithm 5 transfer unchanged: nodes store
 computed inside parent-truss intersections, and empty decompositions prune
 whole subtrees (the anti-monotonicity arguments hold for per-edge
 frequencies).
+
+Construction rides the same engine as the vertex tree: frontier carriers
+are CSR graphs, sibling intersections stay unmaterialized
+:class:`~repro.index.decomposition.MaskedCarrier` pairs (Proposition 5.3
+as (base, mask)), each surviving child is **one** projection whose
+triangle index derives from the parent chain, and ``workers > 1`` fans
+layer-1 items plus whole enumeration subtrees across the shared process
+pool of :mod:`repro.index.parallel` (shared-memory carrier exchange
+included). ``backend="legacy"`` keeps the original dict-of-sets serial
+loop as the parity oracle.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable
+from concurrent.futures import ThreadPoolExecutor
 
-from repro._ordering import EMPTY_PATTERN, Pattern, make_pattern
+from repro._ordering import EMPTY_PATTERN, Pattern
 from repro.edgenet.decomposition import (
     EdgeTrussDecomposition,
     decompose_edge_network_pattern,
+    warm_edge_network_triangles,
 )
 from repro.edgenet.network import EdgeDatabaseNetwork
 from repro.errors import TCIndexError
 from repro.graphs.components import connected_components
-from repro.graphs.graph import Graph
+from repro.graphs.csr import GraphLike
+from repro.index.query import QueryAnswer, query_tc_tree
+from repro.index.tcnode import TCNode
+from repro.index.tctree import TCTree, _expand_frontier
 from repro.network.theme import intersect_graphs
 
 
-class EdgeTCNode:
-    """One node of an edge TC-Tree."""
+class EdgeTCNode(TCNode):
+    """One node of an edge TC-Tree.
 
-    __slots__ = ("item", "pattern", "decomposition", "children")
+    Structure, child ordering, and traversal come from :class:`TCNode`
+    (one shared implementation, same rationale as the decomposition
+    models' shared ``CarrierProtocol``). Additionally, non-root nodes
+    (``item is not None``) must carry a non-empty decomposition:
+    Proposition 5.2 prunes empty subtrees at build time, so a node
+    without one is structurally impossible — enforcing it here is what
+    lets the query layer drop its ``decomposition is None`` escape
+    hatches.
+    """
+
+    __slots__ = ()
 
     def __init__(
         self,
@@ -36,58 +62,103 @@ class EdgeTCNode:
         pattern: Pattern,
         decomposition: EdgeTrussDecomposition | None,
     ) -> None:
-        self.item = item
-        self.pattern = pattern
-        self.decomposition = decomposition
-        self.children: list[EdgeTCNode] = []
+        if item is not None and (
+            decomposition is None or decomposition.is_empty()
+        ):
+            raise TCIndexError(
+                f"edge TC-Tree node {pattern} requires a non-empty "
+                "decomposition (Proposition 5.2 prunes empty subtrees)"
+            )
+        super().__init__(item, pattern, decomposition)  # type: ignore[arg-type]
 
-    def iter_subtree(self) -> Iterator["EdgeTCNode"]:
-        yield self
-        for child in self.children:
-            yield from child.iter_subtree()
+    def __repr__(self) -> str:
+        return (
+            f"EdgeTCNode(item={self.item}, pattern={self.pattern}, "
+            f"children={len(self.children)})"
+        )
 
 
-class EdgeTCTree:
-    """A built edge TC-Tree."""
+class EdgeQueryAnswer(QueryAnswer):
+    """A :class:`QueryAnswer` over an edge TC-Tree.
 
-    def __init__(self, root: EdgeTCNode) -> None:
-        self.root = root
+    Identical accounting to the vertex tree (RN/VN per the Figure 5
+    contract); additionally iterable as the pre-unification
+    ``[(pattern, graph), ...]`` shape for old callers — with a
+    :class:`DeprecationWarning`, via :meth:`legacy_pairs`.
+    """
 
-    @property
-    def num_nodes(self) -> int:
-        return sum(1 for _ in self.iter_nodes())
+    def legacy_pairs(self) -> list[tuple[Pattern, object]]:
+        """The deprecated tuple-list shape (no warning — explicit opt-in)."""
+        return [(truss.pattern, truss.graph) for truss in self.trusses]
 
-    def iter_nodes(self) -> Iterator[EdgeTCNode]:
-        for child in self.root.children:
-            yield from child.iter_subtree()
+    def _warn_legacy(self) -> None:
+        warnings.warn(
+            "iterating EdgeTCTree.query() answers as (pattern, graph) "
+            "tuples is deprecated; use .trusses (or .legacy_pairs())",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
-    def patterns(self) -> list[Pattern]:
-        return sorted(node.pattern for node in self.iter_nodes())
+    def __iter__(self):
+        self._warn_legacy()
+        return iter(self.legacy_pairs())
+
+    def __len__(self) -> int:
+        return len(self.trusses)
+
+    def __getitem__(self, index):
+        self._warn_legacy()
+        return self.legacy_pairs()[index]
+
+
+class EdgeTCTree(TCTree):
+    """A built edge TC-Tree.
+
+    Shape queries (``num_nodes``/``depth``/``patterns``/``find_node``/
+    ``max_alpha``/traversal) come from :class:`TCTree` — the edge model
+    only overrides the query answer (per-edge frequencies summarize into
+    the vertex view) and the serving-layer kind tag.
+    """
+
+    #: Tree-model tag; the serving layer dispatches snapshot payloads
+    #: on it (see :mod:`repro.serve.snapshot`).
+    kind = "edge"
+
+    def __init__(self, root: EdgeTCNode, num_items: int | None = None) -> None:
+        if num_items is None:
+            num_items = len(
+                {
+                    item
+                    for node in root.iter_subtree()
+                    if node.item is not None
+                    for item in node.pattern
+                }
+            )
+        super().__init__(root, num_items=num_items)  # type: ignore[arg-type]
 
     def query(
         self,
         pattern: Iterable[int] | None = None,
         alpha: float = 0.0,
-    ) -> list[tuple[Pattern, Graph]]:
-        """Algorithm 5 on the edge tree: (pattern, truss graph) pairs."""
-        if alpha < 0.0:
-            raise TCIndexError(f"alpha must be >= 0, got {alpha}")
-        query_items = (
-            None if pattern is None else set(make_pattern(pattern))
+    ) -> EdgeQueryAnswer:
+        """Algorithm 5 on the edge tree, unified on :class:`QueryAnswer`.
+
+        Delegates to the one shared traversal,
+        :func:`repro.index.query.query_tc_tree` — same item prune, same
+        Proposition 5.2 prune, same Figure 5 RN/VN accounting (a touched
+        child counts as visited even when the item prune discards it).
+        :class:`EdgeTCNode` guarantees every non-root node carries a
+        non-empty decomposition, so the traversal's ``truss_at`` access
+        is always safe here.
+        """
+        answer = query_tc_tree(self, pattern=pattern, alpha=alpha)
+        return EdgeQueryAnswer(
+            query_pattern=answer.query_pattern,
+            alpha=answer.alpha,
+            trusses=answer.trusses,
+            retrieved_nodes=answer.retrieved_nodes,
+            visited_nodes=answer.visited_nodes,
         )
-        answer: list[tuple[Pattern, Graph]] = []
-        queue = deque([self.root])
-        while queue:
-            node = queue.popleft()
-            for child in node.children:
-                if query_items is not None and child.item not in query_items:
-                    continue
-                graph = child.decomposition.graph_at(alpha)  # type: ignore[union-attr]
-                if graph.num_edges == 0:
-                    continue
-                answer.append((child.pattern, graph))
-                queue.append(child)
-        return answer
 
     def query_communities(
         self,
@@ -96,28 +167,122 @@ class EdgeTCTree:
     ) -> list[tuple[Pattern, set]]:
         """Theme communities (connected components) matching a query."""
         communities: list[tuple[Pattern, set]] = []
-        for found_pattern, graph in self.query(pattern, alpha):
-            for component in connected_components(graph):
-                communities.append((found_pattern, component))
+        for truss in self.query(pattern, alpha).trusses:
+            for component in connected_components(truss.graph):
+                communities.append((truss.pattern, component))
         return communities
+
+    def __repr__(self) -> str:
+        return f"EdgeTCTree(nodes={self.num_nodes}, items={self.num_items})"
 
 
 def build_edge_tc_tree(
     network: EdgeDatabaseNetwork,
     max_length: int | None = None,
+    workers: int = 1,
+    backend: str = "process",
+    reuse: dict[Pattern, EdgeTrussDecomposition] | None = None,
 ) -> EdgeTCTree:
-    """Algorithm 4 over an edge database network."""
-    root = EdgeTCNode(None, EMPTY_PATTERN, None)
-    truss_graphs: dict[int, Graph] = {}
-    queue: deque[EdgeTCNode] = deque()
+    """Algorithm 4 over an edge database network.
 
-    for item in network.item_universe():
-        decomposition = decompose_edge_network_pattern(network, (item,))
+    Mirrors :func:`repro.index.tctree.build_tc_tree`: ``workers > 1``
+    with ``backend="process"`` (the default) fans layer-1 items and whole
+    enumeration subtrees across the shared process pool of
+    :mod:`repro.index.parallel` (adaptive chunking, compact pickles,
+    shared-memory carrier exchange); ``backend="thread"`` keeps a
+    GIL-bound thread pool over layer 1 only; ``backend="serial"`` forces
+    the single-process CSR path. ``backend="legacy"`` runs the original
+    dict-of-sets serial loop — the parity oracle every other backend must
+    reproduce (exact patterns and per-level edge sets, thresholds within
+    the cohesion tolerance). ``reuse`` optionally maps patterns to
+    decompositions known to still be valid (matching patterns skip
+    recomputation, same contract as the vertex build); the legacy oracle
+    rejects it — an oracle that skips work is no oracle.
+    """
+    if backend not in ("process", "thread", "serial", "legacy"):
+        raise TCIndexError(f"unknown build backend {backend!r}")
+    if backend == "legacy":
+        if reuse:
+            raise TCIndexError(
+                "the legacy oracle recomputes every decomposition; "
+                "reuse is not supported"
+            )
+        return _build_edge_tc_tree_legacy(network, max_length=max_length)
+    reuse = reuse or {}
+    items = network.item_universe()
+    if workers > 1 and len(items) > 1 and backend == "process":
+        from repro.index.parallel import build_tc_tree_process
+
+        return build_tc_tree_process(
+            network, max_length=max_length, workers=workers,
+            reuse=reuse, model="edge",
+        )
+
+    root = EdgeTCNode(None, EMPTY_PATTERN, None)
+    # One network-triangle enumeration, amortized across every layer-1
+    # theme subgraph that derives its index from it (projection path).
+    warm_edge_network_triangles(network, items)
+
+    def first_layer(item: int) -> EdgeTrussDecomposition:
+        cached = reuse.get((item,))
+        if cached is not None:
+            return cached
+        return decompose_edge_network_pattern(
+            network, (item,), capture_carrier=True
+        )
+
+    if workers > 1 and len(items) > 1 and backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            decompositions = list(pool.map(first_layer, items))
+    else:
+        decompositions = [first_layer(item) for item in items]
+
+    truss_graphs: dict[int, GraphLike] = {}
+    queue: deque[EdgeTCNode] = deque()
+    for item, decomposition in zip(items, decompositions):
         if decomposition.is_empty():
             continue
         node = EdgeTCNode(item, (item,), decomposition)
-        root.children.append(node)
-        truss_graphs[id(node)] = decomposition.graph_at(0.0)
+        root.add_child(node)
+        queue.append(node)
+
+    parent_of: dict[int, EdgeTCNode] = {
+        id(child): root for child in root.children
+    }
+    _expand_frontier(
+        network, queue, truss_graphs, parent_of,  # type: ignore[arg-type]
+        max_length=max_length, reuse=reuse,
+        decompose=decompose_edge_network_pattern,
+        node_factory=EdgeTCNode,
+    )
+    return EdgeTCTree(root, num_items=len(items))
+
+
+def _build_edge_tc_tree_legacy(
+    network: EdgeDatabaseNetwork,
+    max_length: int | None = None,
+) -> EdgeTCTree:
+    """The original adjacency-set build — the cross-engine parity oracle.
+
+    Frontier carriers materialize lazily via ``graph_at(0.0)`` and are
+    **memoized** into the frontier map (the vertex tree's PR 2 fix: a
+    sibling rebuilt for one pairing used to be rebuilt for every later
+    pairing too), then released by the same pop-time lifecycle as the
+    CSR path.
+    """
+    items = network.item_universe()
+    root = EdgeTCNode(None, EMPTY_PATTERN, None)
+    truss_graphs: dict[int, GraphLike] = {}
+    queue: deque[EdgeTCNode] = deque()
+
+    for item in items:
+        decomposition = decompose_edge_network_pattern(
+            network, (item,), engine="legacy"
+        )
+        if decomposition.is_empty():
+            continue
+        node = EdgeTCNode(item, (item,), decomposition)
+        root.add_child(node)
         queue.append(node)
 
     parent_of: dict[int, EdgeTCNode] = {
@@ -130,28 +295,30 @@ def build_edge_tc_tree(
             parent_of.pop(id(node_f), None)
             continue
         parent = parent_of[id(node_f)]
-        graph_f = truss_graphs[id(node_f)]
+        graph_f = truss_graphs.get(id(node_f))
         for node_b in parent.children:
             if node_b.item <= node_f.item:  # type: ignore[operator]
                 continue
+            if graph_f is None:
+                graph_f = node_f.decomposition.graph_at(0.0)  # type: ignore[union-attr]
             graph_b = truss_graphs.get(id(node_b))
             if graph_b is None:
                 graph_b = node_b.decomposition.graph_at(0.0)  # type: ignore[union-attr]
+                truss_graphs[id(node_b)] = graph_b
             carrier = intersect_graphs(graph_f, graph_b)
             if carrier.num_edges == 0:
                 continue
             child_pattern = node_f.pattern + (node_b.item,)  # type: ignore[operator]
             decomposition = decompose_edge_network_pattern(
-                network, child_pattern, carrier=carrier
+                network, child_pattern, carrier=carrier, engine="legacy"
             )
             if decomposition.is_empty():
                 continue
             child = EdgeTCNode(node_b.item, child_pattern, decomposition)
-            node_f.children.append(child)
+            node_f.add_child(child)
             parent_of[id(child)] = node_f
-            truss_graphs[id(child)] = decomposition.graph_at(0.0)
             queue.append(child)
         truss_graphs.pop(id(node_f), None)
         parent_of.pop(id(node_f), None)
 
-    return EdgeTCTree(root)
+    return EdgeTCTree(root, num_items=len(items))

@@ -11,6 +11,7 @@ from collections.abc import Hashable, Iterable
 
 from repro._ordering import Pattern, make_pattern
 from repro.errors import DatabaseError, GraphError
+from repro.graphs.csr import CSRGraph, as_csr
 from repro.graphs.graph import Edge, Graph, edge_key
 from repro.txdb.database import TransactionDatabase
 
@@ -29,6 +30,7 @@ class EdgeDatabaseNetwork:
         self.databases: dict[Edge, TransactionDatabase] = {}
         self.vertex_labels = vertex_labels or {}
         self.item_labels = item_labels or {}
+        self._csr_cache: tuple[tuple[int, int], CSRGraph | None] | None = None
         for edge, database in (databases or {}).items():
             key = edge_key(*edge)
             if not self.graph.has_edge(*key):
@@ -71,6 +73,36 @@ class EdgeDatabaseNetwork:
     @property
     def num_edges(self) -> int:
         return self.graph.num_edges
+
+    def csr_graph(self) -> CSRGraph | None:
+        """Cached CSR view of the topology (None for non-int vertices).
+
+        Same contract as :meth:`DatabaseNetwork.csr_graph`: the cache is
+        keyed on ``(num_vertices, num_edges)`` and the construction API
+        is grow-only, so any topology mutation invalidates it.
+        """
+        key = (self.graph.num_vertices, self.graph.num_edges)
+        cached = self._csr_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        csr = as_csr(self.graph)
+        self._csr_cache = (key, csr)
+        return csr
+
+    def edges_containing_item(self, item: int) -> list[Edge]:
+        """Edges whose database mentions ``item`` at least once.
+
+        The edge-model analogue of
+        :meth:`DatabaseNetwork.vertices_containing_item`: the theme
+        network of ``{item}`` is exactly this edge set (minus the edges
+        whose frequency rounds to zero), so its size drives the parallel
+        build's cost balancing and the triangle-warming predicate.
+        """
+        return [
+            edge
+            for edge, database in self.databases.items()
+            if database.contains_item(item)
+        ]
 
     def database(self, u: int, v: int) -> TransactionDatabase:
         try:

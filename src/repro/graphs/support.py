@@ -373,6 +373,22 @@ def cohesion_values(
     return weights, _accumulate_cohesion(csr, tri, weights)
 
 
+def edge_frequency_list(csr: CSRGraph, edge_frequencies) -> list[float]:
+    """Per-edge-id frequency array from a canonical-label-pair map.
+
+    The edge engine's Phase-1 input: slot ``e`` holds the frequency of
+    the canonical label pair of edge ``e`` (0.0 when unmapped). Shared by
+    every route of the edge decomposition so the array layout — and with
+    it the float summation order — never forks per call site.
+    """
+    labels = csr.labels
+    get = edge_frequencies.get
+    return [
+        get((labels[u], labels[v]), 0.0)
+        for u, v in zip(csr.edge_u, csr.edge_v)
+    ]
+
+
 def edge_cohesion_values(
     csr: CSRGraph, edge_frequencies: list[float]
 ) -> tuple[list[float], list[float]]:

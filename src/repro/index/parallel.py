@@ -59,6 +59,7 @@ from concurrent.futures import ProcessPoolExecutor
 from heapq import heapify, heappop, heappush
 
 from repro._ordering import EMPTY_PATTERN, Pattern
+from repro.errors import TCIndexError
 from repro.graphs.csr import CSRGraph, GraphLike
 from repro.index.decomposition import (
     TrussDecomposition,
@@ -82,6 +83,72 @@ from repro.network.dbnetwork import DatabaseNetwork
 #: Chunks per worker: oversubscription lets the pool rebalance when cost
 #: estimates are off, at the price of a little extra task overhead.
 CHUNKS_PER_WORKER = 4
+
+
+# ---------------------------------------------------------------------------
+# model registry: the orchestrator and the worker task functions are
+# model-agnostic — everything tree-model-specific (how to decompose a
+# pattern, which node/tree classes to build, how to estimate layer-1
+# costs, what to pre-warm before forking) resolves through this table.
+# The edge model imports lazily: repro.edgenet.index itself calls into
+# this module, so a top-level import would be circular.
+# ---------------------------------------------------------------------------
+
+
+def _model_api(model: str) -> dict:
+    if model == "vertex":
+        return {
+            "decompose": decompose_network_pattern,
+            "node_cls": TCNode,
+            "make_tree": lambda root, num_items: TCTree(
+                root, num_items=num_items
+            ),
+            "layer1_costs": _layer1_costs,
+            "warm": _warm_shared_caches,
+            "serial_build": lambda network, max_length, reuse: build_tc_tree(
+                network, max_length=max_length, workers=1, reuse=reuse,
+                backend="serial",
+            ),
+        }
+    if model == "edge":
+        from repro.edgenet.decomposition import (
+            decompose_edge_network_pattern,
+            warm_edge_network_triangles,
+        )
+        from repro.edgenet.index import (
+            EdgeTCNode,
+            EdgeTCTree,
+            build_edge_tc_tree,
+        )
+
+        def edge_warm(network, items) -> None:
+            network.csr_graph()
+            warm_edge_network_triangles(network, items)
+
+        def edge_costs(network, items) -> dict[int, float]:
+            # Pre-layer-1 proxy: the theme network of {s} is exactly the
+            # edges whose database mentions s.
+            return {
+                item: float(len(network.edges_containing_item(item)))
+                for item in items
+            }
+
+        return {
+            "decompose": decompose_edge_network_pattern,
+            "node_cls": EdgeTCNode,
+            "make_tree": lambda root, num_items: EdgeTCTree(
+                root, num_items=num_items
+            ),
+            "layer1_costs": edge_costs,
+            "warm": edge_warm,
+            "serial_build": lambda network, max_length, reuse: (
+                build_edge_tc_tree(
+                    network, max_length=max_length, workers=1,
+                    backend="serial", reuse=reuse,
+                )
+            ),
+        }
+    raise TCIndexError(f"unknown tree model {model!r}")
 
 # ---------------------------------------------------------------------------
 # adaptive chunking
@@ -183,8 +250,9 @@ def _layer1_chunk(
     """
     items, segment_name = task
     network = _WORKER_STATE["network"]
+    decompose = _model_api(_WORKER_STATE.get("model", "vertex"))["decompose"]
     decompositions = [
-        decompose_network_pattern(network, (item,), capture_carrier=True)
+        decompose(network, (item,), capture_carrier=True)
         for item in items
     ]
     handle = None
@@ -249,6 +317,7 @@ def _subtree_chunk(task: tuple[list[int], int | None]) -> list[TCNode]:
         for pattern, decomposition in _WORKER_STATE["reuse"].items()
         if pattern[0] in members
     }
+    api = _model_api(_WORKER_STATE.get("model", "vertex"))
     try:
         return build_subtree_chunk(
             _WORKER_STATE["network"],
@@ -257,6 +326,8 @@ def _subtree_chunk(task: tuple[list[int], int | None]) -> list[TCNode]:
             max_length=max_length,
             reuse=reuse,
             carrier_cache=_WORKER_CARRIERS,
+            decompose=api["decompose"],
+            node_factory=api["node_cls"],
         )
     finally:
         _release_chunk_caches()
@@ -269,6 +340,8 @@ def build_subtree_chunk(
     max_length: int | None = None,
     reuse: dict[Pattern, TrussDecomposition] | None = None,
     carrier_cache: dict[int, GraphLike] | None = None,
+    decompose=decompose_network_pattern,
+    node_factory=TCNode,
 ) -> list[TCNode]:
     """Build the enumeration subtree rooted at each item of ``roots``.
 
@@ -284,10 +357,10 @@ def build_subtree_chunk(
     order) with its completed subtree attached.
     """
     items = sorted(layer1)
-    root = TCNode(None, EMPTY_PATTERN, None)
+    root = node_factory(None, EMPTY_PATTERN, None)
     nodes: dict[int, TCNode] = {}
     for item in items:
-        node = TCNode(item, (item,), layer1[item])
+        node = node_factory(item, (item,), layer1[item])
         root.add_child(node)
         nodes[item] = node
     truss_graphs: dict[int, GraphLike] = {}
@@ -310,6 +383,7 @@ def build_subtree_chunk(
         _expand_frontier(
             network, queue, truss_graphs, parent_of,
             max_length=max_length, reuse=reuse,
+            decompose=decompose, node_factory=node_factory,
         )
         built.append(node)
     if carrier_cache is not None:
@@ -409,6 +483,7 @@ def build_tc_tree_process(
     workers: int = 2,
     reuse: dict[Pattern, TrussDecomposition] | None = None,
     share_carriers: bool | None = None,
+    model: str = "vertex",
 ) -> TCTree:
     """Build the TC-Tree with a process pool (two fan-out phases).
 
@@ -426,7 +501,15 @@ def build_tc_tree_process(
     return a handle, phase-B workers attach and wrap the flat arrays
     zero-copy. The orchestrator unlinks every segment when the build
     finishes, success or not.
+
+    ``model`` selects the tree model: ``"vertex"`` (the default — vertex
+    database networks, :class:`TCTree`) or ``"edge"`` (edge database
+    networks, :class:`~repro.edgenet.index.EdgeTCTree`). Both ride the
+    same chunking, pool, carrier-memo, and shared-memory machinery; the
+    decompose call and node/tree classes resolve through
+    :func:`_model_api`.
     """
+    api = _model_api(model)
     items = network.item_universe()
     reuse = reuse or {}
     # POSIX-only default: on Windows a named segment is destroyed when
@@ -438,14 +521,11 @@ def build_tc_tree_process(
     else:
         share_carriers = bool(share_carriers) and shm_usable
     if workers <= 1 or len(items) < 2:
-        return build_tc_tree(
-            network, max_length=max_length, workers=1, reuse=reuse,
-            backend="serial",
-        )
+        return api["serial_build"](network, max_length, reuse)
 
     ctx = _pool_context()
     if ctx.get_start_method() == "fork":
-        _warm_shared_caches(network, items)
+        api["warm"](network, items)
     if share_carriers:
         # Start the resource tracker in the parent *before* the pool
         # forks: workers then inherit it and their segment registrations
@@ -469,7 +549,7 @@ def build_tc_tree_process(
         todo = [item for item in items if item not in layer1]
         if todo:
             chunks = adaptive_chunks(
-                todo, _layer1_costs(network, todo), workers
+                todo, api["layer1_costs"](network, todo), workers
             )
             # Exporting carriers only pays off when phase B will attach
             # them — with max_length=1 there are no children to build.
@@ -484,7 +564,7 @@ def build_tc_tree_process(
                 tasks = list(zip(chunks, segment_names))
             else:
                 tasks = [(chunk, None) for chunk in chunks]
-            state = {"network": network}
+            state = {"network": network, "model": model}
             with _worker_pool(
                 ctx, min(workers, len(chunks)), state
             ) as pool:
@@ -501,10 +581,11 @@ def build_tc_tree_process(
             if not decomposition.is_empty()
         }
 
-        root = TCNode(None, EMPTY_PATTERN, None)
+        node_cls = api["node_cls"]
+        root = node_cls(None, EMPTY_PATTERN, None)
         nodes: dict[int, TCNode] = {}
         for item in sorted(layer1):
-            node = TCNode(item, (item,), layer1[item])
+            node = node_cls(item, (item,), layer1[item])
             root.add_child(node)
             nodes[item] = node
 
@@ -527,6 +608,7 @@ def build_tc_tree_process(
                 "layer1": layer1,
                 "reuse": deep_reuse,
                 "carrier_handles": carrier_handles,
+                "model": model,
             }
             tasks = [(chunk, max_length) for chunk in chunks]
             with _worker_pool(
@@ -554,7 +636,7 @@ def build_tc_tree_process(
     for decomposition in layer1.values():
         decomposition.carrier0 = None
 
-    return TCTree(root, num_items=len(items))
+    return api["make_tree"](root, len(items))
 
 
 __all__ = [

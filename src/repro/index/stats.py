@@ -42,6 +42,9 @@ class TCTreeStatistics:
     total_frequency_entries: int = 0
     total_pattern_items: int = 0
     max_alpha: float = 0.0
+    #: Tree model ("vertex" or "edge") — edge snapshot payloads store
+    #: frequency entries as endpoint pairs, so the size formula differs.
+    kind: str = "vertex"
 
     @property
     def average_levels_per_node(self) -> float:
@@ -78,6 +81,7 @@ class TCTreeStatistics:
             self.total_decomposition_levels,
             self.total_edges_stored,
             self.total_frequency_entries,
+            kind=self.kind,
         )
 
     def estimated_bytes(self) -> dict[str, int]:
@@ -103,8 +107,12 @@ class TCTreeStatistics:
 
 
 def tc_tree_statistics(tree: TCTree) -> TCTreeStatistics:
-    """Profile ``tree`` in one pass over its nodes."""
-    stats = TCTreeStatistics(num_nodes=0, depth=tree.depth)
+    """Profile ``tree`` in one pass over its nodes (both tree models)."""
+    stats = TCTreeStatistics(
+        num_nodes=0,
+        depth=tree.depth,
+        kind=getattr(tree, "kind", "vertex"),
+    )
     for node in tree.iter_nodes():
         stats.num_nodes += 1
         depth = len(node.pattern)

@@ -51,6 +51,10 @@ from repro.network.theme import intersect_graphs
 class TCTree:
     """A built TC-Tree: the queryable index of all maximal pattern trusses."""
 
+    #: Tree-model tag; the serving layer dispatches snapshot payloads on
+    #: it (``"edge"`` on :class:`repro.edgenet.index.EdgeTCTree`).
+    kind = "vertex"
+
     def __init__(self, root: TCNode, num_items: int) -> None:
         self.root = root
         self.num_items = num_items
@@ -119,6 +123,8 @@ def _expand_frontier(
     parent_of: dict[int, TCNode],
     max_length: int | None = None,
     reuse: dict[Pattern, TrussDecomposition] | None = None,
+    decompose=decompose_network_pattern,
+    node_factory=TCNode,
 ) -> None:
     """Run the BFS child-generation loop of Algorithm 4 to completion.
 
@@ -129,6 +135,14 @@ def _expand_frontier(
     a single layer-1 node whose siblings may arrive carrier-less — those
     carriers are rebuilt lazily and memoized back into ``truss_graphs``
     (released, like every carrier, when their node is popped).
+
+    The loop is model-agnostic: ``decompose`` mines a child pattern inside
+    a carrier (``decompose_network_pattern`` for vertex database networks,
+    ``decompose_edge_network_pattern`` for edge ones — both accept
+    ``(network, pattern, carrier=..., capture_carrier=...)``) and
+    ``node_factory`` builds the matching node type. Everything else —
+    sibling pairing, masked-carrier intersections, lazy materialization,
+    carrier lifecycle — is identical in the two models.
     """
     reuse = reuse or {}
     while queue:
@@ -181,13 +195,13 @@ def _expand_frontier(
             child_pattern = node_f.pattern + (node_b.item,)  # type: ignore[operator]
             decomposition = reuse.get(child_pattern)
             if decomposition is None:
-                decomposition = decompose_network_pattern(
+                decomposition = decompose(
                     network, child_pattern, carrier=carrier,
                     capture_carrier=True,
                 )
             if decomposition.is_empty():
                 continue
-            child = TCNode(node_b.item, child_pattern, decomposition)
+            child = node_factory(node_b.item, child_pattern, decomposition)
             node_f.add_child(child)
             parent_of[id(child)] = node_f
             queue.append(child)

@@ -156,6 +156,20 @@ class IndexedWarehouse:
         return "snapshot" if self._snapshot is not None else "memory"
 
     @property
+    def kind(self) -> str:
+        """Tree model served: ``"vertex"`` or ``"edge"``.
+
+        Snapshots carry it in their header flags (REPROTCS v2 payload
+        kind); in-memory trees tag themselves via their class. Queries
+        dispatch transparently — edge decompositions answer the same
+        ``truss_at`` contract — so the kind is informational (the CLI's
+        ``--kind`` guard and ``/stats``).
+        """
+        if self._snapshot is not None:
+            return self._snapshot.kind
+        return getattr(self._tree, "kind", "vertex")
+
+    @property
     def num_indexed_trusses(self) -> int:
         if self._snapshot is not None:
             return self._snapshot.num_nodes
@@ -283,6 +297,7 @@ class IndexedWarehouse:
         """Operational counters for the ``/stats`` endpoint."""
         info: dict = {
             "backend": self.backend,
+            "kind": self.kind,
             "indexed_trusses": self.num_indexed_trusses,
             "num_items": self.num_items,
             "queries_served": self._queries_served,

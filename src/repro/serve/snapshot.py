@@ -56,6 +56,15 @@ from repro.index.tctree import TCTree
 MAGIC = b"REPROTCS"
 VERSION = 1
 
+#: Version 2 extends the format with a payload *kind*: the header flags
+#: carry :data:`FLAG_EDGE` and every payload then stores an edge TC-Tree
+#: node — frequencies keyed by canonical edge pairs (``freq_u``/``freq_v``
+#: int64 arrays replace the v1 ``vertices`` array) rather than by vertex.
+#: Vertex trees keep writing byte-identical v1 files; readers accept
+#: both, so v1 stays the cross-version back-compat witness.
+EDGE_VERSION = 2
+FLAG_EDGE = 1
+
 _HEADER = struct.Struct("<8sIIQQQQ")
 _PAYLOAD_PREFIX = struct.Struct("<QQQ")
 
@@ -128,6 +137,82 @@ def _encode_payload(decomposition: TrussDecomposition) -> bytes:
     )
 
 
+def _encode_edge_payload(decomposition) -> bytes:
+    """v2 edge-kind payload: frequencies keyed by canonical edge pairs."""
+    freq_edges = sorted(decomposition.frequencies)
+    values = [decomposition.frequencies[e] for e in freq_edges]
+    alphas: list[float] = []
+    counts: list[int] = []
+    edge_u: list[int] = []
+    edge_v: list[int] = []
+    for level in decomposition.levels:
+        alphas.append(level.alpha)
+        counts.append(len(level.removed_edges))
+        for u, v in level.removed_edges:
+            edge_u.append(u)
+            edge_v.append(v)
+    return b"".join(
+        (
+            _PAYLOAD_PREFIX.pack(len(freq_edges), len(alphas), len(edge_u)),
+            _array_bytes("q", [u for u, _ in freq_edges]),
+            _array_bytes("q", [v for _, v in freq_edges]),
+            _array_bytes("d", values),
+            _array_bytes("d", alphas),
+            _array_bytes("Q", counts),
+            _array_bytes("q", edge_u),
+            _array_bytes("q", edge_v),
+        )
+    )
+
+
+def _decode_edge_payload(pattern: Pattern, blob):
+    from repro.edgenet.decomposition import (
+        EdgeDecompositionLevel,
+        EdgeTrussDecomposition,
+    )
+
+    if len(blob) < _PAYLOAD_PREFIX.size:
+        raise TCIndexError("truncated snapshot payload")
+    num_freq, num_levels, num_edges = _PAYLOAD_PREFIX.unpack_from(blob, 0)
+    view = memoryview(blob)[_PAYLOAD_PREFIX.size:]
+    freq_u = _array_from("q", view, num_freq)
+    view = view[num_freq * 8:]
+    freq_v = _array_from("q", view, num_freq)
+    view = view[num_freq * 8:]
+    values = _array_from("d", view, num_freq)
+    view = view[num_freq * 8:]
+    alphas = _array_from("d", view, num_levels)
+    view = view[num_levels * 8:]
+    counts = _array_from("Q", view, num_levels)
+    view = view[num_levels * 8:]
+    edge_u = _array_from("q", view, num_edges)
+    view = view[num_edges * 8:]
+    edge_v = _array_from("q", view, num_edges)
+    levels: list = []
+    cursor = 0
+    for k in range(num_levels):
+        count = counts[k]
+        levels.append(
+            EdgeDecompositionLevel(
+                alphas[k],
+                [
+                    (edge_u[e], edge_v[e])
+                    for e in range(cursor, cursor + count)
+                ],
+            )
+        )
+        cursor += count
+    if cursor != num_edges:
+        raise TCIndexError("snapshot level edge counts disagree with total")
+    return EdgeTrussDecomposition(
+        pattern=pattern,
+        levels=levels,
+        frequencies={
+            (freq_u[i], freq_v[i]): values[i] for i in range(num_freq)
+        },
+    )
+
+
 def _decode_payload(pattern: Pattern, blob) -> TrussDecomposition:
     if len(blob) < _PAYLOAD_PREFIX.size:
         raise TCIndexError("truncated snapshot payload")
@@ -171,8 +256,17 @@ def _decode_payload(pattern: Pattern, blob) -> TrussDecomposition:
 # writer
 # ---------------------------------------------------------------------------
 
-def write_snapshot(tree: TCTree, path: str | Path) -> int:
-    """Serialize ``tree`` to ``path``; returns the snapshot byte size."""
+def write_snapshot(tree, path: str | Path) -> int:
+    """Serialize ``tree`` to ``path``; returns the snapshot byte size.
+
+    Accepts both tree models, dispatching on ``tree.kind``: a vertex
+    :class:`TCTree` writes a (byte-stable) v1 file, an
+    :class:`~repro.edgenet.index.EdgeTCTree` writes a v2 file with the
+    :data:`FLAG_EDGE` payload-kind flag set.
+    """
+    kind = getattr(tree, "kind", "vertex")
+    edge_kind = kind == "edge"
+    encode = _encode_edge_payload if edge_kind else _encode_payload
     items: list[int] = []
     parents: list[int] = []
     offsets: list[int] = []
@@ -197,7 +291,7 @@ def write_snapshot(tree: TCTree, path: str | Path) -> int:
         parents.append(
             index_of[parent_pattern] if parent_pattern else ROOT
         )
-        blob = _encode_payload(decomposition)
+        blob = encode(decomposition)
         offsets.append(len(payload))
         lengths.append(len(blob))
         prune_alphas.append(prune_alpha_of(decomposition))
@@ -215,8 +309,8 @@ def write_snapshot(tree: TCTree, path: str | Path) -> int:
     )
     header = _HEADER.pack(
         MAGIC,
-        VERSION,
-        0,
+        EDGE_VERSION if edge_kind else VERSION,
+        FLAG_EDGE if edge_kind else 0,
         tree.num_items,
         num_nodes,
         _HEADER.size,
@@ -244,12 +338,19 @@ def estimate_snapshot_bytes(
     total_levels: int,
     total_edges: int,
     total_frequencies: int,
+    kind: str = "vertex",
 ) -> int:
-    """Exact snapshot size implied by the format, from count statistics."""
+    """Exact snapshot size implied by the format, from count statistics.
+
+    ``kind`` selects the payload layout: a vertex frequency entry costs
+    16 bytes (vertex + value), an edge one 24 (both endpoints + value).
+    """
+    per_frequency = 24 if kind == "edge" else 16
     return (
         _HEADER.size
         + num_nodes * (5 * 8 + _PAYLOAD_PREFIX.size)
-        + 16 * (total_frequencies + total_levels + total_edges)
+        + per_frequency * total_frequencies
+        + 16 * (total_levels + total_edges)
     )
 
 
@@ -277,7 +378,7 @@ class TCTreeSnapshot:
         (
             magic,
             version,
-            _flags,
+            flags,
             self.num_items,
             self.num_nodes,
             toc_off,
@@ -287,7 +388,13 @@ class TCTreeSnapshot:
             raise TCIndexError(
                 f"not a TC-Tree snapshot: bad magic {magic!r}"
             )
-        if version != VERSION:
+        if version == VERSION:
+            self.kind = "vertex"
+        elif version == EDGE_VERSION and flags & FLAG_EDGE:
+            # v2 exists only to carry the edge payload kind; a v2 file
+            # without the flag is from a future writer we don't know.
+            self.kind = "edge"
+        else:
             raise TCIndexError(f"unsupported snapshot version {version}")
         n = self.num_nodes
         if self._payload_off > len(buffer) or toc_off + 40 * n > len(buffer):
@@ -394,9 +501,17 @@ class TCTreeSnapshot:
         return sorted(self._patterns)
 
     def decode(self, index: int) -> TrussDecomposition:
-        """Decode node ``index``'s decomposition from its payload slice."""
+        """Decode node ``index``'s decomposition from its payload slice.
+
+        Returns a :class:`TrussDecomposition` on vertex snapshots and an
+        :class:`~repro.edgenet.decomposition.EdgeTrussDecomposition` on
+        edge ones — both answer ``truss_at``/``max_alpha``, which is all
+        the query engine needs.
+        """
         start = self._payload_off + self.offsets[index]
         blob = self._buffer[start: start + self.lengths[index]]
+        if self.kind == "edge":
+            return _decode_edge_payload(self._patterns[index], blob)
         return _decode_payload(self._patterns[index], blob)
 
     # ------------------------------------------------------------------
@@ -404,6 +519,11 @@ class TCTreeSnapshot:
         """Decode every node into an in-memory warehouse (migration path)."""
         from repro.index.warehouse import ThemeCommunityWarehouse
 
+        if self.kind == "edge":
+            raise TCIndexError(
+                "edge snapshots hold no vertex warehouse; use "
+                "materialize_edge_tree() or the lazy query engine"
+            )
         root = TCNode(None, (), None)
         nodes: list[TCNode] = []
         for i in range(self.num_nodes):
@@ -415,9 +535,28 @@ class TCTreeSnapshot:
             TCTree(root, num_items=self.num_items)
         )
 
+    def materialize_edge_tree(self):
+        """Decode every node into an in-memory :class:`EdgeTCTree`."""
+        from repro.edgenet.index import EdgeTCNode, EdgeTCTree
+
+        if self.kind != "edge":
+            raise TCIndexError(
+                "vertex snapshots materialize via materialize()"
+            )
+        root = EdgeTCNode(None, (), None)
+        nodes: list[EdgeTCNode] = []
+        for i in range(self.num_nodes):
+            node = EdgeTCNode(
+                self.items[i], self._patterns[i], self.decode(i)
+            )
+            parent = self.parents[i]
+            (root if parent == ROOT else nodes[parent]).add_child(node)
+            nodes.append(node)
+        return EdgeTCTree(root, num_items=self.num_items)
+
     def __repr__(self) -> str:
         return (
-            f"TCTreeSnapshot(nodes={self.num_nodes}, "
+            f"TCTreeSnapshot(nodes={self.num_nodes}, kind={self.kind!r}, "
             f"items={self.num_items}, path={self.path})"
         )
 
@@ -455,6 +594,8 @@ def migrate_json_to_snapshot(
 __all__ = [
     "MAGIC",
     "VERSION",
+    "EDGE_VERSION",
+    "FLAG_EDGE",
     "ROOT",
     "TCTreeSnapshot",
     "write_snapshot",

@@ -102,18 +102,54 @@ class TestEdgeTCTree:
     def test_query_modes(self):
         tree = build_edge_tc_tree(_toy_edge_network())
         all_answers = tree.query(alpha=0.0)
-        assert {p for p, _ in all_answers} == {(0,), (1,), (9,)}
+        assert set(all_answers.patterns()) == {(0,), (1,), (9,)}
         only_0 = tree.query(pattern=(0,))
-        assert {p for p, _ in only_0} == {(0,)}
+        assert only_0.patterns() == [(0,)]
         # Theme 1's triangle has uniform frequency 1.0 → cohesion 1.0;
         # it survives α = 0.9 while theme 0 (cohesion 0.8) does not.
         high = tree.query(alpha=0.9)
-        assert {p for p, _ in high} == {(1,)}
+        assert high.patterns() == [(1,)]
 
     def test_query_negative_alpha(self):
         tree = build_edge_tc_tree(_toy_edge_network())
         with pytest.raises(TCIndexError):
             tree.query(alpha=-1.0)
+
+    def test_query_answer_counts_item_pruned_children(self):
+        """The Figure 5 VN contract: a touched child counts as visited
+        even when the item prune discards it (same accounting as
+        ``query_tc_tree``)."""
+        tree = build_edge_tc_tree(_toy_edge_network())
+        everything = tree.query(alpha=0.0)
+        assert everything.visited_nodes == tree.num_nodes
+        assert everything.retrieved_nodes == tree.num_nodes
+        only_0 = tree.query(pattern=(0,))
+        # All three layer-1 children are touched; two are item-pruned.
+        assert only_0.visited_nodes == 3
+        assert only_0.retrieved_nodes == 1
+
+    def test_query_tuple_shape_is_deprecated_shim(self):
+        tree = build_edge_tc_tree(_toy_edge_network())
+        answer = tree.query(alpha=0.0)
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            pairs = list(answer)
+        assert {p for p, _ in pairs} == {(0,), (1,), (9,)}
+        for pattern, graph in answer.legacy_pairs():  # explicit: no warn
+            assert graph.num_edges > 0
+        with pytest.warns(DeprecationWarning):
+            first = answer[0]
+        assert first in answer.legacy_pairs()
+
+    def test_node_requires_nonempty_decomposition(self):
+        from repro.edgenet.decomposition import EdgeTrussDecomposition
+        from repro.edgenet.index import EdgeTCNode
+
+        with pytest.raises(TCIndexError, match="non-empty"):
+            EdgeTCNode(3, (3,), None)
+        with pytest.raises(TCIndexError, match="non-empty"):
+            EdgeTCNode(3, (3,), EdgeTrussDecomposition(pattern=(3,)))
+        # The virtual root carries neither an item nor a decomposition.
+        assert EdgeTCNode(None, (), None).item is None
 
     def test_query_communities(self):
         tree = build_edge_tc_tree(_toy_edge_network())
@@ -131,7 +167,8 @@ class TestEdgeTCTree:
         mined = edge_tcfi(network, 0.0)
         assert set(tree.patterns()) == set(mined.patterns())
         for alpha in (0.0, 0.3):
-            queried = {p: set(g.iter_edges()) for p, g in tree.query(alpha=alpha)}
+            answer = tree.query(alpha=alpha)
+            queried = {t.pattern: t.edges() for t in answer.trusses}
             fresh = edge_tcfi(network, alpha)
             assert queried == {p: fresh[p].edges() for p in fresh}
 
@@ -140,6 +177,83 @@ class TestEdgeTCTree:
     def test_max_length_cap(self, network):
         capped = build_edge_tc_tree(network, max_length=1)
         assert all(len(p) <= 1 for p in capped.patterns())
+
+
+class TestEdgeBuildReuse:
+    def test_reused_layer1_decompositions_keep_identity(self):
+        from repro.edgenet.decomposition import (
+            decompose_edge_network_pattern,
+        )
+
+        network = _toy_edge_network()
+        cached = decompose_edge_network_pattern(
+            network, (0,), capture_carrier=True
+        )
+        tree = build_edge_tc_tree(network, reuse={(0,): cached})
+        assert tree.find_node((0,)).decomposition is cached
+
+    def test_reuse_honored_at_one_worker_process_fallback(self):
+        """The workers<=1 fallback of the process path must honor reuse
+        exactly like the fanned-out path (it used to drop it)."""
+        from repro.edgenet.decomposition import (
+            decompose_edge_network_pattern,
+        )
+        from repro.index.parallel import build_tc_tree_process
+
+        network = _toy_edge_network()
+        cached = decompose_edge_network_pattern(
+            network, (1,), capture_carrier=True
+        )
+        tree = build_tc_tree_process(
+            network, workers=1, reuse={(1,): cached}, model="edge"
+        )
+        assert tree.find_node((1,)).decomposition is cached
+
+    def test_legacy_oracle_rejects_reuse(self):
+        network = _toy_edge_network()
+        with pytest.raises(TCIndexError, match="oracle"):
+            build_edge_tc_tree(
+                network, backend="legacy", reuse={(0,): object()}
+            )
+
+
+class TestLegacyFrontierMemoization:
+    def test_sibling_carriers_rebuilt_at_most_once(self, monkeypatch):
+        """Regression for the per-pairing ``graph_at(0.0)`` rebuild: the
+        legacy frontier must memoize lazily materialized sibling
+        carriers, so the number of α = 0 reconstructions during a build
+        is bounded by two per node (once as the expanding node, once as
+        a pairing sibling) — not by the number of sibling pairings."""
+        from repro.edgenet.decomposition import EdgeTrussDecomposition
+
+        network = _toy_dense_network()
+        calls = {"n": 0}
+        original = EdgeTrussDecomposition.graph_at
+
+        def counting_graph_at(self, alpha):
+            if alpha == 0.0:
+                calls["n"] += 1
+            return original(self, alpha)
+
+        monkeypatch.setattr(
+            EdgeTrussDecomposition, "graph_at", counting_graph_at
+        )
+        tree = build_edge_tc_tree(network, backend="legacy")
+        num_nodes = tree.num_nodes
+        assert num_nodes >= 7  # the workload actually exercises pairing
+        assert calls["n"] <= 2 * num_nodes
+
+
+def _toy_dense_network() -> EdgeDatabaseNetwork:
+    """A clique whose edges all share several items — every layer-1 node
+    pairs with every later sibling, so an unmemoized frontier would
+    rebuild carriers per pairing."""
+    network = EdgeDatabaseNetwork()
+    for u in range(6):
+        for v in range(u + 1, 6):
+            network.add_transaction(u, v, [0, 1, 2, 3])
+            network.add_transaction(u, v, [0, 1, 2])
+    return network
 
 
 class TestEdgeNetworkIO:

@@ -176,6 +176,78 @@ class TestSearchAndExport:
         assert out.read_text().startswith("graph repro {")
 
 
+class TestEdgePipeline:
+    @pytest.fixture()
+    def edge_network_file(self, tmp_path):
+        import random
+
+        from repro.edgenet.io import save_edge_network
+        from repro.edgenet.network import EdgeDatabaseNetwork
+
+        rng = random.Random(7)
+        network = EdgeDatabaseNetwork()
+        for u in range(8):
+            for v in range(u + 1, 8):
+                if rng.random() < 0.6:
+                    for _ in range(rng.randint(1, 3)):
+                        items = [i for i in range(3) if rng.random() < 0.6]
+                        if items:
+                            network.add_transaction(u, v, items)
+        out = tmp_path / "edgenet.json"
+        save_edge_network(network, out)
+        return out
+
+    def test_edge_index_and_query(
+        self, edge_network_file, tmp_path, capsys
+    ):
+        out = tmp_path / "edge.tcsnap"
+        assert main(
+            ["edge-index", str(edge_network_file), "--out", str(out)]
+        ) == 0
+        assert "edge snapshot" in capsys.readouterr().out
+        assert main(
+            ["query", str(out), "--kind", "edge", "--alpha", "0.1"]
+        ) == 0
+        assert "retrieved" in capsys.readouterr().out
+
+    def test_edge_index_parallel_matches_serial(
+        self, edge_network_file, tmp_path, capsys
+    ):
+        serial = tmp_path / "serial.tcsnap"
+        parallel = tmp_path / "parallel.tcsnap"
+        assert main(
+            ["edge-index", str(edge_network_file), "--out", str(serial),
+             "--backend", "serial"]
+        ) == 0
+        assert main(
+            ["edge-index", str(edge_network_file), "--out", str(parallel),
+             "--workers", "2"]
+        ) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_stats_on_edge_snapshot(
+        self, edge_network_file, tmp_path, capsys
+    ):
+        out = tmp_path / "edge.tcsnap"
+        assert main(
+            ["edge-index", str(edge_network_file), "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        assert "Edge TC-Tree statistics" in capsys.readouterr().out
+
+    def test_query_kind_mismatch(
+        self, edge_network_file, tmp_path, capsys
+    ):
+        out = tmp_path / "edge.tcsnap"
+        assert main(
+            ["edge-index", str(edge_network_file), "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["query", str(out), "--kind", "vertex"]) == 2
+        assert "edge tree" in capsys.readouterr().err
+
+
 class TestServeParser:
     def test_serve_registered(self):
         """The serve loop runs forever, so only the wiring is testable

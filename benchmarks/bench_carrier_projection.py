@@ -34,23 +34,63 @@ ROUNDS = 2
 MAX_LENGTH = 2
 
 
-@pytest.fixture(scope="module")
-def projection_network():
-    """Dense mid-coverage network: 14 items whose carriers span 20–60%
-    of a 17.7k-edge powerlaw graph — child decompositions dominate."""
+def make_projection_network(nodes: int = 1000, m: int = 18, p: float = 0.8,
+                            seed: int = 7, num_items: int = 14):
+    """Dense mid-coverage network: items whose carriers span 20–60% of a
+    powerlaw graph — child decompositions dominate. Full-size defaults
+    give 14 items over 17.7k edges; fleet smoke runs scale down."""
     from repro.datasets.synthetic import generate_synthetic_network
     from repro.graphs.generators import powerlaw_cluster_graph
 
-    graph = powerlaw_cluster_graph(1000, 18, 0.8, seed=7)
+    graph = powerlaw_cluster_graph(nodes, m, p, seed=seed)
     return generate_synthetic_network(
-        num_items=14,
+        num_items=num_items,
         num_seeds=3,
         mutation_rate=0.5,
         max_transactions=18,
         max_transaction_length=3,
         graph=graph,
-        seed=7,
+        seed=seed,
     )
+
+
+@pytest.fixture(scope="module")
+def projection_network():
+    return make_projection_network()
+
+
+def run(config):
+    """Fleet entry point (area: core): interleaved A/B of the carrier
+    projection fast path against the re-enumeration oracle, with the
+    bit-identical-tree parity assertion of the pytest case."""
+    reps = int(config.get("reps", ROUNDS))
+    max_length = int(config.get("max_length", MAX_LENGTH))
+    net = {"nodes": 1000, "m": 18, "p": 0.8, "seed": 7, "num_items": 14,
+           **config.get("network", {})}
+    network = make_projection_network(**net)
+    times: dict[bool, list[float]] = {False: [], True: []}
+    trees: dict[bool, object] = {}
+    for _ in range(reps):
+        for enabled in (False, True):  # interleaved A/B rounds
+            with projection(enabled):
+                start = time.perf_counter()
+                trees[enabled] = build_tc_tree(network, max_length=max_length)
+                times[enabled].append(time.perf_counter() - start)
+    assert_trees_bit_identical(trees[False], trees[True])
+    oracle = statistics.median(times[False])
+    projected = statistics.median(times[True])
+    return {
+        "medians": {
+            "oracle_build_s": oracle,
+            "projected_build_s": projected,
+        },
+        "reps": reps,
+        "meta": {
+            "speedup": round(oracle / projected, 3),
+            "nodes": trees[True].num_nodes,
+            "network_edges": network.num_edges,
+        },
+    }
 
 
 def assert_trees_bit_identical(expected, actual):

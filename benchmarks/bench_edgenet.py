@@ -9,8 +9,10 @@ together; mining finds edge-theme communities.
 from __future__ import annotations
 
 import random
+import statistics
 import time
 
+from repro.bench.fleet import median_seconds
 from repro.bench.reporting import format_table
 from repro.edgenet.finder import edge_tcfi
 from repro.edgenet.index import build_edge_tc_tree
@@ -19,11 +21,59 @@ from repro.graphs.generators import powerlaw_cluster_graph
 from benchmarks.conftest import write_report
 
 
-def _edge_workload(seed: int = 17) -> EdgeDatabaseNetwork:
+def run(config):
+    """Fleet entry point (area: edgenet): edge-theme mining plus the
+    cold/cold A/B of the CSR carrier/projection engine against the
+    legacy dict-of-sets edge-tree build (the pytest cases' workloads)."""
+    reps = int(config.get("reps", 3))
+    max_length = int(config.get("max_length", 3))
+    mine_nodes = int(config.get("mine_nodes", 120))
+    build_nodes = int(config.get("build_nodes", 400))
+    mining_network = _edge_workload(nodes=mine_nodes)
+    mining_s = median_seconds(
+        lambda: edge_tcfi(mining_network, 0.3, max_length), reps
+    )
+    # Cold/cold A/B: each single-shot build gets a freshly constructed
+    # network so neither side inherits warm caches.
+    legacy_times, engine_times = [], []
+    trees = {}
+    for _ in range(reps):
+        for side in ("legacy", "engine"):  # interleaved A/B rounds
+            network = _dense_edge_workload(nodes=build_nodes)
+            start = time.perf_counter()
+            if side == "legacy":
+                trees[side] = build_edge_tc_tree(
+                    network, max_length=max_length, backend="legacy"
+                )
+                legacy_times.append(time.perf_counter() - start)
+            else:
+                trees[side] = build_edge_tc_tree(
+                    network, max_length=max_length
+                )
+                engine_times.append(time.perf_counter() - start)
+    assert trees["engine"].patterns() == trees["legacy"].patterns()
+    legacy_s = statistics.median(legacy_times)
+    engine_s = statistics.median(engine_times)
+    return {
+        "medians": {
+            "mining_s": mining_s,
+            "legacy_build_s": legacy_s,
+            "engine_build_s": engine_s,
+        },
+        "reps": reps,
+        "meta": {
+            "speedup": round(legacy_s / engine_s, 3),
+            "build_edges": _dense_edge_workload(nodes=build_nodes).num_edges,
+            "tree_nodes": trees["engine"].num_nodes,
+        },
+    }
+
+
+def _edge_workload(seed: int = 17, nodes: int = 120) -> EdgeDatabaseNetwork:
     """Edge databases planted on a clustered graph: each dense region
     shares a keyword theme on its internal edges."""
     rng = random.Random(seed)
-    graph = powerlaw_cluster_graph(120, 3, 0.7, seed=seed)
+    graph = powerlaw_cluster_graph(nodes, 3, 0.7, seed=seed)
     network = EdgeDatabaseNetwork()
     themes = [(0, 1), (2, 3), (4, 5)]
     for u, v in graph.iter_edges():
@@ -67,14 +117,14 @@ def test_edgenet_mining(benchmark, report_dir):
     assert set(tighter) <= set(result)
 
 
-def _dense_edge_workload(seed: int = 29) -> EdgeDatabaseNetwork:
+def _dense_edge_workload(seed: int = 29, nodes: int = 400) -> EdgeDatabaseNetwork:
     """A dense edge workload whose theme networks clear the CSR cutover:
     every edge's transactions draw from a shared 6-item vocabulary with
     high coverage, so single items (and most pairs) induce theme
     networks of several hundred edges — the regime the carrier/projection
     engine is built for."""
     rng = random.Random(seed)
-    graph = powerlaw_cluster_graph(400, 3, 0.6, seed=seed)
+    graph = powerlaw_cluster_graph(nodes, 3, 0.6, seed=seed)
     network = EdgeDatabaseNetwork()
     for u, v in graph.iter_edges():
         for _ in range(5):

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.bench.experiments import make_bk
+from repro.bench.fleet import median_seconds
 from repro.core.cohesion import edge_cohesion_table
 from repro.core.mptd import maximal_pattern_truss
 from repro.graphs.generators import powerlaw_cluster_graph
@@ -23,6 +25,39 @@ from repro.graphs.ktruss import truss_numbers
 from repro.index.decomposition import decompose_network_pattern
 from repro.index.tctree import build_tc_tree
 from repro.network.theme import induce_theme_network
+
+
+def run(config):
+    """Fleet entry point (area: core): medians of the core primitives.
+
+    The units mirror the pytest-benchmark cases below — cohesion table,
+    truss decomposition, MPTD peel on a clustered graph, plus the
+    TC-Tree build on the BK surrogate — one comparable record instead of
+    five pytest-benchmark JSON files.
+    """
+    reps = int(config.get("reps", 3))
+    g = {"nodes": 300, "m": 4, "p": 0.7, "seed": 1, **config.get("graph", {})}
+    graph = powerlaw_cluster_graph(g["nodes"], g["m"], g["p"], seed=g["seed"])
+    frequencies = {v: 1.0 for v in graph}
+    scale = str(config.get("scale", "tiny"))
+    network = make_bk(scale)
+    medians = {
+        "cohesion_table_s": median_seconds(
+            lambda: edge_cohesion_table(graph, frequencies), reps
+        ),
+        "truss_decomposition_s": median_seconds(
+            lambda: truss_numbers(graph), reps
+        ),
+        "mptd_peel_s": median_seconds(
+            lambda: maximal_pattern_truss(graph, frequencies, 1.0), reps
+        ),
+        "tctree_build_s": median_seconds(lambda: build_tc_tree(network), reps),
+    }
+    return {
+        "medians": medians,
+        "reps": reps,
+        "meta": {"graph_edges": graph.num_edges, "bk_scale": scale},
+    }
 
 
 @pytest.fixture(scope="module")

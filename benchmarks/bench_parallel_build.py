@@ -20,10 +20,47 @@ import time
 
 from repro.index.tctree import build_tc_tree
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import make_dense_network, write_report
 
 ROUNDS = 3
 WORKER_VARIANTS = (1, 2, 4)
+
+
+def run(config):
+    """Fleet entry point (area: parallel): serial vs process-pool build
+    medians on the dense network, interleaved rounds, with the
+    identical-tree parity assertion of the pytest case."""
+    reps = int(config.get("reps", ROUNDS))
+    variants = tuple(int(w) for w in config.get("workers", WORKER_VARIANTS))
+    max_length = int(config.get("max_length", 2))
+    network = make_dense_network(**config.get("network", {}))
+    times: dict[int, list[float]] = {w: [] for w in variants}
+    trees: dict[int, object] = {}
+    for _ in range(reps):
+        for workers in variants:  # interleaved A/B rounds
+            start = time.perf_counter()
+            trees[workers] = build_tc_tree(
+                network, max_length=max_length, workers=workers
+            )
+            times[workers].append(time.perf_counter() - start)
+    serial = trees[variants[0]]
+    for workers in variants[1:]:
+        assert trees[workers].patterns() == serial.patterns()
+    medians = {
+        f"workers{w}_build_s": statistics.median(times[w]) for w in variants
+    }
+    base = medians[f"workers{variants[0]}_build_s"]
+    return {
+        "medians": medians,
+        "reps": reps,
+        "meta": {
+            "network_edges": network.num_edges,
+            "speedups": {
+                str(w): round(base / medians[f"workers{w}_build_s"], 3)
+                for w in variants
+            },
+        },
+    }
 
 
 def test_parallel_build_scaling(dense_network, report_dir):

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import json
 import statistics
+import tempfile
 import time
+from pathlib import Path
 
 from repro.index.warehouse import ThemeCommunityWarehouse
 from repro.serve.engine import IndexedWarehouse
-from benchmarks.conftest import write_report
+from benchmarks.conftest import REPORTS_DIR, make_dense_network, write_report
 from repro.bench.reporting import format_table
 
 #: Rounds of the query mix timed against the warm engine.
@@ -56,10 +58,17 @@ def _percentile(samples: list[float], fraction: float) -> float:
     return ordered[index]
 
 
-def test_query_serving(benchmark, report_dir, tmp_path, dense_network):
-    warehouse = ThemeCommunityWarehouse.build(dense_network)
-    json_path = tmp_path / "dense.tctree.json"
-    snap_path = tmp_path / "dense.tcsnap"
+def measure_serving(
+    network, work_dir: Path, warm_rounds: int = WARM_ROUNDS
+) -> tuple[dict[str, object], IndexedWarehouse]:
+    """Cold / seed / warm measurements of one serving workload.
+
+    Shared by the pytest case and the fleet ``run`` entry point; the
+    caller owns (and must close) the returned warm engine.
+    """
+    warehouse = ThemeCommunityWarehouse.build(network)
+    json_path = work_dir / "dense.tctree.json"
+    snap_path = work_dir / "dense.tcsnap"
     warehouse.save(json_path)
     warehouse.save_snapshot(snap_path)
     mix = _query_mix(warehouse.tree)
@@ -71,6 +80,7 @@ def test_query_serving(benchmark, report_dir, tmp_path, dense_network):
     start = time.perf_counter()
     first = engine.query(pattern=mix[0][0], alpha=mix[0][1])
     cold_first_query_seconds = time.perf_counter() - start
+    assert first.retrieved_nodes >= 0
 
     # -- seed path: load the JSON document for every query ------------
     seed_samples: list[float] = []
@@ -87,7 +97,7 @@ def test_query_serving(benchmark, report_dir, tmp_path, dense_network):
 
     # -- warm path: repeated queries against the live engine ----------
     warm_samples: list[float] = []
-    for _ in range(WARM_ROUNDS):
+    for _ in range(warm_rounds):
         for pattern, alpha in mix:
             start = time.perf_counter()
             engine.query(pattern=pattern, alpha=alpha)
@@ -95,20 +105,40 @@ def test_query_serving(benchmark, report_dir, tmp_path, dense_network):
 
     warm_mean = statistics.mean(warm_samples)
     seed_mean = statistics.mean(seed_samples)
-    speedup = seed_mean / warm_mean
-    queries_per_second = 1.0 / warm_mean
+    metrics: dict[str, object] = {
+        "network": "dense",
+        "indexed_trusses": engine.num_indexed_trusses,
+        "snapshot_bytes": snap_path.stat().st_size,
+        "json_bytes": json_path.stat().st_size,
+        "query_mix": [
+            {"pattern": list(p) if p else None, "alpha": a} for p, a in mix
+        ],
+        "cold_open_seconds": cold_open_seconds,
+        "cold_first_query_seconds": cold_first_query_seconds,
+        "seed_per_query_seconds": seed_mean,
+        "warm_p50_seconds": _percentile(warm_samples, 0.5),
+        "warm_p95_seconds": _percentile(warm_samples, 0.95),
+        "queries_per_second": 1.0 / warm_mean,
+        "speedup_vs_seed": seed_mean / warm_mean,
+        "cache": engine.stats()["cache"],
+    }
+    return metrics, engine
 
+
+def _write_serving_reports(report_dir: Path, metrics: dict[str, object]) -> None:
     rows = [
         {
-            "cold_open_ms": round(cold_open_seconds * 1e3, 3),
+            "cold_open_ms": round(metrics["cold_open_seconds"] * 1e3, 3),
             "cold_first_query_ms": round(
-                cold_first_query_seconds * 1e3, 3
+                metrics["cold_first_query_seconds"] * 1e3, 3
             ),
-            "seed_per_query_ms": round(seed_mean * 1e3, 3),
-            "warm_p50_ms": round(_percentile(warm_samples, 0.5) * 1e3, 3),
-            "warm_p95_ms": round(_percentile(warm_samples, 0.95) * 1e3, 3),
-            "queries_per_sec": round(queries_per_second, 1),
-            "speedup": round(speedup, 1),
+            "seed_per_query_ms": round(
+                metrics["seed_per_query_seconds"] * 1e3, 3
+            ),
+            "warm_p50_ms": round(metrics["warm_p50_seconds"] * 1e3, 3),
+            "warm_p95_ms": round(metrics["warm_p95_seconds"] * 1e3, 3),
+            "queries_per_sec": round(metrics["queries_per_second"], 1),
+            "speedup": round(metrics["speedup_vs_seed"], 1),
         }
     ]
     write_report(
@@ -118,36 +148,53 @@ def test_query_serving(benchmark, report_dir, tmp_path, dense_network):
             rows, title="Query serving: warm snapshot vs JSON-per-query"
         ),
     )
-    (report_dir / "query_serving.json").write_text(
-        json.dumps(
-            {
-                "network": "dense",
-                "indexed_trusses": engine.num_indexed_trusses,
-                "snapshot_bytes": snap_path.stat().st_size,
-                "json_bytes": json_path.stat().st_size,
-                "query_mix": [
-                    {"pattern": list(p) if p else None, "alpha": a}
-                    for p, a in mix
-                ],
-                "cold_open_seconds": cold_open_seconds,
-                "cold_first_query_seconds": cold_first_query_seconds,
-                "seed_per_query_seconds": seed_mean,
-                "warm_p50_seconds": _percentile(warm_samples, 0.5),
-                "warm_p95_seconds": _percentile(warm_samples, 0.95),
-                "queries_per_second": queries_per_second,
-                "speedup_vs_seed": speedup,
-                "cache": engine.stats()["cache"],
-            },
-            indent=2,
-        )
-        + "\n",
-        encoding="utf-8",
+    (Path(report_dir) / "query_serving.json").write_text(
+        json.dumps(metrics, indent=2) + "\n", encoding="utf-8"
     )
 
-    assert first.retrieved_nodes >= 0
+
+def run(config):
+    """Fleet entry point (area: serving): cold open, seed-per-query, and
+    warm p50/p95 latencies of the snapshot engine, plus the 5× bar."""
+    warm_rounds = int(config.get("warm_rounds", WARM_ROUNDS))
+    network = make_dense_network(**config.get("network", {}))
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as tmp:
+        metrics, engine = measure_serving(
+            network, Path(tmp), warm_rounds=warm_rounds
+        )
+        engine.close()
+    _write_serving_reports(REPORTS_DIR, metrics)
+    speedup = metrics["speedup_vs_seed"]
+    assert speedup >= 5.0, f"warm speedup {speedup:.1f}x < 5x"
+    return {
+        "medians": {
+            "cold_open_s": metrics["cold_open_seconds"],
+            "seed_per_query_s": metrics["seed_per_query_seconds"],
+            "warm_p50_s": metrics["warm_p50_seconds"],
+            "warm_p95_s": metrics["warm_p95_seconds"],
+        },
+        "reps": warm_rounds,
+        "meta": {
+            "queries_per_second": round(metrics["queries_per_second"], 1),
+            "speedup_vs_seed": round(speedup, 1),
+            "indexed_trusses": metrics["indexed_trusses"],
+        },
+    }
+
+
+def test_query_serving(benchmark, report_dir, tmp_path, dense_network):
+    metrics, engine = measure_serving(dense_network, tmp_path)
+    _write_serving_reports(report_dir, metrics)
+
+    speedup = metrics["speedup_vs_seed"]
     # The acceptance bar: serving from a warm engine must beat the seed
     # load-per-query path by at least 5x on the dense network.
     assert speedup >= 5.0, f"warm speedup {speedup:.1f}x < 5x"
+
+    mix = [
+        (tuple(q["pattern"]) if q["pattern"] else None, q["alpha"])
+        for q in metrics["query_mix"]
+    ]
 
     def run_mix() -> None:
         for pattern, alpha in mix:

@@ -7,12 +7,45 @@ times load and compares against build, and reports the on-disk size.
 
 from __future__ import annotations
 
+import tempfile
 import time
+from pathlib import Path
 
 from repro.bench.experiments import make_bk
+from repro.bench.fleet import median_seconds
 from repro.bench.reporting import format_table
 from repro.index.warehouse import ThemeCommunityWarehouse
 from benchmarks.conftest import write_report
+
+
+def run(config):
+    """Fleet entry point (area: serving): warehouse build / save / load
+    round-trip cost and on-disk index size on the BK surrogate."""
+    reps = int(config.get("reps", 3))
+    scale = str(config.get("scale", "tiny"))
+    max_length = int(config.get("max_length", 3))
+    network = make_bk(scale)
+    start = time.perf_counter()
+    warehouse = ThemeCommunityWarehouse.build(network, max_length=max_length)
+    build_seconds = time.perf_counter() - start
+    with tempfile.TemporaryDirectory(prefix="bench-warehouse-") as tmp:
+        path = Path(tmp) / "bk.tctree.json"
+        save_s = median_seconds(lambda: warehouse.save(path), reps)
+        size_bytes = path.stat().st_size
+        load_s = median_seconds(lambda: ThemeCommunityWarehouse.load(path), reps)
+    return {
+        "medians": {
+            "build_s": build_seconds,
+            "save_s": save_s,
+            "load_s": load_s,
+        },
+        "reps": reps,
+        "meta": {
+            "scale": scale,
+            "index_bytes": size_bytes,
+            "trusses": warehouse.num_indexed_trusses,
+        },
+    }
 
 
 def test_warehouse_save_load(benchmark, report_dir, tmp_path):

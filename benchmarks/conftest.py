@@ -4,7 +4,8 @@ Every benchmark regenerates one table or figure of the paper via the
 drivers in :mod:`repro.bench.experiments`, times a representative unit with
 pytest-benchmark, and writes the full ASCII report to
 ``benchmarks/reports/`` so EXPERIMENTS.md can reference the measured
-numbers.
+numbers. The fleet (:mod:`repro.bench.fleet`) reuses the same workload
+builders through each driver's ``run(config)`` entry point.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from pathlib import Path
 import pytest
 
 from repro.bench import experiments
+from repro.bench.fleet import stamp_line
 
 REPORTS_DIR = Path(__file__).parent / "reports"
 
@@ -25,28 +27,52 @@ def report_dir() -> Path:
 
 
 def write_report(report_dir: Path, name: str, text: str) -> None:
-    """Persist one experiment report (overwrites previous runs)."""
-    (report_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    """Persist one experiment report (overwrites previous runs).
+
+    Every report opens with the fleet's environment stamp — producing
+    git sha + timestamp — so an overwritten report still says which
+    tree measured it.
+    """
+    Path(report_dir).mkdir(parents=True, exist_ok=True)
+    (Path(report_dir) / f"{name}.txt").write_text(
+        stamp_line() + "\n" + text + "\n", encoding="utf-8"
+    )
+
+
+def make_dense_network(
+    nodes: int = 1400,
+    m: int = 12,
+    p: float = 0.85,
+    seed: int = 5,
+    num_items: int = 4,
+    num_seeds: int = 2,
+    mutation_rate: float = 0.3,
+    max_transactions: int = 64,
+    max_transaction_length: int = 6,
+):
+    """A dense few-item database network: large theme trusses, many
+    decomposition levels — the regime the paper's datasets live in.
+    The session fixture uses the full-size defaults; fleet profiles
+    scale ``nodes``/``m`` down for smoke runs."""
+    from repro.datasets.synthetic import generate_synthetic_network
+    from repro.graphs.generators import powerlaw_cluster_graph
+
+    graph = powerlaw_cluster_graph(nodes, m, p, seed=seed)
+    return generate_synthetic_network(
+        num_items=num_items,
+        num_seeds=num_seeds,
+        mutation_rate=mutation_rate,
+        max_transactions=max_transactions,
+        max_transaction_length=max_transaction_length,
+        graph=graph,
+        seed=seed,
+    )
 
 
 @pytest.fixture(scope="session")
 def dense_network():
-    """A dense few-item database network: large theme trusses, many
-    decomposition levels — the regime the paper's datasets live in.
-    Shared by bench_micro_core and bench_parallel_build."""
-    from repro.datasets.synthetic import generate_synthetic_network
-    from repro.graphs.generators import powerlaw_cluster_graph
-
-    graph = powerlaw_cluster_graph(1400, 12, 0.85, seed=5)
-    return generate_synthetic_network(
-        num_items=4,
-        num_seeds=2,
-        mutation_rate=0.3,
-        max_transactions=64,
-        max_transaction_length=6,
-        graph=graph,
-        seed=5,
-    )
+    """Shared by bench_micro_core and bench_parallel_build."""
+    return make_dense_network()
 
 
 @pytest.fixture(scope="session")

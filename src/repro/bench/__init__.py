@@ -4,9 +4,19 @@
 - :mod:`repro.bench.runner` — one measured mining / indexing / query run;
 - :mod:`repro.bench.experiments` — the per-table / per-figure drivers;
 - :mod:`repro.bench.reporting` — ASCII tables and series matching the
-  paper's plots.
+  paper's plots;
+- :mod:`repro.bench.fleet` — the config-driven experiment fleet, record
+  schema, ``BENCH_<area>.json`` trajectories, and the CI trend gate;
+- :mod:`repro.bench.tuning` — measured sweeps and crossover fits for
+  the engine cutover constants.
 """
 
+from repro.bench.fleet import (
+    env_fingerprint,
+    load_fleet_config,
+    run_fleet,
+    summarize_records,
+)
 from repro.bench.metrics import MeasuredRun, measure_memory, measure_time
 from repro.bench.runner import run_indexing, run_mining, run_query
 from repro.bench.reporting import format_series, format_table
@@ -20,4 +30,8 @@ __all__ = [
     "run_query",
     "format_table",
     "format_series",
+    "env_fingerprint",
+    "load_fleet_config",
+    "run_fleet",
+    "summarize_records",
 ]

@@ -1,0 +1,745 @@
+"""Config-driven experiment fleet with a tracked perf trajectory.
+
+The fleet turns the 17 ad-hoc benchmark drivers into one experiment
+harness with one comparable output schema:
+
+- ``benchmarks/fleet.yaml`` maps experiment ids to
+  ``{area, driver module, params, profile overrides, run_id}``;
+- :func:`run_fleet` runs only the experiments whose ``run_id`` is empty
+  (``--dry-run`` / ``--only`` / ``--force`` supported), executes
+  independent experiments in parallel, normalizes every result into one
+  record schema ``{exp_id, git_sha, timestamp, medians, reps, env
+  fingerprint}``, and writes the run ids back into the config as
+  experiments complete (the SimCash ``run_missing_experiments`` idiom);
+- :func:`summarize_records` folds records into per-area
+  ``BENCH_<area>.json`` trajectory files at the repo root, keyed by git
+  sha so the trend line is diffable in review;
+- :func:`compare_to_baseline` is the CI regression gate: fresh smoke
+  medians against the best of the last three committed entries, with a
+  configurable failure threshold.
+
+Every driver referenced by the config exposes a uniform
+``run(config: dict) -> {"medians": {...}, "reps": n, "meta": {...}}``
+entry point; only metrics whose name ends in ``_s`` (wall-clock
+seconds) participate in the regression gate — counts and ratios ride
+along as context.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import math
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+import uuid
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Mapping
+
+import yaml
+
+from repro.errors import BenchConfigError
+
+#: The four trajectory areas; one committed ``BENCH_<area>.json`` each.
+AREAS = ("core", "parallel", "serving", "edgenet")
+
+RECORD_SCHEMA = "repro-bench-record/v1"
+TRAJECTORY_SCHEMA = "repro-bench-trajectory/v1"
+
+#: Default location of the per-run record files (gitignored — the
+#: committed artifacts are the ``BENCH_*.json`` trajectories).
+DEFAULT_RECORDS_DIR = "benchmarks/records"
+
+
+# ---------------------------------------------------------------------------
+# Config parsing / validation
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment of the fleet config."""
+
+    exp_id: str
+    area: str
+    driver: str
+    run_id: str = ""
+    params: Mapping[str, object] = field(default_factory=dict)
+    profile_params: Mapping[str, Mapping[str, object]] = field(
+        default_factory=dict
+    )
+
+
+@dataclass
+class FleetConfig:
+    """A parsed ``fleet.yaml``: defaults, profiles, experiments."""
+
+    path: Path
+    defaults: dict[str, object]
+    profiles: dict[str, str]
+    experiments: dict[str, ExperimentSpec]
+
+    @property
+    def root(self) -> Path:
+        """The repo root the drivers import relative to (the config
+        conventionally lives at ``<root>/benchmarks/fleet.yaml``)."""
+        return self.path.resolve().parent.parent
+
+
+class _StrictLoader(yaml.SafeLoader):
+    """SafeLoader that rejects duplicate mapping keys (a duplicated
+    experiment id would otherwise silently drop the first definition)."""
+
+
+def _strict_mapping(loader: _StrictLoader, node: yaml.Node) -> dict:
+    mapping: dict = {}
+    for key_node, value_node in node.value:
+        key = loader.construct_object(key_node, deep=True)
+        if key in mapping:
+            raise BenchConfigError(
+                f"duplicate key {key!r} at line {key_node.start_mark.line + 1}"
+            )
+        mapping[key] = loader.construct_object(value_node, deep=True)
+    return mapping
+
+
+_StrictLoader.add_constructor(
+    yaml.resolver.BaseResolver.DEFAULT_MAPPING_TAG, _strict_mapping
+)
+
+
+def _require_mapping(value: object, what: str) -> dict:
+    if value is None:
+        return {}
+    if not isinstance(value, dict):
+        raise BenchConfigError(f"{what} must be a mapping, got {type(value).__name__}")
+    return value
+
+
+def load_fleet_config(path: str | Path) -> FleetConfig:
+    """Parse and validate a fleet config; raises :class:`BenchConfigError`."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise BenchConfigError(f"cannot read fleet config {path}: {exc}") from exc
+    try:
+        doc = yaml.load(text, Loader=_StrictLoader)
+    except yaml.YAMLError as exc:
+        raise BenchConfigError(f"invalid YAML in {path}: {exc}") from exc
+    doc = _require_mapping(doc, "fleet config")
+    defaults = _require_mapping(doc.get("defaults"), "defaults")
+    profiles_raw = _require_mapping(doc.get("profiles"), "profiles")
+    profiles = {}
+    for name, description in profiles_raw.items():
+        if not isinstance(name, str) or not name:
+            raise BenchConfigError(f"profile name must be a string, got {name!r}")
+        profiles[name] = "" if description is None else str(description)
+    experiments_raw = _require_mapping(doc.get("experiments"), "experiments")
+    if not experiments_raw:
+        raise BenchConfigError(f"{path} defines no experiments")
+    experiments: dict[str, ExperimentSpec] = {}
+    for exp_id, body in experiments_raw.items():
+        if not isinstance(exp_id, str) or not exp_id or exp_id != exp_id.strip():
+            raise BenchConfigError(f"invalid experiment id {exp_id!r}")
+        body = _require_mapping(body, f"experiment {exp_id!r}")
+        unknown = set(body) - {"area", "driver", "run_id", "params", "profiles"}
+        if unknown:
+            raise BenchConfigError(
+                f"experiment {exp_id!r} has unknown keys {sorted(unknown)}"
+            )
+        area = body.get("area")
+        if area not in AREAS:
+            raise BenchConfigError(
+                f"experiment {exp_id!r}: area must be one of {AREAS}, got {area!r}"
+            )
+        driver = body.get("driver")
+        if not isinstance(driver, str) or "." not in driver:
+            raise BenchConfigError(
+                f"experiment {exp_id!r}: driver must be a dotted module path, "
+                f"got {driver!r}"
+            )
+        run_id = body.get("run_id", "")
+        if run_id is None:
+            run_id = ""
+        if not isinstance(run_id, str):
+            raise BenchConfigError(
+                f"experiment {exp_id!r}: run_id must be a string, got {run_id!r}"
+            )
+        params = _require_mapping(body.get("params"), f"{exp_id!r} params")
+        overrides_raw = _require_mapping(
+            body.get("profiles"), f"{exp_id!r} profiles"
+        )
+        overrides: dict[str, Mapping[str, object]] = {}
+        for profile_name, override in overrides_raw.items():
+            if profile_name not in profiles:
+                raise BenchConfigError(
+                    f"experiment {exp_id!r} overrides undeclared profile "
+                    f"{profile_name!r} (declared: {sorted(profiles)})"
+                )
+            overrides[profile_name] = _require_mapping(
+                override, f"{exp_id!r} profile {profile_name!r}"
+            )
+        experiments[exp_id] = ExperimentSpec(
+            exp_id=exp_id,
+            area=area,
+            driver=driver,
+            run_id=run_id,
+            params=params,
+            profile_params=overrides,
+        )
+    return FleetConfig(
+        path=path, defaults=defaults, profiles=profiles, experiments=experiments
+    )
+
+
+def _deep_merge(base: Mapping, override: Mapping) -> dict:
+    merged = dict(base)
+    for key, value in override.items():
+        if isinstance(value, Mapping) and isinstance(merged.get(key), Mapping):
+            merged[key] = _deep_merge(merged[key], value)
+        else:
+            merged[key] = value
+    return merged
+
+
+def resolve_params(
+    config: FleetConfig, spec: ExperimentSpec, profile: str
+) -> dict[str, object]:
+    """Effective driver params: defaults <- base params <- profile overrides."""
+    if profile not in config.profiles:
+        raise BenchConfigError(
+            f"unknown profile {profile!r} (declared: {sorted(config.profiles)})"
+        )
+    base: dict[str, object] = {}
+    if "reps" in config.defaults:
+        base["reps"] = config.defaults["reps"]
+    merged = _deep_merge(base, spec.params)
+    return _deep_merge(merged, spec.profile_params.get(profile, {}))
+
+
+def dump_fleet_config(config: FleetConfig) -> str:
+    """Canonical YAML text of a config (used to write run_ids back)."""
+    doc = {
+        "defaults": config.defaults,
+        "profiles": dict(config.profiles),
+        "experiments": {
+            exp_id: {
+                "area": spec.area,
+                "driver": spec.driver,
+                "run_id": spec.run_id,
+                "params": dict(spec.params),
+                **(
+                    {"profiles": {k: dict(v) for k, v in spec.profile_params.items()}}
+                    if spec.profile_params
+                    else {}
+                ),
+            }
+            for exp_id, spec in config.experiments.items()
+        },
+    }
+    header = (
+        "# Benchmark fleet config — see EXPERIMENTS.md.\n"
+        "# run_id fields are machine-managed by `repro bench run`: an empty\n"
+        "# run_id marks an experiment as missing (it will run on the next\n"
+        "# invocation); reset one to \"\" to re-run it. Keep run_ids empty in\n"
+        "# committed copies so CI's fresh checkouts run the whole fleet.\n"
+    )
+    return header + yaml.safe_dump(doc, sort_keys=False, default_flow_style=False)
+
+
+def save_fleet_config(config: FleetConfig) -> None:
+    config.path.write_text(dump_fleet_config(config), encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Environment fingerprint
+
+
+def _git(*args: str, root: str | Path | None = None) -> str:
+    try:
+        out = subprocess.run(
+            ["git", *args],
+            cwd=str(root) if root else None,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+def env_fingerprint(root: str | Path | None = None) -> dict[str, object]:
+    """The environment stamp shared by records and report headers."""
+    return {
+        "git_sha": _git("rev-parse", "--short=12", "HEAD", root=root) or "unknown",
+        "git_dirty": bool(_git("status", "--porcelain", root=root)),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def stamp_line(env: Mapping[str, object] | None = None) -> str:
+    """One-line provenance header for benchmark report files."""
+    env = env or env_fingerprint()
+    dirty = "+dirty" if env.get("git_dirty") else ""
+    return (
+        f"# sha={env['git_sha']}{dirty} time={env['timestamp']} "
+        f"python={env['python']}"
+    )
+
+
+def median_seconds(fn: Callable[[], object], reps: int) -> float:
+    """Median wall-clock seconds of ``reps`` calls of ``fn``."""
+    times = []
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+# ---------------------------------------------------------------------------
+# Records
+
+
+def new_run_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+def _validate_number(value: object, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BenchConfigError(f"{what} must be a number, got {value!r}")
+    if not math.isfinite(value):
+        raise BenchConfigError(f"{what} must be finite, got {value!r}")
+    return float(value)
+
+
+def make_record(
+    spec: ExperimentSpec,
+    profile: str,
+    params: Mapping[str, object],
+    result: Mapping[str, object],
+    env: Mapping[str, object],
+    run_id: str,
+) -> dict[str, object]:
+    """Normalize one driver result into the fleet's record schema."""
+    result = _require_mapping(result, f"driver result of {spec.exp_id!r}")
+    medians = _require_mapping(
+        result.get("medians"), f"{spec.exp_id!r} result medians"
+    )
+    if not medians:
+        raise BenchConfigError(f"driver of {spec.exp_id!r} returned no medians")
+    clean_medians = {
+        str(name): _validate_number(value, f"{spec.exp_id!r} median {name!r}")
+        for name, value in medians.items()
+    }
+    reps = result.get("reps", 1)
+    if isinstance(reps, bool) or not isinstance(reps, int) or reps < 1:
+        raise BenchConfigError(
+            f"{spec.exp_id!r} result reps must be a positive int, got {reps!r}"
+        )
+    record: dict[str, object] = {
+        "schema": RECORD_SCHEMA,
+        "exp_id": spec.exp_id,
+        "area": spec.area,
+        "driver": spec.driver,
+        "profile": profile,
+        "run_id": run_id,
+        "git_sha": env["git_sha"],
+        "timestamp": env["timestamp"],
+        "reps": reps,
+        "medians": clean_medians,
+        "params": dict(params),
+        "env": dict(env),
+    }
+    meta = result.get("meta")
+    if meta is not None:
+        record["meta"] = dict(_require_mapping(meta, f"{spec.exp_id!r} meta"))
+    return record
+
+
+def record_filename(exp_id: str, profile: str) -> str:
+    return f"{exp_id.replace('/', '__')}@{profile}.json"
+
+
+def write_record(record: Mapping[str, object], records_dir: str | Path) -> Path:
+    records_dir = Path(records_dir)
+    records_dir.mkdir(parents=True, exist_ok=True)
+    path = records_dir / record_filename(
+        str(record["exp_id"]), str(record["profile"])
+    )
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_records(records_dir: str | Path) -> list[dict[str, object]]:
+    """All records in a directory, sorted by (area, exp_id, profile)."""
+    records_dir = Path(records_dir)
+    records = []
+    for path in sorted(records_dir.glob("*.json")):
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BenchConfigError(f"unreadable record {path}: {exc}") from exc
+        if not isinstance(record, dict) or record.get("schema") != RECORD_SCHEMA:
+            raise BenchConfigError(
+                f"{path} is not a {RECORD_SCHEMA} record "
+                f"(schema={record.get('schema') if isinstance(record, dict) else None!r})"
+            )
+        records.append(record)
+    records.sort(
+        key=lambda r: (str(r["area"]), str(r["exp_id"]), str(r["profile"]))
+    )
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Running the fleet
+
+
+def plan_runs(
+    config: FleetConfig,
+    only: list[str] | None = None,
+    force: bool = False,
+) -> list[ExperimentSpec]:
+    """The experiments a ``run`` invocation would execute: the selected
+    subset with an empty ``run_id`` (all of the subset with ``force``)."""
+    if only:
+        unknown = sorted(set(only) - set(config.experiments))
+        if unknown:
+            raise BenchConfigError(
+                f"unknown experiment ids {unknown} "
+                f"(known: {sorted(config.experiments)})"
+            )
+    selected = [
+        spec
+        for exp_id, spec in config.experiments.items()
+        if not only or exp_id in only
+    ]
+    return [spec for spec in selected if force or not spec.run_id]
+
+
+def _execute_payload(payload: dict[str, object]) -> dict[str, object]:
+    """Run one driver's ``run(params)`` (process-pool entry point)."""
+    root = str(payload["root"])
+    if root not in sys.path:
+        sys.path.insert(0, root)
+    module = importlib.import_module(str(payload["driver"]))
+    run = getattr(module, "run", None)
+    if not callable(run):
+        raise BenchConfigError(
+            f"driver {payload['driver']!r} has no run(config) entry point"
+        )
+    return run(payload["params"])
+
+
+def run_fleet(
+    config: FleetConfig,
+    profile: str = "full",
+    only: list[str] | None = None,
+    force: bool = False,
+    dry_run: bool = False,
+    workers: int | None = None,
+    records_dir: str | Path | None = None,
+    update_config: bool = True,
+    echo: Callable[[str], object] = print,
+) -> list[dict[str, object]]:
+    """Run every missing experiment of ``config`` and return the records.
+
+    Independent experiments fan out over a process pool (``workers``
+    defaults to the machine's core count); each completed run writes its
+    record to ``records_dir`` and, with ``update_config``, its fresh
+    ``run_id`` back into the YAML so a re-run skips it. ``dry_run`` only
+    reports what would run.
+    """
+    todo = plan_runs(config, only=only, force=force)
+    if profile not in config.profiles:
+        raise BenchConfigError(
+            f"unknown profile {profile!r} (declared: {sorted(config.profiles)})"
+        )
+    skipped = len(config.experiments) - len(todo) if not only else None
+    if dry_run:
+        for spec in todo:
+            echo(f"would run {spec.exp_id} [{spec.area}] via {spec.driver}")
+        if not todo:
+            echo("nothing to run (all run_ids set; use --force to re-run)")
+        return []
+    if not todo:
+        echo("nothing to run (all run_ids set; use --force to re-run)")
+        return []
+    if skipped:
+        echo(f"skipping {skipped} experiment(s) with run_ids already set")
+    records_dir = Path(records_dir or config.root / DEFAULT_RECORDS_DIR)
+    env = env_fingerprint(config.root)
+    payloads = {
+        spec.exp_id: {
+            "driver": spec.driver,
+            "params": resolve_params(config, spec, profile),
+            "root": str(config.root),
+        }
+        for spec in todo
+    }
+    max_workers = workers or os.cpu_count() or 1
+    max_workers = max(1, min(max_workers, len(todo)))
+    records: dict[str, dict[str, object]] = {}
+
+    def _finish(spec: ExperimentSpec, result: Mapping[str, object],
+                seconds: float) -> None:
+        record = make_record(
+            spec, profile, payloads[spec.exp_id]["params"], result, env,
+            run_id=new_run_id(),
+        )
+        records[spec.exp_id] = record
+        write_record(record, records_dir)
+        config.experiments[spec.exp_id] = replace(
+            spec, run_id=str(record["run_id"])
+        )
+        if update_config:
+            save_fleet_config(config)
+        echo(
+            f"[{spec.exp_id}] done in {seconds:.1f}s "
+            f"(run_id={record['run_id']})"
+        )
+
+    if max_workers == 1:
+        for spec in todo:
+            echo(f"[{spec.exp_id}] running via {spec.driver} ...")
+            start = time.perf_counter()
+            result = _execute_payload(payloads[spec.exp_id])
+            _finish(spec, result, time.perf_counter() - start)
+    else:
+        echo(
+            f"running {len(todo)} experiment(s) on {max_workers} worker "
+            f"process(es)"
+        )
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            started = time.perf_counter()
+            futures = {
+                pool.submit(_execute_payload, payloads[spec.exp_id]): spec
+                for spec in todo
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = futures[future]
+                    _finish(
+                        spec, future.result(), time.perf_counter() - started
+                    )
+    return [records[spec.exp_id] for spec in todo]
+
+
+# ---------------------------------------------------------------------------
+# Trajectories (summarize)
+
+
+def trajectory_path(out_dir: str | Path, area: str) -> Path:
+    return Path(out_dir) / f"BENCH_{area}.json"
+
+
+def _load_trajectory(path: Path, area: str) -> dict[str, object]:
+    if not path.exists():
+        return {"schema": TRAJECTORY_SCHEMA, "area": area, "entries": []}
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchConfigError(f"unreadable trajectory {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != TRAJECTORY_SCHEMA:
+        raise BenchConfigError(f"{path} is not a {TRAJECTORY_SCHEMA} document")
+    return doc
+
+
+def summarize_records(
+    records: list[dict[str, object]],
+    out_dir: str | Path,
+) -> dict[str, Path]:
+    """Fold records into per-area ``BENCH_<area>.json`` trajectories.
+
+    Entries are keyed by ``(git_sha, profile)``: summarizing the same
+    records twice is byte-identical (deterministic merge), and
+    re-summarizing after a partial re-run updates the sha's entry in
+    place instead of appending a duplicate.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    by_area: dict[str, list[dict[str, object]]] = {}
+    for record in records:
+        area = str(record["area"])
+        if area not in AREAS:
+            raise BenchConfigError(f"record {record['exp_id']!r} has unknown area {area!r}")
+        by_area.setdefault(area, []).append(record)
+    written: dict[str, Path] = {}
+    for area in sorted(by_area):
+        path = trajectory_path(out_dir, area)
+        doc = _load_trajectory(path, area)
+        entries: list[dict] = list(doc.get("entries", []))
+        for record in sorted(
+            by_area[area], key=lambda r: (str(r["exp_id"]), str(r["profile"]))
+        ):
+            key = (record["git_sha"], record["profile"])
+            entry = next(
+                (
+                    e
+                    for e in entries
+                    if (e.get("git_sha"), e.get("profile")) == key
+                ),
+                None,
+            )
+            if entry is None:
+                entry = {
+                    "git_sha": record["git_sha"],
+                    "profile": record["profile"],
+                    "timestamp": record["timestamp"],
+                    "experiments": {},
+                }
+                entries.append(entry)
+            entry["timestamp"] = max(
+                str(entry["timestamp"]), str(record["timestamp"])
+            )
+            summary: dict[str, object] = {
+                "run_id": record["run_id"],
+                "reps": record["reps"],
+                "medians": record["medians"],
+            }
+            if "meta" in record:
+                summary["meta"] = record["meta"]
+            entry["experiments"][str(record["exp_id"])] = summary
+        entries.sort(key=lambda e: (str(e["timestamp"]), str(e["git_sha"])))
+        doc["entries"] = entries
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        written[area] = path
+    return written
+
+
+# ---------------------------------------------------------------------------
+# Trend gate (CI)
+
+
+@dataclass
+class TrendRow:
+    exp_id: str
+    area: str
+    metric: str
+    baseline: float | None
+    current: float
+    ratio: float | None
+    status: str  # "ok" | "REGRESSION" | "new"
+
+
+def compare_to_baseline(
+    records: list[dict[str, object]],
+    baselines_dir: str | Path,
+    threshold: float = 1.25,
+    window: int = 3,
+) -> tuple[list[TrendRow], bool]:
+    """Compare fresh record medians against committed trajectories.
+
+    Only wall-clock metrics (name ending in ``_s``) are gated. The
+    baseline for a metric is the **best of the last ``window`` entries**
+    of the area's trajectory (same profile), which tolerates noisy
+    individual entries; a regression is ``current > threshold *
+    baseline``. Returns the rows and whether any regressed.
+    """
+    rows: list[TrendRow] = []
+    failed = False
+    trajectories: dict[str, dict] = {}
+    for record in records:
+        area = str(record["area"])
+        exp_id = str(record["exp_id"])
+        profile = str(record["profile"])
+        if area not in trajectories:
+            path = trajectory_path(baselines_dir, area)
+            trajectories[area] = (
+                _load_trajectory(path, area) if path.exists() else {"entries": []}
+            )
+        entries = [
+            e
+            for e in trajectories[area].get("entries", [])
+            if e.get("profile") == profile
+        ][-window:]
+        for metric, current in sorted(dict(record["medians"]).items()):
+            if not metric.endswith("_s"):
+                continue
+            candidates = []
+            for entry in entries:
+                summary = entry.get("experiments", {}).get(exp_id)
+                if summary:
+                    value = summary.get("medians", {}).get(metric)
+                    if isinstance(value, (int, float)) and value > 0:
+                        candidates.append(float(value))
+            if not candidates:
+                rows.append(
+                    TrendRow(exp_id, area, metric, None, float(current), None, "new")
+                )
+                continue
+            baseline = min(candidates)
+            ratio = float(current) / baseline
+            status = "REGRESSION" if ratio > threshold else "ok"
+            failed = failed or status == "REGRESSION"
+            rows.append(
+                TrendRow(exp_id, area, metric, baseline, float(current), ratio, status)
+            )
+    return rows, failed
+
+
+def format_trend_markdown(
+    rows: list[TrendRow], threshold: float, window: int
+) -> str:
+    """The delta table posted to the CI job summary."""
+    lines = [
+        f"### Bench trend (gate: >{(threshold - 1) * 100:.0f}% vs best of "
+        f"last {window} entries)",
+        "",
+        "| experiment | metric | baseline | current | ratio | status |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    for row in rows:
+        baseline = "—" if row.baseline is None else f"{row.baseline:.4g}s"
+        ratio = "—" if row.ratio is None else f"{row.ratio:.2f}x"
+        marker = "❌" if row.status == "REGRESSION" else "✅"
+        lines.append(
+            f"| {row.exp_id} | {row.metric} | {baseline} | "
+            f"{row.current:.4g}s | {ratio} | {marker} {row.status} |"
+        )
+    if not rows:
+        lines.append("| _no gated metrics_ | | | | | |")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "AREAS",
+    "DEFAULT_RECORDS_DIR",
+    "ExperimentSpec",
+    "FleetConfig",
+    "TrendRow",
+    "compare_to_baseline",
+    "dump_fleet_config",
+    "env_fingerprint",
+    "format_trend_markdown",
+    "load_fleet_config",
+    "load_records",
+    "make_record",
+    "median_seconds",
+    "plan_runs",
+    "resolve_params",
+    "run_fleet",
+    "save_fleet_config",
+    "stamp_line",
+    "summarize_records",
+    "trajectory_path",
+    "write_record",
+]

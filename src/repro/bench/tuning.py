@@ -1,0 +1,452 @@
+"""Auto-tuning of the engine cutover constants from measured sweeps.
+
+All three engine cutovers were hand-measured once on a single synthetic
+family:
+
+- :data:`repro.graphs.support.CSR_MIN_EDGES` (legacy dict-of-sets vs
+  flat CSR engine for theme decomposition),
+- the 90% net-reuse fraction
+  (:func:`repro.index.decomposition._prefer_network_reuse` /
+  :func:`~repro.index.decomposition.covers_most_vertices` — reuse the
+  network CSR vs project the carrier),
+- :data:`repro.edgenet.decomposition.EDGE_CSR_MIN_EDGES` (the edge-model
+  analogue of the first).
+
+This module re-measures each boundary with a sweep of sizes (or carrier
+fractions) around it, fits the crossover point from the timing table,
+and reports fitted vs. current so the constants track measurements
+instead of staying frozen. The fit is a least-squares line through
+``log(t_slow / t_fast)`` against ``log(x)`` — both engines are
+low-degree polynomials in the input size, so their log-ratio is close to
+linear and the crossover is where the fitted line crosses zero.
+
+A fitted value within 2x of the current constant confirms it; beyond 2x
+the constant should be updated (``repro bench tune-cutovers --apply``
+rewrites the source line for the integer cutovers).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import re
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.errors import BenchConfigError
+
+#: Sweep shapes per profile: (x values, timing reps per point).
+SWEEP_PROFILES = {
+    "smoke": {"points": 5, "reps": 3},
+    "full": {"points": 8, "reps": 5},
+}
+
+#: Beyond this disagreement factor between fitted and current value the
+#: constant is flagged for update.
+DISAGREEMENT_LIMIT = 2.0
+
+
+# ---------------------------------------------------------------------------
+# Crossover fitting
+
+
+@dataclass
+class CrossoverFit:
+    """A fitted engine crossover from a timing table.
+
+    ``ratios[i] = slow_times[i] / fast_times[i]``; the fast engine wins
+    where the ratio exceeds 1. ``crossover`` is the x at which the
+    fitted log-ratio line crosses zero (``None`` when the line is flat —
+    no crossing exists in either direction)."""
+
+    x_values: list[float]
+    ratios: list[float]
+    slope: float
+    intercept: float
+    crossover: float | None
+    in_range: bool = False
+
+    def as_rows(self) -> list[dict[str, object]]:
+        return [
+            {"x": x, "slow/fast": round(r, 3)}
+            for x, r in zip(self.x_values, self.ratios)
+        ]
+
+
+def fit_crossover(
+    x_values: Sequence[float],
+    slow_times: Sequence[float],
+    fast_times: Sequence[float],
+) -> CrossoverFit:
+    """Fit the x where the fast engine starts beating the slow one."""
+    if not (len(x_values) == len(slow_times) == len(fast_times)):
+        raise BenchConfigError("sweep arrays must have equal lengths")
+    if len(x_values) < 2:
+        raise BenchConfigError("need at least two sweep points to fit")
+    for name, values in (("x", x_values), ("slow", slow_times), ("fast", fast_times)):
+        if any(v <= 0 for v in values):
+            raise BenchConfigError(f"{name} values must be positive")
+    ratios = [s / f for s, f in zip(slow_times, fast_times)]
+    logx = [math.log(x) for x in x_values]
+    logr = [math.log(r) for r in ratios]
+    n = len(logx)
+    mean_x = sum(logx) / n
+    mean_r = sum(logr) / n
+    sxx = sum((x - mean_x) ** 2 for x in logx)
+    sxr = sum((x - mean_x) * (r - mean_r) for x, r in zip(logx, logr))
+    slope = sxr / sxx if sxx > 0 else 0.0
+    intercept = mean_r - slope * mean_x
+    if abs(slope) < 1e-12:
+        crossover = None
+        in_range = False
+    else:
+        crossover = math.exp(-intercept / slope)
+        in_range = min(x_values) <= crossover <= max(x_values)
+    return CrossoverFit(
+        x_values=list(map(float, x_values)),
+        ratios=ratios,
+        slope=slope,
+        intercept=intercept,
+        crossover=crossover,
+        in_range=in_range,
+    )
+
+
+def round_to_power_of_two(value: float) -> int:
+    """Cutovers are order-of-magnitude knobs: snap to the nearest 2**k."""
+    if value <= 1:
+        return 1
+    return 1 << round(math.log2(value))
+
+
+def disagreement(fitted: float, current: float) -> float:
+    """Symmetric disagreement factor (>= 1) between two positive values."""
+    if fitted <= 0 or current <= 0:
+        raise BenchConfigError("disagreement needs positive values")
+    return max(fitted / current, current / fitted)
+
+
+# ---------------------------------------------------------------------------
+# Timed sweeps around each cutover
+
+
+def _median_time(fn: Callable[[], object], reps: int) -> float:
+    times = []
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _geometric_sizes(low: int, high: int, points: int) -> list[int]:
+    """``points`` distinct sizes spread geometrically over [low, high]."""
+    if points < 2:
+        raise BenchConfigError("need at least two sweep points")
+    step = (high / low) ** (1 / (points - 1))
+    sizes = sorted({max(low, round(low * step**i)) for i in range(points)})
+    return sizes
+
+
+def _theme_graph(target_edges: int, seed: int):
+    """A clustered graph with roughly ``target_edges`` edges, plus a
+    frequency map — the decomposition workload around the cutover."""
+    from repro.graphs.generators import powerlaw_cluster_graph
+
+    m = 4 if target_edges >= 64 else 2
+    nodes = max(m + 2, round(target_edges / m) + m)
+    graph = powerlaw_cluster_graph(nodes, m, 0.6, seed=seed)
+    rng = random.Random(seed)
+    frequencies = {v: 0.2 + 0.8 * rng.random() for v in graph}
+    return graph, frequencies
+
+
+def sweep_csr_min_edges(
+    points: int = 5, reps: int = 3, low: int = 64, high: int = 4096
+) -> dict[str, list[float]]:
+    """Legacy vs CSR theme decomposition across graph sizes."""
+    from repro.index.decomposition import decompose_theme
+
+    sizes, legacy, csr = [], [], []
+    for i, target in enumerate(_geometric_sizes(low, high, points)):
+        graph, frequencies = _theme_graph(target, seed=100 + i)
+        sizes.append(float(graph.num_edges))
+        legacy.append(_median_time(
+            lambda: decompose_theme((0,), graph, frequencies, engine="legacy"),
+            reps,
+        ))
+        csr.append(_median_time(
+            lambda: decompose_theme((0,), graph, frequencies, engine="csr"),
+            reps,
+        ))
+    return {"x": sizes, "slow": legacy, "fast": csr}
+
+
+def sweep_edge_csr_min_edges(
+    points: int = 5, reps: int = 3, low: int = 16, high: int = 1024
+) -> dict[str, list[float]]:
+    """Legacy vs CSR *edge*-theme decomposition across network sizes."""
+    from repro.edgenet.decomposition import decompose_edge_network_pattern
+    from repro.edgenet.network import EdgeDatabaseNetwork
+    from repro.graphs.generators import powerlaw_cluster_graph
+
+    sizes, legacy, csr = [], [], []
+    for i, target in enumerate(_geometric_sizes(low, high, points)):
+        seed = 200 + i
+        m = 3 if target >= 32 else 2
+        nodes = max(m + 2, round(target / m) + m)
+        graph = powerlaw_cluster_graph(nodes, m, 0.6, seed=seed)
+        rng = random.Random(seed)
+        network = EdgeDatabaseNetwork()
+        for u, v in graph.iter_edges():
+            for _ in range(2):
+                transaction = {0} if rng.random() < 0.9 else {1}
+                transaction.add(2 + rng.randrange(4))
+                network.add_transaction(u, v, transaction)
+        sizes.append(float(network.num_edges))
+        legacy.append(_median_time(
+            lambda: decompose_edge_network_pattern(
+                network, (0,), engine="legacy"
+            ),
+            reps,
+        ))
+        csr.append(_median_time(
+            lambda: decompose_edge_network_pattern(network, (0,), engine="csr"),
+            reps,
+        ))
+    return {"x": sizes, "slow": legacy, "fast": csr}
+
+
+def sweep_net_reuse_fraction(
+    points: int = 5,
+    reps: int = 3,
+    network_edges: int = 4096,
+    low: float = 0.5,
+    high: float = 0.98,
+) -> dict[str, list[float]]:
+    """Carrier projection vs network-CSR reuse across carrier fractions.
+
+    For a carrier keeping fraction ``f`` of the network's edges the
+    engine can either decompose the whole network CSR with zero-filled
+    frequencies (reuse — shares the cached triangle index, pays the
+    α = 0 peel of every non-carrier edge) or project the carrier and
+    derive its index (projection — pays the projected build). Projection
+    is the "fast" side here: the fitted crossover is the fraction above
+    which reuse starts winning, to compare against the current 90%
+    threshold."""
+    from repro.graphs.csr import as_csr
+    from repro.graphs.support import triangle_index
+    from repro.index.decomposition import decompose_theme
+
+    graph, frequencies = _theme_graph(network_edges, seed=300)
+    csr = as_csr(graph)
+    if csr is None:
+        raise BenchConfigError("sweep graph is not CSR-eligible")
+    triangle_index(csr)  # warm the shared index, as the TC-Tree build does
+    m = csr.num_edges
+    labels = csr.labels
+    fractions, reuse, project = [], [], []
+    step = (high - low) / (points - 1) if points > 1 else 0.0
+    for i in range(points):
+        fraction = low + step * i
+        rng = random.Random(400 + i)
+        mask = bytes(
+            1 if rng.random() < fraction else 0 for _ in range(m)
+        )
+        kept_vertices = set()
+        for e in range(m):
+            if mask[e]:
+                kept_vertices.add(labels[csr.edge_u[e]])
+                kept_vertices.add(labels[csr.edge_v[e]])
+        carrier_freqs = {
+            v: f for v, f in frequencies.items() if v in kept_vertices
+        }
+        fractions.append(sum(mask) / m)
+        reuse.append(_median_time(
+            lambda: decompose_theme((0,), csr, carrier_freqs, engine="csr"),
+            reps,
+        ))
+        project.append(_median_time(
+            lambda: decompose_theme(
+                (0,), csr.project(mask), carrier_freqs, engine="csr"
+            ),
+            reps,
+        ))
+    return {"x": fractions, "slow": reuse, "fast": project}
+
+
+# ---------------------------------------------------------------------------
+# The tune-cutovers driver
+
+
+@dataclass
+class CutoverReport:
+    """Fitted vs current for one cutover constant."""
+
+    name: str
+    current: float
+    fit: CrossoverFit
+    unit: str = "edges"
+    source: str = ""
+    #: Populated when the fitted line never crosses 1 inside the sweep:
+    #: which engine won everywhere.
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def fitted(self) -> float | None:
+        return self.fit.crossover
+
+    @property
+    def disagreement(self) -> float | None:
+        if self.fitted is None or self.fitted <= 0:
+            return None
+        return disagreement(self.fitted, self.current)
+
+    @property
+    def verdict(self) -> str:
+        if self.fitted is None:
+            return "no-crossing"
+        if not self.fit.in_range:
+            # The measured sweep never crossed 1; the fitted crossover is
+            # an extrapolation and not trustworthy enough to act on.
+            return "extrapolated"
+        if self.disagreement is not None and self.disagreement > DISAGREEMENT_LIMIT:
+            return "update"
+        return "ok"
+
+    def as_row(self) -> dict[str, object]:
+        fitted = self.fitted
+        return {
+            "cutover": self.name,
+            "current": self.current,
+            "fitted": round(fitted, 4) if fitted is not None else "—",
+            "unit": self.unit,
+            "disagreement": (
+                f"{self.disagreement:.2f}x" if self.disagreement else "—"
+            ),
+            "verdict": self.verdict,
+        }
+
+
+def tune_cutovers(
+    profile: str = "smoke",
+    points: int | None = None,
+    reps: int | None = None,
+) -> list[CutoverReport]:
+    """Sweep and fit all three engine cutovers."""
+    from repro.edgenet.decomposition import EDGE_CSR_MIN_EDGES
+    from repro.graphs.support import CSR_MIN_EDGES
+
+    if profile not in SWEEP_PROFILES:
+        raise BenchConfigError(
+            f"unknown tuning profile {profile!r} "
+            f"(choose from {sorted(SWEEP_PROFILES)})"
+        )
+    shape = SWEEP_PROFILES[profile]
+    points = points or shape["points"]
+    reps = reps or shape["reps"]
+    reports = []
+    sweep = sweep_csr_min_edges(points=points, reps=reps)
+    reports.append(CutoverReport(
+        name="CSR_MIN_EDGES",
+        current=float(CSR_MIN_EDGES),
+        fit=fit_crossover(sweep["x"], sweep["slow"], sweep["fast"]),
+        source="src/repro/graphs/support.py",
+    ))
+    sweep = sweep_net_reuse_fraction(points=points, reps=reps)
+    reports.append(CutoverReport(
+        name="NET_REUSE_FRACTION",
+        current=0.9,
+        fit=fit_crossover(sweep["x"], sweep["slow"], sweep["fast"]),
+        unit="fraction of net edges",
+        source="src/repro/index/decomposition.py (_prefer_network_reuse)",
+    ))
+    sweep = sweep_edge_csr_min_edges(points=points, reps=reps)
+    reports.append(CutoverReport(
+        name="EDGE_CSR_MIN_EDGES",
+        current=float(EDGE_CSR_MIN_EDGES),
+        fit=fit_crossover(sweep["x"], sweep["slow"], sweep["fast"]),
+        source="src/repro/edgenet/decomposition.py",
+    ))
+    for report in reports:
+        if report.fit.crossover is None:
+            side = (
+                "fast engine won at every sweep point"
+                if all(r > 1 for r in report.fit.ratios)
+                else "slow engine won at every sweep point"
+                if all(r < 1 for r in report.fit.ratios)
+                else "flat ratio — no crossing"
+            )
+            report.notes.append(side)
+        elif not report.fit.in_range:
+            report.notes.append(
+                "crossover extrapolated beyond the sweep range "
+                f"[{min(report.fit.x_values):.3g}, "
+                f"{max(report.fit.x_values):.3g}]"
+            )
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# Applying fitted constants
+
+
+def apply_constant(source: str | Path, name: str, value: int) -> bool:
+    """Rewrite ``NAME = <int>`` in a source file; returns True on change."""
+    source = Path(source)
+    text = source.read_text(encoding="utf-8")
+    pattern = re.compile(rf"^({re.escape(name)}\s*=\s*)(\d+)\b", re.MULTILINE)
+    match = pattern.search(text)
+    if match is None:
+        raise BenchConfigError(f"no `{name} = <int>` assignment in {source}")
+    if int(match.group(2)) == value:
+        return False
+    source.write_text(pattern.sub(rf"\g<1>{value}", text, count=1),
+                      encoding="utf-8")
+    return True
+
+
+#: The cutovers --apply may rewrite (the 90% fraction is a ratio baked
+#: into integer arithmetic — report-only by design).
+APPLICABLE = {
+    "CSR_MIN_EDGES": "src/repro/graphs/support.py",
+    "EDGE_CSR_MIN_EDGES": "src/repro/edgenet/decomposition.py",
+}
+
+
+def apply_fitted_cutovers(
+    reports: list[CutoverReport], repo_root: str | Path
+) -> list[str]:
+    """Rewrite the integer cutovers whose fit disagrees by > 2x."""
+    repo_root = Path(repo_root)
+    changed = []
+    for report in reports:
+        if report.verdict != "update" or report.name not in APPLICABLE:
+            continue
+        assert report.fitted is not None
+        new_value = round_to_power_of_two(report.fitted)
+        if apply_constant(
+            repo_root / APPLICABLE[report.name], report.name, new_value
+        ):
+            changed.append(f"{report.name}: {int(report.current)} -> {new_value}")
+    return changed
+
+
+__all__ = [
+    "APPLICABLE",
+    "CrossoverFit",
+    "CutoverReport",
+    "DISAGREEMENT_LIMIT",
+    "apply_constant",
+    "apply_fitted_cutovers",
+    "disagreement",
+    "fit_crossover",
+    "round_to_power_of_two",
+    "sweep_csr_min_edges",
+    "sweep_edge_csr_min_edges",
+    "sweep_net_reuse_fraction",
+    "tune_cutovers",
+]

@@ -14,6 +14,10 @@ Subcommands::
     repro search bk.json --vertex 12 --alpha 0.2 [--top 5]
     repro export bk.json --format graphml --out bk.graphml [--alpha 0.2]
     repro experiment table2 --scale tiny
+    repro bench run benchmarks/fleet.yaml --profile smoke [--dry-run]
+    repro bench summarize [--records-dir ...] [--out-dir .]
+    repro bench trend --baselines-dir . [--threshold 1.25]
+    repro bench tune-cutovers [--apply]
 """
 
 from __future__ import annotations
@@ -302,6 +306,103 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import fleet
+
+    config = fleet.load_fleet_config(args.config)
+    only = args.only.split(",") if args.only else None
+    records = fleet.run_fleet(
+        config,
+        profile=args.profile,
+        only=only,
+        force=args.force,
+        dry_run=args.dry_run,
+        workers=args.workers,
+        records_dir=args.records_dir,
+        update_config=not args.no_update_config,
+    )
+    if not args.dry_run:
+        print(f"{len(records)} experiment(s) recorded")
+    return 0
+
+
+def _cmd_bench_summarize(args: argparse.Namespace) -> int:
+    from repro.bench import fleet
+
+    records = fleet.load_records(args.records_dir)
+    if not records:
+        print(f"no records in {args.records_dir}", file=sys.stderr)
+        return 2
+    written = fleet.summarize_records(records, args.out_dir)
+    for area, path in sorted(written.items()):
+        print(f"{area}: {path}")
+    return 0
+
+
+def _cmd_bench_trend(args: argparse.Namespace) -> int:
+    from repro.bench import fleet
+
+    records = fleet.load_records(args.records_dir)
+    if not records:
+        print(f"no records in {args.records_dir}", file=sys.stderr)
+        return 2
+    rows, failed = fleet.compare_to_baseline(
+        records,
+        args.baselines_dir,
+        threshold=args.threshold,
+        window=args.window,
+    )
+    markdown = fleet.format_trend_markdown(rows, args.threshold, args.window)
+    print(markdown)
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(markdown + "\n")
+    if failed:
+        print(
+            f"bench trend gate FAILED (>{(args.threshold - 1) * 100:.0f}% "
+            f"regression vs best of last {args.window})",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench trend gate passed")
+    return 0
+
+
+def _cmd_bench_tune(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import fleet, tuning
+
+    reports = tuning.tune_cutovers(profile=args.profile)
+    lines = [format_table(
+        [report.as_row() for report in reports],
+        title="Engine cutovers: fitted crossover vs current constant",
+    )]
+    for report in reports:
+        lines.append("")
+        lines.append(f"{report.name} sweep ({report.unit}; source: {report.source})")
+        lines.append(format_table(report.fit.as_rows()))
+        for note in report.notes:
+            lines.append(f"  note: {note}")
+    text = "\n".join(lines)
+    print(text)
+    if args.report:
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            fleet.stamp_line() + "\n" + text + "\n", encoding="utf-8"
+        )
+        print(f"report written to {path}")
+    if args.apply:
+        changed = tuning.apply_fitted_cutovers(reports, Path.cwd())
+        for change in changed:
+            print(f"applied: {change}")
+        if not changed:
+            print("no cutover disagreed by more than "
+                  f"{tuning.DISAGREEMENT_LIMIT}x; nothing applied")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.name == "all":
         for name in sorted(experiments.ALL_EXPERIMENTS):
@@ -441,6 +542,71 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also mine communities and attach memberships")
     p.add_argument("--max-length", type=int, default=None)
     p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark fleet: run / summarize / trend / tune-cutovers",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bench_sub.add_parser(
+        "run", help="run the experiments whose run_id is empty"
+    )
+    b.add_argument("config", help="fleet YAML (e.g. benchmarks/fleet.yaml)")
+    b.add_argument("--profile", default="full",
+                   help="named workload profile from the config "
+                        "(CI uses 'smoke')")
+    b.add_argument("--only", default=None,
+                   help="comma-separated experiment ids to consider")
+    b.add_argument("--force", action="store_true",
+                   help="re-run experiments even if their run_id is set")
+    b.add_argument("--dry-run", action="store_true",
+                   help="list what would run, run nothing")
+    b.add_argument("--workers", type=int, default=None,
+                   help="parallel experiment processes (default: cores)")
+    b.add_argument("--records-dir", default=None,
+                   help="where record JSONs go "
+                        "(default: <repo>/benchmarks/records)")
+    b.add_argument("--no-update-config", action="store_true",
+                   help="do not write fresh run_ids back into the YAML")
+    b.set_defaults(func=_cmd_bench_run)
+
+    b = bench_sub.add_parser(
+        "summarize",
+        help="fold records into the BENCH_<area>.json trajectories",
+    )
+    b.add_argument("--records-dir", default="benchmarks/records")
+    b.add_argument("--out-dir", default=".",
+                   help="trajectory directory (default: repo root)")
+    b.set_defaults(func=_cmd_bench_summarize)
+
+    b = bench_sub.add_parser(
+        "trend",
+        help="gate fresh records against the committed trajectories",
+    )
+    b.add_argument("--records-dir", default="benchmarks/records")
+    b.add_argument("--baselines-dir", default=".",
+                   help="directory holding the BENCH_<area>.json baselines")
+    b.add_argument("--threshold", type=float, default=1.25,
+                   help="failure ratio vs baseline (1.25 = +25%%)")
+    b.add_argument("--window", type=int, default=3,
+                   help="baseline = best of the last N trajectory entries")
+    b.add_argument("--summary", default=None,
+                   help="also append the markdown table to this file "
+                        "(CI passes $GITHUB_STEP_SUMMARY)")
+    b.set_defaults(func=_cmd_bench_trend)
+
+    b = bench_sub.add_parser(
+        "tune-cutovers",
+        help="sweep the engine cutover boundaries and fit the crossovers",
+    )
+    b.add_argument("--profile", default="smoke", choices=("smoke", "full"))
+    b.add_argument("--report", default="benchmarks/reports/tune_cutovers.txt",
+                   help="stamped report path ('' to skip)")
+    b.add_argument("--apply", action="store_true",
+                   help="rewrite integer cutover constants whose fit "
+                        "disagrees by more than 2x")
+    b.set_defaults(func=_cmd_bench_tune)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("name")

@@ -28,6 +28,10 @@ class MiningError(ReproError):
     """Raised on invalid mining parameters (e.g. negative thresholds)."""
 
 
+class BenchConfigError(ReproError):
+    """Raised when a benchmark-fleet config or record is invalid."""
+
+
 class IndexError_(ReproError):
     """Raised on invalid TC-Tree / warehouse operations.
 

@@ -1,0 +1,409 @@
+"""The config-driven experiment fleet: config validation, the
+missing-run planner, record round-trips, trajectory summarize, and the
+CI trend gate."""
+
+from __future__ import annotations
+
+import json
+import sys
+import textwrap
+
+import pytest
+
+from repro.bench import fleet
+from repro.errors import BenchConfigError
+
+VALID_CONFIG = textwrap.dedent(
+    """\
+    defaults:
+      reps: 3
+    profiles:
+      smoke: tiny CI workloads
+      full: paper-sized workloads
+    experiments:
+      core/alpha:
+        area: core
+        driver: fleetpkg.alpha
+        run_id: ''
+        params:
+          nodes: 100
+          graph:
+            m: 4
+            p: 0.7
+        profiles:
+          smoke:
+            reps: 1
+            graph:
+              m: 2
+      serving/beta:
+        area: serving
+        driver: fleetpkg.beta
+        run_id: abc123abc123
+        params: {}
+    """
+)
+
+
+@pytest.fixture
+def config(tmp_path):
+    path = tmp_path / "benchmarks" / "fleet.yaml"
+    path.parent.mkdir()
+    path.write_text(VALID_CONFIG, encoding="utf-8")
+    return fleet.load_fleet_config(path)
+
+
+ENV = {
+    "git_sha": "feedfeedfeed",
+    "git_dirty": False,
+    "timestamp": "2026-08-07T00:00:00+00:00",
+    "python": "3.11.7",
+    "platform": "test",
+    "cpu_count": 1,
+}
+
+
+def make_record(spec, medians, profile="smoke", env=ENV, **meta):
+    result = {"medians": medians, "reps": 2}
+    if meta:
+        result["meta"] = meta
+    return fleet.make_record(
+        spec, profile, {"nodes": 1}, result, env, run_id=fleet.new_run_id()
+    )
+
+
+class TestLoadConfig:
+    def test_valid_config_parses(self, config):
+        assert set(config.experiments) == {"core/alpha", "serving/beta"}
+        spec = config.experiments["core/alpha"]
+        assert spec.area == "core"
+        assert spec.driver == "fleetpkg.alpha"
+        assert spec.run_id == ""
+        assert config.experiments["serving/beta"].run_id == "abc123abc123"
+        assert config.root == config.path.resolve().parent.parent
+
+    def _load(self, tmp_path, text):
+        path = tmp_path / "fleet.yaml"
+        path.write_text(text, encoding="utf-8")
+        return fleet.load_fleet_config(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BenchConfigError, match="cannot read"):
+            fleet.load_fleet_config(tmp_path / "nope.yaml")
+
+    def test_no_experiments(self, tmp_path):
+        with pytest.raises(BenchConfigError, match="no experiments"):
+            self._load(tmp_path, "profiles:\n  smoke: s\n")
+
+    def test_bad_area(self, tmp_path):
+        text = VALID_CONFIG.replace("area: core", "area: nuclear", 1)
+        with pytest.raises(BenchConfigError, match="area must be one of"):
+            self._load(tmp_path, text)
+
+    def test_driver_must_be_dotted(self, tmp_path):
+        text = VALID_CONFIG.replace("driver: fleetpkg.alpha", "driver: alpha")
+        with pytest.raises(BenchConfigError, match="dotted module path"):
+            self._load(tmp_path, text)
+
+    def test_unknown_experiment_keys_rejected(self, tmp_path):
+        text = VALID_CONFIG.replace("    params: {}", "    params: {}\n    typo: 1")
+        with pytest.raises(BenchConfigError, match="unknown keys.*typo"):
+            self._load(tmp_path, text)
+
+    def test_override_of_undeclared_profile(self, tmp_path):
+        text = VALID_CONFIG.replace("      smoke:\n        reps: 1",
+                                    "      turbo:\n        reps: 1")
+        with pytest.raises(BenchConfigError, match="undeclared profile 'turbo'"):
+            self._load(tmp_path, text)
+
+    def test_duplicate_experiment_id_rejected(self, tmp_path):
+        dup = VALID_CONFIG + (
+            "  serving/beta:\n"
+            "    area: serving\n"
+            "    driver: fleetpkg.other\n"
+            "    params: {}\n"
+        )
+        with pytest.raises(BenchConfigError, match="duplicate key 'serving/beta'"):
+            self._load(tmp_path, dup)
+
+    def test_non_string_run_id(self, tmp_path):
+        text = VALID_CONFIG.replace("run_id: ''", "run_id: 17", 1)
+        with pytest.raises(BenchConfigError, match="run_id must be a string"):
+            self._load(tmp_path, text)
+
+
+class TestResolveParams:
+    def test_defaults_then_params_then_profile(self, config):
+        spec = config.experiments["core/alpha"]
+        full = fleet.resolve_params(config, spec, "full")
+        assert full == {"reps": 3, "nodes": 100, "graph": {"m": 4, "p": 0.7}}
+        smoke = fleet.resolve_params(config, spec, "smoke")
+        # Profile override wins, nested mappings merge key-by-key.
+        assert smoke == {"reps": 1, "nodes": 100, "graph": {"m": 2, "p": 0.7}}
+
+    def test_unknown_profile(self, config):
+        spec = config.experiments["core/alpha"]
+        with pytest.raises(BenchConfigError, match="unknown profile 'turbo'"):
+            fleet.resolve_params(config, spec, "turbo")
+
+
+class TestDumpRoundTrip:
+    def test_save_and_reload_preserves_everything(self, config):
+        fleet.save_fleet_config(config)
+        reloaded = fleet.load_fleet_config(config.path)
+        assert reloaded.defaults == config.defaults
+        assert reloaded.profiles == config.profiles
+        assert reloaded.experiments == config.experiments
+        # The machine-managed header survives a rewrite.
+        assert "machine-managed" in config.path.read_text(encoding="utf-8")
+
+
+class TestPlanRuns:
+    def test_only_missing_run_ids(self, config):
+        todo = fleet.plan_runs(config)
+        assert [spec.exp_id for spec in todo] == ["core/alpha"]
+
+    def test_force_selects_all(self, config):
+        todo = fleet.plan_runs(config, force=True)
+        assert [spec.exp_id for spec in todo] == ["core/alpha", "serving/beta"]
+
+    def test_only_subset(self, config):
+        assert fleet.plan_runs(config, only=["serving/beta"]) == []
+        todo = fleet.plan_runs(config, only=["serving/beta"], force=True)
+        assert [spec.exp_id for spec in todo] == ["serving/beta"]
+
+    def test_unknown_only_id(self, config):
+        with pytest.raises(BenchConfigError, match="unknown experiment ids"):
+            fleet.plan_runs(config, only=["core/alpha", "nope/x"])
+
+    def test_dry_run_lists_exactly_the_missing_set(self, config, capsys):
+        lines: list[str] = []
+        records = fleet.run_fleet(
+            config, profile="smoke", dry_run=True, echo=lines.append
+        )
+        assert records == []
+        assert lines == [
+            "would run core/alpha [core] via fleetpkg.alpha"
+        ]
+
+
+class TestRecords:
+    def test_round_trip(self, config, tmp_path):
+        spec = config.experiments["core/alpha"]
+        record = make_record(spec, {"build_s": 0.5, "nodes": 100}, speedup=2.0)
+        path = fleet.write_record(record, tmp_path / "records")
+        assert path.name == "core__alpha@smoke.json"
+        loaded = fleet.load_records(tmp_path / "records")
+        assert loaded == [record]
+        assert loaded[0]["schema"] == fleet.RECORD_SCHEMA
+        assert loaded[0]["meta"] == {"speedup": 2.0}
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        records = tmp_path / "records"
+        records.mkdir()
+        (records / "x.json").write_text('{"schema": "other/v9"}')
+        with pytest.raises(BenchConfigError, match="not a repro-bench-record"):
+            fleet.load_records(records)
+
+    def test_make_record_rejects_empty_medians(self, config):
+        spec = config.experiments["core/alpha"]
+        with pytest.raises(BenchConfigError, match="no medians"):
+            make_record(spec, {})
+
+    def test_make_record_rejects_non_finite(self, config):
+        spec = config.experiments["core/alpha"]
+        with pytest.raises(BenchConfigError, match="must be finite"):
+            make_record(spec, {"build_s": float("nan")})
+
+    def test_make_record_rejects_bool_reps(self, config):
+        spec = config.experiments["core/alpha"]
+        with pytest.raises(BenchConfigError, match="positive int"):
+            fleet.make_record(
+                spec, "smoke", {}, {"medians": {"a_s": 1.0}, "reps": True},
+                ENV, run_id="x",
+            )
+
+
+class TestRunFleet:
+    @pytest.fixture
+    def driver_config(self, tmp_path):
+        """A runnable fleet rooted at tmp_path with a real toy driver."""
+        pkg = tmp_path / "fleetpkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "alpha.py").write_text(
+            textwrap.dedent(
+                """\
+                def run(config):
+                    return {
+                        "medians": {"alpha_s": 0.001 * config["nodes"]},
+                        "reps": config["reps"],
+                        "meta": {"nodes": config["nodes"]},
+                    }
+                """
+            )
+        )
+        (pkg / "beta.py").write_text(
+            "def run(config):\n"
+            "    return {'medians': {'beta_s': 0.5}, 'reps': 1}\n"
+        )
+        path = tmp_path / "benchmarks" / "fleet.yaml"
+        path.parent.mkdir()
+        path.write_text(VALID_CONFIG, encoding="utf-8")
+        yield fleet.load_fleet_config(path)
+        if str(tmp_path) in sys.path:
+            sys.path.remove(str(tmp_path))
+        for name in ("fleetpkg", "fleetpkg.alpha", "fleetpkg.beta"):
+            sys.modules.pop(name, None)
+
+    def test_run_records_and_updates_config(self, driver_config, tmp_path):
+        records_dir = tmp_path / "records"
+        records = fleet.run_fleet(
+            driver_config, profile="smoke", workers=1,
+            records_dir=records_dir, echo=lambda _line: None,
+        )
+        assert [r["exp_id"] for r in records] == ["core/alpha"]
+        record = records[0]
+        assert record["medians"] == {"alpha_s": pytest.approx(0.1)}
+        assert record["reps"] == 1  # smoke override
+        assert record["params"]["graph"] == {"m": 2, "p": 0.7}
+        assert len(record["run_id"]) == 12
+        # The run_id was written back: a re-run has nothing to do.
+        reloaded = fleet.load_fleet_config(driver_config.path)
+        assert reloaded.experiments["core/alpha"].run_id == record["run_id"]
+        assert fleet.plan_runs(reloaded) == []
+        again = fleet.run_fleet(
+            reloaded, profile="smoke", workers=1,
+            records_dir=records_dir, echo=lambda _line: None,
+        )
+        assert again == []
+
+    def test_force_reruns_and_no_update_config(self, driver_config, tmp_path):
+        before = driver_config.path.read_text(encoding="utf-8")
+        records = fleet.run_fleet(
+            driver_config, profile="smoke", workers=1, force=True,
+            records_dir=tmp_path / "records", update_config=False,
+            echo=lambda _line: None,
+        )
+        assert sorted(r["exp_id"] for r in records) == [
+            "core/alpha", "serving/beta"
+        ]
+        assert driver_config.path.read_text(encoding="utf-8") == before
+
+    def test_driver_without_run_entry(self, driver_config, tmp_path):
+        (tmp_path / "fleetpkg" / "beta.py").write_text("nothing = True\n")
+        with pytest.raises(BenchConfigError, match="no run\\(config\\) entry"):
+            fleet.run_fleet(
+                driver_config, profile="smoke", workers=1, force=True,
+                only=["serving/beta"], records_dir=tmp_path / "records",
+                echo=lambda _line: None,
+            )
+
+
+class TestSummarize:
+    def test_deterministic_and_merges_by_sha(self, config, tmp_path):
+        spec = config.experiments["core/alpha"]
+        record = make_record(spec, {"build_s": 0.5})
+        out = tmp_path / "out"
+        written = fleet.summarize_records([record], out)
+        assert set(written) == {"core"}
+        first = written["core"].read_text(encoding="utf-8")
+        doc = json.loads(first)
+        assert doc["schema"] == fleet.TRAJECTORY_SCHEMA
+        assert len(doc["entries"]) == 1
+        # Summarizing the same record again is byte-identical (upsert,
+        # not append).
+        fleet.summarize_records([record], out)
+        assert written["core"].read_text(encoding="utf-8") == first
+        # A different sha appends a second entry; same sha upserts.
+        env2 = dict(ENV, git_sha="0123456789ab",
+                    timestamp="2026-08-08T00:00:00+00:00")
+        fleet.summarize_records([make_record(spec, {"build_s": 0.4}, env=env2)], out)
+        entries = json.loads(written["core"].read_text())["entries"]
+        assert [e["git_sha"] for e in entries] == ["feedfeedfeed", "0123456789ab"]
+
+    def test_unknown_area_rejected(self, config, tmp_path):
+        spec = config.experiments["core/alpha"]
+        record = dict(make_record(spec, {"a_s": 1.0}), area="nuclear")
+        with pytest.raises(BenchConfigError, match="unknown area"):
+            fleet.summarize_records([record], tmp_path)
+
+
+class TestTrendGate:
+    def baseline(self, config, tmp_path, medians, sha="aaaaaaaaaaaa"):
+        spec = config.experiments["core/alpha"]
+        env = dict(ENV, git_sha=sha)
+        fleet.summarize_records(
+            [make_record(spec, medians, env=env)], tmp_path
+        )
+
+    def test_pass_within_threshold(self, config, tmp_path):
+        self.baseline(config, tmp_path, {"build_s": 1.0})
+        spec = config.experiments["core/alpha"]
+        fresh = make_record(spec, {"build_s": 1.2})
+        rows, failed = fleet.compare_to_baseline([fresh], tmp_path)
+        assert not failed
+        assert [(r.metric, r.status) for r in rows] == [("build_s", "ok")]
+        assert rows[0].ratio == pytest.approx(1.2)
+
+    def test_fail_beyond_threshold(self, config, tmp_path):
+        self.baseline(config, tmp_path, {"build_s": 1.0})
+        spec = config.experiments["core/alpha"]
+        fresh = make_record(spec, {"build_s": 2.0})
+        rows, failed = fleet.compare_to_baseline([fresh], tmp_path)
+        assert failed
+        assert rows[0].status == "REGRESSION"
+        table = fleet.format_trend_markdown(rows, 1.25, 3)
+        assert "❌ REGRESSION" in table and "| build_s |" in table
+
+    def test_baseline_is_best_of_window(self, config, tmp_path):
+        # Three entries: 1.0, then a noisy 3.0, then 2.0. Best of the
+        # window is 1.0, so a fresh 1.5 (>1.25 * 1.0) still fails even
+        # though it beats the two most recent entries.
+        for i, value in enumerate((1.0, 3.0, 2.0)):
+            spec = config.experiments["core/alpha"]
+            env = dict(ENV, git_sha=f"{i:012d}",
+                       timestamp=f"2026-08-0{i + 1}T00:00:00+00:00")
+            fleet.summarize_records(
+                [make_record(spec, {"build_s": value}, env=env)], tmp_path
+            )
+        fresh = make_record(
+            config.experiments["core/alpha"], {"build_s": 1.5}
+        )
+        rows, failed = fleet.compare_to_baseline([fresh], tmp_path, window=3)
+        assert failed and rows[0].baseline == 1.0
+        # A window of 2 drops the 1.0 entry; baseline 2.0 passes.
+        rows, failed = fleet.compare_to_baseline([fresh], tmp_path, window=2)
+        assert not failed and rows[0].baseline == 2.0
+
+    def test_new_metric_and_non_seconds_skipped(self, config, tmp_path):
+        spec = config.experiments["core/alpha"]
+        fresh = make_record(spec, {"build_s": 1.0, "speedup": 4.0})
+        rows, failed = fleet.compare_to_baseline([fresh], tmp_path)
+        assert not failed
+        # No baseline file at all: the timing metric reports "new" and
+        # the ratio metric is not gated.
+        assert [(r.metric, r.status) for r in rows] == [("build_s", "new")]
+
+    def test_profiles_do_not_cross_pollinate(self, config, tmp_path):
+        self.baseline(config, tmp_path, {"build_s": 1.0})
+        spec = config.experiments["core/alpha"]
+        fresh = make_record(spec, {"build_s": 9.0}, profile="full")
+        rows, failed = fleet.compare_to_baseline([fresh], tmp_path)
+        assert not failed and rows[0].status == "new"
+
+
+class TestStamp:
+    def test_stamp_line_format(self):
+        line = fleet.stamp_line(dict(ENV, git_dirty=True))
+        assert line == (
+            "# sha=feedfeedfeed+dirty time=2026-08-07T00:00:00+00:00 "
+            "python=3.11.7"
+        )
+
+    def test_env_fingerprint_fields(self):
+        env = fleet.env_fingerprint()
+        assert set(env) == {
+            "git_sha", "git_dirty", "timestamp", "python", "platform",
+            "cpu_count",
+        }
+        assert env["cpu_count"] >= 1

@@ -1,0 +1,196 @@
+"""Crossover fitting and cutover application for the engine constants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench import tuning
+from repro.errors import BenchConfigError
+
+
+def power_law_times(x_values, scale_slow, exp_slow, scale_fast, exp_fast):
+    slow = [scale_slow * x**exp_slow for x in x_values]
+    fast = [scale_fast * x**exp_fast for x in x_values]
+    return slow, fast
+
+
+class TestFitCrossover:
+    def test_recovers_known_crossover(self):
+        # t_slow = 1e-3 (x/100)^1.3, t_fast = 2e-3 (x/100)^0.8: the
+        # ratio crosses 1 at exactly x = 100 * 2^(1/0.5) = 400.
+        x = [50, 100, 200, 400, 800, 1600]
+        slow = [1e-3 * (v / 100) ** 1.3 for v in x]
+        fast = [2e-3 * (v / 100) ** 0.8 for v in x]
+        fit = tuning.fit_crossover(x, slow, fast)
+        assert fit.crossover == pytest.approx(400.0, rel=1e-9)
+        assert fit.in_range
+        assert fit.slope == pytest.approx(0.5, rel=1e-9)
+        rows = fit.as_rows()
+        assert [r["x"] for r in rows] == x
+        assert rows[3]["slow/fast"] == pytest.approx(1.0)
+
+    def test_flat_ratio_has_no_crossing(self):
+        x = [10, 100, 1000]
+        slow = [1e-3 * v for v in x]
+        fit = tuning.fit_crossover(x, slow, [t / 2 for t in slow])
+        assert fit.crossover is None
+        assert not fit.in_range
+        assert all(r == pytest.approx(2.0) for r in fit.ratios)
+
+    def test_out_of_range_crossover_flagged(self):
+        slow, fast = power_law_times([100, 200, 400], 1e-5, 1.2, 1e-3, 1.0)
+        fit = tuning.fit_crossover([100, 200, 400], slow, fast)
+        assert fit.crossover is not None
+        assert not fit.in_range  # crossing lies far above the sweep
+
+    def test_validation(self):
+        with pytest.raises(BenchConfigError, match="equal lengths"):
+            tuning.fit_crossover([1, 2], [1.0], [1.0, 2.0])
+        with pytest.raises(BenchConfigError, match="at least two"):
+            tuning.fit_crossover([1], [1.0], [1.0])
+        with pytest.raises(BenchConfigError, match="must be positive"):
+            tuning.fit_crossover([1, 2], [1.0, -1.0], [1.0, 1.0])
+
+
+class TestHelpers:
+    def test_round_to_power_of_two(self):
+        assert tuning.round_to_power_of_two(0.3) == 1
+        # The boundary is the geometric midpoint 2**5.5 ~ 45.25.
+        assert tuning.round_to_power_of_two(45) == 32
+        assert tuning.round_to_power_of_two(46) == 64
+        assert tuning.round_to_power_of_two(512) == 512
+
+    def test_disagreement_symmetric(self):
+        assert tuning.disagreement(100, 400) == pytest.approx(4.0)
+        assert tuning.disagreement(400, 100) == pytest.approx(4.0)
+        assert tuning.disagreement(7, 7) == 1.0
+        with pytest.raises(BenchConfigError):
+            tuning.disagreement(0, 1)
+
+    def test_geometric_sizes(self):
+        sizes = tuning._geometric_sizes(64, 4096, 5)
+        assert sizes[0] == 64 and sizes[-1] == 4096
+        assert sizes == sorted(set(sizes))
+        ratios = [b / a for a, b in zip(sizes, sizes[1:])]
+        assert all(2 < r < 6 for r in ratios)
+
+
+def report_with(crossover_at, current, x=(100, 200, 400, 800, 1600)):
+    """A CutoverReport whose fit crosses 1 at ``crossover_at``."""
+    x = list(x)
+    slow = [1e-3 * (v / crossover_at) ** 1.3 for v in x]
+    fast = [1e-3 * (v / crossover_at) ** 0.8 for v in x]
+    return tuning.CutoverReport(
+        name="CSR_MIN_EDGES",
+        current=float(current),
+        fit=tuning.fit_crossover(x, slow, fast),
+    )
+
+
+class TestCutoverReport:
+    def test_ok_within_limit(self):
+        report = report_with(crossover_at=400, current=512)
+        assert report.verdict == "ok"
+        assert report.disagreement < tuning.DISAGREEMENT_LIMIT
+
+    def test_update_beyond_limit(self):
+        report = report_with(crossover_at=400, current=100)
+        assert report.fitted == pytest.approx(400.0, rel=1e-9)
+        assert report.verdict == "update"
+
+    def test_extrapolated_never_updates(self):
+        # The fitted crossing lies outside the sweep: the measured
+        # points are one-sided, so the verdict must not be "update"
+        # even with a huge disagreement.
+        report = report_with(crossover_at=100_000, current=64,
+                             x=(16, 64, 256, 1024))
+        assert not report.fit.in_range
+        assert report.verdict == "extrapolated"
+
+    def test_no_crossing(self):
+        x = [10, 100, 1000]
+        fit = tuning.fit_crossover(x, [2e-3] * 3, [1e-3] * 3)
+        report = tuning.CutoverReport(name="X", current=64.0, fit=fit)
+        assert report.verdict == "no-crossing"
+        assert report.as_row()["fitted"] == "—"
+
+
+class TestApplyConstant:
+    def test_rewrites_assignment(self, tmp_path):
+        source = tmp_path / "support.py"
+        source.write_text(
+            "PAD = 3\nCSR_MIN_EDGES = 512  # measured\nX = CSR_MIN_EDGES\n"
+        )
+        assert tuning.apply_constant(source, "CSR_MIN_EDGES", 256)
+        text = source.read_text()
+        assert "CSR_MIN_EDGES = 256  # measured" in text
+        assert "PAD = 3" in text and "X = CSR_MIN_EDGES" in text
+
+    def test_noop_when_value_unchanged(self, tmp_path):
+        source = tmp_path / "support.py"
+        source.write_text("CSR_MIN_EDGES = 512\n")
+        assert not tuning.apply_constant(source, "CSR_MIN_EDGES", 512)
+
+    def test_missing_assignment(self, tmp_path):
+        source = tmp_path / "support.py"
+        source.write_text("OTHER = 1\n")
+        with pytest.raises(BenchConfigError, match="no `CSR_MIN_EDGES"):
+            tuning.apply_constant(source, "CSR_MIN_EDGES", 256)
+
+    def test_apply_fitted_cutovers(self, tmp_path):
+        (tmp_path / "src" / "repro" / "graphs").mkdir(parents=True)
+        target = tmp_path / tuning.APPLICABLE["CSR_MIN_EDGES"]
+        target.write_text("CSR_MIN_EDGES = 512\n")
+        update = report_with(crossover_at=100, current=512,
+                             x=(25, 50, 100, 200, 400))
+        assert update.verdict == "update"
+        changed = tuning.apply_fitted_cutovers([update], tmp_path)
+        assert changed == ["CSR_MIN_EDGES: 512 -> 128"]
+        assert target.read_text() == "CSR_MIN_EDGES = 128\n"
+        # "ok" and "extrapolated" reports leave the file alone.
+        ok = report_with(crossover_at=400, current=512)
+        skipped = report_with(crossover_at=100_000, current=128,
+                              x=(16, 64, 256, 1024))
+        target.write_text("CSR_MIN_EDGES = 128\n")
+        assert tuning.apply_fitted_cutovers([ok, skipped], tmp_path) == []
+        assert target.read_text() == "CSR_MIN_EDGES = 128\n"
+
+
+class TestSweeps:
+    """Tiny real sweeps: shape checks only, no timing assertions."""
+
+    def test_sweep_csr_min_edges_shape(self):
+        sweep = tuning.sweep_csr_min_edges(points=2, reps=1, low=64, high=256)
+        assert set(sweep) == {"x", "slow", "fast"}
+        assert len(sweep["x"]) == len(sweep["slow"]) == len(sweep["fast"])
+        assert all(t > 0 for t in sweep["slow"] + sweep["fast"])
+
+    def test_sweep_net_reuse_shape(self):
+        sweep = tuning.sweep_net_reuse_fraction(
+            points=2, reps=1, network_edges=256
+        )
+        assert all(0 < x < 1 for x in sweep["x"])
+        assert all(t > 0 for t in sweep["slow"] + sweep["fast"])
+
+    def test_sweep_edge_csr_shape(self):
+        sweep = tuning.sweep_edge_csr_min_edges(
+            points=2, reps=1, low=16, high=64
+        )
+        assert len(sweep["x"]) >= 2
+        assert all(t > 0 for t in sweep["slow"] + sweep["fast"])
+
+    def test_unknown_profile(self):
+        with pytest.raises(BenchConfigError, match="unknown tuning profile"):
+            tuning.tune_cutovers(profile="warp")
+
+
+def test_crossover_math_sanity():
+    # exp(-intercept/slope) really is where the fitted line crosses 0.
+    x = [10, 20, 40, 80]
+    slow, fast = power_law_times(x, 1e-4, 1.5, 1e-3, 1.0)
+    fit = tuning.fit_crossover(x, slow, fast)
+    assert fit.slope * math.log(fit.crossover) + fit.intercept == pytest.approx(
+        0.0, abs=1e-12
+    )

@@ -1,0 +1,162 @@
+"""Attributed community search: in-memory tree vs the snapshot engine.
+
+ATC-style search (:func:`repro.search.attributed.attributed_community_search`)
+runs against any source answering the query protocol. The tree path
+filters a fresh ``query_tc_tree`` traversal; the engine path rides the
+serving tier's snapshot prune-without-decode and LRU carrier cache, so
+repeated searches against a live :class:`IndexedWarehouse` skip decoding
+untouched subtrees entirely. This benchmark runs a search mix on both
+sources, asserts the ranked answers are bit-identical (members,
+coverage, strength, frequencies — ranking ties included), and reports
+per-source medians for the fleet trajectory.
+"""
+
+from __future__ import annotations
+
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import REPORTS_DIR, make_dense_network, write_report
+from repro.bench.reporting import format_table
+from repro.index.query import query_tc_tree
+from repro.index.warehouse import ThemeCommunityWarehouse
+from repro.search.attributed import attributed_community_search
+from repro.serve.engine import IndexedWarehouse
+
+
+def _search_mix(tree) -> list[tuple[tuple[int, ...], tuple[int, ...], float]]:
+    """(query vertices, query attributes, alpha) triples off one tree.
+
+    Query vertices come from the largest indexed community so most
+    searches hit; attributes sweep the full item universe and a narrow
+    prefix; one query raises alpha to exercise cohesion filtering.
+    """
+    answer = query_tc_tree(tree, pattern=None, alpha=0.0)
+    largest: frozenset[int] = frozenset()
+    for truss in answer.trusses:
+        for community in truss.communities():
+            if len(community) > len(largest):
+                largest = frozenset(community)
+    members = sorted(largest)
+    pair = tuple(members[:2])
+    items = tuple(sorted({item for p in tree.patterns() for item in p}))
+    high = tree.max_alpha()
+    mix = [
+        ((members[0],), items, 0.0),
+        (pair, items, 0.0),
+        ((members[0],), items[:2], 0.0),
+        (pair, items, 0.5 * high),
+    ]
+    return mix
+
+
+def measure_attributed_search(
+    network, work_dir: Path, reps: int = 3
+) -> dict[str, object]:
+    """Tree-path vs engine-path medians over one search mix."""
+    warehouse = ThemeCommunityWarehouse.build(network)
+    snap_path = Path(work_dir) / "bench.tcsnap"
+    warehouse.save_snapshot(snap_path)
+    tree = warehouse.tree
+    mix = _search_mix(tree)
+
+    tree_samples: list[float] = []
+    engine_samples: list[float] = []
+    matches = 0
+    with IndexedWarehouse.open(snap_path) as engine:
+        for _ in range(reps):
+            start = time.perf_counter()
+            tree_answers = [
+                attributed_community_search(tree, v, a, alpha=alpha)
+                for v, a, alpha in mix
+            ]
+            tree_samples.append(time.perf_counter() - start)
+
+            start = time.perf_counter()
+            engine_answers = [
+                attributed_community_search(engine, v, a, alpha=alpha)
+                for v, a, alpha in mix
+            ]
+            engine_samples.append(time.perf_counter() - start)
+
+            # Parity guard: the engine path answers bit-identically,
+            # ranking ties included (AttributedMatch compares community
+            # membership, frequencies, coverage, and strength).
+            assert engine_answers == tree_answers
+            matches = sum(len(answers) for answers in tree_answers)
+
+    tree_s = statistics.median(tree_samples)
+    engine_s = statistics.median(engine_samples)
+    return {
+        "queries": len(mix),
+        "matches": matches,
+        "indexed_trusses": len(tree.patterns()),
+        "tree_s": tree_s,
+        "engine_s": engine_s,
+        "speedup": tree_s / engine_s if engine_s else float("inf"),
+    }
+
+
+def _write_search_report(report_dir, metrics: dict[str, object]) -> None:
+    rows = [
+        {
+            "queries": metrics["queries"],
+            "matches": metrics["matches"],
+            "indexed_trusses": metrics["indexed_trusses"],
+            "tree_ms": round(metrics["tree_s"] * 1e3, 2),
+            "engine_ms": round(metrics["engine_s"] * 1e3, 2),
+            "speedup": round(metrics["speedup"], 2),
+        }
+    ]
+    write_report(
+        report_dir,
+        "attributed_search",
+        format_table(
+            rows, title="Attributed search: snapshot engine vs in-memory tree"
+        ),
+    )
+
+
+def run(config):
+    """Fleet entry point (area: search): attributed search medians on
+    the dense network, tree path vs engine path, parity asserted."""
+    reps = int(config.get("reps", 3))
+    network = make_dense_network(**config.get("network", {}))
+    with tempfile.TemporaryDirectory(prefix="bench-search-") as tmp:
+        metrics = measure_attributed_search(network, Path(tmp), reps=reps)
+    _write_search_report(REPORTS_DIR, metrics)
+    return {
+        "medians": {
+            "tree_s": metrics["tree_s"],
+            "engine_s": metrics["engine_s"],
+        },
+        "reps": reps,
+        "meta": {
+            "queries": metrics["queries"],
+            "matches": metrics["matches"],
+            "indexed_trusses": metrics["indexed_trusses"],
+            "speedup": round(metrics["speedup"], 2),
+        },
+    }
+
+
+def test_attributed_search(benchmark, report_dir, tmp_path, dense_network):
+    metrics = measure_attributed_search(dense_network, tmp_path, reps=2)
+    _write_search_report(report_dir, metrics)
+
+    # Searches anchored at an indexed community must find something.
+    assert metrics["matches"] > 0
+
+    warehouse = ThemeCommunityWarehouse.build(dense_network)
+    snap_path = tmp_path / "bench-warm.tcsnap"
+    warehouse.save_snapshot(snap_path)
+    mix = _search_mix(warehouse.tree)
+    with IndexedWarehouse.open(snap_path) as engine:
+        benchmark(
+            lambda: [
+                attributed_community_search(engine, v, a, alpha=alpha)
+                for v, a, alpha in mix
+            ]
+        )

@@ -1,0 +1,172 @@
+"""Probabilistic (k, γ)-truss: CSR peeling engine vs the legacy worklist.
+
+The (k, γ)-truss (Huang et al., 2016; related work §2.1) peels edges
+whose qualification probability ``Pr[e] × Pr[support ≥ k-2 | e]`` drops
+below γ. The legacy path recomputes the Poisson-binomial tail over
+adjacency-set intersections per worklist pop; the registered CSR engine
+(:func:`repro.graphs.support.prob_truss_edges`) pre-filters through the
+deterministic k-truss peel, then runs the DP only on the surviving core
+over the cached triangle index.
+
+The workload is the analytics pattern the cached index exists for: a
+sweep of (k, γ) settings over one graph. The legacy arm re-intersects
+adjacency sets per setting; the CSR arm converts once and shares the
+triangle index across the sweep. Every setting asserts both backends
+return the same truss — the parity the hypothesis suite checks on small
+graphs, here at benchmark scale.
+
+Edge probabilities come from the dyadic grid {0.25, 0.5, 0.75, 1.0}, so
+the tail DP is exact in float64 and the parity assert is order-proof.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+from benchmarks.conftest import REPORTS_DIR, write_report
+from repro.bench.reporting import format_table
+from repro.graphs.csr import as_csr
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.graphs.graph import edge_key
+from repro.graphs.probtruss import probabilistic_k_truss
+
+#: The (k, γ) sweep: k spans shallow to deep cores; γ spans permissive
+#: to strict qualification.
+SETTINGS = ((3, 0.05), (4, 0.1), (4, 0.3), (5, 0.1))
+
+#: Exact-in-float64 probability grid (see module docstring).
+PROBABILITY_GRID = (0.25, 0.5, 0.75, 1.0)
+
+
+def make_probabilistic_graph(
+    nodes: int = 900, m: int = 6, p: float = 0.6, seed: int = 11
+):
+    """A clustered graph plus seeded dyadic edge probabilities."""
+    graph = powerlaw_cluster_graph(nodes, m, p, seed=seed)
+    rng = random.Random(seed)
+    probabilities = {
+        edge_key(u, v): rng.choice(PROBABILITY_GRID)
+        for u, v in graph.iter_edges()
+    }
+    return graph, probabilities
+
+
+def measure_probtruss(
+    graph, probabilities, settings=SETTINGS, reps: int = 3
+) -> dict[str, object]:
+    """Interleaved A/B of one (k, γ) sweep per backend, with parity.
+
+    The CSR arm converts inside the timed region — the conversion plus
+    triangle index are exactly the fixed costs the sweep amortizes.
+    """
+    legacy_samples: list[float] = []
+    csr_samples: list[float] = []
+    truss_edges: list[int] = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        legacy = [
+            probabilistic_k_truss(
+                graph, probabilities, k, gamma, engine="legacy"
+            )
+            for k, gamma in settings
+        ]
+        legacy_samples.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        csr_graph = as_csr(graph)
+        fast = [
+            probabilistic_k_truss(
+                csr_graph, probabilities, k, gamma, engine="csr"
+            )
+            for k, gamma in settings
+        ]
+        csr_samples.append(time.perf_counter() - start)
+
+        # Parity guard: both backends peel to the same truss at every
+        # setting of the sweep.
+        for slow, quick in zip(legacy, fast):
+            assert sorted(quick.iter_edges()) == sorted(slow.iter_edges())
+            assert sorted(quick.vertices()) == sorted(slow.vertices())
+        truss_edges = [truss.num_edges for truss in legacy]
+
+    legacy_s = statistics.median(legacy_samples)
+    csr_s = statistics.median(csr_samples)
+    return {
+        "settings": list(settings),
+        "edges": graph.num_edges,
+        "truss_edges": truss_edges,
+        "legacy_s": legacy_s,
+        "csr_s": csr_s,
+        "speedup": legacy_s / csr_s if csr_s else float("inf"),
+    }
+
+
+def _write_probtruss_report(report_dir, metrics: dict[str, object]) -> None:
+    rows = [
+        {
+            "settings": "k,g=" + " ".join(
+                f"{k}:{gamma:g}" for k, gamma in metrics["settings"]
+            ),
+            "edges": metrics["edges"],
+            "truss_edges": max(metrics["truss_edges"], default=0),
+            "legacy_ms": round(metrics["legacy_s"] * 1e3, 2),
+            "csr_ms": round(metrics["csr_s"] * 1e3, 2),
+            "speedup": round(metrics["speedup"], 2),
+        }
+    ]
+    write_report(
+        report_dir,
+        "probtruss",
+        format_table(
+            rows,
+            title="(k, gamma)-truss sweep: CSR engine vs legacy worklist",
+        ),
+    )
+
+
+def run(config):
+    """Fleet entry point (area: search): legacy vs CSR medians for one
+    (k, γ) sweep on a clustered probabilistic graph, parity asserted."""
+    reps = int(config.get("reps", 3))
+    settings = [tuple(pair) for pair in config.get("settings", SETTINGS)]
+    graph, probabilities = make_probabilistic_graph(
+        **config.get("graph", {})
+    )
+    metrics = measure_probtruss(
+        graph, probabilities, settings=settings, reps=reps
+    )
+    _write_probtruss_report(REPORTS_DIR, metrics)
+    return {
+        "medians": {
+            "legacy_s": metrics["legacy_s"],
+            "csr_s": metrics["csr_s"],
+        },
+        "reps": reps,
+        "meta": {
+            "edges": metrics["edges"],
+            "settings": len(settings),
+            "truss_edges": metrics["truss_edges"],
+            "speedup": round(metrics["speedup"], 2),
+        },
+    }
+
+
+def test_probabilistic_truss(benchmark, report_dir):
+    graph, probabilities = make_probabilistic_graph(nodes=400, m=5)
+    metrics = measure_probtruss(graph, probabilities, reps=2)
+    _write_probtruss_report(report_dir, metrics)
+
+    # The peel must keep a non-trivial core for the timing to mean much.
+    assert max(metrics["truss_edges"]) > 0
+
+    csr_graph = as_csr(graph)
+    benchmark(
+        lambda: [
+            probabilistic_k_truss(
+                csr_graph, probabilities, k, gamma, engine="csr"
+            )
+            for k, gamma in SETTINGS
+        ]
+    )

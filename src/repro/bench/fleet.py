@@ -47,8 +47,8 @@ import yaml
 
 from repro.errors import BenchConfigError
 
-#: The four trajectory areas; one committed ``BENCH_<area>.json`` each.
-AREAS = ("core", "parallel", "serving", "edgenet")
+#: The trajectory areas; one committed ``BENCH_<area>.json`` each.
+AREAS = ("core", "parallel", "serving", "edgenet", "search")
 
 RECORD_SCHEMA = "repro-bench-record/v1"
 TRAJECTORY_SCHEMA = "repro-bench-trajectory/v1"

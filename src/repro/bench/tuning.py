@@ -1,22 +1,24 @@
 """Auto-tuning of the engine cutover constants from measured sweeps.
 
-All three engine cutovers were hand-measured once on a single synthetic
-family:
+Which constants to tune comes from the engine registry: every
+:class:`~repro.engine.registry.CutoverSpec` a registered model declares
+names its sweep function, current value, unit, and source file, so a new
+model's cutover (e.g. probtruss's ``PROB_CSR_MIN_EDGES``) is swept by
+``repro bench tune-cutovers`` the moment the model registers — no edit
+to this module. The sweeps themselves live here:
 
-- :data:`repro.graphs.support.CSR_MIN_EDGES` (legacy dict-of-sets vs
-  flat CSR engine for theme decomposition),
-- the 90% net-reuse fraction
-  (:func:`repro.index.decomposition._prefer_network_reuse` /
-  :func:`~repro.index.decomposition.covers_most_vertices` — reuse the
-  network CSR vs project the carrier),
-- :data:`repro.edgenet.decomposition.EDGE_CSR_MIN_EDGES` (the edge-model
-  analogue of the first).
+- :func:`sweep_csr_min_edges` (legacy dict-of-sets vs flat CSR engine
+  for theme decomposition),
+- :func:`sweep_net_reuse_fraction` (the 90% net-reuse fraction — reuse
+  the network CSR vs project the carrier),
+- :func:`sweep_edge_csr_min_edges` (the edge-model analogue),
+- :func:`sweep_prob_csr_min_edges` (probabilistic (k, γ)-truss peeling).
 
-This module re-measures each boundary with a sweep of sizes (or carrier
-fractions) around it, fits the crossover point from the timing table,
-and reports fitted vs. current so the constants track measurements
-instead of staying frozen. The fit is a least-squares line through
-``log(t_slow / t_fast)`` against ``log(x)`` — both engines are
+Each boundary is re-measured with a sweep of sizes (or carrier
+fractions) around it; the crossover point is fitted from the timing
+table and reported fitted vs. current so the constants track
+measurements instead of staying frozen. The fit is a least-squares line
+through ``log(t_slow / t_fast)`` against ``log(x)`` — both engines are
 low-degree polynomials in the input size, so their log-ratio is close to
 linear and the crossover is where the fitted line crosses zero.
 
@@ -278,6 +280,44 @@ def sweep_net_reuse_fraction(
     return {"x": fractions, "slow": reuse, "fast": project}
 
 
+def sweep_prob_csr_min_edges(
+    points: int = 5, reps: int = 3, low: int = 256, high: int = 8192
+) -> dict[str, list[float]]:
+    """Legacy vs CSR probabilistic (k, γ)-truss across graph sizes.
+
+    One-shot calls on legacy ``Graph`` inputs, so the CSR arm pays the
+    conversion and triangle-index build every time — the regime the
+    ``engine="auto"`` cutover guards. The crossover sits far above the
+    deterministic cutovers because the Poisson-binomial DP (shared by
+    both arms) dilutes the enumeration advantage.
+    """
+    from repro.graphs.graph import edge_key
+    from repro.graphs.probtruss import probabilistic_k_truss
+
+    sizes, legacy, csr = [], [], []
+    for i, target in enumerate(_geometric_sizes(low, high, points)):
+        graph, _ = _theme_graph(target, seed=500 + i)
+        rng = random.Random(500 + i)
+        probabilities = {
+            edge_key(u, v): 0.3 + 0.7 * rng.random()
+            for u, v in graph.iter_edges()
+        }
+        sizes.append(float(graph.num_edges))
+        legacy.append(_median_time(
+            lambda: probabilistic_k_truss(
+                graph, probabilities, 4, 0.1, engine="legacy"
+            ),
+            reps,
+        ))
+        csr.append(_median_time(
+            lambda: probabilistic_k_truss(
+                graph, probabilities, 4, 0.1, engine="csr"
+            ),
+            reps,
+        ))
+    return {"x": sizes, "slow": legacy, "fast": csr}
+
+
 # ---------------------------------------------------------------------------
 # The tune-cutovers driver
 
@@ -335,10 +375,14 @@ def tune_cutovers(
     profile: str = "smoke",
     points: int | None = None,
     reps: int | None = None,
+    only: Sequence[str] | None = None,
 ) -> list[CutoverReport]:
-    """Sweep and fit all three engine cutovers."""
-    from repro.edgenet.decomposition import EDGE_CSR_MIN_EDGES
-    from repro.graphs.support import CSR_MIN_EDGES
+    """Sweep and fit every cutover the engine registry declares.
+
+    ``only`` optionally restricts the run to the named constants (the
+    full sweep set times every registered model's boundary).
+    """
+    from repro.engine import registry
 
     if profile not in SWEEP_PROFILES:
         raise BenchConfigError(
@@ -349,28 +393,17 @@ def tune_cutovers(
     points = points or shape["points"]
     reps = reps or shape["reps"]
     reports = []
-    sweep = sweep_csr_min_edges(points=points, reps=reps)
-    reports.append(CutoverReport(
-        name="CSR_MIN_EDGES",
-        current=float(CSR_MIN_EDGES),
-        fit=fit_crossover(sweep["x"], sweep["slow"], sweep["fast"]),
-        source="src/repro/graphs/support.py",
-    ))
-    sweep = sweep_net_reuse_fraction(points=points, reps=reps)
-    reports.append(CutoverReport(
-        name="NET_REUSE_FRACTION",
-        current=0.9,
-        fit=fit_crossover(sweep["x"], sweep["slow"], sweep["fast"]),
-        unit="fraction of net edges",
-        source="src/repro/index/decomposition.py (_prefer_network_reuse)",
-    ))
-    sweep = sweep_edge_csr_min_edges(points=points, reps=reps)
-    reports.append(CutoverReport(
-        name="EDGE_CSR_MIN_EDGES",
-        current=float(EDGE_CSR_MIN_EDGES),
-        fit=fit_crossover(sweep["x"], sweep["slow"], sweep["fast"]),
-        source="src/repro/edgenet/decomposition.py",
-    ))
+    for _spec, cutover in registry.all_cutovers():
+        if only is not None and cutover.name not in only:
+            continue
+        sweep = cutover.sweep_fn()(points=points, reps=reps)
+        reports.append(CutoverReport(
+            name=cutover.name,
+            current=cutover.current(),
+            fit=fit_crossover(sweep["x"], sweep["slow"], sweep["fast"]),
+            unit=cutover.unit,
+            source=cutover.source,
+        ))
     for report in reports:
         if report.fit.crossover is None:
             side = (
@@ -409,12 +442,28 @@ def apply_constant(source: str | Path, name: str, value: int) -> bool:
     return True
 
 
-#: The cutovers --apply may rewrite (the 90% fraction is a ratio baked
-#: into integer arithmetic — report-only by design).
-APPLICABLE = {
-    "CSR_MIN_EDGES": "src/repro/graphs/support.py",
-    "EDGE_CSR_MIN_EDGES": "src/repro/edgenet/decomposition.py",
-}
+def applicable_cutovers() -> dict[str, str]:
+    """Cutover name → source file for every constant --apply may rewrite.
+
+    Enumerated from the engine registry: cutovers marked
+    ``applicable=False`` (e.g. the 90% net-reuse fraction, a ratio baked
+    into integer arithmetic) stay report-only.
+    """
+    from repro.engine import registry
+
+    return {
+        cutover.name: cutover.source
+        for _spec, cutover in registry.all_cutovers()
+        if cutover.applicable
+    }
+
+
+def __getattr__(name: str):
+    # Back-compat alias: APPLICABLE used to be a hand-kept dict; it now
+    # reflects the registry's live declarations.
+    if name == "APPLICABLE":
+        return applicable_cutovers()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def apply_fitted_cutovers(
@@ -422,14 +471,15 @@ def apply_fitted_cutovers(
 ) -> list[str]:
     """Rewrite the integer cutovers whose fit disagrees by > 2x."""
     repo_root = Path(repo_root)
+    applicable = applicable_cutovers()
     changed = []
     for report in reports:
-        if report.verdict != "update" or report.name not in APPLICABLE:
+        if report.verdict != "update" or report.name not in applicable:
             continue
         assert report.fitted is not None
         new_value = round_to_power_of_two(report.fitted)
         if apply_constant(
-            repo_root / APPLICABLE[report.name], report.name, new_value
+            repo_root / applicable[report.name], report.name, new_value
         ):
             changed.append(f"{report.name}: {int(report.current)} -> {new_value}")
     return changed
@@ -440,6 +490,7 @@ __all__ = [
     "CrossoverFit",
     "CutoverReport",
     "DISAGREEMENT_LIMIT",
+    "applicable_cutovers",
     "apply_constant",
     "apply_fitted_cutovers",
     "disagreement",
@@ -448,5 +499,6 @@ __all__ = [
     "sweep_csr_min_edges",
     "sweep_edge_csr_min_edges",
     "sweep_net_reuse_fraction",
+    "sweep_prob_csr_min_edges",
     "tune_cutovers",
 ]

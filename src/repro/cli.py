@@ -12,6 +12,7 @@ Subcommands::
     repro query coauth.tcsnap --kind edge --alpha 0.2
     repro serve bk.tcsnap --port 8080
     repro search bk.json --vertex 12 --alpha 0.2 [--top 5]
+    repro search bk.tcsnap --vertices 2,3 --attributes 0,1 [--alpha 0.2]
     repro export bk.json --format graphml --out bk.graphml [--alpha 0.2]
     repro experiment table2 --scale tiny
     repro bench run benchmarks/fleet.yaml --profile smoke [--dry-run]
@@ -50,26 +51,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.engine import registry
     from repro.index.stats import tc_tree_statistics
     from repro.serve.snapshot import TCTreeSnapshot, is_snapshot_file
 
     if is_snapshot_file(args.network) or _is_index_document(args.network):
         # An index file (binary snapshot or JSON warehouse document):
-        # report the TC-Tree profile instead of network statistics.
+        # report the tree profile instead of network statistics, titled
+        # by the registered model's display name.
         if is_snapshot_file(args.network):
             with TCTreeSnapshot.open(args.network) as snapshot:
-                tree = (
-                    snapshot.materialize_edge_tree()
-                    if snapshot.kind == "edge"
-                    else snapshot.materialize().tree
-                )
+                tree = snapshot.materialize_tree()
         else:
             tree = ThemeCommunityWarehouse.load(args.network).tree
         stats = tc_tree_statistics(tree)
-        prefix = (
-            "Edge TC-Tree" if getattr(tree, "kind", "vertex") == "edge"
-            else "TC-Tree"
-        )
+        prefix = registry.model_for_tree(tree).display
         print(
             format_table(
                 [stats.as_row()],
@@ -234,7 +230,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"serving {args.index} ({engine.backend}, "
         f"{engine.num_indexed_trusses} trusses) "
         f"on http://{host}:{port} — endpoints: "
-        "/query /top-k /stats /healthz",
+        "/query /top-k /search /stats /healthz",
         flush=True,
     )
     try:
@@ -264,7 +260,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
     from repro.core.tcfi import tcfi
     from repro.search.topk import top_k_communities
     from repro.search.vertex import communities_containing_vertex
+    from repro.serve.snapshot import is_snapshot_file
 
+    if is_snapshot_file(args.network) or _is_index_document(args.network):
+        return _cmd_search_index(args)
     network = load_network(args.network)
     result = tcfi(network, args.alpha, max_length=args.max_length)
     if args.vertex is not None:
@@ -279,6 +278,41 @@ def _cmd_search(args: argparse.Namespace) -> int:
     for community in communities[: args.top]:
         theme = ",".join(str(x) for x in community.theme_labels(network))
         print(f"  theme=[{theme}] size={community.size}")
+    return 0
+
+
+def _cmd_search_index(args: argparse.Namespace) -> int:
+    """Attributed community search against a built index (engine path)."""
+    from repro.serve.engine import IndexedWarehouse
+
+    if not args.vertices or not args.attributes:
+        print(
+            f"{args.network} is an index file: attributed search needs "
+            "--vertices and --attributes (comma-separated ids)",
+            file=sys.stderr,
+        )
+        return 2
+    vertices = tuple(int(x) for x in args.vertices.split(","))
+    attributes = tuple(int(x) for x in args.attributes.split(","))
+    with IndexedWarehouse.open(args.network) as engine:
+        matches = engine.search(
+            vertices, attributes, alpha=args.alpha, limit=args.top
+        )
+        print(
+            f"{len(matches)} attributed matches "
+            f"(vertices={list(vertices)}, attributes={list(attributes)}, "
+            f"alpha={args.alpha})"
+        )
+        for match in matches:
+            members = ",".join(
+                str(m) for m in sorted(match.community.members)[:10]
+            )
+            suffix = "..." if match.community.size > 10 else ""
+            print(
+                f"  pattern={match.pattern} coverage={match.coverage} "
+                f"strength={match.strength:.4g} "
+                f"size={match.community.size}: {members}{suffix}"
+            )
     return 0
 
 
@@ -423,6 +457,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # Lazy name listing: tree_model_names() reads the registration table
+    # without resolving any model factory, so parser construction stays
+    # import-light.
+    from repro.engine.registry import tree_model_names
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Theme communities in database networks (Chu et al.)",
@@ -501,7 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-size", type=int, default=3,
                    help="smallest community size --top-k may return")
     p.add_argument("--kind", default="auto",
-                   choices=("auto", "vertex", "edge"),
+                   choices=("auto", *tree_model_names()),
                    help="require the index to serve this tree model "
                         "(auto-detected from the snapshot header)")
     p.set_defaults(func=_cmd_query)
@@ -524,13 +563,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser(
-        "search", help="community search (by vertex or top-k)"
+        "search",
+        help="community search: by vertex / top-k on a network, "
+             "attributed (ATC-style) on an index file",
     )
-    p.add_argument("network")
+    p.add_argument("network",
+                   help="a network document, or a built index (binary "
+                        "snapshot / JSON warehouse) for attributed search")
     p.add_argument("--vertex", type=int, default=None)
     p.add_argument("--alpha", type=float, default=0.0)
     p.add_argument("--max-length", type=int, default=None)
     p.add_argument("--top", type=int, default=10)
+    p.add_argument("--vertices", default=None,
+                   help="attributed search: comma-separated query "
+                        "vertices every community must contain "
+                        "(index files only)")
+    p.add_argument("--attributes", default=None,
+                   help="attributed search: comma-separated query "
+                        "attributes the theme may use (index files only)")
     p.set_defaults(func=_cmd_search)
 
     p = sub.add_parser("export", help="export a network (GraphML / DOT)")

@@ -1,0 +1,426 @@
+"""First-class model registry: one :class:`ModelSpec` per workload.
+
+PR 5 folded the edge TC-Tree onto the vertex engine through a private
+string-keyed dict in :mod:`repro.index.parallel`; every other layer
+still branched on ``"vertex"``/``"edge"`` by hand (snapshot payload
+kind, CLI ``--kind`` choices, the tuner's hard-coded constant triple).
+This module is the explicit interface those layers now share: a
+``ModelSpec`` bundles everything the stack needs to know about one
+workload —
+
+- the decomposition entry point and carrier-protocol class (carrier0 /
+  route / take_carrier / frontier_carrier / ``__getstate__``
+  flattening),
+- the node/tree classes plus the build helpers the process-parallel
+  orchestrator dispatches through (layer-1 cost proxy, fork-time cache
+  warming, the serial parity build),
+- the snapshot payload kind — header version/flags and the
+  encode/decode/materialize hooks of :mod:`repro.serve.snapshot`,
+- the engine cutover constants (:class:`CutoverSpec`) the tuner sweeps,
+- the parity oracle backend the fast path is tested against.
+
+Registration is **lazy**: a model registers a zero-argument factory and
+the spec is built on first lookup. This keeps the registry importable
+from anywhere (it imports nothing from ``repro`` at module level) and
+preserves the circular-import discipline the old dict encoded by hand —
+``repro.edgenet.index`` calls into the parallel orchestrator, so the
+edge spec must not be imported until someone actually asks for it.
+
+Registering a new model::
+
+    from repro.engine import registry
+
+    registry.register_model(
+        "mymodel",
+        _my_spec_factory,        # () -> ModelSpec
+        tree=True,               # appears in CLI --kind, serves snapshots
+    )
+
+Worker processes resolve the same names through the same module-level
+table (the built-ins register at import), so a model name in the pickled
+worker state round-trips on both fork and spawn platforms.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from importlib import import_module
+from typing import Callable
+
+from repro.errors import TCIndexError
+
+
+def resolve_ref(ref: str):
+    """Resolve a ``"package.module:attribute"`` dotted reference."""
+    module_name, _, attribute = ref.partition(":")
+    if not module_name or not attribute:
+        raise TCIndexError(
+            f"malformed reference {ref!r}; expected 'pkg.mod:attr'"
+        )
+    return getattr(import_module(module_name), attribute)
+
+
+@dataclass(frozen=True)
+class CutoverSpec:
+    """One engine cutover constant a model declares for the tuner.
+
+    ``value_ref``/``value``: where the current value lives — a dotted
+    ``"pkg.mod:CONST"`` reference read live (so ``--apply`` rewrites are
+    observable after a reimport), or a fixed number for ratios baked
+    into arithmetic. ``sweep`` names the timing-sweep function
+    (``(points, reps) -> {"x", "slow", "fast"}``); ``applicable`` marks
+    whether ``tune-cutovers --apply`` may rewrite ``NAME = <int>`` in
+    ``source``.
+    """
+
+    name: str
+    source: str
+    sweep: str
+    unit: str = "edges"
+    value_ref: str | None = None
+    value: float | None = None
+    applicable: bool = True
+
+    def current(self) -> float:
+        if self.value_ref is not None:
+            return float(resolve_ref(self.value_ref))
+        if self.value is None:
+            raise TCIndexError(
+                f"cutover {self.name} declares neither value_ref nor value"
+            )
+        return float(self.value)
+
+    def sweep_fn(self) -> Callable:
+        return resolve_ref(self.sweep)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Everything the stack knows about one registered workload model."""
+
+    name: str
+    #: Human wording for stats/reports (``repro stats``, ``/stats``).
+    display: str
+    description: str = ""
+    #: Parity oracle backend the fast path is tested against
+    #: (``"legacy"``, ``"serial"``, ``"tree"`` ...).
+    oracle: str | None = None
+    cutovers: tuple[CutoverSpec, ...] = ()
+
+    # -- tree build API (tree models only) -----------------------------
+    decompose: Callable | None = None
+    #: The carrier-protocol decomposition class (carrier0/route/
+    #: take_carrier/frontier_carrier/__getstate__ flattening).
+    decomposition_cls: type | None = None
+    node_cls: type | None = None
+    make_tree: Callable | None = None
+    layer1_costs: Callable | None = None
+    warm: Callable | None = None
+    serial_build: Callable | None = None
+
+    # -- snapshot payload kind (tree models only) ----------------------
+    snapshot_version: int | None = None
+    snapshot_flags: int = 0
+    #: Bytes one frequency entry costs in the payload (size estimator).
+    frequency_entry_bytes: int = 16
+    encode_payload: Callable | None = None
+    decode_payload: Callable | None = None
+    #: ``(snapshot) -> tree`` — decode every node into the in-memory
+    #: tree class of this model.
+    materialize: Callable | None = None
+
+    # -- workload entry point (non-tree models) ------------------------
+    entry: Callable | None = None
+
+    @property
+    def is_tree_model(self) -> bool:
+        return self.node_cls is not None
+
+    @property
+    def has_snapshot(self) -> bool:
+        return self.snapshot_version is not None
+
+    def matches_snapshot(self, version: int, flags: int) -> bool:
+        """Does a snapshot header ``(version, flags)`` carry this kind?"""
+        return (
+            self.snapshot_version == version
+            and (flags & self.snapshot_flags) == self.snapshot_flags
+        )
+
+
+# ---------------------------------------------------------------------------
+# the registry table
+# ---------------------------------------------------------------------------
+
+_LOCK = threading.Lock()
+_FACTORIES: dict[str, Callable[[], ModelSpec]] = {}
+_SPECS: dict[str, ModelSpec] = {}
+#: Names registered as tree models, in registration order — known without
+#: resolving the (lazy, possibly import-heavy) factories, so e.g. the CLI
+#: can build its ``--kind`` choices at parser-construction time.
+_TREE_NAMES: list[str] = []
+
+
+def register_model(
+    name: str, factory: Callable[[], ModelSpec], tree: bool = False
+) -> None:
+    """Register ``factory`` to build the spec of model ``name`` on demand.
+
+    ``tree`` marks TC-Tree models (build orchestration + snapshot kind);
+    non-tree workloads (probtruss, attributed search) still declare
+    cutovers, oracle, and entry point. Re-registering a name replaces the
+    previous registration (latest wins — tests swap models in and out).
+    """
+    with _LOCK:
+        _FACTORIES[name] = factory
+        _SPECS.pop(name, None)
+        if tree and name not in _TREE_NAMES:
+            _TREE_NAMES.append(name)
+        if not tree and name in _TREE_NAMES:
+            _TREE_NAMES.remove(name)
+
+
+def unregister_model(name: str) -> None:
+    with _LOCK:
+        _FACTORIES.pop(name, None)
+        _SPECS.pop(name, None)
+        if name in _TREE_NAMES:
+            _TREE_NAMES.remove(name)
+
+
+def get_model(name: str) -> ModelSpec:
+    """The resolved :class:`ModelSpec` of ``name`` (factory memoized)."""
+    with _LOCK:
+        spec = _SPECS.get(name)
+        if spec is not None:
+            return spec
+        factory = _FACTORIES.get(name)
+    if factory is None:
+        raise TCIndexError(
+            f"unknown model {name!r} (registered: {', '.join(model_names())})"
+        )
+    # Build outside the lock: factories import model modules, which may
+    # themselves take the lock for lookups of *other* models.
+    spec = factory()
+    if spec.name != name:
+        raise TCIndexError(
+            f"model factory for {name!r} built a spec named {spec.name!r}"
+        )
+    with _LOCK:
+        return _SPECS.setdefault(name, spec)
+
+
+def model_names() -> tuple[str, ...]:
+    """Every registered model name, in registration order."""
+    with _LOCK:
+        return tuple(_FACTORIES)
+
+
+def tree_model_names() -> tuple[str, ...]:
+    """Registered tree-model names (no factory resolution needed)."""
+    with _LOCK:
+        return tuple(_TREE_NAMES)
+
+
+def model_for_tree(tree) -> ModelSpec:
+    """The spec a built tree dispatches through (by its ``kind`` tag)."""
+    return get_model(getattr(tree, "kind", "vertex"))
+
+
+def model_for_snapshot(version: int, flags: int) -> ModelSpec | None:
+    """The tree model whose payload kind a snapshot header declares."""
+    for name in tree_model_names():
+        spec = get_model(name)
+        if spec.has_snapshot and spec.matches_snapshot(version, flags):
+            return spec
+    return None
+
+
+def all_cutovers() -> list[tuple[ModelSpec, CutoverSpec]]:
+    """Every declared engine cutover, in model registration order."""
+    pairs: list[tuple[ModelSpec, CutoverSpec]] = []
+    for name in model_names():
+        spec = get_model(name)
+        pairs.extend((spec, cutover) for cutover in spec.cutovers)
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# built-in models
+# ---------------------------------------------------------------------------
+
+
+def _vertex_spec() -> ModelSpec:
+    from repro.index.decomposition import (
+        TrussDecomposition,
+        decompose_network_pattern,
+    )
+    from repro.index.parallel import _layer1_costs, _warm_shared_caches
+    from repro.index.tcnode import TCNode
+    from repro.index.tctree import TCTree, build_tc_tree
+    from repro.serve.snapshot import (
+        VERSION,
+        _decode_payload,
+        _encode_payload,
+    )
+
+    return ModelSpec(
+        name="vertex",
+        display="TC-Tree",
+        description="vertex database networks (Chu et al., Algorithm 4)",
+        oracle="serial",
+        decompose=decompose_network_pattern,
+        decomposition_cls=TrussDecomposition,
+        node_cls=TCNode,
+        make_tree=lambda root, num_items: TCTree(root, num_items=num_items),
+        layer1_costs=_layer1_costs,
+        warm=_warm_shared_caches,
+        serial_build=lambda network, max_length, reuse: build_tc_tree(
+            network, max_length=max_length, workers=1, reuse=reuse,
+            backend="serial",
+        ),
+        snapshot_version=VERSION,
+        snapshot_flags=0,
+        frequency_entry_bytes=16,
+        encode_payload=_encode_payload,
+        decode_payload=_decode_payload,
+        materialize=lambda snapshot: snapshot.materialize().tree,
+        cutovers=(
+            CutoverSpec(
+                name="CSR_MIN_EDGES",
+                source="src/repro/graphs/support.py",
+                sweep="repro.bench.tuning:sweep_csr_min_edges",
+                value_ref="repro.graphs.support:CSR_MIN_EDGES",
+            ),
+            CutoverSpec(
+                name="NET_REUSE_FRACTION",
+                source="src/repro/index/decomposition.py "
+                       "(_prefer_network_reuse)",
+                sweep="repro.bench.tuning:sweep_net_reuse_fraction",
+                unit="fraction of net edges",
+                # A ratio baked into integer arithmetic — report-only.
+                value=0.9,
+                applicable=False,
+            ),
+        ),
+    )
+
+
+def _edge_spec() -> ModelSpec:
+    from repro.edgenet.decomposition import (
+        EdgeTrussDecomposition,
+        decompose_edge_network_pattern,
+        warm_edge_network_triangles,
+    )
+    from repro.edgenet.index import (
+        EdgeTCNode,
+        EdgeTCTree,
+        build_edge_tc_tree,
+    )
+    from repro.serve.snapshot import (
+        EDGE_VERSION,
+        FLAG_EDGE,
+        _decode_edge_payload,
+        _encode_edge_payload,
+    )
+
+    def edge_warm(network, items) -> None:
+        network.csr_graph()
+        warm_edge_network_triangles(network, items)
+
+    def edge_costs(network, items) -> dict[int, float]:
+        # Pre-layer-1 proxy: the theme network of {s} is exactly the
+        # edges whose database mentions s.
+        return {
+            item: float(len(network.edges_containing_item(item)))
+            for item in items
+        }
+
+    return ModelSpec(
+        name="edge",
+        display="Edge TC-Tree",
+        description="edge database networks (per-edge frequencies)",
+        oracle="legacy",
+        decompose=decompose_edge_network_pattern,
+        decomposition_cls=EdgeTrussDecomposition,
+        node_cls=EdgeTCNode,
+        make_tree=lambda root, num_items: EdgeTCTree(
+            root, num_items=num_items
+        ),
+        layer1_costs=edge_costs,
+        warm=edge_warm,
+        serial_build=lambda network, max_length, reuse: build_edge_tc_tree(
+            network, max_length=max_length, workers=1, backend="serial",
+            reuse=reuse,
+        ),
+        snapshot_version=EDGE_VERSION,
+        snapshot_flags=FLAG_EDGE,
+        frequency_entry_bytes=24,
+        encode_payload=_encode_edge_payload,
+        decode_payload=_decode_edge_payload,
+        materialize=lambda snapshot: snapshot.materialize_edge_tree(),
+        cutovers=(
+            CutoverSpec(
+                name="EDGE_CSR_MIN_EDGES",
+                source="src/repro/edgenet/decomposition.py",
+                sweep="repro.bench.tuning:sweep_edge_csr_min_edges",
+                value_ref="repro.edgenet.decomposition:EDGE_CSR_MIN_EDGES",
+            ),
+        ),
+    )
+
+
+def _probtruss_spec() -> ModelSpec:
+    from repro.graphs.probtruss import probabilistic_k_truss
+
+    return ModelSpec(
+        name="probtruss",
+        display="probabilistic (k, gamma)-truss",
+        description="(k, gamma)-truss peeling on probabilistic graphs",
+        oracle="legacy",
+        entry=probabilistic_k_truss,
+        cutovers=(
+            CutoverSpec(
+                name="PROB_CSR_MIN_EDGES",
+                source="src/repro/graphs/probtruss.py",
+                sweep="repro.bench.tuning:sweep_prob_csr_min_edges",
+                value_ref="repro.graphs.probtruss:PROB_CSR_MIN_EDGES",
+            ),
+        ),
+    )
+
+
+def _attributed_spec() -> ModelSpec:
+    from repro.search.attributed import attributed_community_search
+
+    return ModelSpec(
+        name="attributed",
+        display="attributed community search",
+        description="ATC-style filtered QBP over a warehouse engine",
+        # The in-memory query_tc_tree path is the oracle the
+        # snapshot-backed engine path must answer bit-identically to.
+        oracle="tree",
+        entry=attributed_community_search,
+    )
+
+
+register_model("vertex", _vertex_spec, tree=True)
+register_model("edge", _edge_spec, tree=True)
+register_model("probtruss", _probtruss_spec)
+register_model("attributed", _attributed_spec)
+
+
+__all__ = [
+    "CutoverSpec",
+    "ModelSpec",
+    "all_cutovers",
+    "get_model",
+    "model_for_snapshot",
+    "model_for_tree",
+    "model_names",
+    "register_model",
+    "resolve_ref",
+    "tree_model_names",
+    "unregister_model",
+]

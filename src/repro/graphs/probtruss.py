@@ -15,15 +15,33 @@ peeling skeleton as the deterministic k-truss.
 With all probabilities 1 this degenerates to the classic k-truss for any
 γ in (0, 1] — a property the test suite verifies against
 :func:`repro.graphs.ktruss.k_truss`.
+
+Dense-int graphs route through the shared CSR peeling engine
+(:func:`repro.graphs.support.prob_truss_edges` over the cached triangle
+index, flat probability arrays instead of dict lookups per common
+neighbour); the adjacency-set worklist below remains the small-graph
+path and the parity oracle, behind the registered
+:data:`PROB_CSR_MIN_EDGES` cutover.
 """
 
 from __future__ import annotations
 
 from repro.errors import GraphError
+from repro.graphs.csr import as_csr, as_graph
 from repro.graphs.graph import Edge, Graph, edge_key
+from repro.graphs.support import prob_truss_edges
 from repro.graphs.triangles import common_neighbors
 
 EdgeProbability = dict[Edge, float]
+
+#: Below this edge count the legacy dict-of-sets worklist beats the flat
+#: engine's fixed costs (CSR conversion + triangle index build) on a
+#: one-shot call; the ``engine="auto"`` route falls back to it. Passing
+#: a :class:`~repro.graphs.csr.CSRGraph` directly amortizes the cached
+#: triangle index across (k, γ) settings, where the engine wins well
+#: below this. Registered with the engine layer, so
+#: ``repro bench tune-cutovers`` sweeps it like the others.
+PROB_CSR_MIN_EDGES = 4096
 
 
 def support_tail_probability(
@@ -38,21 +56,18 @@ def support_tail_probability(
     if threshold <= 0:
         return 1.0
     # state[c] = Pr[count == c] for c < threshold; state[threshold] absorbs.
+    # Updated in place per trial, descending so state[c-1] is still the
+    # previous round's mass when state[c] is written; the float ops are
+    # the same multiplies and (commutative) adds as the two-array DP, so
+    # results are bit-identical to it.
     state = [0.0] * (threshold + 1)
     state[0] = 1.0
     for p in triangle_probabilities:
         q = 1.0 - p
-        new = [0.0] * (threshold + 1)
-        for count, mass in enumerate(state):
-            if mass == 0.0:
-                continue
-            if count == threshold:
-                new[threshold] += mass
-                continue
-            new[count] += mass * q
-            bumped = min(threshold, count + 1)
-            new[bumped] += mass * p
-        state = new
+        state[threshold] += state[threshold - 1] * p
+        for count in range(threshold - 1, 0, -1):
+            state[count] = state[count] * q + state[count - 1] * p
+        state[0] *= q
     return state[threshold]
 
 
@@ -81,17 +96,59 @@ def probabilistic_k_truss(
     probabilities: EdgeProbability,
     k: int,
     gamma: float,
+    engine: str = "auto",
 ) -> Graph:
     """The maximal (k, γ)-truss of a probabilistic graph.
 
     Peels edges whose qualification probability drops below ``γ``;
     removing an edge eliminates triangles, so qualification only decreases
     and peeling is confluent, exactly as in the deterministic case.
+
+    ``engine`` selects the peeling backend: ``"auto"`` (CSR fast path on
+    int-labeled graphs with at least :data:`PROB_CSR_MIN_EDGES` edges,
+    legacy otherwise), ``"csr"``, or ``"legacy"``. Both backends return
+    the same truss (peeling is confluent); the parity suite asserts it.
     """
     if k < 2:
         raise GraphError(f"k must be >= 2, got {k}")
     if not 0.0 < gamma <= 1.0:
         raise GraphError(f"gamma must be in (0, 1], got {gamma}")
+    if engine not in ("auto", "csr", "legacy"):
+        raise GraphError(f"unknown engine {engine!r}")
+    if engine == "legacy" or (
+        engine == "auto" and graph.num_edges < PROB_CSR_MIN_EDGES
+    ):
+        # as_graph: the worklist mutates, so CSR inputs materialize first.
+        return _probabilistic_k_truss_legacy(
+            as_graph(graph), probabilities, k, gamma
+        )
+    csr = as_csr(graph)
+    if csr is None:
+        if engine == "csr":
+            raise GraphError(
+                "graph is not CSR-eligible (non-int labels)"
+            )
+        return _probabilistic_k_truss_legacy(graph, probabilities, k, gamma)
+    edge_probs = [
+        probabilities.get(csr.edge_label(e), 0.0)
+        for e in range(csr.num_edges)
+    ]
+    result = Graph()
+    for e in prob_truss_edges(
+        csr, edge_probs, k - 2, gamma, support_tail_probability
+    ):
+        u, v = csr.edge_label(e)
+        result.add_edge(u, v)
+    return result
+
+
+def _probabilistic_k_truss_legacy(
+    graph: Graph,
+    probabilities: EdgeProbability,
+    k: int,
+    gamma: float,
+) -> Graph:
+    """Adjacency-set worklist (small-graph path and parity oracle)."""
     work = graph.copy()
 
     # Iterate to fixpoint; each pass recomputes qualification for edges

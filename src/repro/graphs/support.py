@@ -632,6 +632,85 @@ def k_truss_edges(csr: CSRGraph, k: int) -> list[int]:
     return [e for e in range(len(support)) if alive[e]]
 
 
+def prob_truss_edges(
+    csr: CSRGraph,
+    edge_probs: list[float],
+    threshold: int,
+    gamma: float,
+    tail,
+) -> list[int]:
+    """Edge ids of the maximal (k, γ)-truss under edge probabilities.
+
+    The probabilistic analogue of :func:`k_truss_edges`, on the same
+    cached triangle index and FIFO worklist skeleton: an edge survives
+    when ``p_e × tail(alive triangle probabilities, threshold) >= γ``,
+    where each alive triangle of ``e`` contributes the product of its
+    two partner-edge probabilities. ``tail`` is the Poisson-binomial
+    tail DP (injected by :mod:`repro.graphs.probtruss`, which owns the
+    distribution math); ``edge_probs`` is indexed by canonical edge id.
+
+    Removing an edge only destroys triangles, so qualification only
+    decreases and peeling is confluent — the surviving edge set is
+    order-independent, which is what makes the legacy dict-of-sets
+    worklist an exact parity oracle for this routine.
+
+    A surviving edge needs a non-zero tail, i.e. at least ``threshold``
+    alive triangles — so the (k, γ)-truss is a subgraph of the
+    deterministic k-truss. The integer support peel therefore runs
+    first, and the Poisson-binomial DP only ever touches the
+    deterministic core instead of every edge of the graph.
+    """
+    m = csr.num_edges
+    alive = bytearray(b"\x01") * m
+    peel_support(csr, edge_supports(csr), threshold, alive)
+    edge_tris = triangle_index(csr).edge_tris
+    # Per-edge triangle records (partner a, partner b, p_a × p_b) for
+    # the deterministic core: the pair product is peel-invariant, so it
+    # is computed exactly once instead of on every qualification
+    # recheck.
+    tris: list[list[tuple[int, int, float]]] = []
+    for e in range(m):
+        if not alive[e]:
+            tris.append([])
+            continue
+        it = iter(edge_tris[e])
+        tris.append(
+            [(a, b, edge_probs[a] * edge_probs[b]) for a, b, _t in zip(it, it, it)]
+        )
+    # Every core edge starts unchecked; killed edges re-enqueue the
+    # alive partners of their destroyed triangles.
+    queue: deque[int] = deque(compress(count(), alive))
+    queued = bytearray(alive)
+    while queue:
+        e = queue.popleft()
+        queued[e] = 0
+        if not alive[e]:
+            continue
+        p_e = edge_probs[e]
+        # tail(..) <= 1, so qualification <= p_e: an edge whose own
+        # probability is already below γ dies without touching the DP.
+        if p_e >= gamma:
+            tri_probs = [
+                tp for a, b, tp in tris[e] if alive[a] and alive[b]
+            ]
+            # Fewer alive triangles than the threshold makes the tail 0.
+            if len(tri_probs) >= threshold and (
+                threshold <= 0
+                or p_e * tail(tri_probs, threshold) >= gamma
+            ):
+                continue
+        alive[e] = 0
+        for a, b, _tp in tris[e]:
+            if alive[a] and alive[b]:
+                if not queued[a]:
+                    queued[a] = 1
+                    queue.append(a)
+                if not queued[b]:
+                    queued[b] = 1
+                    queue.append(b)
+    return [e for e in range(m) if alive[e]]
+
+
 def truss_decomposition(csr: CSRGraph) -> list[int]:
     """Truss number of every edge id via a bucket queue.
 

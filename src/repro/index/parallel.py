@@ -59,6 +59,7 @@ from concurrent.futures import ProcessPoolExecutor
 from heapq import heapify, heappop, heappush
 
 from repro._ordering import EMPTY_PATTERN, Pattern
+from repro.engine.registry import get_model
 from repro.errors import TCIndexError
 from repro.graphs.csr import CSRGraph, GraphLike
 from repro.index.decomposition import (
@@ -72,12 +73,7 @@ from repro.index.shm import (
     unlink_handle,
 )
 from repro.index.tcnode import TCNode
-from repro.index.tctree import (
-    TCTree,
-    _carrier_of,
-    _expand_frontier,
-    build_tc_tree,
-)
+from repro.index.tctree import TCTree, _carrier_of, _expand_frontier
 from repro.network.dbnetwork import DatabaseNetwork
 
 #: Chunks per worker: oversubscription lets the pool rebalance when cost
@@ -85,70 +81,14 @@ from repro.network.dbnetwork import DatabaseNetwork
 CHUNKS_PER_WORKER = 4
 
 
-# ---------------------------------------------------------------------------
-# model registry: the orchestrator and the worker task functions are
-# model-agnostic — everything tree-model-specific (how to decompose a
-# pattern, which node/tree classes to build, how to estimate layer-1
-# costs, what to pre-warm before forking) resolves through this table.
-# The edge model imports lazily: repro.edgenet.index itself calls into
-# this module, so a top-level import would be circular.
-# ---------------------------------------------------------------------------
-
-
-def _model_api(model: str) -> dict:
-    if model == "vertex":
-        return {
-            "decompose": decompose_network_pattern,
-            "node_cls": TCNode,
-            "make_tree": lambda root, num_items: TCTree(
-                root, num_items=num_items
-            ),
-            "layer1_costs": _layer1_costs,
-            "warm": _warm_shared_caches,
-            "serial_build": lambda network, max_length, reuse: build_tc_tree(
-                network, max_length=max_length, workers=1, reuse=reuse,
-                backend="serial",
-            ),
-        }
-    if model == "edge":
-        from repro.edgenet.decomposition import (
-            decompose_edge_network_pattern,
-            warm_edge_network_triangles,
-        )
-        from repro.edgenet.index import (
-            EdgeTCNode,
-            EdgeTCTree,
-            build_edge_tc_tree,
-        )
-
-        def edge_warm(network, items) -> None:
-            network.csr_graph()
-            warm_edge_network_triangles(network, items)
-
-        def edge_costs(network, items) -> dict[int, float]:
-            # Pre-layer-1 proxy: the theme network of {s} is exactly the
-            # edges whose database mentions s.
-            return {
-                item: float(len(network.edges_containing_item(item)))
-                for item in items
-            }
-
-        return {
-            "decompose": decompose_edge_network_pattern,
-            "node_cls": EdgeTCNode,
-            "make_tree": lambda root, num_items: EdgeTCTree(
-                root, num_items=num_items
-            ),
-            "layer1_costs": edge_costs,
-            "warm": edge_warm,
-            "serial_build": lambda network, max_length, reuse: (
-                build_edge_tc_tree(
-                    network, max_length=max_length, workers=1,
-                    backend="serial", reuse=reuse,
-                )
-            ),
-        }
-    raise TCIndexError(f"unknown tree model {model!r}")
+# The orchestrator and the worker task functions are model-agnostic —
+# everything tree-model-specific (how to decompose a pattern, which
+# node/tree classes to build, how to estimate layer-1 costs, what to
+# pre-warm before forking) resolves through repro.engine.registry. The
+# registry resolves model factories lazily, which preserves the import
+# discipline the old local dict encoded by hand: repro.edgenet.index
+# itself calls into this module, so the edge spec must not be imported
+# until a build actually asks for it.
 
 # ---------------------------------------------------------------------------
 # adaptive chunking
@@ -250,7 +190,7 @@ def _layer1_chunk(
     """
     items, segment_name = task
     network = _WORKER_STATE["network"]
-    decompose = _model_api(_WORKER_STATE.get("model", "vertex"))["decompose"]
+    decompose = get_model(_WORKER_STATE.get("model", "vertex")).decompose
     decompositions = [
         decompose(network, (item,), capture_carrier=True)
         for item in items
@@ -317,7 +257,7 @@ def _subtree_chunk(task: tuple[list[int], int | None]) -> list[TCNode]:
         for pattern, decomposition in _WORKER_STATE["reuse"].items()
         if pattern[0] in members
     }
-    api = _model_api(_WORKER_STATE.get("model", "vertex"))
+    spec = get_model(_WORKER_STATE.get("model", "vertex"))
     try:
         return build_subtree_chunk(
             _WORKER_STATE["network"],
@@ -326,8 +266,8 @@ def _subtree_chunk(task: tuple[list[int], int | None]) -> list[TCNode]:
             max_length=max_length,
             reuse=reuse,
             carrier_cache=_WORKER_CARRIERS,
-            decompose=api["decompose"],
-            node_factory=api["node_cls"],
+            decompose=spec.decompose,
+            node_factory=spec.node_cls,
         )
     finally:
         _release_chunk_caches()
@@ -502,14 +442,19 @@ def build_tc_tree_process(
     zero-copy. The orchestrator unlinks every segment when the build
     finishes, success or not.
 
-    ``model`` selects the tree model: ``"vertex"`` (the default — vertex
-    database networks, :class:`TCTree`) or ``"edge"`` (edge database
-    networks, :class:`~repro.edgenet.index.EdgeTCTree`). Both ride the
-    same chunking, pool, carrier-memo, and shared-memory machinery; the
-    decompose call and node/tree classes resolve through
-    :func:`_model_api`.
+    ``model`` names a registered tree model: ``"vertex"`` (the default —
+    vertex database networks, :class:`TCTree`) or ``"edge"`` (edge
+    database networks, :class:`~repro.edgenet.index.EdgeTCTree`). Both
+    ride the same chunking, pool, carrier-memo, and shared-memory
+    machinery; the decompose call and node/tree classes resolve through
+    :func:`repro.engine.registry.get_model`.
     """
-    api = _model_api(model)
+    spec = get_model(model)
+    if not spec.is_tree_model:
+        raise TCIndexError(
+            f"model {model!r} is not a tree model; "
+            "it cannot drive a TC-Tree build"
+        )
     items = network.item_universe()
     reuse = reuse or {}
     # POSIX-only default: on Windows a named segment is destroyed when
@@ -521,11 +466,11 @@ def build_tc_tree_process(
     else:
         share_carriers = bool(share_carriers) and shm_usable
     if workers <= 1 or len(items) < 2:
-        return api["serial_build"](network, max_length, reuse)
+        return spec.serial_build(network, max_length, reuse)
 
     ctx = _pool_context()
     if ctx.get_start_method() == "fork":
-        api["warm"](network, items)
+        spec.warm(network, items)
     if share_carriers:
         # Start the resource tracker in the parent *before* the pool
         # forks: workers then inherit it and their segment registrations
@@ -549,7 +494,7 @@ def build_tc_tree_process(
         todo = [item for item in items if item not in layer1]
         if todo:
             chunks = adaptive_chunks(
-                todo, api["layer1_costs"](network, todo), workers
+                todo, spec.layer1_costs(network, todo), workers
             )
             # Exporting carriers only pays off when phase B will attach
             # them — with max_length=1 there are no children to build.
@@ -581,7 +526,7 @@ def build_tc_tree_process(
             if not decomposition.is_empty()
         }
 
-        node_cls = api["node_cls"]
+        node_cls = spec.node_cls
         root = node_cls(None, EMPTY_PATTERN, None)
         nodes: dict[int, TCNode] = {}
         for item in sorted(layer1):
@@ -636,7 +581,7 @@ def build_tc_tree_process(
     for decomposition in layer1.values():
         decomposition.carrier0 = None
 
-    return api["make_tree"](root, len(items))
+    return spec.make_tree(root, len(items))
 
 
 __all__ = [

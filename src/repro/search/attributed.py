@@ -6,6 +6,13 @@ the best communities. On top of a TC-Tree this is a filtered QBP: traverse
 themes within the query attributes, keep communities containing every
 query vertex, and rank by how much of the query the theme covers.
 
+The search runs against any *source* that answers the query protocol —
+an in-memory :class:`~repro.index.tctree.TCTree` (or edge tree), or a
+:class:`~repro.serve.engine.IndexedWarehouse`, where it inherits the
+serving tier's snapshot prune-without-decode and LRU carrier cache. Both
+paths answer bit-identically (the parity suite asserts it, ranking ties
+included).
+
 The default ranking prefers (1) larger theme coverage of the query
 attributes, (2) stronger cohesion (the α at which the community would
 still exist, read from the decomposition), (3) smaller size — i.e. the
@@ -38,7 +45,7 @@ class AttributedMatch:
 
 
 def attributed_community_search(
-    tree: TCTree,
+    source: TCTree,
     query_vertices: Iterable[int],
     query_attributes: Iterable[int],
     alpha: float = 0.0,
@@ -47,8 +54,11 @@ def attributed_community_search(
     """Communities containing every query vertex, themed within the query
     attributes, best-first.
 
-    ``alpha`` sets the minimum cohesion; strength is read per-theme from
-    the indexed decomposition (its α*), so ranking needs no re-mining.
+    ``source`` is an in-memory tree or an
+    :class:`~repro.serve.engine.IndexedWarehouse`; ``alpha`` sets the
+    minimum cohesion. Strength is read per-theme from the indexed
+    decomposition (its α*), so ranking needs no re-mining — on the
+    engine path through the carrier cache the query just warmed.
     """
     vertices = set(query_vertices)
     if not vertices:
@@ -57,15 +67,21 @@ def attributed_community_search(
     if not attributes:
         raise MiningError("need at least one query attribute")
 
-    answer = query_tc_tree(tree, pattern=attributes, alpha=alpha)
+    if hasattr(source, "theme_strength"):
+        answer = source.query(pattern=attributes, alpha=alpha)
+        strength_of = source.theme_strength
+    else:
+        answer = query_tc_tree(source, pattern=attributes, alpha=alpha)
+
+        def strength_of(pattern: Pattern) -> float:
+            node = source.find_node(pattern)
+            if node is None or node.decomposition is None:
+                return 0.0
+            return node.decomposition.max_alpha
+
     matches: list[AttributedMatch] = []
     for truss in answer.trusses:
-        node = tree.find_node(truss.pattern)
-        strength = (
-            node.decomposition.max_alpha
-            if node is not None and node.decomposition is not None
-            else 0.0
-        )
+        strength = strength_of(truss.pattern)
         for community in truss.communities():
             if vertices <= community:
                 matches.append(

@@ -244,6 +244,42 @@ class IndexedWarehouse:
             min_size=min_size,
         )
 
+    def theme_strength(self, pattern: Iterable[int]) -> float:
+        """``max_alpha`` of the indexed node of ``pattern`` (0.0 if none).
+
+        On the snapshot backend this is a TOC lookup plus one cached
+        decode — after a query retrieved the node, the carrier cache
+        already holds its decomposition, so ranking reads are hits.
+        """
+        key = make_pattern(pattern)
+        if self._snapshot is not None:
+            index = self._snapshot.node_index(key)
+            if index is None:
+                return 0.0
+            return self._decomposition(index).max_alpha
+        node = self._tree.find_node(key)  # type: ignore[union-attr]
+        if node is None or node.decomposition is None:
+            return 0.0
+        return node.decomposition.max_alpha
+
+    def search(
+        self,
+        query_vertices: Iterable[int],
+        query_attributes: Iterable[int],
+        alpha: float = 0.0,
+        limit: int | None = None,
+    ):
+        """Attributed community search over this warehouse (ATC-style)."""
+        from repro.search.attributed import attributed_community_search
+
+        return attributed_community_search(
+            self,
+            query_vertices,
+            query_attributes,
+            alpha=alpha,
+            limit=limit,
+        )
+
     # ------------------------------------------------------------------
     def _decomposition(self, index: int) -> TrussDecomposition:
         cached = self._cache.get(index)
@@ -295,9 +331,12 @@ class IndexedWarehouse:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Operational counters for the ``/stats`` endpoint."""
+        from repro.engine import registry
+
         info: dict = {
             "backend": self.backend,
             "kind": self.kind,
+            "model": registry.get_model(self.kind).display,
             "indexed_trusses": self.num_indexed_trusses,
             "num_items": self.num_items,
             "queries_served": self._queries_served,

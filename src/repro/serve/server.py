@@ -14,7 +14,10 @@ Endpoints (all JSON):
 - ``POST /query`` with body ``{"queries": [{"pattern": [3,7]|null,
   "alpha": 0.2}, ...]}`` — batched execution against the shared cache;
 - ``GET /top-k?k=5&alpha=0.2&pattern=3,7&min-size=3`` — the k
-  best-scoring theme communities of the answer.
+  best-scoring theme communities of the answer;
+- ``GET /search?vertices=1,2&attributes=3,7&alpha=0.2&limit=5`` —
+  attributed community search (ATC-style): communities containing every
+  query vertex, themed within the query attributes, best-first.
 
 Run it with ``repro serve INDEX [--host H] [--port P] [--cache-size N]``
 (accepts both binary snapshots and JSON warehouse documents).
@@ -131,6 +134,42 @@ class WarehouseRequestHandler(BaseHTTPRequestHandler):
                         "communities": [
                             _community_payload(c) for c in communities
                         ],
+                    }
+                )
+            elif url.path == "/search":
+                vertices = _parse_pattern(
+                    params.get("vertices", [None])[0]
+                )
+                if vertices is None:
+                    raise ValueError(
+                        "vertices is required (comma-separated ids)"
+                    )
+                attributes = _parse_pattern(
+                    params.get("attributes", [None])[0]
+                )
+                if attributes is None:
+                    raise ValueError(
+                        "attributes is required (comma-separated ids)"
+                    )
+                matches = self.server.engine.search(
+                    vertices,
+                    attributes,
+                    alpha=_parse_float(params, "alpha", 0.0),
+                    limit=_parse_int(params, "limit", 0) or None,
+                )
+                self._send_json(
+                    {
+                        "matches": [
+                            {
+                                "pattern": list(match.pattern),
+                                "coverage": match.coverage,
+                                "strength": match.strength,
+                                "community": _community_payload(
+                                    match.community
+                                ),
+                            }
+                            for match in matches
+                        ]
                     }
                 )
             else:

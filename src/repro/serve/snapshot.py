@@ -48,6 +48,7 @@ from array import array
 from pathlib import Path
 
 from repro._ordering import Pattern
+from repro.engine import registry
 from repro.errors import TCIndexError
 from repro.index.decomposition import DecompositionLevel, TrussDecomposition
 from repro.index.tcnode import TCNode
@@ -259,14 +260,18 @@ def _decode_payload(pattern: Pattern, blob) -> TrussDecomposition:
 def write_snapshot(tree, path: str | Path) -> int:
     """Serialize ``tree`` to ``path``; returns the snapshot byte size.
 
-    Accepts both tree models, dispatching on ``tree.kind``: a vertex
-    :class:`TCTree` writes a (byte-stable) v1 file, an
+    Accepts any registered tree model, dispatching on ``tree.kind``
+    through :mod:`repro.engine.registry`: a vertex :class:`TCTree`
+    writes a (byte-stable) v1 file, an
     :class:`~repro.edgenet.index.EdgeTCTree` writes a v2 file with the
     :data:`FLAG_EDGE` payload-kind flag set.
     """
-    kind = getattr(tree, "kind", "vertex")
-    edge_kind = kind == "edge"
-    encode = _encode_edge_payload if edge_kind else _encode_payload
+    spec = registry.model_for_tree(tree)
+    if not spec.has_snapshot:
+        raise TCIndexError(
+            f"model {spec.name!r} declares no snapshot payload kind"
+        )
+    encode = spec.encode_payload
     items: list[int] = []
     parents: list[int] = []
     offsets: list[int] = []
@@ -309,8 +314,8 @@ def write_snapshot(tree, path: str | Path) -> int:
     )
     header = _HEADER.pack(
         MAGIC,
-        EDGE_VERSION if edge_kind else VERSION,
-        FLAG_EDGE if edge_kind else 0,
+        spec.snapshot_version,
+        spec.snapshot_flags,
         tree.num_items,
         num_nodes,
         _HEADER.size,
@@ -342,10 +347,11 @@ def estimate_snapshot_bytes(
 ) -> int:
     """Exact snapshot size implied by the format, from count statistics.
 
-    ``kind`` selects the payload layout: a vertex frequency entry costs
-    16 bytes (vertex + value), an edge one 24 (both endpoints + value).
+    ``kind`` names the registered model whose payload layout applies: a
+    vertex frequency entry costs 16 bytes (vertex + value), an edge one
+    24 (both endpoints + value).
     """
-    per_frequency = 24 if kind == "edge" else 16
+    per_frequency = registry.get_model(kind).frequency_entry_bytes
     return (
         _HEADER.size
         + num_nodes * (5 * 8 + _PAYLOAD_PREFIX.size)
@@ -388,14 +394,14 @@ class TCTreeSnapshot:
             raise TCIndexError(
                 f"not a TC-Tree snapshot: bad magic {magic!r}"
             )
-        if version == VERSION:
-            self.kind = "vertex"
-        elif version == EDGE_VERSION and flags & FLAG_EDGE:
-            # v2 exists only to carry the edge payload kind; a v2 file
-            # without the flag is from a future writer we don't know.
-            self.kind = "edge"
-        else:
+        # A (version, flags) pair no registered tree model claims is
+        # from a future writer we don't know — e.g. a v2 file without
+        # the edge payload-kind flag.
+        spec = registry.model_for_snapshot(version, flags)
+        if spec is None:
             raise TCIndexError(f"unsupported snapshot version {version}")
+        self._spec = spec
+        self.kind = spec.name
         n = self.num_nodes
         if self._payload_off > len(buffer) or toc_off + 40 * n > len(buffer):
             raise TCIndexError("truncated snapshot: TOC out of bounds")
@@ -510,9 +516,20 @@ class TCTreeSnapshot:
         """
         start = self._payload_off + self.offsets[index]
         blob = self._buffer[start: start + self.lengths[index]]
-        if self.kind == "edge":
-            return _decode_edge_payload(self._patterns[index], blob)
-        return _decode_payload(self._patterns[index], blob)
+        return self._spec.decode_payload(self._patterns[index], blob)
+
+    def node_index(self, pattern: Pattern) -> int | None:
+        """TOC index of ``pattern``, or ``None`` if it is not a node.
+
+        The pattern→index map is built lazily on first use — pure TOC
+        arithmetic, no payload decoding — so point lookups (e.g.
+        strength reads on query results) skip the preorder scan.
+        """
+        index_of = getattr(self, "_index_of", None)
+        if index_of is None:
+            index_of = {p: i for i, p in enumerate(self._patterns)}
+            self._index_of = index_of
+        return index_of.get(tuple(pattern))
 
     # ------------------------------------------------------------------
     def materialize(self):
@@ -553,6 +570,15 @@ class TCTreeSnapshot:
             (root if parent == ROOT else nodes[parent]).add_child(node)
             nodes.append(node)
         return EdgeTCTree(root, num_items=self.num_items)
+
+    def materialize_tree(self):
+        """Decode every node into this snapshot kind's in-memory tree.
+
+        Model-agnostic entry point: whichever registered tree model
+        wrote the file supplies the materializer, so callers (the CLI's
+        ``stats``, tooling) need no per-kind branching.
+        """
+        return self._spec.materialize(self)
 
     def __repr__(self) -> str:
         return (

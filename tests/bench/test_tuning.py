@@ -181,9 +181,75 @@ class TestSweeps:
         assert len(sweep["x"]) >= 2
         assert all(t > 0 for t in sweep["slow"] + sweep["fast"])
 
+    def test_sweep_prob_csr_shape(self):
+        sweep = tuning.sweep_prob_csr_min_edges(
+            points=2, reps=1, low=64, high=256
+        )
+        assert set(sweep) == {"x", "slow", "fast"}
+        assert len(sweep["x"]) == len(sweep["slow"]) == len(sweep["fast"])
+        assert all(t > 0 for t in sweep["slow"] + sweep["fast"])
+
     def test_unknown_profile(self):
         with pytest.raises(BenchConfigError, match="unknown tuning profile"):
             tuning.tune_cutovers(profile="warp")
+
+
+class TestRegistryDriven:
+    """The tuner enumerates cutovers from the engine registry."""
+
+    def test_applicable_cutovers_from_registry(self):
+        applicable = tuning.applicable_cutovers()
+        assert applicable == {
+            "CSR_MIN_EDGES": "src/repro/graphs/support.py",
+            "EDGE_CSR_MIN_EDGES": "src/repro/edgenet/decomposition.py",
+            "PROB_CSR_MIN_EDGES": "src/repro/graphs/probtruss.py",
+        }
+        # The report-only ratio is declared but not rewritable.
+        assert "NET_REUSE_FRACTION" not in applicable
+        # Back-compat alias used by apply_fitted_cutovers callers.
+        assert tuning.APPLICABLE == applicable
+
+    def test_tune_cutovers_only_filter(self):
+        reports = tuning.tune_cutovers(
+            points=2, reps=1, only=["PROB_CSR_MIN_EDGES"]
+        )
+        assert [r.name for r in reports] == ["PROB_CSR_MIN_EDGES"]
+        from repro.engine.registry import get_model
+
+        report = reports[0]
+        assert report.current == float(
+            get_model("probtruss").cutovers[0].current()
+        )
+        assert report.verdict in (
+            "ok", "update", "extrapolated", "no-crossing"
+        )
+
+    def test_registered_model_cutover_joins_the_tuner(self):
+        from repro.engine.registry import (
+            CutoverSpec,
+            ModelSpec,
+            register_model,
+            unregister_model,
+        )
+
+        spec = ModelSpec(
+            name="toy",
+            display="Toy",
+            cutovers=(
+                CutoverSpec(
+                    name="TOY_CUTOVER",
+                    source="src/toy.py",
+                    sweep="math:pi",  # never resolved in this test
+                ),
+            ),
+        )
+        register_model("toy", lambda: spec)
+        try:
+            applicable = tuning.applicable_cutovers()
+            assert applicable["TOY_CUTOVER"] == "src/toy.py"
+        finally:
+            unregister_model("toy")
+        assert "TOY_CUTOVER" not in tuning.applicable_cutovers()
 
 
 def test_crossover_math_sanity():

@@ -103,12 +103,15 @@ class TestProbabilisticKTruss:
     @given(small_graphs())
     def test_unit_probabilities_recover_k_truss(self, graph):
         """With p ≡ 1 the (k, γ)-truss equals the deterministic k-truss
-        for every γ ∈ (0, 1]."""
+        for every γ ∈ (0, 1] — on both peeling backends."""
         ones = {edge_key(u, v): 1.0 for u, v in graph.iter_edges()}
         for k in (3, 4):
-            prob = probabilistic_k_truss(graph, ones, k, 1.0)
             det = k_truss(graph, k)
-            assert set(prob.iter_edges()) == set(det.iter_edges())
+            for engine in ("legacy", "csr"):
+                prob = probabilistic_k_truss(
+                    graph, ones, k, 1.0, engine=engine
+                )
+                assert set(prob.iter_edges()) == set(det.iter_edges())
 
     @given(small_graphs())
     def test_result_edges_all_qualified(self, graph):
@@ -119,3 +122,81 @@ class TestProbabilisticKTruss:
         result = probabilistic_k_truss(graph, probs, 3, 0.3)
         for u, v in result.iter_edges():
             assert edge_qualification(result, probs, u, v, 3) >= 0.3
+
+
+class TestEngineParity:
+    """The CSR peeling engine against the legacy worklist oracle.
+
+    Probabilities come from the dyadic grid {0.25, 0.5, 0.75, 1.0}:
+    products and the tail DP stay exact in float64, so the surviving
+    edge set is order-independent and parity is bit-exact rather than
+    approximate.
+    """
+
+    GRID = (0.25, 0.5, 0.75, 1.0)
+
+    @given(
+        small_graphs(),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.sampled_from([(3, 0.05), (3, 0.4), (4, 0.1), (5, 0.2)]),
+    )
+    def test_csr_matches_legacy(self, graph, seed, setting):
+        import random
+
+        k, gamma = setting
+        rng = random.Random(seed)
+        probs = {
+            edge_key(u, v): rng.choice(self.GRID)
+            for u, v in graph.iter_edges()
+        }
+        legacy = probabilistic_k_truss(
+            graph, probs, k, gamma, engine="legacy"
+        )
+        csr = probabilistic_k_truss(graph, probs, k, gamma, engine="csr")
+        assert sorted(csr.iter_edges()) == sorted(legacy.iter_edges())
+        assert sorted(csr.vertices()) == sorted(legacy.vertices())
+
+    @given(small_graphs(), st.sampled_from([0.05, 0.3, 0.8]))
+    def test_auto_matches_explicit_engines(self, graph, gamma):
+        probs = {edge_key(u, v): 0.75 for u, v in graph.iter_edges()}
+        auto = probabilistic_k_truss(graph, probs, 3, gamma)
+        legacy = probabilistic_k_truss(
+            graph, probs, 3, gamma, engine="legacy"
+        )
+        assert sorted(auto.iter_edges()) == sorted(legacy.iter_edges())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(GraphError, match="unknown engine"):
+            probabilistic_k_truss(Graph([(1, 2)]), {}, 3, 0.5, engine="gpu")
+
+    def test_csr_engine_rejects_non_int_labels(self):
+        graph = Graph([("a", "b"), ("b", "c"), ("a", "c")])
+        probs = {edge_key(u, v): 1.0 for u, v in graph.iter_edges()}
+        with pytest.raises(GraphError, match="not CSR-eligible"):
+            probabilistic_k_truss(graph, probs, 3, 0.5, engine="csr")
+        # auto falls back to the legacy worklist instead of raising.
+        result = probabilistic_k_truss(graph, probs, 3, 0.5)
+        assert result.num_edges == 3
+
+    def test_legacy_route_accepts_csr_input(self):
+        """CSRGraph inputs materialize before the mutating worklist."""
+        from repro.graphs.csr import as_csr
+
+        graph = Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        probs = {edge_key(u, v): 1.0 for u, v in graph.iter_edges()}
+        csr = as_csr(graph)
+        result = probabilistic_k_truss(csr, probs, 3, 0.5, engine="legacy")
+        assert sorted(result.iter_edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_csr_input_shares_triangle_index_across_sweep(self):
+        """A CSRGraph input reuses its cached triangle index."""
+        from repro.graphs.csr import as_csr
+        from repro.graphs.support import triangle_index
+
+        graph = Graph([(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3)])
+        probs = {edge_key(u, v): 0.75 for u, v in graph.iter_edges()}
+        csr = as_csr(graph)
+        index = triangle_index(csr)
+        for k in (3, 4):
+            probabilistic_k_truss(csr, probs, k, 0.1, engine="csr")
+        assert triangle_index(csr) is index

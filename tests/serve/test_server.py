@@ -120,6 +120,80 @@ class TestEndpoints:
         assert excinfo.value.code == 400
 
 
+class TestSearchEndpoint:
+    def _query_pair(self, toy_warehouse) -> list[int]:
+        answer = query_tc_tree(toy_warehouse.tree, alpha=0.0)
+        largest = max(
+            (c for t in answer.trusses for c in t.communities()), key=len
+        )
+        return sorted(largest)[:2]
+
+    def test_search_matches_library(self, running_server, toy_warehouse):
+        from repro.search.attributed import attributed_community_search
+
+        base, _engine = running_server
+        members = self._query_pair(toy_warehouse)
+        payload = _get(
+            base,
+            "/search?vertices="
+            + ",".join(str(v) for v in members)
+            + "&attributes=0,1",
+        )
+        expected = attributed_community_search(
+            toy_warehouse.tree, members, (0, 1)
+        )
+        assert len(payload["matches"]) == len(expected)
+        for got, want in zip(payload["matches"], expected):
+            assert got["pattern"] == list(want.pattern)
+            assert got["coverage"] == want.coverage
+            assert got["strength"] == want.strength
+            assert got["community"]["members"] == sorted(
+                want.community.members
+            )
+            assert got["community"]["size"] == want.community.size
+
+    def test_search_limit_caps_matches(self, running_server, toy_warehouse):
+        base, _engine = running_server
+        members = self._query_pair(toy_warehouse)
+        vertex_param = ",".join(str(v) for v in members)
+        full = _get(
+            base, f"/search?vertices={vertex_param}&attributes=0,1"
+        )
+        capped = _get(
+            base,
+            f"/search?vertices={vertex_param}&attributes=0,1&limit=1",
+        )
+        assert len(capped["matches"]) == 1
+        assert capped["matches"][0] == full["matches"][0]
+
+    def test_search_missing_vertices_400(self, running_server):
+        base, _engine = running_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                base + "/search?attributes=0,1", timeout=10
+            )
+        assert excinfo.value.code == 400
+        assert "vertices" in json.load(excinfo.value)["error"]
+
+    def test_search_missing_attributes_400(self, running_server):
+        base, _engine = running_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                base + "/search?vertices=0,1", timeout=10
+            )
+        assert excinfo.value.code == 400
+        assert "attributes" in json.load(excinfo.value)["error"]
+
+    def test_search_bad_alpha_400(self, running_server):
+        base, _engine = running_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                base + "/search?vertices=0&attributes=0&alpha=nan",
+                timeout=10,
+            )
+        assert excinfo.value.code == 400
+
+
 class TestErrorHandling:
     def _status_of(self, base: str, path: str) -> tuple[int, dict]:
         try:

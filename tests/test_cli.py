@@ -156,6 +156,47 @@ class TestSearchAndExport:
         ) == 0
         assert "vertex 0 belongs to" in capsys.readouterr().out
 
+    def test_search_index_file_runs_attributed(
+        self, network_file, tmp_path, capsys
+    ):
+        """repro search on an index file routes to the engine-backed
+        attributed community search."""
+        snap_file = tmp_path / "net.tcsnap"
+        main(["index", str(network_file), "--out", str(snap_file),
+              "--max-length", "2", "--format", "snapshot"])
+        capsys.readouterr()
+        # Anchor the query at a member of the largest indexed community.
+        from repro.index.query import query_tc_tree
+        from repro.serve.snapshot import TCTreeSnapshot
+
+        tree = TCTreeSnapshot.open(snap_file).materialize_tree()
+        answer = query_tc_tree(tree, alpha=0.0)
+        largest = max(
+            (c for t in answer.trusses for c in t.communities()), key=len
+        )
+        anchor = sorted(largest)[0]
+        items = sorted({item for p in tree.patterns() for item in p})
+        assert main(
+            ["search", str(snap_file),
+             "--vertices", str(anchor),
+             "--attributes", ",".join(str(i) for i in items)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "attributed matches" in out
+        assert "pattern=" in out
+
+    def test_search_index_file_requires_query_args(
+        self, network_file, tmp_path, capsys
+    ):
+        snap_file = tmp_path / "net.tcsnap"
+        main(["index", str(network_file), "--out", str(snap_file),
+              "--max-length", "2", "--format", "snapshot"])
+        capsys.readouterr()
+        assert main(["search", str(snap_file)]) == 2
+        err = capsys.readouterr().err
+        assert "--vertices" in err
+        assert "--attributes" in err
+
     def test_export_graphml(self, network_file, tmp_path, capsys):
         out = tmp_path / "net.graphml"
         assert main(

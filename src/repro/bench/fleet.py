@@ -432,7 +432,14 @@ def plan_runs(
 
 
 def _execute_payload(payload: dict[str, object]) -> dict[str, object]:
-    """Run one driver's ``run(params)`` (process-pool entry point)."""
+    """Run one driver's ``run(params)`` (process-pool entry point).
+
+    The run is bracketed with :mod:`repro.obs.metrics` snapshots and the
+    delta — what the driver's workload itself counted (engine routes,
+    triangle-index modes, query/build histograms) — rides into the
+    record under ``meta.metrics``, so a perf trajectory can be read next
+    to the route distribution that produced it.
+    """
     root = str(payload["root"])
     if root not in sys.path:
         sys.path.insert(0, root)
@@ -442,7 +449,16 @@ def _execute_payload(payload: dict[str, object]) -> dict[str, object]:
         raise BenchConfigError(
             f"driver {payload['driver']!r} has no run(config) entry point"
         )
-    return run(payload["params"])
+    from repro.obs.metrics import default_registry
+
+    before = default_registry().snapshot()
+    result = run(payload["params"])
+    metrics = default_registry().snapshot().delta(before).as_flat_dict()
+    if metrics and isinstance(result, dict):
+        meta = result.setdefault("meta", {})
+        if isinstance(meta, dict):
+            meta.setdefault("metrics", metrics)
+    return result
 
 
 def run_fleet(

@@ -393,17 +393,32 @@ def tune_cutovers(
     points = points or shape["points"]
     reps = reps or shape["reps"]
     reports = []
-    for _spec, cutover in registry.all_cutovers():
+    for spec, cutover in registry.all_cutovers():
         if only is not None and cutover.name not in only:
             continue
         sweep = cutover.sweep_fn()(points=points, reps=reps)
-        reports.append(CutoverReport(
+        report = CutoverReport(
             name=cutover.name,
             current=cutover.current(),
             fit=fit_crossover(sweep["x"], sweep["slow"], sweep["fast"]),
             unit=cutover.unit,
             source=cutover.source,
-        ))
+        )
+        # The sweeps above pump decompositions through the instrumented
+        # engine, so the route counters now hold the distribution this
+        # process actually took (plus anything observed earlier in its
+        # lifetime — e.g. a production workload being tuned in place).
+        # Surfacing it beside the fit shows whether the constant under
+        # judgement even governs the routes being exercised.
+        routes = registry.observed_routes(spec.name)
+        if routes:
+            top = sorted(routes.items(), key=lambda kv: (-kv[1], kv[0]))
+            report.notes.append(
+                "observed routes: " + ", ".join(
+                    f"{route} x{int(count)}" for route, count in top[:4]
+                )
+            )
+        reports.append(report)
     for report in reports:
         if report.fit.crossover is None:
             side = (

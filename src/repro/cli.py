@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 
 from repro.bench import experiments
 from repro.bench.reporting import format_table
@@ -113,17 +114,26 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.obs.trace import Tracer, tracing
+
     network = load_network(args.network)
-    warehouse = ThemeCommunityWarehouse.build(
-        network,
-        max_length=args.max_length,
-        workers=args.workers,
-        backend=args.backend,
-    )
-    if args.format == "snapshot":
-        warehouse.save_snapshot(args.out)
-    else:
-        warehouse.save(args.out)
+    # Tracing wraps the build AND the save so the snapshot.write span
+    # lands in the same tree as the build phases.
+    tracer = Tracer() if args.trace else None
+    with tracing(tracer) if tracer else nullcontext():
+        warehouse = ThemeCommunityWarehouse.build(
+            network,
+            max_length=args.max_length,
+            workers=args.workers,
+            backend=args.backend,
+        )
+        if args.format == "snapshot":
+            warehouse.save_snapshot(args.out)
+        else:
+            warehouse.save(args.out)
+    if tracer is not None:
+        tracer.write(args.trace, fmt="chrome")
+        print(f"wrote build trace to {args.trace} (chrome://tracing)")
     low, high = warehouse.alpha_range()
     print(
         f"wrote {args.out} ({args.format}): "
@@ -136,16 +146,22 @@ def _cmd_index(args: argparse.Namespace) -> int:
 def _cmd_edge_index(args: argparse.Namespace) -> int:
     from repro.edgenet.index import build_edge_tc_tree
     from repro.edgenet.io import load_edge_network
+    from repro.obs.trace import Tracer, tracing
     from repro.serve.snapshot import write_snapshot
 
     network = load_edge_network(args.network)
-    tree = build_edge_tc_tree(
-        network,
-        max_length=args.max_length,
-        workers=args.workers,
-        backend=args.backend,
-    )
-    size = write_snapshot(tree, args.out)
+    tracer = Tracer() if args.trace else None
+    with tracing(tracer) if tracer else nullcontext():
+        tree = build_edge_tc_tree(
+            network,
+            max_length=args.max_length,
+            workers=args.workers,
+            backend=args.backend,
+        )
+        size = write_snapshot(tree, args.out)
+    if tracer is not None:
+        tracer.write(args.trace, fmt="chrome")
+        print(f"wrote build trace to {args.trace} (chrome://tracing)")
     low = 0.0
     print(
         f"wrote {args.out} (edge snapshot): {tree.num_nodes} trusses, "
@@ -230,7 +246,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"serving {args.index} ({engine.backend}, "
         f"{engine.num_indexed_trusses} trusses) "
         f"on http://{host}:{port} — endpoints: "
-        "/query /top-k /search /stats /healthz",
+        "/query /top-k /search /stats /healthz /metrics",
         flush=True,
     )
     try:
@@ -503,6 +519,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("json", "snapshot"),
                    help="persistence format: json interchange document "
                         "or binary serving snapshot")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a Chrome trace-event JSON of the build's "
+                        "span tree (open with chrome://tracing)")
     p.set_defaults(func=_cmd_index)
 
     p = sub.add_parser(
@@ -518,6 +537,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("process", "thread", "serial", "legacy"),
                    help="build backend; 'legacy' is the dict-of-sets "
                         "parity oracle")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a Chrome trace-event JSON of the build's "
+                        "span tree (open with chrome://tracing)")
     p.set_defaults(func=_cmd_edge_index)
 
     p = sub.add_parser(

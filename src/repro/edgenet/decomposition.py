@@ -29,6 +29,7 @@ from repro.core.truss import PatternTruss
 from repro.edgenet.cohesion import edge_theme_cohesion_table
 from repro.edgenet.network import EdgeDatabaseNetwork
 from repro.edgenet.theme import EdgeFrequencyMap, induce_edge_theme_network
+from repro.engine.registry import count_routes
 from repro.errors import GraphError
 from repro.graphs.csr import CSRGraph, GraphLike, as_csr
 from repro.graphs.graph import Edge, Graph
@@ -414,6 +415,13 @@ def decompose_edge_network_pattern(
     decomposition = decompose_edge_truss(pattern, work, frequencies, table)
     decomposition.route = f"{graph_route}+legacy"
     return decomposition
+
+
+# Seven return sites, one route counter: the registry decorator reads the
+# ``route`` tag off whichever decomposition came back.
+decompose_edge_network_pattern = count_routes(
+    "edge", decompose_edge_network_pattern
+)
 
 
 def warm_edge_network_triangles(

@@ -12,10 +12,13 @@ from repro.engine.registry import (
     CutoverSpec,
     ModelSpec,
     all_cutovers,
+    count_routes,
     get_model,
     model_for_snapshot,
     model_for_tree,
     model_names,
+    observed_routes,
+    record_route,
     register_model,
     tree_model_names,
     unregister_model,
@@ -25,10 +28,13 @@ __all__ = [
     "CutoverSpec",
     "ModelSpec",
     "all_cutovers",
+    "count_routes",
     "get_model",
     "model_for_snapshot",
     "model_for_tree",
     "model_names",
+    "observed_routes",
+    "record_route",
     "register_model",
     "tree_model_names",
     "unregister_model",

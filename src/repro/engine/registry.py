@@ -247,6 +247,87 @@ def all_cutovers() -> list[tuple[ModelSpec, CutoverSpec]]:
 
 
 # ---------------------------------------------------------------------------
+# route observation
+# ---------------------------------------------------------------------------
+
+#: Counter family every model's routing decisions report into, labelled
+#: ``{model=..., route=...}`` — e.g. ``route="carrier-projected+csr"``.
+#: The tuner (:mod:`repro.bench.tuning`) reads the observed production
+#: distribution back through :func:`observed_routes` when judging whether
+#: a cutover constant matches the routes a deployment actually takes.
+ROUTE_COUNTER = "repro_engine_route_total"
+
+_ROUTE_HELP = (
+    "Decomposition/engine route decisions taken, by model and route tag."
+)
+
+#: Counter handles for the registry last seen by :func:`record_route`.
+#: The call sits on the once-per-decomposition path, and resolving the
+#: labelled child through the registry (label-key sort + registry lock)
+#: costs ~6× a cached ``Counter.inc``, so the handles are memoized and
+#: the whole cache evicted when the default registry changes (e.g. a
+#: ``use_registry`` swap) — which also drops any handle into a retired
+#: registry. Races are benign: the registry's get-or-create returns the
+#: same child to every thread, so a lost cache write only re-resolves.
+_route_cache_registry: object | None = None
+_route_cache: dict[tuple[str, str], object] = {}
+
+
+def record_route(model: str, route: str) -> None:
+    """Count one routing decision on the default metrics registry."""
+    # Imported lazily: the registry must stay importable before the obs
+    # package (and keeps its no-repro-imports-at-module-level discipline).
+    from repro.obs.metrics import default_registry
+
+    global _route_cache_registry, _route_cache
+    registry = default_registry()
+    if registry is not _route_cache_registry:
+        # Dict first, tag second: a concurrent reader then sees either a
+        # stale tag (and re-evicts) or the fresh empty dict — never a
+        # fresh tag over stale handles.
+        _route_cache = {}
+        _route_cache_registry = registry
+    counter = _route_cache.get((model, route))
+    if counter is None:
+        counter = _route_cache[(model, route)] = registry.counter(
+            ROUTE_COUNTER, help=_ROUTE_HELP, model=model, route=route
+        )
+    counter.inc()
+
+
+def count_routes(model: str, decompose: Callable) -> Callable:
+    """Wrap a decompose entry point to count the ``route`` it reports.
+
+    The returned callable is what multi-exit decompose functions (the
+    edge engine has seven return sites) publish instead of sprinkling
+    counters at every ``return``.
+    """
+    import functools
+
+    @functools.wraps(decompose)
+    def counted(*args, **kwargs):
+        decomposition = decompose(*args, **kwargs)
+        route = getattr(decomposition, "route", None)
+        if route:
+            record_route(model, route)
+        return decomposition
+
+    return counted
+
+
+def observed_routes(model: str) -> dict[str, float]:
+    """Route tag -> observed count for ``model``, from the default registry."""
+    from repro.obs.metrics import default_registry
+
+    routes: dict[str, float] = {}
+    for key, value in default_registry().counters(ROUTE_COUNTER).items():
+        labels = dict(key)
+        if labels.get("model") == model and "route" in labels:
+            routes[labels["route"]] = routes.get(labels["route"], 0) + value
+    return routes
+
+
+# ---------------------------------------------------------------------------
 # built-in models
 # ---------------------------------------------------------------------------
 
@@ -414,8 +495,12 @@ register_model("attributed", _attributed_spec)
 __all__ = [
     "CutoverSpec",
     "ModelSpec",
+    "ROUTE_COUNTER",
     "all_cutovers",
+    "count_routes",
     "get_model",
+    "observed_routes",
+    "record_route",
     "model_for_snapshot",
     "model_for_tree",
     "model_names",

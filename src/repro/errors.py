@@ -32,6 +32,18 @@ class BenchConfigError(ReproError):
     """Raised when a benchmark-fleet config or record is invalid."""
 
 
+class ObservabilityError(ReproError):
+    """Raised on invalid metrics/trace operations (bad buckets, merges)."""
+
+
+class ServeError(ReproError):
+    """Raised on invalid serving-layer requests."""
+
+
+class UnknownEndpointError(ServeError):
+    """Raised when an HTTP request names an endpoint the server lacks."""
+
+
 class IndexError_(ReproError):
     """Raised on invalid TC-Tree / warehouse operations.
 

@@ -26,6 +26,7 @@ path and the parity oracle, behind the registered
 
 from __future__ import annotations
 
+from repro.engine.registry import record_route
 from repro.errors import GraphError
 from repro.graphs.csr import as_csr, as_graph
 from repro.graphs.graph import Edge, Graph, edge_key
@@ -118,6 +119,7 @@ def probabilistic_k_truss(
     if engine == "legacy" or (
         engine == "auto" and graph.num_edges < PROB_CSR_MIN_EDGES
     ):
+        record_route("probtruss", "legacy")
         # as_graph: the worklist mutates, so CSR inputs materialize first.
         return _probabilistic_k_truss_legacy(
             as_graph(graph), probabilities, k, gamma
@@ -128,7 +130,9 @@ def probabilistic_k_truss(
             raise GraphError(
                 "graph is not CSR-eligible (non-int labels)"
             )
+        record_route("probtruss", "legacy")
         return _probabilistic_k_truss_legacy(graph, probabilities, k, gamma)
+    record_route("probtruss", "csr")
     edge_probs = [
         probabilities.get(csr.edge_label(e), 0.0)
         for e in range(csr.num_edges)

@@ -32,7 +32,15 @@ from heapq import heapify, heappop, heappush
 from itertools import compress, count, repeat
 
 from repro.graphs.csr import INDEX_TYPECODE, CSRGraph
+from repro.obs.metrics import default_registry
+from repro.obs.trace import span
 from array import array
+
+_TRIANGLE_INDEX_TOTAL = "repro_triangle_index_total"
+_TRIANGLE_INDEX_HELP = (
+    "Triangle-index builds, by mode (derived from a projection parent "
+    "vs enumerated from scratch)."
+)
 
 #: Re-exported tolerance — kept numerically identical to the legacy MPTD
 #: comparison so the CSR and dict-of-sets paths make the same keep/peel
@@ -295,9 +303,17 @@ def triangle_index(csr: CSRGraph) -> TriangleIndex:
     tri = csr._tri
     if tri is None:
         if _PROJECTION_ENABLED:
-            tri = derive_triangle_index(csr)
+            with span("triangles.derive", edges=csr.num_edges) as sp:
+                tri = derive_triangle_index(csr)
+                sp.set_attr("derived", tri is not None)
+        mode = "derived"
         if tri is None:
-            tri = TriangleIndex(csr)
+            mode = "enumerated"
+            with span("triangles.enumerate", edges=csr.num_edges):
+                tri = TriangleIndex(csr)
+        default_registry().counter(
+            _TRIANGLE_INDEX_TOTAL, help=_TRIANGLE_INDEX_HELP, mode=mode
+        ).inc()
         csr._tri = tri
         # With its own index cached the graph no longer needs the
         # ancestor chain — children now derive from *this* graph, and

@@ -33,6 +33,7 @@ from repro.core.mptd import (
     peel_to_threshold,
 )
 from repro.core.truss import PatternTruss
+from repro.engine.registry import record_route
 from repro.errors import GraphError
 from repro.graphs.csr import CSRGraph, GraphLike, as_csr, as_graph
 from repro.graphs.graph import Edge, Graph
@@ -536,6 +537,7 @@ def decompose_network_pattern(
         engine=engine, capture_carrier=capture_carrier,
     )
     decomposition.route = f"{graph_route}+{decomposition.route}"
+    record_route("vertex", decomposition.route)
     return decomposition
 
 

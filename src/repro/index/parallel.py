@@ -75,6 +75,8 @@ from repro.index.shm import (
 from repro.index.tcnode import TCNode
 from repro.index.tctree import TCTree, _carrier_of, _expand_frontier
 from repro.network.dbnetwork import DatabaseNetwork
+from repro.obs.metrics import MetricsSnapshot, default_registry
+from repro.obs.trace import span
 
 #: Chunks per worker: oversubscription lets the pool rebalance when cost
 #: estimates are off, at the price of a little extra task overhead.
@@ -173,22 +175,39 @@ def _init_worker(payload: bytes) -> None:
     _WORKER_SHM.clear()
 
 
+def _metrics_before() -> MetricsSnapshot:
+    """Snapshot the worker's registry at task entry.
+
+    Fork workers inherit the parent's counter values copy-on-write (and
+    one worker runs many chunks), so a task's own contribution is the
+    *delta* between its entry and exit snapshots — absolute snapshots
+    would double-count everything inherited or accumulated by earlier
+    chunks when the orchestrator merges task results.
+    """
+    return default_registry().snapshot()
+
+
+def _metrics_delta(before: MetricsSnapshot) -> MetricsSnapshot:
+    return default_registry().snapshot().delta(before)
+
+
 def _layer1_chunk(
     task: tuple[list[int], str | None],
-) -> tuple[list[TrussDecomposition], dict | None]:
+) -> tuple[list[TrussDecomposition], dict | None, MetricsSnapshot]:
     """Phase A task: decompose one chunk of single-item patterns.
 
     With carrier sharing on, the chunk's captured ``C*_s(0)`` CSR
     carriers are written to one shared-memory segment (under the
     orchestrator-chosen ``segment_name``, so the orchestrator can clean
     up even when the pool aborts before this task's result is consumed)
-    and the task returns ``(decompositions, handle)`` — the
-    decompositions travel back through the result pipe *without* their
-    carrier edge lists, which is the result-pickling term
+    and the task returns ``(decompositions, handle, metrics delta)`` —
+    the decompositions travel back through the result pipe *without*
+    their carrier edge lists, which is the result-pickling term
     ``bench_parallel_build.py`` tracks. The orchestrator owns the
-    segment's unlink.
+    segment's unlink and folds the metrics delta into its own registry.
     """
     items, segment_name = task
+    before = _metrics_before()
     network = _WORKER_STATE["network"]
     decompose = get_model(_WORKER_STATE.get("model", "vertex")).decompose
     decompositions = [
@@ -214,7 +233,7 @@ def _layer1_chunk(
             store = SharedCarrierStore.create(carriers, name=segment_name)
             handle = store.handle()
             store.close()
-    return decompositions, handle
+    return decompositions, handle, _metrics_delta(before)
 
 
 def _attach_shared_carriers() -> None:
@@ -247,9 +266,12 @@ def _release_chunk_caches() -> None:
             carrier.release_projection()
 
 
-def _subtree_chunk(task: tuple[list[int], int | None]) -> list[TCNode]:
+def _subtree_chunk(
+    task: tuple[list[int], int | None],
+) -> tuple[list[TCNode], MetricsSnapshot]:
     """Phase B task: build the enumeration subtrees of one chunk of roots."""
     roots, max_length = task
+    before = _metrics_before()
     _attach_shared_carriers()
     members = set(roots)
     reuse = {
@@ -259,7 +281,7 @@ def _subtree_chunk(task: tuple[list[int], int | None]) -> list[TCNode]:
     }
     spec = get_model(_WORKER_STATE.get("model", "vertex"))
     try:
-        return build_subtree_chunk(
+        built = build_subtree_chunk(
             _WORKER_STATE["network"],
             _WORKER_STATE["layer1"],
             roots,
@@ -269,6 +291,7 @@ def _subtree_chunk(task: tuple[list[int], int | None]) -> list[TCNode]:
             decompose=spec.decompose,
             node_factory=spec.node_cls,
         )
+        return built, _metrics_delta(before)
     finally:
         _release_chunk_caches()
 
@@ -470,7 +493,8 @@ def build_tc_tree_process(
 
     ctx = _pool_context()
     if ctx.get_start_method() == "fork":
-        spec.warm(network, items)
+        with span("build.warm_triangles", items=len(items)):
+            spec.warm(network, items)
     if share_carriers:
         # Start the resource tracker in the parent *before* the pool
         # forks: workers then inherit it and their segment registrations
@@ -510,14 +534,17 @@ def build_tc_tree_process(
             else:
                 tasks = [(chunk, None) for chunk in chunks]
             state = {"network": network, "model": model}
-            with _worker_pool(
+            with span(
+                "build.phaseA", chunks=len(chunks), items=len(todo)
+            ), _worker_pool(
                 ctx, min(workers, len(chunks)), state
             ) as pool:
-                for chunk, (decompositions, handle) in zip(
+                for chunk, (decompositions, handle, delta) in zip(
                     chunks, pool.map(_layer1_chunk, tasks)
                 ):
                     if handle is not None:
                         carrier_handles.append(handle)
+                    default_registry().merge(delta)
                     for item, decomposition in zip(chunk, decompositions):
                         layer1[item] = decomposition
         layer1 = {
@@ -556,10 +583,13 @@ def build_tc_tree_process(
                 "model": model,
             }
             tasks = [(chunk, max_length) for chunk in chunks]
-            with _worker_pool(
+            with span(
+                "build.phaseB", chunks=len(chunks), roots=len(layer1)
+            ), _worker_pool(
                 ctx, min(workers, len(chunks)), state
             ) as pool:
-                for built in pool.map(_subtree_chunk, tasks):
+                for built, delta in pool.map(_subtree_chunk, tasks):
+                    default_registry().merge(delta)
                     for subtree_root in built:
                         # Graft the worker-built subtree onto the
                         # parent-side layer-1 node (which holds the

@@ -46,6 +46,7 @@ from repro.index.decomposition import (
 from repro.index.tcnode import TCNode
 from repro.network.dbnetwork import DatabaseNetwork
 from repro.network.theme import intersect_graphs
+from repro.obs.trace import Tracer, span, tracing
 
 
 class TCTree:
@@ -144,6 +145,17 @@ def _expand_frontier(
     sibling pairing, masked-carrier intersections, lazy materialization,
     carrier lifecycle — is identical in the two models.
     """
+    with span("build.frontier", seeds=len(queue)):
+        _frontier_loop(
+            network, queue, truss_graphs, parent_of,
+            max_length, reuse, decompose, node_factory,
+        )
+
+
+def _frontier_loop(
+    network, queue, truss_graphs, parent_of,
+    max_length, reuse, decompose, node_factory,
+) -> None:
     reuse = reuse or {}
     while queue:
         node_f = queue.popleft()
@@ -217,6 +229,7 @@ def build_tc_tree(
     workers: int = 1,
     reuse: dict[Pattern, TrussDecomposition] | None = None,
     backend: str = "process",
+    trace: Tracer | None = None,
 ) -> TCTree:
     """Build the TC-Tree of ``network`` (Algorithm 4).
 
@@ -229,8 +242,22 @@ def build_tc_tree(
     ``workers``. ``reuse`` optionally maps patterns to decompositions
     known to still be valid (the incremental maintenance path — see
     :mod:`repro.index.updates`); matching patterns skip recomputation
-    entirely.
+    entirely. ``trace`` optionally installs a
+    :class:`~repro.obs.trace.Tracer` for the duration of the build, so
+    the phase spans (warm/layer1/frontier, or phase A/B on the process
+    backend) land in it ready for export.
     """
+    if trace is not None:
+        with tracing(trace):
+            with span(
+                "build.tc_tree", backend=backend, workers=workers
+            ) as sp:
+                tree = build_tc_tree(
+                    network, max_length=max_length, workers=workers,
+                    reuse=reuse, backend=backend,
+                )
+                sp.set_attr("nodes", tree.num_nodes)
+                return tree
     if backend not in ("process", "thread", "serial"):
         raise TCIndexError(f"unknown build backend {backend!r}")
     items = network.item_universe()
@@ -244,7 +271,8 @@ def build_tc_tree(
     reuse = reuse or {}
     # One network-triangle enumeration, amortized across every layer-1
     # theme subgraph that derives its index from it (projection path).
-    warm_network_triangles(network, items)
+    with span("build.warm_triangles", items=len(items)):
+        warm_network_triangles(network, items)
 
     def first_layer(item: int) -> TrussDecomposition:
         cached = reuse.get((item,))
@@ -254,11 +282,12 @@ def build_tc_tree(
             network, (item,), capture_carrier=True
         )
 
-    if workers > 1 and len(items) > 1 and backend == "thread":
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            decompositions = list(pool.map(first_layer, items))
-    else:
-        decompositions = [first_layer(item) for item in items]
+    with span("build.layer1", items=len(items), backend=backend):
+        if workers > 1 and len(items) > 1 and backend == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                decompositions = list(pool.map(first_layer, items))
+        else:
+            decompositions = [first_layer(item) for item in items]
 
     # Frontier bookkeeping: the C*_p(0) carrier of every node whose
     # children are still to be built (CSR when labels permit). Carriers

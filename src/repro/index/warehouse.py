@@ -64,16 +64,18 @@ class ThemeCommunityWarehouse:
         max_length: int | None = None,
         workers: int = 1,
         backend: str = "process",
+        trace=None,
     ) -> "ThemeCommunityWarehouse":
         """Index every maximal pattern truss of ``network``.
 
-        ``workers``/``backend`` select the build parallelism exactly as in
+        ``workers``/``backend``/``trace`` select the build parallelism and
+        optional span tracing exactly as in
         :func:`~repro.index.tctree.build_tc_tree`.
         """
         return cls(
             build_tc_tree(
                 network, max_length=max_length, workers=workers,
-                backend=backend,
+                backend=backend, trace=trace,
             )
         )
 

@@ -1,0 +1,34 @@
+"""Cross-cutting instrumentation: metrics registry and span tracing.
+
+Zero-dependency (stdlib only) observability substrate shared by every
+layer of the stack:
+
+- :mod:`repro.obs.metrics` — thread-safe counters, gauges, and
+  log-bucketed latency histograms in a process-wide registry, with
+  picklable/mergeable snapshots (the process-parallel build folds worker
+  metrics into the orchestrator's registry through snapshot deltas) and
+  a Prometheus text exposition (0.0.4) renderer behind ``GET /metrics``;
+- :mod:`repro.obs.trace` — nestable ``with span("phase")`` context
+  managers producing structured span trees for TC-Tree construction and
+  snapshot writes, with JSON and Chrome trace-event exporters
+  (``repro index --trace out.json``). Disabled by default: one global
+  read and a shared no-op context manager per call.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    default_registry,
+    use_registry,
+)
+from repro.obs.trace import Tracer, span, tracing
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Tracer",
+    "default_registry",
+    "span",
+    "tracing",
+    "use_registry",
+]

@@ -1,0 +1,632 @@
+"""Thread-safe metrics core: counters, gauges, latency histograms.
+
+One process-wide :class:`MetricsRegistry` (swappable for tests via
+:func:`use_registry`) holds metric *families* keyed by name; a family
+fans out into children keyed by their label set, exactly as in the
+Prometheus data model. All three metric kinds are stdlib-only and take a
+per-metric lock on every update, so hot paths may share one child across
+threads freely.
+
+Histograms are **log-bucketed**: observation counts land in
+geometrically spaced buckets (default ×2 per bucket from 1 µs to ~67 s),
+so p50/p95/p99 are derivable at any time from the bucket table with
+bounded relative error — :meth:`Histogram.quantile` interpolates inside
+the winning bucket. Buckets, not reservoirs, because bucket tables are
+**mergeable**: :meth:`MetricsRegistry.snapshot` captures every family
+into a picklable :class:`MetricsSnapshot`, snapshots subtract
+(:meth:`MetricsSnapshot.delta`) and fold back into a registry
+(:meth:`MetricsRegistry.merge`) — the return channel the
+process-parallel TC-Tree build uses to report worker-side counters into
+the orchestrator's registry.
+
+:func:`render_prometheus` (also :meth:`MetricsRegistry.render`) emits
+the text exposition format 0.0.4 served by ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ObservabilityError
+
+#: Prometheus text exposition content type (format version 0.0.4).
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Label key: a canonically sorted, hashable, picklable label set.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def log_buckets(
+    start: float = 1e-6, factor: float = 2.0, count: int = 27
+) -> tuple[float, ...]:
+    """Geometric bucket upper bounds ``start * factor**k`` (k < count).
+
+    The default spans 1 µs .. ~67 s in ×2 steps — wide enough for both
+    sub-millisecond cache hits and multi-second cold builds, and narrow
+    enough that an interpolated quantile is within one octave of truth.
+    """
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ObservabilityError(
+            f"invalid log buckets (start={start}, factor={factor}, "
+            f"count={count})"
+        )
+    return tuple(start * factor ** k for k in range(count))
+
+
+DEFAULT_LATENCY_BUCKETS = log_buckets()
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing float counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counters only go up; inc({amount}) is not allowed"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (in-flight requests, queue depth).
+
+    Merge semantics are *additive* (see :meth:`MetricsRegistry.merge`):
+    per-process gauges like in-flight counts sum meaningfully across
+    processes, which is the only merge this package performs.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Log-bucketed distribution with derivable quantiles.
+
+    ``bounds`` are ascending bucket upper bounds (inclusive, Prometheus
+    ``le`` semantics); one implicit ``+Inf`` overflow bucket follows.
+    """
+
+    __slots__ = ("bounds", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_LATENCY_BUCKETS):
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds or any(
+            b <= a for a, b in zip(self.bounds, self.bounds[1:])
+        ):
+            raise ObservabilityError(
+                f"histogram bounds must be ascending and non-empty, "
+                f"got {self.bounds!r}"
+            )
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def state(self) -> tuple[tuple[int, ...], float, int]:
+        """Consistent ``(bucket counts, sum, count)`` triple."""
+        with self._lock:
+            return tuple(self._counts), self._sum, self._count
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1), interpolated inside its bucket.
+
+        Resolution is one bucket: with the default ×2 bounds the result
+        is within a factor of 2 of the exact order statistic, and much
+        closer in practice thanks to the linear interpolation. Returns
+        0.0 with no observations; the overflow bucket reports the top
+        finite bound (the histogram cannot see beyond it).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        counts, _total, count = self.state()
+        if count == 0:
+            return 0.0
+        return _bucket_quantile(self.bounds, counts, count, q)
+
+    def percentiles(self) -> dict[str, float]:
+        """The ``{"p50", "p95", "p99"}`` summary the breakdowns report."""
+        counts, _total, count = self.state()
+        if count == 0:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            f"p{int(q * 100)}": _bucket_quantile(
+                self.bounds, counts, count, q
+            )
+            for q in (0.5, 0.95, 0.99)
+        }
+
+
+def _bucket_quantile(
+    bounds: tuple[float, ...],
+    counts: tuple[int, ...] | list[int],
+    count: int,
+    q: float,
+) -> float:
+    rank = q * count
+    cumulative = 0.0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= rank:
+            if index >= len(bounds):
+                return bounds[-1]
+            lower = bounds[index - 1] if index > 0 else 0.0
+            upper = bounds[index]
+            fraction = (
+                (rank - previous) / bucket_count if bucket_count else 1.0
+            )
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+    return bounds[-1]
+
+
+@dataclass
+class _Family:
+    """One metric name: kind, help text, children by label set."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str = ""
+    buckets: tuple[float, ...] | None = None
+    children: dict[LabelKey, Counter | Gauge | Histogram] = field(
+        default_factory=dict
+    )
+
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ObservabilityError(f"invalid metric name {name!r}")
+    return name
+
+
+class MetricsRegistry:
+    """Process-wide metric table; every layer reports through one.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    fixes the family's kind (and, for histograms, bucket bounds); later
+    calls with a conflicting kind raise. Children are identified by their
+    label set, so ``counter("x", route="csr")`` and
+    ``counter("x", route="legacy")`` are two samples of one family.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    def _child(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        buckets: tuple[float, ...] | None,
+        labels: Mapping[str, object],
+    ):
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(
+                    _check_name(name), kind, help, buckets=buckets
+                )
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ObservabilityError(
+                    f"metric {name!r} is a {family.kind}, not a {kind}"
+                )
+            if help and not family.help:
+                family.help = help
+            child = family.children.get(key)
+            if child is None:
+                if kind == "counter":
+                    child = Counter()
+                elif kind == "gauge":
+                    child = Gauge()
+                else:
+                    child = Histogram(
+                        family.buckets or DEFAULT_LATENCY_BUCKETS
+                    )
+                family.children[key] = child
+            return child
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._child(name, "counter", help, None, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._child(name, "gauge", help, None, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] | None = None,
+        **labels,
+    ) -> Histogram:
+        bounds = tuple(float(b) for b in buckets) if buckets else None
+        return self._child(name, "histogram", help, bounds, labels)
+
+    # ------------------------------------------------------------------
+    def families(self) -> dict[str, str]:
+        """Metric name -> kind, for introspection and tests."""
+        with self._lock:
+            return {
+                name: family.kind
+                for name, family in self._families.items()
+            }
+
+    def histograms(
+        self, name: str
+    ) -> dict[LabelKey, Histogram]:
+        """Every child histogram of family ``name`` (empty when absent)."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None or family.kind != "histogram":
+                return {}
+            return dict(family.children)  # type: ignore[arg-type]
+
+    def counters(self, name: str) -> dict[LabelKey, float]:
+        """Label set -> value for every child counter of ``name``."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None or family.kind != "counter":
+                return {}
+            children = list(family.children.items())
+        return {key: child.value for key, child in children}
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "MetricsSnapshot":
+        """A picklable point-in-time copy of every family."""
+        with self._lock:
+            families = [
+                (
+                    family.name,
+                    family.kind,
+                    family.help,
+                    list(family.children.items()),
+                )
+                for family in self._families.values()
+            ]
+        snap = MetricsSnapshot()
+        for name, kind, help_text, children in families:
+            snap.help[name] = (kind, help_text)
+            for key, child in children:
+                if kind == "counter":
+                    snap.counters[(name, key)] = child.value
+                elif kind == "gauge":
+                    snap.gauges[(name, key)] = child.value
+                else:
+                    counts, total, count = child.state()
+                    snap.histograms[(name, key)] = (
+                        child.bounds, counts, total, count
+                    )
+        return snap
+
+    def merge(self, snapshot: "MetricsSnapshot | None") -> None:
+        """Fold a snapshot (usually a worker delta) into this registry.
+
+        Counters and histogram buckets add; gauges add too (additive
+        gauges — a per-process in-flight count sums across processes).
+        Histogram bucket tables must agree in bounds.
+        """
+        if snapshot is None:
+            return
+        for (name, key), value in snapshot.counters.items():
+            if value:
+                self._child(
+                    name, "counter", snapshot.help_for(name), None,
+                    dict(key),
+                ).inc(value)
+        for (name, key), value in snapshot.gauges.items():
+            if value:
+                self._child(
+                    name, "gauge", snapshot.help_for(name), None, dict(key)
+                ).inc(value)
+        for (name, key), (bounds, counts, total, count) in (
+            snapshot.histograms.items()
+        ):
+            if not count:
+                continue
+            histogram = self._child(
+                name, "histogram", snapshot.help_for(name), bounds,
+                dict(key),
+            )
+            if histogram.bounds != tuple(bounds):
+                raise ObservabilityError(
+                    f"cannot merge histogram {name!r}: bucket bounds differ"
+                )
+            with histogram._lock:
+                for index, bucket_count in enumerate(counts):
+                    histogram._counts[index] += bucket_count
+                histogram._sum += total
+                histogram._count += count
+
+    def render(self) -> str:
+        return render_prometheus(self)
+
+    def reset(self) -> None:
+        """Drop every family (tests only)."""
+        with self._lock:
+            self._families.clear()
+
+
+@dataclass
+class MetricsSnapshot:
+    """Plain-data copy of a registry: picklable, subtractable, mergeable.
+
+    Keys are ``(metric name, label key)`` pairs; histogram values are
+    ``(bounds, bucket counts, sum, count)`` tuples. This is the shape the
+    process-parallel build ships over its worker return channel and the
+    fleet stores in record ``meta``.
+    """
+
+    counters: dict[tuple[str, LabelKey], float] = field(
+        default_factory=dict
+    )
+    gauges: dict[tuple[str, LabelKey], float] = field(default_factory=dict)
+    histograms: dict[
+        tuple[str, LabelKey],
+        tuple[tuple[float, ...], tuple[int, ...], float, int],
+    ] = field(default_factory=dict)
+    #: name -> (kind, help) so merges re-create families faithfully.
+    help: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    def help_for(self, name: str) -> str:
+        return self.help.get(name, ("", ""))[1]
+
+    def delta(self, before: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What happened since ``before`` (same process/registry lineage).
+
+        Counters and histograms subtract; gauges are excluded — a gauge
+        difference has no merge meaning (the level, not the flow, is the
+        signal). Forked workers inherit the parent's counts copy-on-write,
+        so a worker task brackets itself with ``snapshot()`` and returns
+        ``after.delta(before)`` — exactly its own contribution.
+        """
+        out = MetricsSnapshot(help=dict(self.help))
+        for key, value in self.counters.items():
+            diff = value - before.counters.get(key, 0.0)
+            if diff:
+                out.counters[key] = diff
+        for key, (bounds, counts, total, count) in self.histograms.items():
+            previous = before.histograms.get(key)
+            if previous is None:
+                if count:
+                    out.histograms[key] = (bounds, counts, total, count)
+                continue
+            _, prev_counts, prev_total, prev_count = previous
+            if count == prev_count:
+                continue
+            out.histograms[key] = (
+                bounds,
+                tuple(c - p for c, p in zip(counts, prev_counts)),
+                total - prev_total,
+                count - prev_count,
+            )
+        return out
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter family across every label set."""
+        return sum(
+            value
+            for (sample, _key), value in self.counters.items()
+            if sample == name
+        )
+
+    def counter_value(self, name: str, **labels) -> float:
+        return self.counters.get((name, _label_key(labels)), 0.0)
+
+    def as_flat_dict(self) -> dict[str, float]:
+        """Counters (and histogram counts/sums) as one flat JSON-able map.
+
+        Keys are rendered exposition sample names — stable, diffable, and
+        exactly what fleet records store under ``meta.metrics``.
+        """
+        flat: dict[str, float] = {}
+        for (name, key), value in sorted(self.counters.items()):
+            flat[_sample_name(name, key)] = value
+        for (name, key), (_b, _c, total, count) in sorted(
+            self.histograms.items()
+        ):
+            flat[_sample_name(name + "_count", key)] = float(count)
+            flat[_sample_name(name + "_sum", key)] = total
+        return flat
+
+
+# ---------------------------------------------------------------------------
+# the process-wide default registry
+# ---------------------------------------------------------------------------
+
+_DEFAULT = MetricsRegistry()
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """The registry instrumented code reports to (swappable for tests)."""
+    return _DEFAULT
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry; returns the previous one."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        previous = _DEFAULT
+        _DEFAULT = registry
+        return previous
+
+
+class use_registry:
+    """``with use_registry() as reg:`` — scoped default-registry swap.
+
+    Tests and the merge-parity suite use it to observe one build's
+    metrics in isolation without resetting global counters.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        self._previous: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_default_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._previous is not None
+        set_default_registry(self._previous)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (format 0.0.4)
+# ---------------------------------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+def _sample_name(name: str, key: LabelKey, extra: str = "") -> str:
+    labels = list(key)
+    if extra:
+        labels.append(("le", extra))
+    if not labels:
+        return name
+    rendered = ",".join(
+        f'{label}="{_escape_label(value)}"' for label, value in labels
+    )
+    return f"{name}{{{rendered}}}"
+
+
+def format_sample(
+    name: str, labels: Mapping[str, object], value: float
+) -> str:
+    """One exposition sample line (the serving layer's collector hook)."""
+    return f"{_sample_name(name, _label_key(labels))} {_format_value(value)}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in text exposition format 0.0.4 (``GET /metrics``)."""
+    lines: list[str] = []
+    with registry._lock:
+        families = [
+            (
+                family.name,
+                family.kind,
+                family.help,
+                sorted(family.children.items()),
+            )
+            for name, family in sorted(registry._families.items())
+        ]
+    for name, kind, help_text, children in families:
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for key, child in children:
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{_sample_name(name, key)} "
+                    f"{_format_value(child.value)}"
+                )
+                continue
+            counts, total, count = child.state()
+            cumulative = 0
+            for bound, bucket_count in zip(child.bounds, counts):
+                cumulative += bucket_count
+                lines.append(
+                    f"{_sample_name(name + '_bucket', key, _format_value(bound))} "
+                    f"{cumulative}"
+                )
+            cumulative += counts[-1]
+            lines.append(
+                f"{_sample_name(name + '_bucket', key, '+Inf')} {cumulative}"
+            )
+            lines.append(
+                f"{_sample_name(name + '_sum', key)} {_format_value(total)}"
+            )
+            lines.append(f"{_sample_name(name + '_count', key)} {count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EXPOSITION_CONTENT_TYPE",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "default_registry",
+    "format_sample",
+    "log_buckets",
+    "render_prometheus",
+    "set_default_registry",
+    "use_registry",
+]

@@ -1,0 +1,244 @@
+"""Span tracer: nestable phase timing with JSON / Chrome exporters.
+
+Instrumented code wraps phases in ``with span("build.layer1", items=n):``.
+When no tracer is installed — the default — :func:`span` returns a shared
+no-op object after a single module-global read, so the disabled-path cost
+is one dict-free function call per phase (far below the trend gate's
+noise floor). When a :class:`Tracer` is installed via :func:`tracing`
+(which ``build_tc_tree(trace=...)`` and ``repro index --trace FILE`` do),
+spans nest per thread into a tree of :class:`Span` records that export as
+
+- structured JSON (``tracer.to_json()``, schema ``repro-trace/v1``), and
+- Chrome trace-event JSON (``tracer.to_chrome()``) loadable by
+  ``chrome://tracing`` / Perfetto.
+
+The tracer is deliberately single-process: worker processes of the
+parallel build report through metrics snapshots instead, and the
+orchestrator's phase A/B spans bound the workers' wall time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Iterator
+
+
+class Span:
+    """One timed phase: name, attributes, children, duration (seconds)."""
+
+    __slots__ = ("name", "attrs", "start", "duration", "children", "tid")
+
+    active = True
+
+    def __init__(self, name: str, attrs: dict[str, Any], tid: int) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = time.perf_counter()
+        self.duration = 0.0
+        self.children: list[Span] = []
+        self.tid = tid
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach a result attribute (route taken, nodes built, bytes)."""
+        self.attrs[key] = value
+
+    def close(self) -> None:
+        self.duration = time.perf_counter() - self.start
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.as_dict() for child in self.children]
+        return out
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    active = False
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _SpanContext:
+    """Context manager pushing/popping one live span on a tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span_: Span) -> None:
+        self._tracer = tracer
+        self._span = span_
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._span.close()
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Collects span trees; per-thread nesting, shared root list."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.roots: list[Span] = []
+        # Wall-clock anchor so chrome timestamps are absolute-ish.
+        self._epoch = time.perf_counter()
+
+    # -- stack plumbing (called by _SpanContext) -----------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span_: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span_)
+        else:
+            with self._lock:
+                self.roots.append(span_)
+        stack.append(span_)
+
+    def _pop(self, span_: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span_:
+            stack.pop()
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        return _SpanContext(
+            self, Span(name, attrs, threading.get_ident())
+        )
+
+    # -- exporters -----------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        """Nested span tree: ``{"schema": "repro-trace/v1", "spans": []}``."""
+        with self._lock:
+            roots = list(self.roots)
+        return {
+            "schema": "repro-trace/v1",
+            "spans": [root.as_dict() for root in roots],
+        }
+
+    def to_chrome(self) -> dict[str, Any]:
+        """Chrome trace-event JSON (complete "X" events, microseconds)."""
+        with self._lock:
+            roots = list(self.roots)
+        pid = os.getpid()
+        events = []
+        for root in roots:
+            for span_ in root.walk():
+                event: dict[str, Any] = {
+                    "name": span_.name,
+                    "ph": "X",
+                    "ts": (span_.start - self._epoch) * 1e6,
+                    "dur": span_.duration * 1e6,
+                    "pid": pid,
+                    "tid": span_.tid,
+                }
+                if span_.attrs:
+                    event["args"] = {
+                        key: value
+                        for key, value in span_.attrs.items()
+                    }
+                events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str, fmt: str = "chrome") -> None:
+        """Serialize to ``path`` as ``"chrome"`` or ``"json"``."""
+        payload = self.to_chrome() if fmt == "chrome" else self.to_json()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+
+# ---------------------------------------------------------------------------
+# module-level switchboard
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Tracer | None = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def current_tracer() -> Tracer | None:
+    return _ACTIVE
+
+
+def span(name: str, **attrs: Any):
+    """A span under the active tracer, or the shared no-op when disabled.
+
+    The disabled path is one global read plus returning a singleton —
+    safe to leave in the hottest build loops.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, **attrs)
+
+
+# ``with trace("phase"):`` reads naturally at call sites; same function.
+trace = span
+
+
+class tracing:
+    """``with tracing(tracer):`` — install a tracer for the block.
+
+    Nested activations stack (the inner tracer wins, the outer one is
+    restored on exit). Passing ``None`` creates a fresh :class:`Tracer`,
+    available as the ``as`` target.
+    """
+
+    def __init__(self, tracer: Tracer | None = None) -> None:
+        self.tracer = tracer or Tracer()
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        global _ACTIVE
+        with _ACTIVE_LOCK:
+            self._previous = _ACTIVE
+            _ACTIVE = self.tracer
+        return self.tracer
+
+    def __exit__(self, *exc_info) -> None:
+        global _ACTIVE
+        with _ACTIVE_LOCK:
+            _ACTIVE = self._previous
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "span",
+    "trace",
+    "tracing",
+]

@@ -20,6 +20,7 @@ load, as before).
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict, deque
 from collections.abc import Iterable, Sequence
 from pathlib import Path
@@ -31,6 +32,7 @@ from repro.errors import TCIndexError
 from repro.index.decomposition import TrussDecomposition
 from repro.index.query import QueryAnswer, query_tc_tree
 from repro.index.tctree import TCTree
+from repro.obs.metrics import default_registry
 from repro.search.topk import Score, default_score, top_k_communities
 from repro.serve.snapshot import ROOT, TCTreeSnapshot, is_snapshot_file
 
@@ -48,6 +50,11 @@ class CarrierCache:
     Decoding happens outside the lock (it is pure and idempotent), so a
     rare concurrent miss on the same node costs one duplicate decode
     rather than serializing every reader behind the buffer parse.
+
+    The hit/miss counters are private and every read goes through the
+    cache lock, so a ``stats()`` taken under concurrent ``get``/``put``
+    traffic is a consistent point-in-time view (hits + misses == lookups
+    at that instant) rather than a torn pair of mid-update values.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -56,22 +63,33 @@ class CarrierCache:
                 f"cache capacity must be >= 1, got {capacity}"
             )
         self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
+        self._hits = 0
+        self._misses = 0
         self._lock = threading.Lock()
         self._entries: OrderedDict[int, TrussDecomposition] = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
 
     def get(self, key: int) -> TrussDecomposition | None:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self.misses += 1
+                self._misses += 1
                 return None
             self._entries.move_to_end(key)
-            self.hits += 1
+            self._hits += 1
             return entry
 
     def put(self, key: int, value: TrussDecomposition) -> None:
@@ -86,8 +104,8 @@ class CarrierCache:
             return {
                 "capacity": self.capacity,
                 "entries": len(self._entries),
-                "hits": self.hits,
-                "misses": self.misses,
+                "hits": self._hits,
+                "misses": self._misses,
             }
 
 
@@ -114,6 +132,22 @@ class IndexedWarehouse:
         self._cache = CarrierCache(cache_size)
         self._queries_served = 0
         self._count_lock = threading.Lock()
+        #: Engine generation, bumped by whoever hot-swaps the snapshot
+        #: under a live server; surfaced by ``/healthz`` so a load
+        #: balancer can tell a restarted/reloaded engine from a stale one.
+        self.generation = 1
+        # Aggregate per-query breakdown (snapshot backend): where query
+        # wall time goes — TOC walk + prunes vs payload decode — and the
+        # node-level traversal counters behind it.
+        self._qstats = {
+            "queries": 0,
+            "visited_nodes": 0,
+            "pruned_pattern": 0,
+            "pruned_alpha": 0,
+            "retrieved_nodes": 0,
+            "toc_seconds": 0.0,
+            "decode_seconds": 0.0,
+        }
         # Captured once: the file may be replaced or deleted while the
         # live mmap keeps serving, so /stats must not re-stat it.
         self._snapshot_bytes = (
@@ -211,9 +245,19 @@ class IndexedWarehouse:
         """Answer ``(q, α_q)`` — Algorithm 5 over the lazy backend."""
         with self._count_lock:
             self._queries_served += 1
-        if self._tree is not None:
-            return query_tc_tree(self._tree, pattern=pattern, alpha=alpha)
-        return self._query_snapshot(pattern, alpha)
+        start = time.perf_counter()
+        try:
+            if self._tree is not None:
+                return query_tc_tree(
+                    self._tree, pattern=pattern, alpha=alpha
+                )
+            return self._query_snapshot(pattern, alpha)
+        finally:
+            default_registry().histogram(
+                "repro_query_seconds",
+                help="End-to-end warehouse query latency.",
+                backend=self.backend,
+            ).observe(time.perf_counter() - start)
 
     def query_batch(
         self, queries: Iterable[QuerySpec]
@@ -303,6 +347,9 @@ class IndexedWarehouse:
         answer = QueryAnswer(query_pattern=query_pattern, alpha=alpha)
         bound = alpha + COHESION_TOLERANCE
 
+        start = time.perf_counter()
+        decode_seconds = 0.0
+        pruned_pattern = pruned_alpha = 0
         queue: deque[int] = deque([ROOT])
         while queue:
             node = queue.popleft()
@@ -314,18 +361,36 @@ class IndexedWarehouse:
                     query_items is not None
                     and snapshot.item(child) not in query_items
                 ):
+                    pruned_pattern += 1
                     continue  # prune subtree: s_{n_c} ∉ q
                 if not snapshot.prune_alpha(child) > bound:
                     # Proposition 5.2 prune straight from the offset
                     # table: C*_p(α) reconstructs empty, so neither this
                     # node nor any descendant needs decoding.
+                    pruned_alpha += 1
                     continue
+                decode_start = time.perf_counter()
                 truss = self._decomposition(child).truss_at(alpha)
+                decode_seconds += time.perf_counter() - decode_start
                 if truss.is_empty():
                     continue  # unreachable on well-formed snapshots
                 answer.trusses.append(truss)
                 answer.retrieved_nodes += 1
                 queue.append(child)
+        total = time.perf_counter() - start
+        with self._count_lock:
+            qstats = self._qstats
+            qstats["queries"] += 1
+            qstats["visited_nodes"] += answer.visited_nodes
+            qstats["pruned_pattern"] += pruned_pattern
+            qstats["pruned_alpha"] += pruned_alpha
+            qstats["retrieved_nodes"] += answer.retrieved_nodes
+            qstats["toc_seconds"] += total - decode_seconds
+            qstats["decode_seconds"] += decode_seconds
+        default_registry().histogram(
+            "repro_query_decode_seconds",
+            help="Payload-decode share of snapshot query latency.",
+        ).observe(decode_seconds)
         return answer
 
     # ------------------------------------------------------------------
@@ -333,14 +398,18 @@ class IndexedWarehouse:
         """Operational counters for the ``/stats`` endpoint."""
         from repro.engine import registry
 
+        with self._count_lock:
+            breakdown = dict(self._qstats)
         info: dict = {
             "backend": self.backend,
             "kind": self.kind,
             "model": registry.get_model(self.kind).display,
+            "generation": self.generation,
             "indexed_trusses": self.num_indexed_trusses,
             "num_items": self.num_items,
             "queries_served": self._queries_served,
             "cache": self._cache.stats(),
+            "query_breakdown": breakdown,
         }
         if self._snapshot is not None and self._snapshot.path is not None:
             info["snapshot_path"] = str(self._snapshot.path)

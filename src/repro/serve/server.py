@@ -4,11 +4,18 @@ Stdlib-only (``http.server``): one engine instance is shared by every
 request thread — the snapshot buffer is immutable and the carrier cache
 locks internally, so concurrent queries are answered from one warm cache.
 
-Endpoints (all JSON):
+Endpoints (JSON unless noted):
 
-- ``GET /healthz`` — liveness: ``{"status": "ok"}``;
+- ``GET /healthz`` — liveness + identity: uptime seconds, serving
+  backend/kind, snapshot path, engine generation;
 - ``GET /stats`` — engine counters (backend, cache hits/misses, queries
-  served, snapshot size);
+  served, per-query breakdown, snapshot size) plus per-endpoint request
+  latency percentiles;
+- ``GET /metrics`` — Prometheus text exposition (format 0.0.4): the
+  process-wide :mod:`repro.obs.metrics` registry (request histograms,
+  in-flight gauge, engine route counters, triangle/build counters) plus
+  engine-level gauges collected from :meth:`IndexedWarehouse.stats` at
+  scrape time;
 - ``GET /query?alpha=0.2&pattern=3,7`` — one ``(q, α)`` answer in
   :meth:`QueryAnswer.to_payload` form; omit ``pattern`` for ``q = S``;
 - ``POST /query`` with body ``{"queries": [{"pattern": [3,7]|null,
@@ -19,6 +26,11 @@ Endpoints (all JSON):
   attributed community search (ATC-style): communities containing every
   query vertex, themed within the query attributes, best-first.
 
+Error responses are structured: ``{"error": message, "code": stable
+machine code, "type": exception class name}`` with 404 for unknown
+endpoints, 400 for invalid requests (:mod:`repro.errors` taxonomy and
+parse failures), and 500 for everything else.
+
 Run it with ``repro serve INDEX [--host H] [--port P] [--cache-size N]``
 (accepts both binary snapshots and JSON warehouse documents).
 """
@@ -28,11 +40,28 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import ReproError
+from repro.errors import ReproError, UnknownEndpointError
+from repro.obs.metrics import (
+    EXPOSITION_CONTENT_TYPE,
+    default_registry,
+    format_sample,
+)
 from repro.serve.engine import IndexedWarehouse
+
+#: Endpoint label whitelist: request metrics label by these, and any
+#: other path collapses to "other" so scanners cannot explode the
+#: per-label cardinality of the request counter.
+KNOWN_ENDPOINTS = frozenset(
+    {"/healthz", "/stats", "/metrics", "/query", "/top-k", "/search"}
+)
+
+_REQUEST_SECONDS = "repro_http_request_seconds"
+_REQUESTS_TOTAL = "repro_http_requests_total"
+_INFLIGHT = "repro_http_inflight_requests"
 
 
 def _parse_pattern(text: str | None):
@@ -84,6 +113,15 @@ def _community_payload(community) -> dict:
     }
 
 
+def _error_shape(exc: BaseException) -> tuple[int, str]:
+    """HTTP status + stable machine ``code`` for an exception."""
+    if isinstance(exc, UnknownEndpointError):
+        return 404, "not_found"
+    if isinstance(exc, (ValueError, KeyError, TypeError, ReproError)):
+        return 400, "bad_request"
+    return 500, "internal_error"
+
+
 class WarehouseRequestHandler(BaseHTTPRequestHandler):
     """Routes requests to the server's shared engine."""
 
@@ -91,148 +129,310 @@ class WarehouseRequestHandler(BaseHTTPRequestHandler):
     server: "ThemeCommunityServer"
 
     # ------------------------------------------------------------------
-    def _send_json(self, payload: dict | list, status: int = 200) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_body(
+        self, body: bytes, content_type: str, status: int
+    ) -> None:
+        self._response_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, message: str, status: int = 400) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_json(self, payload: dict | list, status: int = 200) -> None:
+        self._send_body(
+            json.dumps(payload).encode("utf-8"), "application/json", status
+        )
+
+    def _send_error_json(self, exc: BaseException) -> None:
+        status, code = _error_shape(exc)
+        try:
+            self._send_json(
+                {
+                    "error": str(exc),
+                    "code": code,
+                    "type": type(exc).__name__,
+                },
+                status=status,
+            )
+        except OSError:
+            # The client is gone (broken pipe mid-response); the request
+            # metrics below still record the failure status.
+            self._response_status = status
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        url = urlsplit(self.path)
-        params = parse_qs(url.query)
-        try:
-            if url.path == "/healthz":
-                self._send_json({"status": "ok"})
-            elif url.path == "/stats":
-                self._send_json(self.server.engine.stats())
-            elif url.path == "/query":
-                answer = self.server.engine.query(
-                    pattern=_parse_pattern(
-                        params.get("pattern", [None])[0]
-                    ),
-                    alpha=_parse_float(params, "alpha", 0.0),
-                )
-                self._send_json(answer.to_payload())
-            elif url.path == "/top-k":
-                communities = self.server.engine.top_k(
-                    k=_parse_int(params, "k", 10),
-                    pattern=_parse_pattern(
-                        params.get("pattern", [None])[0]
-                    ),
-                    alpha=_parse_float(params, "alpha", 0.0),
-                    min_size=_parse_int(params, "min-size", 3),
-                )
-                self._send_json(
-                    {
-                        "k": len(communities),
-                        "communities": [
-                            _community_payload(c) for c in communities
-                        ],
-                    }
-                )
-            elif url.path == "/search":
-                vertices = _parse_pattern(
-                    params.get("vertices", [None])[0]
-                )
-                if vertices is None:
-                    raise ValueError(
-                        "vertices is required (comma-separated ids)"
-                    )
-                attributes = _parse_pattern(
-                    params.get("attributes", [None])[0]
-                )
-                if attributes is None:
-                    raise ValueError(
-                        "attributes is required (comma-separated ids)"
-                    )
-                matches = self.server.engine.search(
-                    vertices,
-                    attributes,
-                    alpha=_parse_float(params, "alpha", 0.0),
-                    limit=_parse_int(params, "limit", 0) or None,
-                )
-                self._send_json(
-                    {
-                        "matches": [
-                            {
-                                "pattern": list(match.pattern),
-                                "coverage": match.coverage,
-                                "strength": match.strength,
-                                "community": _community_payload(
-                                    match.community
-                                ),
-                            }
-                            for match in matches
-                        ]
-                    }
-                )
-            else:
-                self._send_error_json(
-                    f"unknown endpoint {url.path}", status=404
-                )
-        except (ValueError, ReproError) as exc:
-            self._send_error_json(str(exc))
+        self._instrumented("GET", self._route_get)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._instrumented("POST", self._route_post)
+
+    def _instrumented(self, method: str, route) -> None:
+        """Run one request with in-flight/latency/status accounting."""
         url = urlsplit(self.path)
+        endpoint = url.path if url.path in KNOWN_ENDPOINTS else "other"
+        registry = default_registry()
+        inflight = registry.gauge(
+            _INFLIGHT, help="HTTP requests currently being handled."
+        )
+        inflight.inc()
+        self._response_status = 200
+        start = time.perf_counter()
+        try:
+            try:
+                route(url, parse_qs(url.query))
+            except Exception as exc:
+                self._send_error_json(exc)
+        finally:
+            elapsed = time.perf_counter() - start
+            inflight.dec()
+            registry.histogram(
+                _REQUEST_SECONDS,
+                help="HTTP request handling latency.",
+                method=method,
+                endpoint=endpoint,
+            ).observe(elapsed)
+            registry.counter(
+                _REQUESTS_TOTAL,
+                help="HTTP requests handled, by endpoint and status.",
+                method=method,
+                endpoint=endpoint,
+                status=str(self._response_status),
+            ).inc()
+
+    # ------------------------------------------------------------------
+    def _route_get(self, url, params: dict) -> None:
+        if url.path == "/healthz":
+            self._send_json(self._healthz_payload())
+        elif url.path == "/stats":
+            self._send_json(self._stats_payload())
+        elif url.path == "/metrics":
+            self._send_body(
+                self._metrics_text().encode("utf-8"),
+                EXPOSITION_CONTENT_TYPE,
+                200,
+            )
+        elif url.path == "/query":
+            answer = self.server.engine.query(
+                pattern=_parse_pattern(params.get("pattern", [None])[0]),
+                alpha=_parse_float(params, "alpha", 0.0),
+            )
+            self._send_json(answer.to_payload())
+        elif url.path == "/top-k":
+            communities = self.server.engine.top_k(
+                k=_parse_int(params, "k", 10),
+                pattern=_parse_pattern(params.get("pattern", [None])[0]),
+                alpha=_parse_float(params, "alpha", 0.0),
+                min_size=_parse_int(params, "min-size", 3),
+            )
+            self._send_json(
+                {
+                    "k": len(communities),
+                    "communities": [
+                        _community_payload(c) for c in communities
+                    ],
+                }
+            )
+        elif url.path == "/search":
+            vertices = _parse_pattern(params.get("vertices", [None])[0])
+            if vertices is None:
+                raise ValueError(
+                    "vertices is required (comma-separated ids)"
+                )
+            attributes = _parse_pattern(
+                params.get("attributes", [None])[0]
+            )
+            if attributes is None:
+                raise ValueError(
+                    "attributes is required (comma-separated ids)"
+                )
+            matches = self.server.engine.search(
+                vertices,
+                attributes,
+                alpha=_parse_float(params, "alpha", 0.0),
+                limit=_parse_int(params, "limit", 0) or None,
+            )
+            self._send_json(
+                {
+                    "matches": [
+                        {
+                            "pattern": list(match.pattern),
+                            "coverage": match.coverage,
+                            "strength": match.strength,
+                            "community": _community_payload(
+                                match.community
+                            ),
+                        }
+                        for match in matches
+                    ]
+                }
+            )
+        else:
+            raise UnknownEndpointError(f"unknown endpoint {url.path}")
+
+    def _route_post(self, url, params: dict) -> None:
         # HTTP/1.1 keeps connections alive, so the body must be drained
         # even on error paths — leftover bytes would be parsed as the
         # start of the next request on a pooled connection.
         length = int(self.headers.get("Content-Length", "0"))
         body = self.rfile.read(length)
         if url.path != "/query":
-            self._send_error_json(
-                f"unknown endpoint {url.path}", status=404
-            )
-            return
-        try:
-            document = json.loads(body or b"{}")
-            if not isinstance(document, dict):
+            raise UnknownEndpointError(f"unknown endpoint {url.path}")
+        document = json.loads(body or b"{}")
+        if not isinstance(document, dict):
+            raise ValueError('body must be an object with a "queries" list')
+        queries = document.get("queries")
+        if not isinstance(queries, list):
+            raise ValueError('body must carry a "queries" list')
+        specs = []
+        for entry in queries:
+            if not isinstance(entry, dict):
                 raise ValueError(
-                    'body must be an object with a "queries" list'
+                    f"each query must be an object, got {entry!r}"
                 )
-            queries = document.get("queries")
-            if not isinstance(queries, list):
-                raise ValueError('body must carry a "queries" list')
-            specs = []
-            for entry in queries:
-                if not isinstance(entry, dict):
+            pattern = entry.get("pattern")
+            if pattern is not None:
+                # Same coercion as GET's _parse_pattern: item ids
+                # must be integers (a bare string would otherwise
+                # iterate into characters and silently prune all).
+                if isinstance(pattern, str) or not isinstance(
+                    pattern, (list, tuple)
+                ):
                     raise ValueError(
-                        f"each query must be an object, got {entry!r}"
+                        f"pattern must be a list of item ids, "
+                        f"got {pattern!r}"
                     )
-                pattern = entry.get("pattern")
-                if pattern is not None:
-                    # Same coercion as GET's _parse_pattern: item ids
-                    # must be integers (a bare string would otherwise
-                    # iterate into characters and silently prune all).
-                    if isinstance(pattern, str) or not isinstance(
-                        pattern, (list, tuple)
-                    ):
-                        raise ValueError(
-                            f"pattern must be a list of item ids, "
-                            f"got {pattern!r}"
-                        )
-                    pattern = tuple(int(item) for item in pattern)
-                specs.append(
-                    (
-                        pattern,
-                        _finite(
-                            float(entry.get("alpha", 0.0)), "alpha"
-                        ),
-                    )
+                pattern = tuple(int(item) for item in pattern)
+            specs.append(
+                (
+                    pattern,
+                    _finite(float(entry.get("alpha", 0.0)), "alpha"),
                 )
-            answers = self.server.engine.query_batch(specs)
-            self._send_json(
-                {"answers": [answer.to_payload() for answer in answers]}
             )
-        except (ValueError, KeyError, TypeError, ReproError) as exc:
-            self._send_error_json(str(exc))
+        answers = self.server.engine.query_batch(specs)
+        self._send_json(
+            {"answers": [answer.to_payload() for answer in answers]}
+        )
+
+    # ------------------------------------------------------------------
+    def _healthz_payload(self) -> dict:
+        engine = self.server.engine
+        payload: dict = {
+            "status": "ok",
+            "uptime_seconds": time.monotonic() - self.server.started,
+            "backend": engine.backend,
+            "kind": engine.kind,
+            "generation": engine.generation,
+        }
+        info = engine.stats()
+        if "snapshot_path" in info:
+            payload["snapshot_path"] = info["snapshot_path"]
+        return payload
+
+    def _stats_payload(self) -> dict:
+        info = self.server.engine.stats()
+        info["uptime_seconds"] = time.monotonic() - self.server.started
+        endpoints: dict[str, dict] = {}
+        for key, histogram in (
+            default_registry().histograms(_REQUEST_SECONDS).items()
+        ):
+            labels = dict(key)
+            label = (
+                f"{labels.get('method', '?')} "
+                f"{labels.get('endpoint', '?')}"
+            )
+            summary = histogram.percentiles()
+            summary["count"] = histogram.count
+            endpoints[label] = summary
+        info["endpoints"] = endpoints
+        return info
+
+    def _metrics_text(self) -> str:
+        """Registry exposition + engine gauges collected at scrape time.
+
+        Engine-level values (cache hit/miss, queries served, traversal
+        breakdown) live in the engine's own locked counters; rendering
+        them here as collector samples avoids double-bookkeeping every
+        increment into two places.
+        """
+        info = self.server.engine.stats()
+        cache = info["cache"]
+        breakdown = info.get("query_breakdown", {})
+        lines = [
+            "# HELP repro_engine_queries_served_total "
+            "Queries answered by the shared engine.",
+            "# TYPE repro_engine_queries_served_total counter",
+            format_sample(
+                "repro_engine_queries_served_total",
+                {},
+                info["queries_served"],
+            ),
+            "# HELP repro_engine_cache_lookups_total "
+            "Carrier-cache lookups, by outcome.",
+            "# TYPE repro_engine_cache_lookups_total counter",
+            format_sample(
+                "repro_engine_cache_lookups_total",
+                {"outcome": "hit"},
+                cache["hits"],
+            ),
+            format_sample(
+                "repro_engine_cache_lookups_total",
+                {"outcome": "miss"},
+                cache["misses"],
+            ),
+            "# HELP repro_engine_cache_entries Decoded carriers cached.",
+            "# TYPE repro_engine_cache_entries gauge",
+            format_sample(
+                "repro_engine_cache_entries", {}, cache["entries"]
+            ),
+            "# HELP repro_engine_generation Engine snapshot generation.",
+            "# TYPE repro_engine_generation gauge",
+            format_sample(
+                "repro_engine_generation", {}, info["generation"]
+            ),
+            "# HELP repro_engine_indexed_trusses "
+            "Maximal pattern trusses indexed by the serving snapshot.",
+            "# TYPE repro_engine_indexed_trusses gauge",
+            format_sample(
+                "repro_engine_indexed_trusses",
+                {},
+                info["indexed_trusses"],
+            ),
+            "# HELP repro_engine_query_nodes_total "
+            "Snapshot-query traversal outcomes, by node disposition.",
+            "# TYPE repro_engine_query_nodes_total counter",
+        ]
+        for outcome, field in (
+            ("visited", "visited_nodes"),
+            ("pruned_pattern", "pruned_pattern"),
+            ("pruned_alpha", "pruned_alpha"),
+            ("retrieved", "retrieved_nodes"),
+        ):
+            lines.append(
+                format_sample(
+                    "repro_engine_query_nodes_total",
+                    {"outcome": outcome},
+                    breakdown.get(field, 0),
+                )
+            )
+        lines.extend(
+            [
+                "# HELP repro_engine_query_phase_seconds_total "
+                "Snapshot-query wall time, split by phase.",
+                "# TYPE repro_engine_query_phase_seconds_total counter",
+                format_sample(
+                    "repro_engine_query_phase_seconds_total",
+                    {"phase": "toc"},
+                    breakdown.get("toc_seconds", 0.0),
+                ),
+                format_sample(
+                    "repro_engine_query_phase_seconds_total",
+                    {"phase": "decode"},
+                    breakdown.get("decode_seconds", 0.0),
+                ),
+            ]
+        )
+        return default_registry().render() + "\n".join(lines) + "\n"
 
     # Quiet by default: the serving benchmark and the concurrency tests
     # hammer the endpoint, and per-request stderr lines drown real logs.
@@ -255,6 +455,8 @@ class ThemeCommunityServer(ThreadingHTTPServer):
         super().__init__(address, WarehouseRequestHandler)
         self.engine = engine
         self.verbose = verbose
+        #: Monotonic bind time; /healthz and /stats report uptime from it.
+        self.started = time.monotonic()
 
 
 def create_server(
@@ -282,6 +484,7 @@ def start_server_thread(
 
 
 __all__ = [
+    "KNOWN_ENDPOINTS",
     "WarehouseRequestHandler",
     "ThemeCommunityServer",
     "create_server",

@@ -53,6 +53,7 @@ from repro.errors import TCIndexError
 from repro.index.decomposition import DecompositionLevel, TrussDecomposition
 from repro.index.tcnode import TCNode
 from repro.index.tctree import TCTree
+from repro.obs.trace import span
 
 MAGIC = b"REPROTCS"
 VERSION = 1
@@ -266,6 +267,15 @@ def write_snapshot(tree, path: str | Path) -> int:
     :class:`~repro.edgenet.index.EdgeTCTree` writes a v2 file with the
     :data:`FLAG_EDGE` payload-kind flag set.
     """
+    with span(
+        "snapshot.write", kind=getattr(tree, "kind", "vertex")
+    ) as sp:
+        size = _write_snapshot(tree, path)
+        sp.set_attr("bytes", size)
+        return size
+
+
+def _write_snapshot(tree, path: str | Path) -> int:
     spec = registry.model_for_tree(tree)
     if not spec.has_snapshot:
         raise TCIndexError(

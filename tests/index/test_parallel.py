@@ -280,7 +280,7 @@ class TestSharedCarrierBuild:
         parallel._WORKER_STATE = {"network": syn_network}
         handle = None
         try:
-            decompositions, handle = parallel._layer1_chunk(
+            decompositions, handle, _delta = parallel._layer1_chunk(
                 (chunk, segment_name)
             )
             assert handle is not None

@@ -1,0 +1,341 @@
+"""Tests for the metrics core: buckets, quantiles, snapshots, exposition.
+
+The histogram tests pin the bucket math (inclusive ``le`` boundaries,
+interpolated quantiles, overflow saturation); the snapshot tests pin the
+delta/merge algebra the process-parallel build's worker return channel
+depends on; the exposition tests are golden — byte-for-byte format 0.0.4.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    format_sample,
+    log_buckets,
+    use_registry,
+)
+
+
+class TestLogBuckets:
+    def test_default_span_covers_micro_to_minute(self):
+        bounds = log_buckets()
+        assert bounds == DEFAULT_LATENCY_BUCKETS
+        assert bounds[0] == pytest.approx(1e-6)
+        assert bounds[-1] > 60.0
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start": 0.0},
+            {"start": -1.0},
+            {"factor": 1.0},
+            {"factor": 0.5},
+            {"count": 0},
+        ],
+    )
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(ObservabilityError):
+            log_buckets(**kwargs)
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.dec(4)
+        gauge.inc()
+        assert gauge.value == pytest.approx(7.0)
+
+
+class TestHistogram:
+    def test_boundary_is_inclusive_le(self):
+        """An observation equal to a bound lands in that bucket, matching
+        Prometheus ``le`` semantics."""
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        histogram.observe(2.0)
+        counts, total, count = histogram.state()
+        assert counts == (0, 1, 0, 0)
+        assert total == pytest.approx(2.0)
+        assert count == 1
+
+    def test_overflow_lands_in_inf_bucket(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.state()[0] == (0, 0, 1)
+        # The histogram cannot see past its top bound.
+        assert histogram.quantile(0.99) == pytest.approx(2.0)
+
+    def test_bounds_must_be_ascending(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram(bounds=())
+
+    def test_quantile_interpolates_within_bucket(self):
+        """100 observations spread evenly in (1, 2]: the interpolated
+        median must sit near the true one, far inside the bucket."""
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        for i in range(100):
+            histogram.observe(1.0 + (i + 1) / 100.0)
+        median = histogram.quantile(0.5)
+        assert 1.0 < median < 2.0
+        assert median == pytest.approx(1.5, abs=0.01)
+
+    def test_quantile_accuracy_within_one_bucket(self):
+        """With the default ×2 buckets every quantile of a known sample
+        is within a factor of two of the exact order statistic."""
+        histogram = Histogram()
+        values = [0.001 * (i + 1) for i in range(1000)]  # 1ms .. 1s
+        for value in values:
+            histogram.observe(value)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            exact = values[int(q * len(values)) - 1]
+            got = histogram.quantile(q)
+            assert exact / 2 <= got <= exact * 2, (q, exact, got)
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ObservabilityError):
+            Histogram().quantile(1.5)
+
+    def test_percentiles_empty_is_zero(self):
+        assert Histogram().percentiles() == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_percentiles_are_monotone(self):
+        histogram = Histogram()
+        for i in range(200):
+            histogram.observe(0.0001 * 2 ** (i % 12))
+        p = histogram.percentiles()
+        assert p["p50"] <= p["p95"] <= p["p99"]
+
+
+class TestConcurrency:
+    def test_concurrent_increments_are_exact(self):
+        """8 threads hammering one counter/histogram lose no updates."""
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        histogram = registry.histogram("h_seconds")
+        barrier = threading.Barrier(8)
+
+        def worker() -> None:
+            barrier.wait()
+            for i in range(1000):
+                counter.inc()
+                histogram.observe(1e-5 * (i % 7 + 1))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert counter.value == 8000
+        assert histogram.count == 8000
+
+    def test_concurrent_get_or_create_shares_children(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(8)
+
+        def worker() -> None:
+            barrier.wait()
+            for _ in range(200):
+                registry.counter("shared_total", route="csr").inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert registry.counter("shared_total", route="csr").value == 1600
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x_total")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("x_total")
+
+    def test_invalid_name_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", "9lives", "has space", "dash-ed"):
+            with pytest.raises(ObservabilityError):
+                registry.counter(bad)
+
+    def test_labels_fan_out_families(self):
+        registry = MetricsRegistry()
+        registry.counter("routes_total", route="csr").inc(3)
+        registry.counter("routes_total", route="legacy").inc()
+        assert registry.families() == {"routes_total": "counter"}
+        values = registry.counters("routes_total")
+        assert values[(("route", "csr"),)] == 3
+        assert values[(("route", "legacy"),)] == 1
+
+    def test_use_registry_scopes_the_default(self):
+        outer = default_registry()
+        with use_registry() as registry:
+            assert default_registry() is registry
+            assert registry is not outer
+        assert default_registry() is outer
+
+
+class TestSnapshot:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("c_total", help="a counter", route="x").inc(5)
+        registry.gauge("g").set(2)
+        h = registry.histogram("h_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(10.0)
+        return registry
+
+    def test_snapshot_pickle_round_trip(self):
+        snap = self._populated().snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.counters == snap.counters
+        assert clone.gauges == snap.gauges
+        assert clone.histograms == snap.histograms
+
+    def test_delta_subtracts_counters_and_histograms(self):
+        registry = self._populated()
+        before = registry.snapshot()
+        registry.counter("c_total", route="x").inc(2)
+        registry.histogram("h_seconds").observe(0.5)
+        registry.gauge("g").set(99)
+        delta = registry.snapshot().delta(before)
+        assert delta.counter_value("c_total", route="x") == 2
+        _bounds, counts, _total, count = delta.histograms[
+            ("h_seconds", ())
+        ]
+        assert count == 1
+        assert counts == (0, 1, 0)
+        # Gauges carry level, not flow: excluded from deltas.
+        assert delta.gauges == {}
+
+    def test_delta_drops_unchanged_series(self):
+        registry = self._populated()
+        snap = registry.snapshot()
+        assert snap.delta(snap).counters == {}
+        assert snap.delta(snap).histograms == {}
+
+    def test_merge_reconstructs_totals(self):
+        """snapshot → delta → merge into a fresh registry reproduces the
+        worker return channel: totals must match exactly."""
+        registry = self._populated()
+        before = registry.snapshot()
+        registry.counter("c_total", route="x").inc(7)
+        registry.histogram("h_seconds").observe(0.2)
+        delta = registry.snapshot().delta(before)
+
+        target = MetricsRegistry()
+        target.merge(delta)
+        target.merge(delta)  # two workers reporting the same delta
+        assert target.counter("c_total", route="x").value == 14
+        merged = target.histogram("h_seconds", buckets=(0.1, 1.0))
+        assert merged.count == 2
+        assert merged.sum == pytest.approx(0.4)
+
+    def test_merge_none_is_noop(self):
+        registry = MetricsRegistry()
+        registry.merge(None)
+        assert registry.families() == {}
+
+    def test_merge_rejects_bound_mismatch(self):
+        source = MetricsRegistry()
+        source.histogram("h_seconds", buckets=(0.5, 5.0)).observe(1.0)
+        target = MetricsRegistry()
+        target.histogram("h_seconds", buckets=(0.1, 1.0))
+        with pytest.raises(ObservabilityError):
+            target.merge(source.snapshot())
+
+    def test_counter_total_sums_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("r_total", route="a").inc(2)
+        registry.counter("r_total", route="b").inc(3)
+        assert registry.snapshot().counter_total("r_total") == 5
+
+    def test_as_flat_dict_uses_sample_names(self):
+        flat = self._populated().snapshot().as_flat_dict()
+        assert flat['c_total{route="x"}'] == 5
+        assert flat["h_seconds_count"] == 3
+        assert flat["h_seconds_sum"] == pytest.approx(10.55)
+
+
+class TestExposition:
+    def test_golden_render(self):
+        """Byte-for-byte text exposition format 0.0.4."""
+        registry = MetricsRegistry()
+        registry.counter(
+            "reqs_total", help="Requests served.", method="GET"
+        ).inc(3)
+        registry.gauge("inflight").set(1)
+        h = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(10.0)
+        assert registry.render() == (
+            "# TYPE inflight gauge\n"
+            "inflight 1\n"
+            "# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="0.1"} 1\n'
+            'lat_seconds_bucket{le="1"} 2\n'
+            'lat_seconds_bucket{le="+Inf"} 3\n'
+            "lat_seconds_sum 10.55\n"
+            "lat_seconds_count 3\n"
+            "# HELP reqs_total Requests served.\n"
+            "# TYPE reqs_total counter\n"
+            'reqs_total{method="GET"} 3\n'
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+    def test_label_values_are_escaped(self):
+        line = format_sample("m", {"path": 'a"b\\c\nd'}, 1)
+        assert line == 'm{path="a\\"b\\\\c\\nd"} 1'
+
+    def test_inf_bucket_and_integer_collapse(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(2.0,)).observe(1.0)
+        text = registry.render()
+        assert 'h_bucket{le="2"} 1' in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+        assert "h_sum 1\n" in text
+        assert "h_count 1\n" in text
+
+    def test_counter_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            h.observe(value)
+        text = registry.render()
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 2' in text
+        assert 'h_bucket{le="4"} 4' in text
+        assert 'h_bucket{le="+Inf"} 4' in text

@@ -1,0 +1,195 @@
+"""Tests for the span tracer: no-op path, nesting, exporters, build spans."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    current_tracer,
+    span,
+    trace,
+    tracing,
+)
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_noop_singleton(self):
+        """Disabled tracing must not allocate: every call hands back the
+        one module-level no-op object."""
+        assert current_tracer() is None
+        first = span("anything", attr=1)
+        second = trace("else")
+        assert first is second
+        assert not first.active
+
+    def test_noop_span_is_inert(self):
+        with span("phase") as sp:
+            sp.set_attr("key", "value")  # swallowed, no tracer installed
+        assert current_tracer() is None
+
+
+class TestNesting:
+    def test_spans_nest_into_a_tree(self):
+        with tracing() as tracer:
+            with span("outer", n=1) as outer:
+                assert outer.active
+                with span("inner"):
+                    pass
+                with span("inner2") as inner2:
+                    inner2.set_attr("result", 42)
+        assert [root.name for root in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [child.name for child in outer.children] == [
+            "inner", "inner2",
+        ]
+        assert outer.attrs == {"n": 1}
+        assert outer.children[1].attrs == {"result": 42}
+        assert outer.duration >= outer.children[0].duration
+
+    def test_walk_is_preorder(self):
+        with tracing() as tracer:
+            with span("a"):
+                with span("b"):
+                    with span("c"):
+                        pass
+                with span("d"):
+                    pass
+        names = [s.name for s in tracer.roots[0].walk()]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_activations_stack(self):
+        outer_tracer = Tracer()
+        inner_tracer = Tracer()
+        with tracing(outer_tracer):
+            assert current_tracer() is outer_tracer
+            with tracing(inner_tracer):
+                assert current_tracer() is inner_tracer
+                with span("deep"):
+                    pass
+            assert current_tracer() is outer_tracer
+        assert current_tracer() is None
+        assert [r.name for r in inner_tracer.roots] == ["deep"]
+        assert outer_tracer.roots == []
+
+    def test_threads_get_independent_stacks(self):
+        """Concurrent root spans from different threads must not nest
+        under each other."""
+        with tracing() as tracer:
+            barrier = threading.Barrier(4)
+
+            def worker(i: int) -> None:
+                barrier.wait()
+                with span(f"t{i}"):
+                    with span(f"t{i}.child"):
+                        pass
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert sorted(r.name for r in tracer.roots) == [
+            "t0", "t1", "t2", "t3",
+        ]
+        for root in tracer.roots:
+            assert [c.name for c in root.children] == [f"{root.name}.child"]
+
+
+class TestExporters:
+    def _tracer(self) -> Tracer:
+        with tracing() as tracer:
+            with span("build", backend="serial"):
+                with span("layer1", items=3):
+                    pass
+        return tracer
+
+    def test_to_json_schema(self):
+        doc = self._tracer().to_json()
+        assert doc["schema"] == "repro-trace/v1"
+        (root,) = doc["spans"]
+        assert root["name"] == "build"
+        assert root["attrs"] == {"backend": "serial"}
+        (child,) = root["children"]
+        assert child["name"] == "layer1"
+        assert child["duration"] >= 0.0
+
+    def test_to_chrome_events(self):
+        doc = self._tracer().to_chrome()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["build", "layer1"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+        assert events[0]["args"] == {"backend": "serial"}
+
+    def test_write_round_trips_both_formats(self, tmp_path):
+        tracer = self._tracer()
+        chrome_path = tmp_path / "trace.chrome.json"
+        json_path = tmp_path / "trace.json"
+        tracer.write(str(chrome_path), fmt="chrome")
+        tracer.write(str(json_path), fmt="json")
+        chrome = json.loads(chrome_path.read_text())
+        assert {e["name"] for e in chrome["traceEvents"]} == {
+            "build", "layer1",
+        }
+        plain = json.loads(json_path.read_text())
+        assert plain["schema"] == "repro-trace/v1"
+
+    def test_span_as_dict_omits_empty_fields(self):
+        bare = Span("solo", {}, tid=1)
+        bare.close()
+        assert set(bare.as_dict()) == {"name", "start", "duration"}
+
+
+class TestBuildIntegration:
+    def test_build_tc_tree_records_phase_spans(self, toy_network):
+        from repro.index.tctree import build_tc_tree
+
+        tracer = Tracer()
+        tree = build_tc_tree(toy_network, backend="serial", trace=tracer)
+        assert tree.num_nodes > 1
+        (root,) = tracer.roots
+        assert root.name == "build.tc_tree"
+        assert root.attrs["backend"] == "serial"
+        assert root.attrs["nodes"] == tree.num_nodes
+        names = {s.name for s in root.walk()}
+        assert {"build.warm_triangles", "build.layer1",
+                "build.frontier"} <= names
+        # Disabled again after the build: the switchboard was restored.
+        assert current_tracer() is None
+
+    def test_build_without_trace_leaves_tracing_off(self, toy_network):
+        from repro.index.tctree import build_tc_tree
+
+        build_tc_tree(toy_network, backend="serial")
+        assert current_tracer() is None
+
+    def test_cli_index_trace_writes_chrome_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        network_file = tmp_path / "net.json"
+        assert main(
+            ["generate", "--dataset", "BK", "--scale", "tiny",
+             "--out", str(network_file)]
+        ) == 0
+        trace_file = tmp_path / "build.trace.json"
+        assert main(
+            ["index", str(network_file), "--out",
+             str(tmp_path / "net.tcsnap"), "--format", "snapshot",
+             "--max-length", "2", "--trace", str(trace_file)]
+        ) == 0
+        assert "wrote build trace" in capsys.readouterr().out
+        doc = json.loads(trace_file.read_text())
+        names = {event["name"] for event in doc["traceEvents"]}
+        assert "build.layer1" in names
+        assert "snapshot.write" in names

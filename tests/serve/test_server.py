@@ -41,8 +41,14 @@ def _post(base: str, path: str, payload: dict) -> dict:
 
 class TestEndpoints:
     def test_healthz(self, running_server):
-        base, _engine = running_server
-        assert _get(base, "/healthz") == {"status": "ok"}
+        base, engine = running_server
+        payload = _get(base, "/healthz")
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0.0
+        assert payload["backend"] == "snapshot"
+        assert payload["kind"] == engine.kind
+        assert payload["generation"] == engine.generation
+        assert payload["snapshot_path"].endswith(".tcsnap")
 
     def test_stats(self, running_server):
         base, engine = running_server
@@ -194,6 +200,57 @@ class TestSearchEndpoint:
         assert excinfo.value.code == 400
 
 
+class TestMetricsEndpoint:
+    def _metrics_text(self, base: str) -> tuple[str, str]:
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
+            return (
+                resp.read().decode("utf-8"),
+                resp.headers.get("Content-Type", ""),
+            )
+
+    def test_exposition_format(self, running_server):
+        from repro.obs.metrics import EXPOSITION_CONTENT_TYPE
+
+        base, _engine = running_server
+        # A served query's own latency observation lands after its
+        # response is written, so issue one first and scrape second.
+        _get(base, "/query?alpha=0.2")
+        text, content_type = self._metrics_text(base)
+        assert content_type == EXPOSITION_CONTENT_TYPE
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert 'endpoint="/query"' in text
+
+    def test_engine_collector_samples(self, running_server):
+        base, engine = running_server
+        _get(base, "/query?alpha=0.2")
+        text, _content_type = self._metrics_text(base)
+        served = engine.stats()["queries_served"]
+        assert f"repro_engine_queries_served_total {served}" in text
+        assert "repro_engine_generation 1" in text
+        assert "repro_engine_indexed_trusses" in text
+        assert 'repro_engine_cache_lookups_total{outcome="hit"}' in text
+        assert 'repro_engine_query_nodes_total{outcome="visited"}' in text
+        assert 'repro_engine_query_phase_seconds_total{phase="toc"}' in text
+
+    def test_stats_reports_endpoint_latency(self, running_server):
+        base, _engine = running_server
+        _get(base, "/query?alpha=0.2")
+        stats = _get(base, "/stats")
+        assert stats["uptime_seconds"] >= 0.0
+        endpoints = stats["endpoints"]
+        entry = endpoints["GET /query"]
+        assert entry["count"] >= 1
+        assert entry["p50"] > 0.0
+        assert entry["p50"] <= entry["p95"] <= entry["p99"]
+        breakdown = stats["query_breakdown"]
+        assert breakdown["queries"] >= 1
+        assert breakdown["visited_nodes"] >= breakdown["retrieved_nodes"]
+        assert breakdown["toc_seconds"] >= 0.0
+        assert breakdown["decode_seconds"] >= 0.0
+
+
 class TestErrorHandling:
     def _status_of(self, base: str, path: str) -> tuple[int, dict]:
         try:
@@ -207,6 +264,47 @@ class TestErrorHandling:
         status, payload = self._status_of(base, "/nope")
         assert status == 404
         assert "error" in payload
+
+    def test_404_body_is_structured(self, running_server):
+        base, _engine = running_server
+        status, payload = self._status_of(base, "/nope")
+        assert status == 404
+        assert payload["code"] == "not_found"
+        assert payload["type"] == "UnknownEndpointError"
+        assert "/nope" in payload["error"]
+
+    def test_400_body_is_structured(self, running_server):
+        base, _engine = running_server
+        status, payload = self._status_of(base, "/query?alpha=abc")
+        assert status == 400
+        assert payload["code"] == "bad_request"
+        assert payload["type"] == "ValueError"
+        assert "alpha" in payload["error"]
+
+    def test_500_body_is_structured(self, running_server):
+        """An unexpected engine crash surfaces as a JSON 500 with the
+        taxonomy fields, not a dropped connection."""
+        base, engine = running_server
+        original = engine.query
+        engine.query = lambda *a, **k: (_ for _ in ()).throw(
+            RuntimeError("boom")
+        )
+        try:
+            status, payload = self._status_of(base, "/query?alpha=0.1")
+        finally:
+            engine.query = original
+        assert status == 500
+        assert payload["code"] == "internal_error"
+        assert payload["type"] == "RuntimeError"
+        assert "boom" in payload["error"]
+
+    def test_errors_are_counted_with_status_label(self, running_server):
+        base, _engine = running_server
+        self._status_of(base, "/nope")
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
+            text = resp.read().decode("utf-8")
+        assert 'endpoint="other"' in text
+        assert 'status="404"' in text
 
     def test_post_404_drains_body_on_keepalive(self, running_server):
         """A 404'd POST must consume its body: leftover bytes would be
@@ -226,7 +324,7 @@ class TestErrorHandling:
             connection.request("GET", "/healthz")
             response = connection.getresponse()
             assert response.status == 200
-            assert json.loads(response.read()) == {"status": "ok"}
+            assert json.loads(response.read())["status"] == "ok"
         finally:
             connection.close()
 

@@ -12,7 +12,10 @@ to this module. The sweeps themselves live here:
 - :func:`sweep_net_reuse_fraction` (the 90% net-reuse fraction — reuse
   the network CSR vs project the carrier),
 - :func:`sweep_edge_csr_min_edges` (the edge-model analogue),
-- :func:`sweep_prob_csr_min_edges` (probabilistic (k, γ)-truss peeling).
+- :func:`sweep_prob_csr_min_edges` (probabilistic (k, γ)-truss peeling),
+- :func:`sweep_maint_full_rebuild_fraction` (incremental maintenance
+  with decomposition reuse vs eager full rebuild, across affected
+  fractions of the item universe).
 
 Each boundary is re-measured with a sweep of sizes (or carrier
 fractions) around it; the crossover point is fitted from the timing
@@ -318,6 +321,52 @@ def sweep_prob_csr_min_edges(
     return {"x": sizes, "slow": legacy, "fast": csr}
 
 
+def sweep_maint_full_rebuild_fraction(
+    points: int = 5,
+    reps: int = 3,
+    low: float = 0.2,
+    high: float = 1.0,
+) -> dict[str, list[float]]:
+    """Incremental maintenance vs full rebuild across affected fractions.
+
+    For an update whose affected items cover fraction ``f`` of the item
+    universe, the maintainer can rebuild with the surviving
+    decompositions handed to the builder's ``reuse`` hook (incremental —
+    the "fast" side) or rebuild everything from scratch (full). As
+    ``f → 1`` nothing survives, so the old-tree scan and reuse-dict
+    probing stop paying for themselves: the fitted crossover is the
+    fraction above which ``mode="auto"`` should route to a full rebuild,
+    compared against ``MAINT_FULL_REBUILD_FRACTION``.
+    """
+    from repro.datasets.synthetic import generate_synthetic_network
+    from repro.index.tctree import build_tc_tree
+    from repro.index.updates import reusable_decompositions
+
+    network = generate_synthetic_network(
+        num_items=12, num_seeds=3, mutation_rate=0.4,
+        max_transactions=8, max_transaction_length=4, seed=700,
+    )
+    base = build_tc_tree(network, max_length=3, backend="serial")
+    universe = sorted(set(network.item_universe()))
+    fractions, full_times, incremental_times = [], [], []
+    step = (high - low) / (points - 1) if points > 1 else 0.0
+    for i in range(points):
+        count = max(1, round((low + step * i) * len(universe)))
+        reuse = reusable_decompositions(base, set(universe[:count]))
+        fractions.append(count / len(universe))
+        full_times.append(_median_time(
+            lambda: build_tc_tree(network, max_length=3, backend="serial"),
+            reps,
+        ))
+        incremental_times.append(_median_time(
+            lambda: build_tc_tree(
+                network, max_length=3, backend="serial", reuse=dict(reuse)
+            ),
+            reps,
+        ))
+    return {"x": fractions, "slow": full_times, "fast": incremental_times}
+
+
 # ---------------------------------------------------------------------------
 # The tune-cutovers driver
 
@@ -513,6 +562,7 @@ __all__ = [
     "round_to_power_of_two",
     "sweep_csr_min_edges",
     "sweep_edge_csr_min_edges",
+    "sweep_maint_full_rebuild_fraction",
     "sweep_net_reuse_fraction",
     "sweep_prob_csr_min_edges",
     "tune_cutovers",

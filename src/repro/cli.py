@@ -235,27 +235,66 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.engine import IndexedWarehouse
+    from repro.serve.live import LiveIndex
     from repro.serve.server import create_server
 
     engine = IndexedWarehouse.open(args.index, cache_size=args.cache_size)
+    live = None
+    if args.live or args.watch:
+        live = LiveIndex(
+            engine,
+            directory=args.watch,
+            compact_threshold=args.compact_every,
+        )
+        if args.watch:
+            live.watch()
     server = create_server(
-        engine, host=args.host, port=args.port, verbose=args.verbose
+        engine, host=args.host, port=args.port, verbose=args.verbose,
+        live=live,
     )
     host, port = server.server_address[:2]
+    endpoints = "/query /top-k /search /stats /healthz /metrics"
+    if live is not None:
+        endpoints += " /admin/apply-delta"
     print(
         f"serving {args.index} ({engine.backend}, "
         f"{engine.num_indexed_trusses} trusses) "
-        f"on http://{host}:{port} — endpoints: "
-        "/query /top-k /search /stats /healthz /metrics",
+        f"on http://{host}:{port} — endpoints: " + endpoints,
         flush=True,
     )
+    if args.watch:
+        print(f"watching {args.watch} for *.tcdelta overlays", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if live is not None:
+            live.stop()
         server.server_close()
         engine.close()
+    return 0
+
+
+def _cmd_delta(args: argparse.Namespace) -> int:
+    from repro.serve.engine import IndexedWarehouse
+    from repro.serve.snapshot import write_delta_snapshot
+
+    with IndexedWarehouse.open(args.base) as base_engine:
+        base_tree = base_engine.materialize_tree()
+    with IndexedWarehouse.open(args.updated) as updated_engine:
+        updated_tree = updated_engine.materialize_tree()
+    size = write_delta_snapshot(
+        base_tree,
+        updated_tree,
+        args.out,
+        generation=args.generation,
+        base_generation=args.base_generation,
+    )
+    print(
+        f"wrote {args.out}: {size} bytes "
+        f"(generation {args.base_generation} -> {args.generation})"
+    )
     return 0
 
 
@@ -578,7 +617,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="decoded-carrier LRU cache capacity, in nodes")
     p.add_argument("--verbose", action="store_true",
                    help="log one line per request to stderr")
+    p.add_argument("--live", action="store_true",
+                   help="enable the /admin/apply-delta ingestion "
+                        "endpoint (hot-swap on overlay deltas)")
+    p.add_argument("--watch", default=None, metavar="DIR",
+                   help="poll DIR for *.tcdelta overlays and apply "
+                        "them in generation order (implies --live; "
+                        "compacted snapshots are written there too)")
+    p.add_argument("--compact-every", type=int, default=4,
+                   help="full-snapshot compaction after this many "
+                        "overlay publications (default 4)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "delta",
+        help="diff two indexes into an overlay delta snapshot",
+    )
+    p.add_argument("base", help="the currently served index file")
+    p.add_argument("updated", help="the maintained/rebuilt index file")
+    p.add_argument("--out", required=True,
+                   help="overlay path (conventionally *.tcdelta)")
+    p.add_argument("--generation", type=int, required=True,
+                   help="generation number the overlay publishes")
+    p.add_argument("--base-generation", type=int, default=1,
+                   help="generation the overlay applies on top of "
+                        "(default 1, a freshly opened index)")
+    p.set_defaults(func=_cmd_delta)
 
     p = sub.add_parser("validate", help="check a network for problems")
     p.add_argument("network")

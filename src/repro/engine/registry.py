@@ -384,6 +384,15 @@ def _vertex_spec() -> ModelSpec:
                 value=0.9,
                 applicable=False,
             ),
+            CutoverSpec(
+                name="MAINT_FULL_REBUILD_FRACTION",
+                source="src/repro/index/updates.py",
+                sweep="repro.bench.tuning:sweep_maint_full_rebuild_fraction",
+                unit="affected fraction of the item universe",
+                value_ref="repro.index.updates:MAINT_FULL_REBUILD_FRACTION",
+                # A fraction, not a rewritable integer — report-only.
+                applicable=False,
+            ),
         ),
     )
 

@@ -34,6 +34,11 @@ class QueryAnswer:
     trusses: list[PatternTruss] = field(default_factory=list)
     retrieved_nodes: int = 0  # RN in Figure 5
     visited_nodes: int = 0  # nodes touched, including pruned ones
+    #: Serving generation the answer was computed against (stamped by
+    #: :class:`~repro.serve.engine.IndexedWarehouse`; ``None`` on direct
+    #: tree queries). Every truss in the answer comes from this one
+    #: generation — the hot-swap tier's no-torn-reads witness.
+    generation: int | None = None
 
     @property
     def num_trusses(self) -> int:
@@ -48,7 +53,7 @@ class QueryAnswer:
 
     def to_payload(self) -> dict:
         """JSON-serializable form (the serving layer's wire format)."""
-        return {
+        payload: dict = {
             "query_pattern": (
                 None if self.query_pattern is None
                 else list(self.query_pattern)
@@ -70,6 +75,9 @@ class QueryAnswer:
                 for truss in self.trusses
             ],
         }
+        if self.generation is not None:
+            payload["generation"] = self.generation
+        return payload
 
 
 def query_tc_tree(

@@ -109,16 +109,21 @@ class CarrierCache:
             }
 
 
-class IndexedWarehouse:
-    """Read-optimized warehouse facade over a snapshot (or JSON fallback).
+class ServingGeneration:
+    """One immutable published generation: backend + its carrier cache.
 
-    One instance is safe to share across server threads: the snapshot
-    buffer is immutable, the carrier cache locks internally, and query
-    state is per-call.
+    Everything a query touches hangs off this one object — the snapshot
+    (or tree) and the decoded-carrier cache — so a reader that captured
+    a generation reference sees a fully consistent world no matter how
+    many times the engine hot-swaps underneath it, and cache entries can
+    never leak across generations (each generation owns a fresh cache).
     """
+
+    __slots__ = ("number", "snapshot", "tree", "cache", "snapshot_bytes")
 
     def __init__(
         self,
+        number: int,
         snapshot: TCTreeSnapshot | None = None,
         tree: TCTree | None = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
@@ -127,18 +132,71 @@ class IndexedWarehouse:
             raise TCIndexError(
                 "exactly one of snapshot/tree must be given"
             )
-        self._snapshot = snapshot
-        self._tree = tree
-        self._cache = CarrierCache(cache_size)
+        self.number = number
+        self.snapshot = snapshot
+        self.tree = tree
+        self.cache = CarrierCache(cache_size)
+        # Captured once: the file may be replaced or deleted while the
+        # live mmap keeps serving, so /stats must not re-stat it.
+        self.snapshot_bytes = (
+            snapshot.path.stat().st_size
+            if snapshot is not None and snapshot.path is not None
+            else None
+        )
+
+    @property
+    def backend(self) -> str:
+        return "snapshot" if self.snapshot is not None else "memory"
+
+    @property
+    def kind(self) -> str:
+        if self.snapshot is not None:
+            return self.snapshot.kind
+        return getattr(self.tree, "kind", "vertex")
+
+    def close(self) -> None:
+        if self.snapshot is not None:
+            self.snapshot.close()
+
+
+class IndexedWarehouse:
+    """Read-optimized warehouse facade over a snapshot (or JSON fallback).
+
+    One instance is safe to share across server threads: the snapshot
+    buffer is immutable, the carrier cache locks internally, and query
+    state is per-call.
+
+    The serving state lives in one :class:`ServingGeneration` reference:
+    every query captures it exactly once up front, and :meth:`swap`
+    publishes a new generation as a single reference assignment — an
+    atomic store under the GIL — so in-flight readers finish on the old
+    generation while new ones see the new, and no read can ever observe
+    half of each (the hot-swap tier's no-torn-reads guarantee). Retired
+    generations stay referenced (their mmaps must outlive in-flight
+    readers) and are closed with the engine.
+    """
+
+    def __init__(
+        self,
+        snapshot: TCTreeSnapshot | None = None,
+        tree: TCTree | None = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        self._cache_size = cache_size
+        #: Engine generation, bumped by :meth:`swap` under a live server;
+        #: surfaced by ``/healthz`` so a load balancer can tell a
+        #: restarted/reloaded engine from a stale one.
+        self._gen = ServingGeneration(
+            1, snapshot=snapshot, tree=tree, cache_size=cache_size
+        )
+        self._retired: list[ServingGeneration] = []
+        self._swap_lock = threading.Lock()
         self._queries_served = 0
         self._count_lock = threading.Lock()
-        #: Engine generation, bumped by whoever hot-swaps the snapshot
-        #: under a live server; surfaced by ``/healthz`` so a load
-        #: balancer can tell a restarted/reloaded engine from a stale one.
-        self.generation = 1
         # Aggregate per-query breakdown (snapshot backend): where query
         # wall time goes — TOC walk + prunes vs payload decode — and the
-        # node-level traversal counters behind it.
+        # node-level traversal counters behind it. Cumulative across
+        # generations (it describes the engine, not one index).
         self._qstats = {
             "queries": 0,
             "visited_nodes": 0,
@@ -148,13 +206,6 @@ class IndexedWarehouse:
             "toc_seconds": 0.0,
             "decode_seconds": 0.0,
         }
-        # Captured once: the file may be replaced or deleted while the
-        # live mmap keeps serving, so /stats must not re-stat it.
-        self._snapshot_bytes = (
-            snapshot.path.stat().st_size
-            if snapshot is not None and snapshot.path is not None
-            else None
-        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -175,8 +226,11 @@ class IndexedWarehouse:
         )
 
     def close(self) -> None:
-        if self._snapshot is not None:
-            self._snapshot.close()
+        with self._swap_lock:
+            retired, self._retired = self._retired, []
+        for generation in retired:
+            generation.close()
+        self._gen.close()
 
     def __enter__(self) -> "IndexedWarehouse":
         return self
@@ -185,9 +239,80 @@ class IndexedWarehouse:
         self.close()
 
     # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """The currently served generation number (starts at 1)."""
+        return self._gen.number
+
+    @property
+    def retired_generations(self) -> int:
+        with self._swap_lock:
+            return len(self._retired)
+
+    def swap(
+        self,
+        *,
+        snapshot: TCTreeSnapshot | None = None,
+        tree: TCTree | None = None,
+        number: int | None = None,
+    ) -> int:
+        """Publish a new serving generation; returns its number.
+
+        The new generation must serve the same tree kind (readers may
+        rely on the model never changing under them) and carry a higher
+        number (``number=None`` bumps by one). Publication is a single
+        reference assignment: in-flight queries that already captured the
+        old generation finish on it untouched — its snapshot is retired,
+        not closed, until the engine itself closes.
+        """
+        with self._swap_lock:
+            old = self._gen
+            generation = ServingGeneration(
+                number if number is not None else old.number + 1,
+                snapshot=snapshot,
+                tree=tree,
+                cache_size=self._cache_size,
+            )
+            if generation.number <= old.number:
+                generation.close()
+                raise TCIndexError(
+                    f"generation {generation.number} does not advance "
+                    f"the served generation {old.number}"
+                )
+            if generation.kind != old.kind:
+                generation.close()
+                raise TCIndexError(
+                    f"cannot swap a {generation.kind!r} index under a "
+                    f"{old.kind!r} engine"
+                )
+            self._retired.append(old)
+            # The publication point: one atomic reference store.
+            self._gen = generation
+        default_registry().counter(
+            "repro_engine_swaps_total",
+            help="Serving generations published by hot swap.",
+        ).inc()
+        return generation.number
+
+    def materialize_tree(self):
+        """The current generation's index as an in-memory tree.
+
+        The writer-side entry point of the live tier: overlays apply to
+        a materialized tree, not to the mmap. On the memory backend this
+        is the served tree itself (treat it as immutable — apply-delta
+        clones before mutating).
+        """
+        generation = self._gen
+        if generation.tree is not None:
+            return generation.tree
+        return generation.snapshot.materialize_tree()
+
+    # ------------------------------------------------------------------
     @property
     def backend(self) -> str:
-        return "snapshot" if self._snapshot is not None else "memory"
+        return self._gen.backend
 
     @property
     def kind(self) -> str:
@@ -199,31 +324,33 @@ class IndexedWarehouse:
         ``truss_at`` contract — so the kind is informational (the CLI's
         ``--kind`` guard and ``/stats``).
         """
-        if self._snapshot is not None:
-            return self._snapshot.kind
-        return getattr(self._tree, "kind", "vertex")
+        return self._gen.kind
 
     @property
     def num_indexed_trusses(self) -> int:
-        if self._snapshot is not None:
-            return self._snapshot.num_nodes
-        return self._tree.num_nodes  # type: ignore[union-attr]
+        generation = self._gen
+        if generation.snapshot is not None:
+            return generation.snapshot.num_nodes
+        return generation.tree.num_nodes  # type: ignore[union-attr]
 
     @property
     def num_items(self) -> int:
-        if self._snapshot is not None:
-            return self._snapshot.num_items
-        return self._tree.num_items  # type: ignore[union-attr]
+        generation = self._gen
+        if generation.snapshot is not None:
+            return generation.snapshot.num_items
+        return generation.tree.num_items  # type: ignore[union-attr]
 
     def patterns(self) -> list:
-        if self._snapshot is not None:
-            return self._snapshot.patterns()
-        return self._tree.patterns()  # type: ignore[union-attr]
+        generation = self._gen
+        if generation.snapshot is not None:
+            return generation.snapshot.patterns()
+        return generation.tree.patterns()  # type: ignore[union-attr]
 
     def alpha_range(self) -> tuple[float, float]:
         """The non-trivial query range ``[0, α*)`` — TOC-only on snapshots."""
-        if self._snapshot is not None:
-            snapshot = self._snapshot
+        generation = self._gen
+        if generation.snapshot is not None:
+            snapshot = generation.snapshot
             return (
                 0.0,
                 max(
@@ -234,7 +361,7 @@ class IndexedWarehouse:
                     default=0.0,
                 ),
             )
-        return (0.0, self._tree.max_alpha())  # type: ignore[union-attr]
+        return (0.0, generation.tree.max_alpha())  # type: ignore[union-attr]
 
     # ------------------------------------------------------------------
     def query(
@@ -243,20 +370,26 @@ class IndexedWarehouse:
         alpha: float = 0.0,
     ) -> QueryAnswer:
         """Answer ``(q, α_q)`` — Algorithm 5 over the lazy backend."""
+        # Captured exactly once: everything below reads this one
+        # generation, so a concurrent swap cannot tear the answer.
+        generation = self._gen
         with self._count_lock:
             self._queries_served += 1
         start = time.perf_counter()
         try:
-            if self._tree is not None:
-                return query_tc_tree(
-                    self._tree, pattern=pattern, alpha=alpha
+            if generation.tree is not None:
+                answer = query_tc_tree(
+                    generation.tree, pattern=pattern, alpha=alpha
                 )
-            return self._query_snapshot(pattern, alpha)
+            else:
+                answer = self._query_snapshot(generation, pattern, alpha)
+            answer.generation = generation.number
+            return answer
         finally:
             default_registry().histogram(
                 "repro_query_seconds",
                 help="End-to-end warehouse query latency.",
-                backend=self.backend,
+                backend=generation.backend,
             ).observe(time.perf_counter() - start)
 
     def query_batch(
@@ -296,12 +429,13 @@ class IndexedWarehouse:
         already holds its decomposition, so ranking reads are hits.
         """
         key = make_pattern(pattern)
-        if self._snapshot is not None:
-            index = self._snapshot.node_index(key)
+        generation = self._gen
+        if generation.snapshot is not None:
+            index = generation.snapshot.node_index(key)
             if index is None:
                 return 0.0
-            return self._decomposition(index).max_alpha
-        node = self._tree.find_node(key)  # type: ignore[union-attr]
+            return self._decomposition(generation, index).max_alpha
+        node = generation.tree.find_node(key)  # type: ignore[union-attr]
         if node is None or node.decomposition is None:
             return 0.0
         return node.decomposition.max_alpha
@@ -325,20 +459,25 @@ class IndexedWarehouse:
         )
 
     # ------------------------------------------------------------------
-    def _decomposition(self, index: int) -> TrussDecomposition:
-        cached = self._cache.get(index)
+    def _decomposition(
+        self, generation: ServingGeneration, index: int
+    ) -> TrussDecomposition:
+        cached = generation.cache.get(index)
         if cached is not None:
             return cached
-        decomposition = self._snapshot.decode(index)  # type: ignore[union-attr]
-        self._cache.put(index, decomposition)
+        decomposition = generation.snapshot.decode(index)  # type: ignore[union-attr]
+        generation.cache.put(index, decomposition)
         return decomposition
 
     def _query_snapshot(
-        self, pattern: Iterable[int] | None, alpha: float
+        self,
+        generation: ServingGeneration,
+        pattern: Iterable[int] | None,
+        alpha: float,
     ) -> QueryAnswer:
         if alpha < 0.0:
             raise TCIndexError(f"alpha must be >= 0, got {alpha}")
-        snapshot = self._snapshot
+        snapshot = generation.snapshot
         assert snapshot is not None
         query_pattern = None if pattern is None else make_pattern(pattern)
         query_items = (
@@ -370,7 +509,7 @@ class IndexedWarehouse:
                     pruned_alpha += 1
                     continue
                 decode_start = time.perf_counter()
-                truss = self._decomposition(child).truss_at(alpha)
+                truss = self._decomposition(generation, child).truss_at(alpha)
                 decode_seconds += time.perf_counter() - decode_start
                 if truss.is_empty():
                     continue  # unreachable on well-formed snapshots
@@ -398,22 +537,25 @@ class IndexedWarehouse:
         """Operational counters for the ``/stats`` endpoint."""
         from repro.engine import registry
 
+        generation = self._gen
         with self._count_lock:
             breakdown = dict(self._qstats)
         info: dict = {
-            "backend": self.backend,
-            "kind": self.kind,
-            "model": registry.get_model(self.kind).display,
-            "generation": self.generation,
+            "backend": generation.backend,
+            "kind": generation.kind,
+            "model": registry.get_model(generation.kind).display,
+            "generation": generation.number,
+            "retired_generations": self.retired_generations,
             "indexed_trusses": self.num_indexed_trusses,
             "num_items": self.num_items,
             "queries_served": self._queries_served,
-            "cache": self._cache.stats(),
+            "cache": generation.cache.stats(),
             "query_breakdown": breakdown,
         }
-        if self._snapshot is not None and self._snapshot.path is not None:
-            info["snapshot_path"] = str(self._snapshot.path)
-            info["snapshot_bytes"] = self._snapshot_bytes
+        snapshot = generation.snapshot
+        if snapshot is not None and snapshot.path is not None:
+            info["snapshot_path"] = str(snapshot.path)
+            info["snapshot_bytes"] = generation.snapshot_bytes
         return info
 
     def __repr__(self) -> str:
@@ -426,5 +568,6 @@ class IndexedWarehouse:
 __all__ = [
     "IndexedWarehouse",
     "CarrierCache",
+    "ServingGeneration",
     "DEFAULT_CACHE_SIZE",
 ]

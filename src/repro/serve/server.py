@@ -24,7 +24,12 @@ Endpoints (JSON unless noted):
   best-scoring theme communities of the answer;
 - ``GET /search?vertices=1,2&attributes=3,7&alpha=0.2&limit=5`` —
   attributed community search (ATC-style): communities containing every
-  query vertex, themed within the query attributes, best-first.
+  query vertex, themed within the query attributes, best-first;
+- ``POST /admin/apply-delta`` with body ``{"path": "X.tcdelta"}`` —
+  live-tier only (``repro serve --live``): hand an overlay delta
+  snapshot to the server's :class:`~repro.serve.live.LiveIndex`, which
+  applies it and hot-swaps the engine onto the new generation; responds
+  with ``{"generation", "removed", "changed", "compacted"}``.
 
 Error responses are structured: ``{"error": message, "code": stable
 machine code, "type": exception class name}`` with 404 for unknown
@@ -44,7 +49,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import ReproError, UnknownEndpointError
+from repro.errors import ReproError, ServeError, UnknownEndpointError
 from repro.obs.metrics import (
     EXPOSITION_CONTENT_TYPE,
     default_registry,
@@ -56,7 +61,15 @@ from repro.serve.engine import IndexedWarehouse
 #: other path collapses to "other" so scanners cannot explode the
 #: per-label cardinality of the request counter.
 KNOWN_ENDPOINTS = frozenset(
-    {"/healthz", "/stats", "/metrics", "/query", "/top-k", "/search"}
+    {
+        "/healthz",
+        "/stats",
+        "/metrics",
+        "/query",
+        "/top-k",
+        "/search",
+        "/admin/apply-delta",
+    }
 )
 
 _REQUEST_SECONDS = "repro_http_request_seconds"
@@ -276,6 +289,9 @@ class WarehouseRequestHandler(BaseHTTPRequestHandler):
         # start of the next request on a pooled connection.
         length = int(self.headers.get("Content-Length", "0"))
         body = self.rfile.read(length)
+        if url.path == "/admin/apply-delta":
+            self._apply_delta(body)
+            return
         if url.path != "/query":
             raise UnknownEndpointError(f"unknown endpoint {url.path}")
         document = json.loads(body or b"{}")
@@ -314,6 +330,17 @@ class WarehouseRequestHandler(BaseHTTPRequestHandler):
             {"answers": [answer.to_payload() for answer in answers]}
         )
 
+    def _apply_delta(self, body: bytes) -> None:
+        live = self.server.live
+        if live is None:
+            raise ServeError(
+                "delta ingestion is disabled; start with repro serve --live"
+            )
+        document = json.loads(body or b"{}")
+        if not isinstance(document, dict) or "path" not in document:
+            raise ValueError('body must be an object with a "path" field')
+        self._send_json(live.apply_delta(document["path"]))
+
     # ------------------------------------------------------------------
     def _healthz_payload(self) -> dict:
         engine = self.server.engine
@@ -345,6 +372,8 @@ class WarehouseRequestHandler(BaseHTTPRequestHandler):
             summary["count"] = histogram.count
             endpoints[label] = summary
         info["endpoints"] = endpoints
+        if self.server.live is not None:
+            info["live"] = self.server.live.stats()
         return info
 
     def _metrics_text(self) -> str:
@@ -451,10 +480,14 @@ class ThemeCommunityServer(ThreadingHTTPServer):
         address: tuple[str, int],
         engine: IndexedWarehouse,
         verbose: bool = False,
+        live=None,
     ) -> None:
         super().__init__(address, WarehouseRequestHandler)
         self.engine = engine
         self.verbose = verbose
+        #: Optional :class:`~repro.serve.live.LiveIndex` writer; when set
+        #: the ``/admin/apply-delta`` endpoint is enabled.
+        self.live = live
         #: Monotonic bind time; /healthz and /stats report uptime from it.
         self.started = time.monotonic()
 
@@ -464,20 +497,26 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    live=None,
 ) -> ThemeCommunityServer:
     """Bind a server on ``(host, port)`` (port 0 = ephemeral)."""
-    return ThemeCommunityServer((host, port), engine, verbose=verbose)
+    return ThemeCommunityServer(
+        (host, port), engine, verbose=verbose, live=live
+    )
 
 
 def start_server_thread(
-    engine: IndexedWarehouse, host: str = "127.0.0.1", port: int = 0
+    engine: IndexedWarehouse,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    live=None,
 ) -> tuple[ThemeCommunityServer, threading.Thread]:
     """Run a server in a daemon thread; returns ``(server, thread)``.
 
     Test/benchmark helper: the caller reads the bound port from
     ``server.server_address`` and must call ``server.shutdown()``.
     """
-    server = create_server(engine, host=host, port=port)
+    server = create_server(engine, host=host, port=port, live=live)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server, thread

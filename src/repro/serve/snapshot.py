@@ -598,6 +598,313 @@ class TCTreeSnapshot:
 
 
 # ---------------------------------------------------------------------------
+# generation-stamped delta snapshots (base + overlay chain)
+# ---------------------------------------------------------------------------
+
+DELTA_MAGIC = b"REPROTCD"
+DELTA_VERSION = 1
+
+#: header <8sIIQQQQQ : magic "REPROTCD", version, flags (payload kind,
+#: same values as the full-snapshot flags), generation, base_generation,
+#: num_items (universe size after the delta), num_removed, num_changed.
+#: Followed by the removed-pattern section (lengths + flat items), the
+#: changed-node section (lengths + flat items + offsets + lengths +
+#: prune_alphas), then the payload blobs — one per changed node, in the
+#: payload encoding of the model the flags name. Removed patterns and
+#: changed nodes are sorted lexicographically, so writes are byte-stable
+#: and parents always precede children on apply.
+_DELTA_HEADER = struct.Struct("<8sIIQQQQQ")
+
+
+def _model_for_delta_flags(flags: int):
+    for name in registry.tree_model_names():
+        spec = registry.get_model(name)
+        if spec.has_snapshot and spec.snapshot_flags == flags:
+            return spec
+    return None
+
+
+def diff_trees(base_tree, new_tree):
+    """``(removed, changed)`` between two trees of one kind.
+
+    ``removed`` is the sorted list of patterns indexed in ``base_tree``
+    but absent from ``new_tree``; ``changed`` the sorted list of
+    ``(pattern, decomposition)`` pairs that are new or whose
+    decomposition differs. Reused decompositions are recognized by
+    identity first (the incremental maintainer shares unaffected ``L_p``
+    objects between generations, so most nodes cost one ``is`` check)
+    with encoded-byte equality as the fallback witness.
+    """
+    spec = registry.model_for_tree(new_tree)
+    if registry.model_for_tree(base_tree) is not spec:
+        raise TCIndexError(
+            "cannot diff trees of different kinds "
+            f"({base_tree.kind!r} vs {new_tree.kind!r})"
+        )
+    encode = spec.encode_payload
+    base_of = {
+        node.pattern: node.decomposition for node in base_tree.iter_nodes()
+    }
+    new_patterns = set()
+    changed: list[tuple[Pattern, object]] = []
+    for node in new_tree.iter_nodes():
+        new_patterns.add(node.pattern)
+        old = base_of.get(node.pattern)
+        if old is node.decomposition:
+            continue
+        if old is not None and encode(old) == encode(node.decomposition):
+            continue
+        changed.append((node.pattern, node.decomposition))
+    changed.sort(key=lambda entry: entry[0])
+    removed = sorted(set(base_of) - new_patterns)
+    return removed, changed
+
+
+def write_delta_snapshot(
+    base_tree,
+    new_tree,
+    path: str | Path,
+    *,
+    generation: int,
+    base_generation: int,
+) -> int:
+    """Serialize the ``base_tree → new_tree`` difference to ``path``.
+
+    The file is an overlay: applied (:func:`apply_delta_to_tree`) to a
+    tree equal to ``base_tree``, it reproduces ``new_tree`` exactly.
+    ``generation``/``base_generation`` stamp the chain link — a reader
+    must refuse to apply an overlay whose ``base_generation`` is not the
+    generation it currently serves. Byte-stable for equal inputs; atomic
+    (write-to-temp + rename) like :func:`write_snapshot`.
+    """
+    if generation <= base_generation:
+        raise TCIndexError(
+            f"delta generation {generation} must exceed its base "
+            f"{base_generation}"
+        )
+    with span(
+        "snapshot.write_delta", kind=getattr(new_tree, "kind", "vertex")
+    ) as sp:
+        spec = registry.model_for_tree(new_tree)
+        if not spec.has_snapshot:
+            raise TCIndexError(
+                f"model {spec.name!r} declares no snapshot payload kind"
+            )
+        removed, changed = diff_trees(base_tree, new_tree)
+        encode = spec.encode_payload
+        offsets: list[int] = []
+        lengths: list[int] = []
+        prune_alphas: list[float] = []
+        payload = bytearray()
+        for _pattern, decomposition in changed:
+            blob = encode(decomposition)
+            offsets.append(len(payload))
+            lengths.append(len(blob))
+            prune_alphas.append(prune_alpha_of(decomposition))
+            payload.extend(blob)
+        toc = b"".join(
+            (
+                _array_bytes("Q", [len(p) for p in removed]),
+                _array_bytes("q", [i for p in removed for i in p]),
+                _array_bytes("Q", [len(p) for p, _ in changed]),
+                _array_bytes("q", [i for p, _ in changed for i in p]),
+                _array_bytes("Q", offsets),
+                _array_bytes("Q", lengths),
+                _array_bytes("d", prune_alphas),
+            )
+        )
+        header = _DELTA_HEADER.pack(
+            DELTA_MAGIC,
+            DELTA_VERSION,
+            spec.snapshot_flags,
+            generation,
+            base_generation,
+            new_tree.num_items,
+            len(removed),
+            len(changed),
+        )
+        path = Path(path)
+        temporary = path.with_name(path.name + ".tmp")
+        try:
+            with temporary.open("wb") as handle:
+                handle.write(header)
+                handle.write(toc)
+                handle.write(payload)
+            os.replace(temporary, path)
+        except BaseException:
+            temporary.unlink(missing_ok=True)
+            raise
+        size = len(header) + len(toc) + len(payload)
+        sp.set_attr("bytes", size)
+        sp.set_attr("removed", len(removed))
+        sp.set_attr("changed", len(changed))
+        return size
+
+
+class DeltaSnapshot:
+    """A parsed generation-stamped overlay file.
+
+    Small by construction (it carries only the changed subtrees), so the
+    whole file is read eagerly — no mmap, no lazy decoding. Changed-node
+    decompositions still decode on demand through :meth:`decode`.
+    """
+
+    def __init__(self, buffer: bytes, path: Path | None = None) -> None:
+        self.path = path
+        self._buffer = buffer
+        if len(buffer) < _DELTA_HEADER.size:
+            raise TCIndexError("not a TC-Tree delta snapshot: file too short")
+        (
+            magic,
+            version,
+            flags,
+            self.generation,
+            self.base_generation,
+            self.num_items,
+            num_removed,
+            num_changed,
+        ) = _DELTA_HEADER.unpack_from(buffer, 0)
+        if magic != DELTA_MAGIC:
+            raise TCIndexError(
+                f"not a TC-Tree delta snapshot: bad magic {magic!r}"
+            )
+        if version != DELTA_VERSION:
+            raise TCIndexError(
+                f"unsupported delta snapshot version {version}"
+            )
+        spec = _model_for_delta_flags(flags)
+        if spec is None:
+            raise TCIndexError(
+                f"unsupported delta snapshot payload flags {flags:#x}"
+            )
+        self._spec = spec
+        self.kind = spec.name
+
+        view = memoryview(buffer)[_DELTA_HEADER.size:]
+
+        def take(typecode: str, count: int):
+            nonlocal view
+            arr = _array_from(typecode, view, count)
+            view = view[count * arr.itemsize:]
+            return arr
+
+        def patterns_section(count: int) -> list[Pattern]:
+            pattern_lengths = take("Q", count)
+            flat = take("q", sum(pattern_lengths))
+            patterns: list[Pattern] = []
+            cursor = 0
+            for length in pattern_lengths:
+                if length == 0:
+                    raise TCIndexError(
+                        "delta snapshot carries an empty pattern"
+                    )
+                patterns.append(tuple(flat[cursor: cursor + length]))
+                cursor += length
+            return patterns
+
+        self.removed_patterns = patterns_section(num_removed)
+        self.changed_patterns = patterns_section(num_changed)
+        self.offsets = take("Q", num_changed)
+        self.lengths = take("Q", num_changed)
+        self.prune_alphas = take("d", num_changed)
+        self._payload_off = len(buffer) - len(view)
+        payload_size = len(view)
+        for i in range(num_changed):
+            if self.offsets[i] + self.lengths[i] > payload_size:
+                raise TCIndexError(
+                    f"delta snapshot node {i} payload out of bounds"
+                )
+
+    @classmethod
+    def open(cls, path: str | Path) -> "DeltaSnapshot":
+        path = Path(path)
+        return cls(path.read_bytes(), path=path)
+
+    @property
+    def num_removed(self) -> int:
+        return len(self.removed_patterns)
+
+    @property
+    def num_changed(self) -> int:
+        return len(self.changed_patterns)
+
+    def decode(self, index: int):
+        """Decode changed node ``index``'s decomposition."""
+        start = self._payload_off + self.offsets[index]
+        blob = self._buffer[start: start + self.lengths[index]]
+        return self._spec.decode_payload(self.changed_patterns[index], blob)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaSnapshot(generation={self.generation}, "
+            f"base={self.base_generation}, kind={self.kind!r}, "
+            f"removed={self.num_removed}, changed={self.num_changed})"
+        )
+
+
+def apply_delta_to_tree(tree, delta: DeltaSnapshot):
+    """Apply an overlay to an in-memory tree, returning a new tree.
+
+    ``tree`` is left untouched (readers keep querying it); the result
+    shares every unchanged decomposition with it. Raises
+    :class:`TCIndexError` when the overlay does not fit — wrong kind, a
+    removed pattern that is not indexed, or an added node whose parent
+    does not exist (both symptoms of applying an overlay to the wrong
+    base generation; the serving layer checks the generation stamp
+    before calling, this is the structural backstop).
+    """
+    from repro.index.updates import clone_tree
+
+    spec = registry.model_for_tree(tree)
+    if spec.name != delta.kind:
+        raise TCIndexError(
+            f"cannot apply {delta.kind!r} delta to {spec.name!r} tree"
+        )
+    new_tree = clone_tree(tree)
+    # Children sort after their parents lexicographically, so reverse
+    # order removes leaves first — every removed pattern must still be
+    # present when its turn comes.
+    for pattern in sorted(delta.removed_patterns, reverse=True):
+        parent = (
+            new_tree.root
+            if len(pattern) == 1
+            else new_tree.find_node(pattern[:-1])
+        )
+        node = new_tree.find_node(pattern)
+        if parent is None or node is None:
+            raise TCIndexError(
+                f"delta removes pattern {pattern} which is not indexed"
+            )
+        parent.children.remove(node)
+    for index, pattern in enumerate(delta.changed_patterns):
+        decomposition = delta.decode(index)
+        node = new_tree.find_node(pattern)
+        if node is not None:
+            node.decomposition = decomposition
+            continue
+        parent = (
+            new_tree.root
+            if len(pattern) == 1
+            else new_tree.find_node(pattern[:-1])
+        )
+        if parent is None:
+            raise TCIndexError(
+                f"delta adds node {pattern} whose parent is not indexed"
+            )
+        parent.add_child(spec.node_cls(pattern[-1], pattern, decomposition))
+    return spec.make_tree(new_tree.root, delta.num_items)
+
+
+def is_delta_snapshot_file(path: str | Path) -> bool:
+    """True when ``path`` starts with the delta-snapshot magic bytes."""
+    try:
+        with Path(path).open("rb") as handle:
+            return handle.read(len(DELTA_MAGIC)) == DELTA_MAGIC
+    except OSError:
+        return False
+
+
+# ---------------------------------------------------------------------------
 # format sniffing + migration
 # ---------------------------------------------------------------------------
 
@@ -633,7 +940,14 @@ __all__ = [
     "EDGE_VERSION",
     "FLAG_EDGE",
     "ROOT",
+    "DELTA_MAGIC",
+    "DELTA_VERSION",
+    "DeltaSnapshot",
     "TCTreeSnapshot",
+    "apply_delta_to_tree",
+    "diff_trees",
+    "is_delta_snapshot_file",
+    "write_delta_snapshot",
     "write_snapshot",
     "estimate_snapshot_bytes",
     "is_snapshot_file",

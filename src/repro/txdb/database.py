@@ -23,25 +23,58 @@ class TransactionDatabase:
     check in to the same set of places on many days).
     """
 
-    __slots__ = ("_transactions", "_tids", "_freq_cache")
+    __slots__ = ("_transactions", "_tids", "_freq_cache", "_next_tid")
 
     def __init__(self, transactions: Iterable[Iterable[int]] = ()) -> None:
-        self._transactions: list[frozenset[int]] = []
+        # Keyed by tid so ids stay stable across removals (the live-index
+        # tier deletes and replaces transactions by tid). Insertion order
+        # is tid order, so iteration stays deterministic.
+        self._transactions: dict[int, frozenset[int]] = {}
         self._tids: dict[int, set[int]] = {}
         self._freq_cache: dict[Pattern, float] = {}
+        self._next_tid = 0
         for t in transactions:
             self.add_transaction(t)
 
     # ------------------------------------------------------------------
-    # construction
+    # construction and mutation
     # ------------------------------------------------------------------
-    def add_transaction(self, items: Iterable[int]) -> None:
-        """Append one transaction (empty transactions are rejected)."""
+    def add_transaction(self, items: Iterable[int]) -> int:
+        """Append one transaction (empty transactions are rejected) and
+        return its tid. Tids are never recycled, even after removals."""
         transaction = frozenset(items)
         if not transaction:
             raise DatabaseError("empty transactions are not allowed")
-        tid = len(self._transactions)
-        self._transactions.append(transaction)
+        tid = self._next_tid
+        self._next_tid = tid + 1
+        self._transactions[tid] = transaction
+        for item in transaction:
+            self._tids.setdefault(item, set()).add(tid)
+        self._freq_cache.clear()
+        return tid
+
+    def remove_transaction(self, tid: int) -> frozenset[int]:
+        """Delete one transaction by tid and return its items."""
+        transaction = self._transactions.pop(tid, None)
+        if transaction is None:
+            raise DatabaseError(f"unknown transaction id {tid!r}")
+        for item in transaction:
+            tids = self._tids[item]
+            tids.discard(tid)
+            if not tids:
+                del self._tids[item]
+        self._freq_cache.clear()
+        return transaction
+
+    def replace_transaction(self, tid: int, items: Iterable[int]) -> None:
+        """Overwrite the transaction stored under ``tid`` in place."""
+        transaction = frozenset(items)
+        if not transaction:
+            raise DatabaseError("empty transactions are not allowed")
+        if tid not in self._transactions:
+            raise DatabaseError(f"unknown transaction id {tid!r}")
+        self.remove_transaction(tid)
+        self._transactions[tid] = transaction
         for item in transaction:
             self._tids.setdefault(item, set()).add(tid)
         self._freq_cache.clear()
@@ -53,7 +86,7 @@ class TransactionDatabase:
         return len(self._transactions)
 
     def __iter__(self) -> Iterator[frozenset[int]]:
-        return iter(self._transactions)
+        return iter(self._transactions.values())
 
     def __bool__(self) -> bool:
         return bool(self._transactions)
@@ -65,7 +98,7 @@ class TransactionDatabase:
     @property
     def total_items(self) -> int:
         """Total item occurrences over all transactions (Table 2 statistic)."""
-        return sum(len(t) for t in self._transactions)
+        return sum(len(t) for t in self._transactions.values())
 
     def items(self) -> set[int]:
         """The distinct items appearing in this database."""
@@ -75,7 +108,23 @@ class TransactionDatabase:
         return item in self._tids
 
     def transactions(self) -> list[frozenset[int]]:
-        return list(self._transactions)
+        return list(self._transactions.values())
+
+    def transaction(self, tid: int) -> frozenset[int]:
+        """The transaction stored under ``tid``."""
+        try:
+            return self._transactions[tid]
+        except KeyError:
+            raise DatabaseError(f"unknown transaction id {tid!r}") from None
+
+    def tids(self) -> set[int]:
+        """The live transaction ids."""
+        return set(self._transactions)
+
+    @property
+    def next_tid(self) -> int:
+        """The tid the next :meth:`add_transaction` will assign."""
+        return self._next_tid
 
     # ------------------------------------------------------------------
     # frequencies
@@ -86,7 +135,7 @@ class TransactionDatabase:
         The empty pattern is contained in every transaction.
         """
         if not pattern:
-            return set(range(len(self._transactions)))
+            return set(self._transactions)
         tid_sets = []
         for item in pattern:
             tids = self._tids.get(item)

@@ -111,6 +111,7 @@ class TestCutovers:
         assert names == [
             "CSR_MIN_EDGES",
             "NET_REUSE_FRACTION",
+            "MAINT_FULL_REBUILD_FRACTION",
             "EDGE_CSR_MIN_EDGES",
             "PROB_CSR_MIN_EDGES",
         ]

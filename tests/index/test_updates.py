@@ -152,3 +152,137 @@ class TestUpdateVertexDatabase:
             b = scratch.find_node(pattern).decomposition
             assert sorted(a.edges_at(0.0)) == sorted(b.edges_at(0.0))
             assert a.thresholds() == pytest.approx(b.thresholds())
+
+
+class TestDeltaContracts:
+    def test_unknown_op_rejected(self):
+        from repro.index.updates import Delta
+
+        with pytest.raises(TCIndexError, match="unknown delta op"):
+            Delta("upsert", 0, items=(1,))
+
+    def test_insert_requires_items(self):
+        from repro.index.updates import Delta
+
+        with pytest.raises(TCIndexError, match="non-empty"):
+            Delta("insert", 0)
+
+    def test_insert_forbids_tid(self):
+        from repro.index.updates import Delta
+
+        with pytest.raises(TCIndexError, match="fresh tid"):
+            Delta("insert", 0, items=(1,), tid=3)
+
+    def test_delete_forbids_items(self):
+        from repro.index.updates import Delta
+
+        with pytest.raises(TCIndexError, match="no transaction items"):
+            Delta("delete", 0, items=(1,), tid=0)
+
+    def test_modify_requires_tid(self):
+        from repro.index.updates import Delta
+
+        with pytest.raises(TCIndexError, match="requires a tid"):
+            Delta("modify", 0, items=(1,))
+
+    def test_items_are_deduped_and_sorted(self):
+        from repro.index.updates import Delta
+
+        assert Delta.insert(0, [3, 1, 3, 2]).items == (1, 2, 3)
+
+    def test_edge_target_is_canonicalized(self):
+        from repro.index.updates import Delta
+
+        assert Delta.insert((5, 2), [0]).target == (2, 5)
+        with pytest.raises(TCIndexError, match="pair"):
+            Delta.insert((1, 2, 3), [0])
+
+    def test_dict_round_trip(self):
+        from repro.index.updates import Delta
+
+        for delta in (
+            Delta.insert(3, [1, 2]),
+            Delta.delete((4, 1), 7),
+            Delta.modify(0, 2, [5]),
+        ):
+            assert Delta.from_dict(delta.to_dict()) == delta
+
+    def test_edge_target_serializes_as_list(self):
+        from repro.index.updates import Delta
+
+        doc = Delta.delete((4, 1), 7).to_dict()
+        assert doc["target"] == [1, 4]
+
+    def test_from_dict_rejects_malformed(self):
+        from repro.index.updates import Delta
+
+        with pytest.raises(TCIndexError, match="malformed"):
+            Delta.from_dict({"op": "insert"})
+
+
+class TestApplyDeltasRouting:
+    def test_unknown_mode_rejected(self, toy_network):
+        from repro.index.updates import apply_deltas
+
+        tree = build_tc_tree(toy_network)
+        with pytest.raises(TCIndexError, match="maintenance mode"):
+            apply_deltas(toy_network, tree, [], mode="yolo")
+
+    def test_non_delta_in_stream_rejected(self, toy_network):
+        from repro.index.updates import apply_deltas
+
+        tree = build_tc_tree(toy_network)
+        with pytest.raises(TCIndexError, match="not Delta"):
+            apply_deltas(toy_network, tree, [{"op": "insert"}])
+
+    def test_auto_routes_full_when_everything_affected(self, toy_network):
+        from repro.index.updates import Delta, apply_deltas
+
+        network = copy.deepcopy(toy_network)
+        tree = build_tc_tree(network)
+        universe = sorted(network.item_universe())
+        vertex = sorted(network.databases)[0]
+        result = apply_deltas(
+            network, tree, [Delta.insert(vertex, universe)], mode="auto"
+        )
+        assert result.route == "full"
+        assert result.affected_fraction == 1.0
+        assert result.reuse_candidates == 0
+
+    def test_auto_routes_incremental_for_small_updates(self, toy_network):
+        from repro.index.updates import Delta, apply_deltas
+
+        network = copy.deepcopy(toy_network)
+        tree = build_tc_tree(network)
+        # A vertex whose items cover only part of the universe keeps the
+        # affected fraction under the cutover.
+        universe = set(network.item_universe())
+        vertex, database = min(
+            network.databases.items(), key=lambda kv: len(kv[1].items())
+        )
+        item = sorted(database.items())[0]
+        result = apply_deltas(
+            network, tree, [Delta.insert(vertex, [item])], mode="auto"
+        )
+        if len(database.items() | {item}) / len(universe) < 0.95:
+            assert result.route == "incremental"
+            assert 0.0 < result.affected_fraction < 1.0
+            assert result.reused > 0
+
+    def test_maintenance_route_is_counted(self, toy_network):
+        from repro.engine.registry import ROUTE_COUNTER
+        from repro.index.updates import Delta, apply_deltas
+        from repro.obs.metrics import default_registry
+
+        network = copy.deepcopy(toy_network)
+        tree = build_tc_tree(network)
+        vertex = sorted(network.databases)[0]
+        counter = default_registry().counter(
+            ROUTE_COUNTER, model="vertex", route="maintain-incremental"
+        )
+        before = counter.value
+        apply_deltas(
+            network, tree, [Delta.insert(vertex, [0])],
+            mode="incremental",
+        )
+        assert counter.value == before + 1

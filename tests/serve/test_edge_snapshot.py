@@ -163,6 +163,7 @@ class TestEdgeServing:
             ) as response:
                 payload = json.load(response)
             expected = edge_tree.query(alpha=0.2)
+            expected.generation = engine.generation
             assert payload == expected.to_payload()
             with urllib.request.urlopen(
                 base + "/stats", timeout=10

@@ -1,0 +1,215 @@
+"""Hot-swap stress: readers never see a torn index across publishes.
+
+The engine's swap contract: publication is a single reference
+assignment, a query captures its generation exactly once, and every
+answer is attributable to exactly one published generation — its payload
+must equal that generation's oracle bit-for-bit, never a mix of two.
+These tests hammer one engine with 8 reader threads while a writer
+publishes five-plus generations with distinguishable answers, in-process
+and over HTTP, and check the per-generation cache bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.datasets.synthetic import generate_synthetic_network
+from repro.errors import TCIndexError
+from repro.index.query import query_tc_tree
+from repro.index.tctree import build_tc_tree
+from repro.index.updates import Delta, apply_deltas
+from repro.serve.engine import IndexedWarehouse, ServingGeneration
+from repro.serve.live import LiveIndex
+from repro.serve.server import start_server_thread
+
+READERS = 8
+GENERATIONS = 6  # 1 base + 5 publishes
+
+
+def _generation_chain():
+    """(trees, oracles): GENERATIONS maintained trees whose alpha-0
+    answers all differ, plus the expected payload of each generation."""
+    network = generate_synthetic_network(
+        num_items=6, num_seeds=2, mutation_rate=0.4,
+        max_transactions=10, max_transaction_length=4, seed=7,
+    )
+    vertices = sorted(network.databases)
+    trees = [build_tc_tree(network)]
+    for step in range(1, GENERATIONS):
+        # A fresh item per step guarantees a new pattern in the answer,
+        # so every generation's payload is distinguishable.
+        fresh = 100 + step
+        deltas = [
+            Delta.insert(vertices[step % len(vertices)], [step % 6, fresh])
+        ]
+        result = apply_deltas(
+            network, trees[-1], deltas, mode="incremental"
+        )
+        trees.append(result.tree)
+    oracles = {}
+    for number, tree in enumerate(trees, start=1):
+        answer = query_tc_tree(tree, pattern=None, alpha=0.0)
+        answer.generation = number
+        oracles[number] = answer.to_payload()
+    payloads = [json.dumps(o, sort_keys=True) for o in oracles.values()]
+    assert len(set(payloads)) == GENERATIONS  # all distinguishable
+    return trees, oracles
+
+
+@pytest.fixture(scope="module")
+def generation_chain():
+    return _generation_chain()
+
+
+class TestHotSwapStress:
+    def test_readers_always_see_whole_generations(self, generation_chain):
+        trees, oracles = generation_chain
+        engine = IndexedWarehouse(tree=trees[0])
+        live = LiveIndex(engine)
+        stop = threading.Event()
+        errors: list[str] = []
+        seen_lock = threading.Lock()
+        seen: set[int] = set()
+
+        def reader() -> None:
+            while not stop.is_set():
+                answer = engine.query(pattern=None, alpha=0.0)
+                payload = answer.to_payload()
+                number = payload.get("generation")
+                expected = oracles.get(number)
+                if expected is None:
+                    errors.append(f"unknown generation {number!r}")
+                    return
+                if payload != expected:
+                    errors.append(
+                        f"torn read: generation {number} payload "
+                        "does not match its oracle"
+                    )
+                    return
+                with seen_lock:
+                    seen.add(number)
+
+        threads = [
+            threading.Thread(target=reader) for _ in range(READERS)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for tree in trees[1:]:
+                live.publish_tree(tree)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert not errors, errors[0]
+        assert engine.generation == GENERATIONS
+        assert engine.retired_generations == GENERATIONS - 1
+        # The final generation is always observable after the last swap.
+        final = engine.query(pattern=None, alpha=0.0).to_payload()
+        assert final == oracles[GENERATIONS]
+        engine.close()
+
+    def test_http_answers_attributable(self, generation_chain):
+        trees, oracles = generation_chain
+        engine = IndexedWarehouse(tree=trees[0])
+        live = LiveIndex(engine)
+        server, _ = start_server_thread(engine, live=live)
+        port = server.server_address[1]
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def reader() -> None:
+            url = f"http://127.0.0.1:{port}/query?alpha=0.0"
+            while not stop.is_set():
+                with urllib.request.urlopen(url) as response:
+                    payload = json.loads(response.read())
+                expected = oracles.get(payload.get("generation"))
+                if payload != expected:
+                    errors.append(
+                        f"generation {payload.get('generation')!r} "
+                        "answer does not match its oracle"
+                    )
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for tree in trees[1:]:
+                live.publish_tree(tree)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            server.shutdown()
+            server.server_close()
+        assert not errors, errors[0]
+        assert engine.generation == GENERATIONS
+        engine.close()
+
+
+class TestGenerationBookkeeping:
+    def test_cache_is_per_generation(self, generation_chain):
+        trees, _ = generation_chain
+        engine = IndexedWarehouse(tree=trees[0])
+        engine.query(pattern=None, alpha=0.0)
+        before = engine.stats()["cache"]
+        engine.swap(tree=trees[1])
+        # A fresh generation starts with a fresh cache: no entries, no
+        # hit/miss history carried over from the retired generation.
+        after = engine.stats()["cache"]
+        assert after["entries"] == 0
+        assert after["hits"] == 0
+        assert after["misses"] == 0
+        assert before == engine._retired[0].cache.stats()
+        engine.close()
+
+    def test_swap_must_advance_generation(self, generation_chain):
+        trees, _ = generation_chain
+        engine = IndexedWarehouse(tree=trees[0])
+        engine.swap(tree=trees[1], number=5)
+        with pytest.raises(TCIndexError, match="does not advance"):
+            engine.swap(tree=trees[2], number=5)
+        with pytest.raises(TCIndexError, match="does not advance"):
+            engine.swap(tree=trees[2], number=3)
+        assert engine.generation == 5
+        engine.swap(tree=trees[2])  # number=None bumps by one
+        assert engine.generation == 6
+        engine.close()
+
+    def test_swap_rejects_kind_change(self, generation_chain):
+        from repro.edgenet.index import build_edge_tc_tree
+        from repro.edgenet.network import EdgeDatabaseNetwork
+
+        trees, _ = generation_chain
+        edge_network = EdgeDatabaseNetwork()
+        edge_network.add_transaction(0, 1, [0, 1])
+        edge_network.add_transaction(1, 2, [1])
+        edge_tree = build_edge_tc_tree(edge_network, backend="serial")
+        engine = IndexedWarehouse(tree=trees[0])
+        with pytest.raises(TCIndexError, match="cannot swap"):
+            engine.swap(tree=edge_tree)
+        assert engine.generation == 1
+        engine.close()
+
+    def test_serving_generation_requires_exactly_one_source(self):
+        with pytest.raises(TCIndexError):
+            ServingGeneration(1, cache_size=8)
+
+    def test_queries_served_cumulative_across_generations(
+        self, generation_chain
+    ):
+        trees, _ = generation_chain
+        engine = IndexedWarehouse(tree=trees[0])
+        engine.query(pattern=None, alpha=0.0)
+        engine.swap(tree=trees[1])
+        engine.query(pattern=None, alpha=0.0)
+        stats = engine.stats()
+        assert stats["queries_served"] == 2
+        assert stats["generation"] == 2
+        assert stats["retired_generations"] == 1
+        engine.close()

@@ -60,6 +60,7 @@ class TestEndpoints:
         base, _engine = running_server
         payload = _get(base, "/query?alpha=0.35")
         expected = query_tc_tree(toy_warehouse.tree, alpha=0.35)
+        expected.generation = _engine.generation
         assert payload == expected.to_payload()
 
     def test_query_with_pattern(self, running_server, toy_warehouse):
@@ -68,6 +69,7 @@ class TestEndpoints:
         expected = query_tc_tree(
             toy_warehouse.tree, pattern=(0,), alpha=0.0
         )
+        expected.generation = _engine.generation
         assert payload == expected.to_payload()
 
     def test_top_k(self, running_server, toy_warehouse):
@@ -94,6 +96,8 @@ class TestEndpoints:
             query_tc_tree(toy_warehouse.tree, alpha=0.0),
             query_tc_tree(toy_warehouse.tree, pattern=(0,), alpha=0.2),
         ]
+        for answer in expected:
+            answer.generation = _engine.generation
         assert payload["answers"] == [a.to_payload() for a in expected]
 
     def test_batch_coerces_string_item_ids(
@@ -109,6 +113,7 @@ class TestEndpoints:
         expected = query_tc_tree(
             toy_warehouse.tree, pattern=(0,), alpha=0.0
         )
+        expected.generation = _engine.generation
         assert payload["answers"] == [expected.to_payload()]
 
     def test_batch_rejects_string_pattern(self, running_server):
@@ -409,11 +414,15 @@ class TestConcurrency:
             ("/query?pattern=0&alpha=0.0", (0,), 0.0),
             ("/query?pattern=0,1&alpha=0.1", (0, 1), 0.1),
         ]
-        expected = {
-            path: query_tc_tree(
+        def oracle(pattern, alpha):
+            answer = query_tc_tree(
                 toy_warehouse.tree, pattern=pattern, alpha=alpha
-            ).to_payload()
-            for path, pattern, alpha in specs
+            )
+            answer.generation = engine.generation
+            return answer.to_payload()
+
+        expected = {
+            path: oracle(pattern, alpha) for path, pattern, alpha in specs
         }
         failures: list[str] = []
         barrier = threading.Barrier(8)
@@ -437,3 +446,83 @@ class TestConcurrency:
             thread.join(timeout=30)
         assert not failures
         assert engine.stats()["queries_served"] >= 40
+
+
+class TestAdminApplyDelta:
+    @pytest.fixture()
+    def live_server(self, toy_network, toy_warehouse, tmp_path):
+        import copy
+
+        from repro.index.updates import Delta, apply_deltas
+        from repro.serve.live import LiveIndex
+        from repro.serve.snapshot import write_delta_snapshot
+
+        network = copy.deepcopy(toy_network)
+        base_tree = toy_warehouse.tree
+        vertex = sorted(network.databases)[0]
+        result = apply_deltas(
+            network, base_tree, [Delta.insert(vertex, [0, 1])],
+            mode="incremental",
+        )
+        overlay = tmp_path / "gen2.tcdelta"
+        write_delta_snapshot(
+            base_tree, result.tree, overlay,
+            generation=2, base_generation=1,
+        )
+        engine = IndexedWarehouse(tree=base_tree)
+        live = LiveIndex(engine)
+        server, _thread = start_server_thread(engine, live=live)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        yield base, engine, overlay
+        server.shutdown()
+        server.server_close()
+        engine.close()
+
+    def test_apply_delta_bumps_generation(self, live_server):
+        base, engine, overlay = live_server
+        assert _get(base, "/healthz")["generation"] == 1
+        summary = _post(
+            base, "/admin/apply-delta", {"path": str(overlay)}
+        )
+        assert summary["generation"] == 2
+        assert _get(base, "/healthz")["generation"] == 2
+        # Answers now carry the new generation stamp.
+        assert _get(base, "/query?alpha=0.0")["generation"] == 2
+
+    def test_stale_overlay_400(self, live_server):
+        base, engine, overlay = live_server
+        _post(base, "/admin/apply-delta", {"path": str(overlay)})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, "/admin/apply-delta", {"path": str(overlay)})
+        assert excinfo.value.code == 400
+        body = json.load(excinfo.value)
+        assert body["code"] == "bad_request"
+        assert "base generation" in body["error"]
+
+    def test_body_without_path_400(self, live_server):
+        base, _engine, _overlay = live_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, "/admin/apply-delta", {"nope": 1})
+        assert excinfo.value.code == 400
+
+    def test_disabled_without_live_400(self, running_server, tmp_path):
+        base, _engine = running_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, "/admin/apply-delta", {"path": "x.tcdelta"})
+        assert excinfo.value.code == 400
+        body = json.load(excinfo.value)
+        assert "disabled" in body["error"]
+
+    def test_stats_surfaces_live_writer(self, live_server):
+        base, _engine, overlay = live_server
+        stats = _get(base, "/stats")
+        assert stats["live"]["deltas_applied"] == 0
+        assert stats["live"]["watching"] is None
+        _post(base, "/admin/apply-delta", {"path": str(overlay)})
+        stats = _get(base, "/stats")
+        assert stats["live"]["deltas_applied"] == 1
+        assert stats["live"]["watch_errors"] == []
+
+    def test_stats_omits_live_block_when_disabled(self, running_server):
+        base, _engine = running_server
+        assert "live" not in _get(base, "/stats")

@@ -109,3 +109,64 @@ class TestFrequency:
     def test_matches_naive_count(self, db, pattern):
         naive = sum(1 for t in db if set(pattern) <= t) / len(db)
         assert db.frequency(tuple(pattern)) == pytest.approx(naive)
+
+
+class TestStableTransactionIds:
+    def test_add_returns_monotonic_tids(self):
+        db = TransactionDatabase()
+        assert db.add_transaction([0]) == 0
+        assert db.add_transaction([1]) == 1
+        assert db.tids() == {0, 1}
+        assert db.next_tid == 2
+
+    def test_remove_returns_items_and_frees_tid(self):
+        db = TransactionDatabase([[0, 1], [2]])
+        assert db.remove_transaction(0) == frozenset({0, 1})
+        assert db.tids() == {1}
+        assert len(db) == 1
+        assert db.frequency((0,)) == 0.0
+
+    def test_tids_are_never_recycled(self):
+        db = TransactionDatabase([[0], [1]])
+        db.remove_transaction(1)
+        assert db.add_transaction([2]) == 2  # not 1
+        assert db.tids() == {0, 2}
+
+    def test_remove_unknown_tid_raises(self):
+        db = TransactionDatabase([[0]])
+        with pytest.raises(DatabaseError):
+            db.remove_transaction(7)
+
+    def test_transaction_lookup(self):
+        db = TransactionDatabase([[0, 1]])
+        assert db.transaction(0) == frozenset({0, 1})
+        with pytest.raises(DatabaseError):
+            db.transaction(5)
+
+    def test_replace_keeps_tid(self):
+        db = TransactionDatabase([[0, 1], [2]])
+        db.replace_transaction(0, [3])
+        assert db.transaction(0) == frozenset({3})
+        assert db.tids() == {0, 1}
+        assert db.frequency((3,)) == 0.5
+
+    def test_replace_rejects_empty(self):
+        db = TransactionDatabase([[0]])
+        with pytest.raises(DatabaseError):
+            db.replace_transaction(0, [])
+        assert db.transaction(0) == frozenset({0})  # unchanged
+
+    def test_replace_unknown_tid_raises(self):
+        db = TransactionDatabase([[0]])
+        with pytest.raises(DatabaseError):
+            db.replace_transaction(9, [1])
+
+    def test_mutations_invalidate_frequency_cache(self):
+        db = TransactionDatabase([[0], [0, 1]])
+        assert db.frequency((1,)) == 0.5
+        db.remove_transaction(1)
+        assert db.frequency((1,)) == 0.0
+        db.add_transaction([1])
+        assert db.frequency((1,)) == 0.5
+        db.replace_transaction(0, [1])
+        assert db.frequency((1,)) == 1.0

@@ -1,0 +1,43 @@
+"""``repro lint`` — AST-based project-invariant analysis.
+
+A stdlib-only static analyzer that checks the invariants the test
+suite cannot see: lock discipline on ``# guarded-by:`` fields, the
+:class:`~repro.errors.ReproError` taxonomy, fork-safety of objects
+crossing process pools, registry/fleet reference resolvability, and
+determinism of the snapshot/serialization paths. See the README
+"Static analysis" section for the rule catalog and workflow.
+"""
+
+from repro.analysis.base import (
+    ModuleInfo,
+    Project,
+    Rule,
+    get_rules,
+    register,
+    rule_names,
+)
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.runner import LintReport, discover_project, run_lint
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "apply_baseline",
+    "discover_project",
+    "get_rules",
+    "load_baseline",
+    "register",
+    "rule_names",
+    "run_lint",
+    "save_baseline",
+]

@@ -1,0 +1,202 @@
+"""Core of the ``repro lint`` framework.
+
+Three pieces live here:
+
+* :class:`ModuleInfo` — one parsed source file: AST, a parent map for
+  upward walks, the comment text per line (via :mod:`tokenize`, so
+  string literals containing ``#`` are never misread), and the
+  per-line suppression table parsed from ``# repro-lint:
+  disable=<rule>[,<rule>...]`` comments.
+* :class:`Project` — the set of modules under analysis plus the
+  project root, so project-scoped rules (fleet manifests, taxonomy
+  extraction) know where to look.
+* :class:`Rule` — the plug-in base class and its registry. Rules are
+  registered by decorating the class with :func:`register`; the CLI
+  and runner look them up by name.
+
+A suppression comment applies to findings on its own line or, when the
+line holds nothing but the comment, to the following line — mirroring
+how ``noqa``-style tools scope inline waivers.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import AnalysisError
+from repro.analysis.findings import Finding
+
+#: ``# repro-lint: disable=rule-a,rule-b`` (whitespace-tolerant).
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s-]+)"
+)
+
+
+class ModuleInfo:
+    """A parsed source module plus the lookup tables rules need."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        try:
+            self.tree: ast.Module = ast.parse(source, filename=relpath)
+        except SyntaxError as exc:
+            raise AnalysisError(f"cannot parse {relpath}: {exc}") from exc
+        self.comments: dict[int, str] = _comment_map(source)
+        #: Lines that contain only a comment (candidates for
+        #: next-line suppression scope).
+        self._comment_only = {
+            lineno
+            for lineno, _text in self.comments.items()
+            if _line_is_comment_only(source, lineno)
+        }
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self._suppressions = self._parse_suppressions()
+
+    # -- suppressions --------------------------------------------------
+    def _parse_suppressions(self) -> dict[int, set[str]]:
+        table: dict[int, set[str]] = {}
+        for lineno, text in self.comments.items():
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            rules = {
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            table.setdefault(lineno, set()).update(rules)
+            if lineno in self._comment_only:
+                # A standalone suppression comment waives the next line.
+                table.setdefault(lineno + 1, set()).update(rules)
+        return table
+
+    def suppressed(self, rule: str, lineno: int) -> bool:
+        """True when ``rule`` findings on ``lineno`` are waived."""
+        rules = self._suppressions.get(lineno, ())
+        return rule in rules or "all" in rules
+
+    # -- navigation helpers -------------------------------------------
+    def ancestors(self, node: ast.AST):
+        """Yield ``node``'s AST ancestors, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def comment_on(self, lineno: int) -> str:
+        return self.comments.get(lineno, "")
+
+
+def _comment_map(source: str) -> dict[int, str]:
+    """Map line number -> comment text, tokenize-accurate."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except tokenize.TokenizeError:  # pragma: no cover - parse guards first
+        pass
+    return comments
+
+
+def _line_is_comment_only(source: str, lineno: int) -> bool:
+    lines = source.splitlines()
+    if not 1 <= lineno <= len(lines):
+        return False
+    return lines[lineno - 1].lstrip().startswith("#")
+
+
+@dataclass
+class Project:
+    """Everything a project-scoped rule may inspect."""
+
+    root: Path
+    modules: list[ModuleInfo] = field(default_factory=list)
+    #: Per-rule scratch space (e.g. the parsed error taxonomy) so
+    #: expensive derivations run once per lint invocation.
+    cache: dict[str, object] = field(default_factory=dict)
+
+    def module(self, relpath: str) -> ModuleInfo | None:
+        for module in self.modules:
+            if module.relpath == relpath:
+                return module
+        return None
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`name` / :attr:`description` and override one
+    or both hooks. ``check_module`` runs once per source file;
+    ``check_project`` runs once per invocation with the full module
+    set (for cross-file or non-Python inputs such as ``fleet.yaml``).
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> list[Finding]:
+        return []
+
+    def check_project(self, project: Project) -> list[Finding]:
+        return []
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.name:
+        raise AnalysisError(f"rule class {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise AnalysisError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def rule_names() -> list[str]:
+    _load_builtin_rules()
+    return sorted(_REGISTRY)
+
+
+def get_rules(names: list[str] | None = None) -> list[Rule]:
+    """Instantiate the named rules (all registered rules by default)."""
+    _load_builtin_rules()
+    if names is None:
+        return [_REGISTRY[name]() for name in sorted(_REGISTRY)]
+    rules = []
+    for name in names:
+        if name not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise AnalysisError(f"unknown rule {name!r} (known: {known})")
+        rules.append(_REGISTRY[name]())
+    return rules
+
+
+def _load_builtin_rules() -> None:
+    # Import for the registration side effect; idempotent.
+    from repro.analysis import rules  # noqa: F401
+
+
+__all__ = [
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "get_rules",
+    "register",
+    "rule_names",
+]

@@ -1,0 +1,98 @@
+"""Committed-baseline support for ``repro lint``.
+
+A baseline is a JSON file mapping line-independent finding keys
+(:attr:`repro.analysis.findings.Finding.baseline_key`) to occurrence
+counts. Running with a baseline subtracts up to ``count`` matching
+findings per key, so pre-existing debt does not fail CI while any *new*
+finding — or an extra occurrence of a baselined one — still does.
+Entries that no longer match anything are reported as *unused* so the
+file can be shrunk as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import AnalysisError
+from repro.analysis.findings import Finding
+
+_FORMAT = "repro-lint-baseline"
+_VERSION = 1
+
+#: Default location, relative to the project root.
+DEFAULT_BASELINE = Path(".repro-lint-baseline.json")
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Parse a baseline file into ``{baseline_key: count}``."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"invalid JSON in baseline {path}: {exc}") from exc
+    if document.get("format") != _FORMAT:
+        raise AnalysisError(
+            f"not a {_FORMAT} document: format={document.get('format')!r}"
+        )
+    if document.get("version") != _VERSION:
+        raise AnalysisError(
+            f"unsupported baseline version {document.get('version')!r}"
+        )
+    findings = document.get("findings", {})
+    if not isinstance(findings, dict):
+        raise AnalysisError("baseline 'findings' must be an object")
+    out: dict[str, int] = {}
+    for key, count in findings.items():
+        if not isinstance(count, int) or count < 1:
+            raise AnalysisError(
+                f"baseline count for {key!r} must be a positive int"
+            )
+        out[key] = count
+    return out
+
+
+def save_baseline(findings: list[Finding], path: str | Path) -> None:
+    """Write the baseline that waives exactly ``findings``."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.baseline_key] = counts.get(finding.baseline_key, 0) + 1
+    document = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: dict[str, int]
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Split findings into (new, baselined) and list unused keys.
+
+    Findings are consumed in source order; each baseline key waives at
+    most its recorded count.
+    """
+    remaining = dict(baseline)
+    new: list[Finding] = []
+    waived: list[Finding] = []
+    for finding in sorted(findings):
+        key = finding.baseline_key
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            waived.append(finding)
+        else:
+            new.append(finding)
+    unused = sorted(key for key, count in remaining.items() if count > 0)
+    return new, waived, unused
+
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "apply_baseline",
+    "load_baseline",
+    "save_baseline",
+]

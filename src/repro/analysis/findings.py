@@ -1,0 +1,58 @@
+"""Finding record shared by every lint rule.
+
+A :class:`Finding` is one violation of one rule at one source location.
+Findings are value objects: rules construct them, the runner filters them
+(suppressions, baseline) and the CLI renders them. The *baseline key*
+deliberately omits the line number so that unrelated edits shifting code
+up or down do not invalidate a committed baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: Stable identifier for baseline matching (attribute / class / ref
+    #: name); falls back to the message when a rule has nothing better.
+    symbol: str = field(default="", compare=False)
+
+    @property
+    def baseline_key(self) -> str:
+        """Line-independent identity used by the committed baseline."""
+        return f"{self.rule}::{self.path}::{self.symbol or self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "Finding":
+        return cls(
+            path=document["path"],
+            line=int(document["line"]),
+            col=int(document.get("col", 0)),
+            rule=document["rule"],
+            message=document["message"],
+            symbol=document.get("symbol", ""),
+        )
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+__all__ = ["Finding"]

@@ -1,0 +1,16 @@
+"""Built-in lint rules; importing this package registers them all."""
+
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.error_taxonomy import ErrorTaxonomyRule
+from repro.analysis.rules.fork_safety import PROCESS_LOCAL, ForkSafetyRule
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.registry_contract import RegistryContractRule
+
+__all__ = [
+    "DeterminismRule",
+    "ErrorTaxonomyRule",
+    "ForkSafetyRule",
+    "LockDisciplineRule",
+    "PROCESS_LOCAL",
+    "RegistryContractRule",
+]

@@ -1,0 +1,243 @@
+"""``determinism`` — serialization paths must be bit-reproducible.
+
+The snapshot golden files and the incremental-parity oracles pin the
+*exact bytes* an encode produces, so anything order- or clock-dependent
+in a serialization path is a latent flake. Inside scoped modules
+(the built-in list below, or any file carrying a
+``# repro-lint: scope=determinism`` marker) this rule flags:
+
+* iteration over a bare ``set`` / ``frozenset`` (literals, ``set(...)``
+  calls, set comprehensions, set algebra, and local names bound to
+  them) unless wrapped in ``sorted(...)``;
+* iteration over ``.keys()`` / ``.values()`` / ``.items()`` without a
+  ``sorted(...)`` wrapper inside encode-side functions (``to_dict*``,
+  ``write*``, ``save*``, ``encode*``, ``diff*``, ``migrate*`` — decode
+  loops inherit their order from the document and are exempt);
+* any call into :mod:`time`, :mod:`random`, :mod:`uuid`,
+  ``os.urandom`` or ``datetime.now`` — wall-clock and entropy have no
+  business in an encoder.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import ModuleInfo, Project, Rule, register
+from repro.analysis.findings import Finding
+
+#: Modules under the bit-identical-snapshot contract.
+SCOPE_SUFFIXES = (
+    "repro/serve/snapshot.py",
+    "repro/index/warehouse.py",
+    "repro/edgenet/io.py",
+    "repro/network/io.py",
+)
+
+_SCOPE_MARKER = "repro-lint: scope=determinism"
+
+_NONDET_MODULES = frozenset({"time", "random", "uuid"})
+
+_ENCODE_PREFIXES = (
+    "to_dict",
+    "write",
+    "_write",
+    "save",
+    "encode",
+    "_encode",
+    "diff",
+    "migrate",
+)
+
+
+@register
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "no bare-set iteration, unsorted mapping iteration, or "
+        "time/random calls in snapshot and serialization paths"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> list[Finding]:
+        if not _in_scope(module):
+            return []
+        findings: list[Finding] = []
+        findings.extend(self._check_entropy_calls(module))
+        findings.extend(self._check_iterations(module))
+        return findings
+
+    # -- wall clock / entropy -----------------------------------------
+    def _check_entropy_calls(self, module: ModuleInfo) -> list[Finding]:
+        from_imports = _nondeterministic_from_imports(module.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            text = None
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ):
+                base = func.value.id
+                if base in _NONDET_MODULES:
+                    text = f"{base}.{func.attr}"
+                elif base == "os" and func.attr == "urandom":
+                    text = "os.urandom"
+                elif base == "datetime" and func.attr in ("now", "utcnow"):
+                    text = f"datetime.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in from_imports:
+                text = f"{from_imports[func.id]}.{func.id}"
+            if text is None:
+                continue
+            findings.append(
+                Finding(
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.name,
+                    message=(
+                        f"call to {text}() in a serialization path "
+                        f"breaks bit-identical snapshots"
+                    ),
+                    symbol=text,
+                )
+            )
+        return findings
+
+    # -- iteration order ----------------------------------------------
+    def _check_iterations(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for scope in _scopes(module.tree):
+            set_names = _set_bound_names(scope)
+            encode_side = _is_encode_side(module, scope)
+            for expr, lineno, col in _iteration_exprs(scope):
+                if _is_set_expr(expr, set_names):
+                    findings.append(
+                        Finding(
+                            path=module.relpath,
+                            line=lineno,
+                            col=col,
+                            rule=self.name,
+                            message=(
+                                f"iteration over unordered set "
+                                f"'{ast.unparse(expr)}'; wrap in "
+                                f"sorted(...)"
+                            ),
+                            symbol=ast.unparse(expr),
+                        )
+                    )
+                elif encode_side and _is_unsorted_mapping_view(expr):
+                    findings.append(
+                        Finding(
+                            path=module.relpath,
+                            line=lineno,
+                            col=col,
+                            rule=self.name,
+                            message=(
+                                f"unsorted iteration over "
+                                f"'{ast.unparse(expr)}' in an "
+                                f"encode-side function; wrap in "
+                                f"sorted(...)"
+                            ),
+                            symbol=ast.unparse(expr),
+                        )
+                    )
+        return findings
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    if module.relpath.endswith(SCOPE_SUFFIXES):
+        return True
+    return _SCOPE_MARKER in module.source
+
+
+def _nondeterministic_from_imports(tree: ast.Module) -> dict[str, str]:
+    """``{local_name: source_module}`` for from-imports of entropy."""
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            root = node.module.split(".")[0]
+            if root in _NONDET_MODULES:
+                for alias in node.names:
+                    table[alias.asname or alias.name] = node.module
+    return table
+
+
+def _scopes(tree: ast.Module):
+    """The module plus each function, for local set-name tracking."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _is_encode_side(module: ModuleInfo, scope: ast.AST) -> bool:
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return scope.name.startswith(_ENCODE_PREFIXES)
+    return False
+
+
+def _set_bound_names(scope: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value, names):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and node.value is not None
+            and isinstance(node.target, ast.Name)
+            and _is_set_expr(node.value, names)
+        ):
+            names.add(node.target.id)
+    return names
+
+
+def _iteration_exprs(scope: ast.AST):
+    """(expr, line, col) for every for-loop / comprehension iterable."""
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, node.iter.lineno, node.iter.col_offset
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for generator in node.generators:
+                yield (
+                    generator.iter,
+                    generator.iter.lineno,
+                    generator.iter.col_offset,
+                )
+
+
+def _is_set_expr(expr: ast.expr, set_names: set[str]) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(expr, ast.Name) and expr.id in set_names:
+        return True
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+    ):
+        return _is_set_expr(expr.left, set_names) or _is_set_expr(
+            expr.right, set_names
+        )
+    return False
+
+
+def _is_unsorted_mapping_view(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in ("keys", "values", "items")
+        and not expr.args
+    )
+
+
+__all__ = ["DeterminismRule", "SCOPE_SUFFIXES"]

@@ -1,0 +1,139 @@
+"""``error-taxonomy`` — library code raises :class:`ReproError` subclasses.
+
+Every ``raise`` statement must either re-raise (bare ``raise`` or
+``raise exc`` of a caught variable) or construct a class from the
+project taxonomy in ``src/repro/errors.py``. Raising builtin
+exceptions (``ValueError``, ``RuntimeError``, ...) is flagged: callers
+are promised that library failures are catchable as ``ReproError``.
+
+A handful of builtins carry protocol meaning and stay allowed:
+``NotImplementedError`` (abstract hooks), ``StopIteration``
+(generators), ``SystemExit`` (CLI entry points), ``KeyboardInterrupt``.
+``AttributeError`` from a module ``__getattr__`` is a protocol raise
+too, but rare enough that those sites carry explicit suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+from repro.analysis.base import ModuleInfo, Project, Rule, register
+from repro.analysis.findings import Finding
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+_ALLOWED_BUILTINS = frozenset(
+    {"NotImplementedError", "StopIteration", "SystemExit", "KeyboardInterrupt"}
+)
+
+
+@register
+class ErrorTaxonomyRule(Rule):
+    name = "error-taxonomy"
+    description = (
+        "every raise constructs a ReproError subclass or re-raises; "
+        "no builtin exceptions in library code"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> list[Finding]:
+        taxonomy = _taxonomy_classes(project)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _raised_name(node)
+            if name is None:
+                continue  # bare raise, raise exc.with_traceback(...), ...
+            if name in taxonomy or name in _ALLOWED_BUILTINS:
+                continue
+            if name not in _BUILTIN_EXCEPTIONS:
+                continue  # custom class or re-raised variable
+            if isinstance(node.exc, ast.Name):
+                # ``raise ValueError`` without a call is pathological
+                # enough to flag, but ``raise exc`` where ``exc``
+                # merely shadows a builtin name is not worth chasing;
+                # only flag constructed (called) builtins by name.
+                continue
+            findings.append(
+                Finding(
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.name,
+                    message=(
+                        f"raises builtin {name}; use a ReproError "
+                        f"subclass from repro.errors instead"
+                    ),
+                    symbol=name,
+                )
+            )
+        return findings
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """Class name a ``raise`` constructs, if statically evident."""
+    exc = node.exc
+    if exc is None:
+        return None
+    if isinstance(exc, ast.Call):
+        func = exc.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _taxonomy_classes(project: Project) -> frozenset[str]:
+    """Names of ReproError and its transitive subclasses.
+
+    Parsed from ``src/repro/errors.py`` under the project root (the
+    already-loaded module is reused when it is part of the lint run),
+    so the rule never imports the code it is checking.
+    """
+    cached = project.cache.get("error-taxonomy.classes")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    module = project.module("src/repro/errors.py")
+    if module is not None:
+        tree: ast.Module | None = module.tree
+    else:
+        path = project.root / "src" / "repro" / "errors.py"
+        tree = ast.parse(path.read_text(encoding="utf-8")) if path.is_file() else None
+    names: set[str] = {"ReproError"}
+    if tree is not None:
+        # Iterate to a fixed point so order of class definitions does
+        # not matter (it does not today, but cheap to be robust).
+        changed = True
+        while changed:
+            changed = False
+            for node in tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if node.name in names:
+                    continue
+                bases = {
+                    base.id
+                    for base in node.bases
+                    if isinstance(base, ast.Name)
+                }
+                if bases & names:
+                    names.add(node.name)
+                    changed = True
+    result = frozenset(names)
+    project.cache["error-taxonomy.classes"] = result
+    return result
+
+
+__all__ = ["ErrorTaxonomyRule"]

@@ -1,0 +1,200 @@
+"""``fork-safety`` — nothing unpicklable crosses a process pool.
+
+Two checks, both aimed at the parallel-build tier
+(:mod:`repro.index.parallel`, :mod:`repro.index.shm`):
+
+* In modules that use :class:`~concurrent.futures.ProcessPoolExecutor`
+  (or ``multiprocessing``), the callable handed to ``.submit(...)`` /
+  ``.map(...)`` or passed as ``initializer=`` must be a module-level
+  function: lambdas and nested ``def``\\ s cannot be pickled by the
+  default fork/spawn machinery and fail only at runtime — on spawn
+  platforms, only in CI.
+* Classes that store synchronization primitives on instances
+  (``self.x = threading.Lock()`` and friends) must either define
+  ``__getstate__`` (proving someone thought about what crosses the
+  fork) or sit on the :data:`PROCESS_LOCAL` allowlist of types that
+  are documented never to be shipped to workers.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import ModuleInfo, Project, Rule, register
+from repro.analysis.findings import Finding
+
+#: Types documented as process-local: they live on the serving /
+#: observability side and are never submitted to a pool. Growing this
+#: list is an explicit, reviewable act.
+PROCESS_LOCAL = frozenset(
+    {
+        "CarrierCache",
+        "Counter",
+        "Gauge",
+        "Histogram",
+        "IndexedWarehouse",
+        "LiveIndex",
+        "MetricsRegistry",
+        "Tracer",
+    }
+)
+
+_SYNC_PRIMITIVES = frozenset(
+    {"Lock", "RLock", "Event", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+
+@register
+class ForkSafetyRule(Rule):
+    name = "fork-safety"
+    description = (
+        "callables submitted to process pools must be module-level; "
+        "lock-holding classes need __getstate__ or a PROCESS_LOCAL entry"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        if (
+            "ProcessPoolExecutor" in module.source
+            or "multiprocessing" in module.source
+        ):
+            findings.extend(self._check_submissions(module))
+        findings.extend(self._check_lock_holders(module))
+        return findings
+
+    # -- executor submissions -----------------------------------------
+    def _check_submissions(self, module: ModuleInfo) -> list[Finding]:
+        nested = _nested_function_names(module.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            candidates: list[ast.expr] = []
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map")
+                and node.args
+            ):
+                candidates.append(node.args[0])
+            if _call_name(node) == "ProcessPoolExecutor":
+                for keyword in node.keywords:
+                    if keyword.arg == "initializer":
+                        candidates.append(keyword.value)
+            for arg in candidates:
+                reason = None
+                if isinstance(arg, ast.Lambda):
+                    reason = "a lambda"
+                elif isinstance(arg, ast.Name) and arg.id in nested:
+                    reason = f"nested function '{arg.id}'"
+                if reason is None:
+                    continue
+                findings.append(
+                    Finding(
+                        path=module.relpath,
+                        line=arg.lineno,
+                        col=arg.col_offset,
+                        rule=self.name,
+                        message=(
+                            f"{reason} submitted to a process pool "
+                            f"cannot be pickled; use a module-level "
+                            f"function"
+                        ),
+                        symbol=(
+                            arg.id
+                            if isinstance(arg, ast.Name)
+                            else "<lambda>"
+                        ),
+                    )
+                )
+        return findings
+
+    # -- lock-holding classes -----------------------------------------
+    def _check_lock_holders(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name in PROCESS_LOCAL:
+                continue
+            methods = {
+                child.name
+                for child in node.body
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "__getstate__" in methods:
+                continue
+            primitive = _first_sync_assignment(node)
+            if primitive is None:
+                continue
+            lineno, attr, kind = primitive
+            findings.append(
+                Finding(
+                    path=module.relpath,
+                    line=lineno,
+                    col=node.col_offset,
+                    rule=self.name,
+                    message=(
+                        f"class {node.name} stores threading.{kind} on "
+                        f"'self.{attr}' but defines no __getstate__ and "
+                        f"is not on the fork-safety PROCESS_LOCAL "
+                        f"allowlist"
+                    ),
+                    symbol=node.name,
+                )
+            )
+        return findings
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside other functions."""
+    nested: set[str] = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for inner in ast.walk(outer):
+            if inner is outer:
+                continue
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(inner.name)
+    return nested
+
+
+def _first_sync_assignment(
+    cls: ast.ClassDef,
+) -> tuple[int, str, str] | None:
+    """First ``self.<attr> = threading.<Primitive>()`` in the class."""
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        kind = _call_name(node.value)
+        if kind not in _SYNC_PRIMITIVES:
+            continue
+        func = node.value.func
+        if isinstance(func, ast.Attribute) and not (
+            isinstance(func.value, ast.Name)
+            and func.value.id in ("threading", "multiprocessing")
+        ):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                return node.lineno, target.attr, kind
+    return None
+
+
+__all__ = ["ForkSafetyRule", "PROCESS_LOCAL"]

@@ -1,0 +1,184 @@
+"""``lock-discipline`` — ``# guarded-by:`` fields need their lock held.
+
+An assignment annotated with ``# guarded-by: <lockexpr>`` declares that
+the assigned field may only be touched while ``<lockexpr>`` is held::
+
+    self._counts = {}  # guarded-by: self._lock
+
+Every later read or write of that attribute (on *any* receiver, with
+base substitution: ``histogram._counts`` demands ``with
+histogram._lock:``) must sit lexically inside a matching ``with``
+block. Module globals work the same way with a module-level lock::
+
+    _FACTORIES = {}  # guarded-by: _LOCK
+
+Exemptions: the declaring statement itself, and ``self.<attr>``
+accesses inside ``__init__`` (construction happens-before sharing).
+Sites that are safe for non-lexical reasons (worker processes, manual
+``acquire``/``release`` spanning a scope) carry explicit
+``# repro-lint: disable=lock-discipline`` waivers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.analysis.base import ModuleInfo, Project, Rule, register
+from repro.analysis.findings import Finding
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][\w.]*)")
+
+
+@dataclass(frozen=True)
+class _Guard:
+    """One ``# guarded-by`` declaration."""
+
+    name: str  # attribute or global name being guarded
+    lock: str  # declared lock expression text
+    is_attribute: bool  # self.<name> declaration vs module global
+    decl_span: tuple[int, int]  # lines of the declaring statement
+
+    def required_lock(self, access: ast.AST) -> str:
+        """Lock expression an access site must hold, after base
+        substitution (``self._lock`` declared on ``self._counts``
+        means ``obj._counts`` needs ``obj._lock``)."""
+        if (
+            self.is_attribute
+            and self.lock.startswith("self.")
+            and isinstance(access, ast.Attribute)
+        ):
+            base = ast.unparse(access.value)
+            return f"{base}.{self.lock[len('self.'):]}"
+        return self.lock
+
+
+@register
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "fields declared '# guarded-by: <lock>' may only be accessed "
+        "inside a matching 'with <lock>:' block"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> list[Finding]:
+        guards = _collect_guards(module)
+        if not guards:
+            return []
+        attr_guards: dict[str, list[_Guard]] = {}
+        global_guards: dict[str, list[_Guard]] = {}
+        for guard in guards:
+            table = attr_guards if guard.is_attribute else global_guards
+            table.setdefault(guard.name, []).append(guard)
+
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and node.attr in attr_guards:
+                findings.extend(
+                    self._check_access(
+                        module, node, attr_guards[node.attr], node.attr
+                    )
+                )
+            elif isinstance(node, ast.Name) and node.id in global_guards:
+                findings.extend(
+                    self._check_access(
+                        module, node, global_guards[node.id], node.id
+                    )
+                )
+        return findings
+
+    def _check_access(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        guards: list[_Guard],
+        symbol: str,
+    ) -> list[Finding]:
+        lineno = getattr(node, "lineno", 0)
+        for guard in guards:
+            lo, hi = guard.decl_span
+            if lo <= lineno <= hi:
+                return []  # the declaration itself
+        if _in_constructor(module, node):
+            return []
+        required = {guard.required_lock(node) for guard in guards}
+        if _held_locks(module, node) & required:
+            return []
+        wanted = " or ".join(f"'with {lock}:'" for lock in sorted(required))
+        return [
+            Finding(
+                path=module.relpath,
+                line=lineno,
+                col=getattr(node, "col_offset", 0),
+                rule=self.name,
+                message=(
+                    f"'{ast.unparse(node)}' is guarded by "
+                    f"{sorted(g.lock for g in guards)!r} but accessed "
+                    f"outside {wanted}"
+                ),
+                symbol=symbol,
+            )
+        ]
+
+
+def _collect_guards(module: ModuleInfo) -> list[_Guard]:
+    guards: list[_Guard] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        lock = None
+        end = node.end_lineno or node.lineno
+        for lineno in range(node.lineno, end + 1):
+            match = _GUARDED_RE.search(module.comment_on(lineno))
+            if match:
+                lock = match.group(1)
+                break
+        if lock is None:
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                guards.append(
+                    _Guard(target.attr, lock, True, (node.lineno, end))
+                )
+            elif isinstance(target, ast.Name):
+                guards.append(
+                    _Guard(target.id, lock, False, (node.lineno, end))
+                )
+    return guards
+
+
+def _held_locks(module: ModuleInfo, node: ast.AST) -> set[str]:
+    """Lock expressions lexically held at ``node`` (enclosing withs)."""
+    held: set[str] = set()
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                held.add(ast.unparse(item.context_expr))
+    return held
+
+
+def _in_constructor(module: ModuleInfo, node: ast.AST) -> bool:
+    """True for ``self.<attr>`` accesses inside ``__init__``."""
+    if not (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return False
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor.name == "__init__"
+    return False
+
+
+__all__ = ["LockDisciplineRule"]

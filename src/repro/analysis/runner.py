@@ -1,0 +1,124 @@
+"""Collect sources, run rules, apply suppressions and the baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import AnalysisError
+from repro.analysis.base import ModuleInfo, Project, Rule, get_rules
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.findings import Finding
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint invocation."""
+
+    root: str
+    rules: list[str]
+    #: Findings that fail the run (post-suppression, post-baseline).
+    findings: list[Finding]
+    #: Number of source files analyzed.
+    files: int = 0
+    #: Findings waived by the committed baseline.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Baseline keys that matched nothing (stale debt entries).
+    unused_baseline: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        summary: dict[str, int] = {}
+        for finding in self.findings:
+            summary[finding.rule] = summary.get(finding.rule, 0) + 1
+        return {
+            "format": "repro-lint-report",
+            "version": 1,
+            "root": self.root,
+            "rules": self.rules,
+            "files": self.files,
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "unused_baseline": self.unused_baseline,
+            "summary": {key: summary[key] for key in sorted(summary)},
+        }
+
+
+def discover_project(
+    root: str | Path, paths: list[str] | None = None
+) -> Project:
+    """Parse every Python file under ``paths`` (default ``src/repro``)."""
+    root = Path(root).resolve()
+    if paths:
+        targets = [root / p if not Path(p).is_absolute() else Path(p) for p in paths]
+    else:
+        targets = [root / "src" / "repro"]
+    files: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(target.rglob("*.py")))
+        elif target.is_file():
+            files.append(target)
+        else:
+            raise AnalysisError(f"lint target {target} does not exist")
+    project = Project(root=root)
+    for path in files:
+        try:
+            relpath = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        source = path.read_text(encoding="utf-8")
+        project.modules.append(ModuleInfo(path, relpath, source))
+    return project
+
+
+def run_lint(
+    root: str | Path,
+    paths: list[str] | None = None,
+    rules: list[str] | None = None,
+    baseline: str | Path | None = None,
+) -> LintReport:
+    """Run the named rules over the project; returns a :class:`LintReport`.
+
+    ``baseline`` is a path to a committed baseline file or ``None`` for
+    no baseline. Suppression comments are always honored.
+    """
+    project = discover_project(root, paths)
+    active: list[Rule] = get_rules(rules)
+
+    raw: list[Finding] = []
+    for rule in active:
+        for module in project.modules:
+            raw.extend(rule.check_module(module, project))
+        raw.extend(rule.check_project(project))
+
+    by_relpath = {module.relpath: module for module in project.modules}
+    kept: list[Finding] = []
+    for finding in raw:
+        module = by_relpath.get(finding.path)
+        if module is not None and module.suppressed(finding.rule, finding.line):
+            continue
+        kept.append(finding)
+    kept.sort()
+
+    baselined: list[Finding] = []
+    unused: list[str] = []
+    if baseline is not None:
+        entries = load_baseline(baseline)
+        kept, baselined, unused = apply_baseline(kept, entries)
+
+    return LintReport(
+        root=str(Path(root).resolve()),
+        rules=[rule.name for rule in active],
+        findings=kept,
+        files=len(project.modules),
+        baselined=baselined,
+        unused_baseline=unused,
+    )
+
+
+__all__ = ["LintReport", "discover_project", "run_lint"]

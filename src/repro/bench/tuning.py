@@ -527,7 +527,10 @@ def __getattr__(name: str):
     # reflects the registry's live declarations.
     if name == "APPLICABLE":
         return applicable_cutovers()
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    # Module __getattr__ must raise AttributeError by protocol.
+    raise AttributeError(  # repro-lint: disable=error-taxonomy
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 def apply_fitted_cutovers(

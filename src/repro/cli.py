@@ -19,6 +19,7 @@ Subcommands::
     repro bench summarize [--records-dir ...] [--out-dir .]
     repro bench trend --baselines-dir . [--threshold 1.25]
     repro bench tune-cutovers [--apply]
+    repro lint [--format json] [--rule lock-discipline] [--no-baseline]
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 from contextlib import nullcontext
+from pathlib import Path
 
 from repro.bench import experiments
 from repro.bench.reporting import format_table
@@ -309,6 +311,81 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     for issue in issues:
         print(str(issue))
     return 1 if has_errors(issues) else 0
+
+
+def _find_lint_root(start: str | None) -> Path:
+    """Project root for ``repro lint``: the dir holding ``src/repro``."""
+    if start is not None:
+        return Path(start).resolve()
+    current = Path.cwd().resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    # Installed layout: src/repro/cli.py -> repo root two levels up.
+    return Path(__file__).resolve().parents[2]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis import DEFAULT_BASELINE, run_lint, save_baseline
+    from repro.errors import AnalysisError
+
+    root = _find_lint_root(args.root)
+    baseline: Path | None = None
+    if not args.no_baseline and not args.write_baseline:
+        candidate = (
+            Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+        )
+        if not candidate.is_absolute():
+            candidate = root / candidate
+        if candidate.is_file():
+            baseline = candidate
+        elif args.baseline:
+            print(f"error: baseline {candidate} not found", file=sys.stderr)
+            return 2
+
+    try:
+        if args.write_baseline:
+            report = run_lint(
+                root, paths=args.paths or None, rules=args.rule or None
+            )
+            target = (
+                Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+            )
+            if not target.is_absolute():
+                target = root / target
+            save_baseline(report.findings, target)
+            print(f"wrote {target}: {len(report.findings)} baselined findings")
+            return 0
+        report = run_lint(
+            root,
+            paths=args.paths or None,
+            rules=args.rule or None,
+            baseline=baseline,
+        )
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        suffix = []
+        if report.baselined:
+            suffix.append(f"{len(report.baselined)} baselined")
+        if report.unused_baseline:
+            suffix.append(
+                f"{len(report.unused_baseline)} stale baseline entries"
+            )
+        tail = f" ({', '.join(suffix)})" if suffix else ""
+        if report.ok:
+            print(f"ok: {report.files} files clean{tail}")
+        else:
+            print(f"{len(report.findings)} findings{tail}")
+    return 0 if report.ok else 1
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -743,6 +820,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rewrite integer cutover constants whose fit "
                         "disagrees by more than 2x")
     b.set_defaults(func=_cmd_bench_tune)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the project-invariant static analyzer (repro lint)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/dirs to lint (default: src/repro)")
+    p.add_argument("--root", default=None,
+                   help="project root (default: auto-detect src/repro)")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.add_argument("--rule", action="append", default=[],
+                   help="run only this rule (repeatable)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline file (default: .repro-lint-baseline.json "
+                        "at the root, when present)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any committed baseline")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="record current findings as the new baseline")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("name")

@@ -154,12 +154,12 @@ class ModelSpec:
 # ---------------------------------------------------------------------------
 
 _LOCK = threading.Lock()
-_FACTORIES: dict[str, Callable[[], ModelSpec]] = {}
-_SPECS: dict[str, ModelSpec] = {}
+_FACTORIES: dict[str, Callable[[], ModelSpec]] = {}  # guarded-by: _LOCK
+_SPECS: dict[str, ModelSpec] = {}  # guarded-by: _LOCK
 #: Names registered as tree models, in registration order — known without
 #: resolving the (lazy, possibly import-heavy) factories, so e.g. the CLI
 #: can build its ``--kind`` choices at parser-construction time.
-_TREE_NAMES: list[str] = []
+_TREE_NAMES: list[str] = []  # guarded-by: _LOCK
 
 
 def register_model(

@@ -44,12 +44,34 @@ class UnknownEndpointError(ServeError):
     """Raised when an HTTP request names an endpoint the server lacks."""
 
 
-class IndexError_(ReproError):
+class BadRequestError(ServeError):
+    """Raised when an HTTP request is malformed (maps to a 400 response)."""
+
+
+class AnalysisError(ReproError):
+    """Raised on invalid static-analysis inputs (bad baseline, unknown rule)."""
+
+
+class TCIndexError(ReproError):
     """Raised on invalid TC-Tree / warehouse operations.
 
-    Named with a trailing underscore to avoid shadowing the built-in
-    :class:`IndexError`; exported as ``TCIndexError`` from the package root.
+    Historically named ``IndexError_`` (trailing underscore to avoid
+    shadowing the built-in :class:`IndexError`); the old name remains
+    importable as a deprecated alias.
     """
 
 
-TCIndexError = IndexError_
+def __getattr__(name: str):
+    if name == "IndexError_":
+        import warnings
+
+        warnings.warn(
+            "repro.errors.IndexError_ is deprecated; "
+            "use repro.errors.TCIndexError instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return TCIndexError
+    raise AttributeError(  # repro-lint: disable=error-taxonomy
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -154,7 +154,7 @@ def _layer1_costs(network: DatabaseNetwork, items: list[int]) -> dict[int, float
 #: (children inherit it copy-on-write, caches included); on spawn
 #: platforms :func:`_init_worker` fills it from the pickled initializer
 #: payload.
-_WORKER_STATE: dict = {}
+_WORKER_STATE: dict = {}  # guarded-by: _STATE_LOCK
 #: Per-process memo of materialized layer-1 carriers (item -> C*_s(0));
 #: shared across the subtree chunks a worker executes so each sibling
 #: carrier is built at most once per process.
@@ -170,6 +170,9 @@ _STATE_LOCK = threading.Lock()
 
 def _init_worker(payload: bytes) -> None:
     global _WORKER_STATE
+    # Worker process: the state dict is process-private here, the
+    # parent-side lock does not apply.
+    # repro-lint: disable=lock-discipline
     _WORKER_STATE = pickle.loads(payload)
     _WORKER_CARRIERS.clear()
     _WORKER_SHM.clear()
@@ -208,8 +211,10 @@ def _layer1_chunk(
     """
     items, segment_name = task
     before = _metrics_before()
-    network = _WORKER_STATE["network"]
-    decompose = get_model(_WORKER_STATE.get("model", "vertex")).decompose
+    network = _WORKER_STATE["network"]  # repro-lint: disable=lock-discipline
+    decompose = get_model(
+        _WORKER_STATE.get("model", "vertex")  # repro-lint: disable=lock-discipline
+    ).decompose
     decompositions = [
         decompose(network, (item,), capture_carrier=True)
         for item in items
@@ -239,7 +244,9 @@ def _layer1_chunk(
 def _attach_shared_carriers() -> None:
     """Attach every phase-A segment once per worker process and seed the
     carrier memo with zero-copy graphs."""
-    handles = _WORKER_STATE.get("carrier_handles")
+    handles = _WORKER_STATE.get(  # repro-lint: disable=lock-discipline
+        "carrier_handles"
+    )
     if not handles or _WORKER_SHM:
         return
     for handle in handles:
@@ -276,14 +283,17 @@ def _subtree_chunk(
     members = set(roots)
     reuse = {
         pattern: decomposition
+        # repro-lint: disable=lock-discipline
         for pattern, decomposition in _WORKER_STATE["reuse"].items()
         if pattern[0] in members
     }
-    spec = get_model(_WORKER_STATE.get("model", "vertex"))
+    spec = get_model(
+        _WORKER_STATE.get("model", "vertex")  # repro-lint: disable=lock-discipline
+    )
     try:
         built = build_subtree_chunk(
-            _WORKER_STATE["network"],
-            _WORKER_STATE["layer1"],
+            _WORKER_STATE["network"],  # repro-lint: disable=lock-discipline
+            _WORKER_STATE["layer1"],  # repro-lint: disable=lock-discipline
             roots,
             max_length=max_length,
             reuse=reuse,
@@ -393,14 +403,16 @@ class _worker_pool:
         self._fork = ctx.get_start_method() == "fork"
         if self._fork:
             global _WORKER_STATE
+            # Manual acquire: the lock spans the pool's lifetime
+            # (released in __exit__), not a lexical with-block.
             _STATE_LOCK.acquire()
-            _WORKER_STATE = state
+            _WORKER_STATE = state  # repro-lint: disable=lock-discipline
             try:
                 self._pool = ProcessPoolExecutor(
                     max_workers=workers, mp_context=ctx
                 )
             except BaseException:
-                _WORKER_STATE = {}
+                _WORKER_STATE = {}  # repro-lint: disable=lock-discipline
                 _STATE_LOCK.release()
                 raise
         else:
@@ -422,7 +434,8 @@ class _worker_pool:
         finally:
             if self._fork:
                 global _WORKER_STATE
-                _WORKER_STATE = {}
+                # Held since __init__ (manual acquire/release pair).
+                _WORKER_STATE = {}  # repro-lint: disable=lock-discipline
                 _STATE_LOCK.release()
 
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from array import array
 
+from repro.errors import TCIndexError
 from repro.graphs.csr import INDEX_TYPECODE, CSRGraph
 
 try:  # pragma: no cover - import guard exercised only on exotic builds
@@ -86,7 +87,7 @@ class SharedCarrierStore:
         creating task never got to report a handle (aborted pools).
         """
         if shared_memory is None:  # pragma: no cover
-            raise RuntimeError("multiprocessing.shared_memory unavailable")
+            raise TCIndexError("multiprocessing.shared_memory unavailable")
         toc: dict[int, tuple[int, int, int]] = {}
         total = 0
         for key, graph in graphs.items():
@@ -124,7 +125,7 @@ class SharedCarrierStore:
     def attach(cls, handle: dict) -> "SharedCarrierStore":
         """Attach to a segment created elsewhere (read-only use)."""
         if shared_memory is None:  # pragma: no cover
-            raise RuntimeError("multiprocessing.shared_memory unavailable")
+            raise TCIndexError("multiprocessing.shared_memory unavailable")
         shm = shared_memory.SharedMemory(name=handle["name"])
         return cls(shm, handle["toc"], owner=False)
 

@@ -70,7 +70,7 @@ class Counter:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: self._lock
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -98,7 +98,7 @@ class Gauge:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: self._lock
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -136,9 +136,9 @@ class Histogram:
                 f"got {self.bounds!r}"
             )
         self._lock = threading.Lock()
-        self._counts = [0] * (len(self.bounds) + 1)
-        self._sum = 0.0
-        self._count = 0
+        self._counts = [0] * (len(self.bounds) + 1)  # guarded-by: self._lock
+        self._sum = 0.0  # guarded-by: self._lock
+        self._count = 0  # guarded-by: self._lock
 
     def observe(self, value: float) -> None:
         index = bisect_left(self.bounds, value)
@@ -252,7 +252,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._families: dict[str, _Family] = {}
+        self._families: dict[str, _Family] = {}  # guarded-by: self._lock
 
     # ------------------------------------------------------------------
     def _child(
@@ -497,13 +497,15 @@ class MetricsSnapshot:
 # the process-wide default registry
 # ---------------------------------------------------------------------------
 
-_DEFAULT = MetricsRegistry()
+_DEFAULT = MetricsRegistry()  # guarded-by: _DEFAULT_LOCK
 _DEFAULT_LOCK = threading.Lock()
 
 
 def default_registry() -> MetricsRegistry:
     """The registry instrumented code reports to (swappable for tests)."""
-    return _DEFAULT
+    # Lock-free read: rebinding a name is atomic under the GIL and a
+    # marginally stale registry is harmless on this hot path.
+    return _DEFAULT  # repro-lint: disable=lock-discipline
 
 
 def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:

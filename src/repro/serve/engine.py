@@ -63,10 +63,12 @@ class CarrierCache:
                 f"cache capacity must be >= 1, got {capacity}"
             )
         self.capacity = capacity
-        self._hits = 0
-        self._misses = 0
         self._lock = threading.Lock()
-        self._entries: OrderedDict[int, TrussDecomposition] = OrderedDict()
+        self._hits = 0  # guarded-by: self._lock
+        self._misses = 0  # guarded-by: self._lock
+        self._entries: OrderedDict[int, TrussDecomposition] = (
+            OrderedDict()
+        )  # guarded-by: self._lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -189,15 +191,17 @@ class IndexedWarehouse:
         self._gen = ServingGeneration(
             1, snapshot=snapshot, tree=tree, cache_size=cache_size
         )
-        self._retired: list[ServingGeneration] = []
+        self._retired: list[ServingGeneration] = (
+            []
+        )  # guarded-by: self._swap_lock
         self._swap_lock = threading.Lock()
-        self._queries_served = 0
+        self._queries_served = 0  # guarded-by: self._count_lock
         self._count_lock = threading.Lock()
         # Aggregate per-query breakdown (snapshot backend): where query
         # wall time goes — TOC walk + prunes vs payload decode — and the
         # node-level traversal counters behind it. Cumulative across
         # generations (it describes the engine, not one index).
-        self._qstats = {
+        self._qstats = {  # guarded-by: self._count_lock
             "queries": 0,
             "visited_nodes": 0,
             "pruned_pattern": 0,
@@ -540,6 +544,7 @@ class IndexedWarehouse:
         generation = self._gen
         with self._count_lock:
             breakdown = dict(self._qstats)
+            queries_served = self._queries_served
         info: dict = {
             "backend": generation.backend,
             "kind": generation.kind,
@@ -548,7 +553,7 @@ class IndexedWarehouse:
             "retired_generations": self.retired_generations,
             "indexed_trusses": self.num_indexed_trusses,
             "num_items": self.num_items,
-            "queries_served": self._queries_served,
+            "queries_served": queries_served,
             "cache": generation.cache.stats(),
             "query_breakdown": breakdown,
         }

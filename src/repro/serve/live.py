@@ -64,10 +64,10 @@ class LiveIndex:
         self._engine = engine
         # The writer's authoritative tree: overlays apply to this, never
         # to the engine's (possibly mmap-backed) serving state.
-        self._tree = engine.materialize_tree()
         self._lock = threading.Lock()
-        self._overlays_since_compaction = 0
-        self._deltas_applied = 0
+        self._tree = engine.materialize_tree()  # guarded-by: self._lock
+        self._overlays_since_compaction = 0  # guarded-by: self._lock
+        self._deltas_applied = 0  # guarded-by: self._lock
         self.directory = Path(directory) if directory is not None else None
         self.compact_threshold = compact_threshold
         self._watcher: threading.Thread | None = None

@@ -49,7 +49,12 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import ReproError, ServeError, UnknownEndpointError
+from repro.errors import (
+    BadRequestError,
+    ReproError,
+    ServeError,
+    UnknownEndpointError,
+)
 from repro.obs.metrics import (
     EXPOSITION_CONTENT_TYPE,
     default_registry,
@@ -83,7 +88,7 @@ def _parse_pattern(text: str | None):
     try:
         return tuple(int(part) for part in text.split(","))
     except ValueError:
-        raise ValueError(
+        raise BadRequestError(
             f"pattern must be comma-separated integers, got {text!r}"
         ) from None
 
@@ -95,7 +100,7 @@ def _parse_float(params: dict, name: str, default: float) -> float:
     try:
         value = float(raw)
     except ValueError:
-        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+        raise BadRequestError(f"{name} must be a number, got {raw!r}") from None
     return _finite(value, name)
 
 
@@ -103,7 +108,7 @@ def _finite(value: float, name: str) -> float:
     # NaN/Infinity would sail through the engine's `alpha < 0` guard and
     # come back as bare `NaN` literals that strict JSON parsers reject.
     if not math.isfinite(value):
-        raise ValueError(f"{name} must be finite, got {value!r}")
+        raise BadRequestError(f"{name} must be finite, got {value!r}")
     return value
 
 
@@ -114,7 +119,7 @@ def _parse_int(params: dict, name: str, default: int) -> int:
     try:
         return int(raw)
     except ValueError:
-        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+        raise BadRequestError(f"{name} must be an integer, got {raw!r}") from None
 
 
 def _community_payload(community) -> dict:
@@ -249,14 +254,14 @@ class WarehouseRequestHandler(BaseHTTPRequestHandler):
         elif url.path == "/search":
             vertices = _parse_pattern(params.get("vertices", [None])[0])
             if vertices is None:
-                raise ValueError(
+                raise BadRequestError(
                     "vertices is required (comma-separated ids)"
                 )
             attributes = _parse_pattern(
                 params.get("attributes", [None])[0]
             )
             if attributes is None:
-                raise ValueError(
+                raise BadRequestError(
                     "attributes is required (comma-separated ids)"
                 )
             matches = self.server.engine.search(
@@ -296,14 +301,14 @@ class WarehouseRequestHandler(BaseHTTPRequestHandler):
             raise UnknownEndpointError(f"unknown endpoint {url.path}")
         document = json.loads(body or b"{}")
         if not isinstance(document, dict):
-            raise ValueError('body must be an object with a "queries" list')
+            raise BadRequestError('body must be an object with a "queries" list')
         queries = document.get("queries")
         if not isinstance(queries, list):
-            raise ValueError('body must carry a "queries" list')
+            raise BadRequestError('body must carry a "queries" list')
         specs = []
         for entry in queries:
             if not isinstance(entry, dict):
-                raise ValueError(
+                raise BadRequestError(
                     f"each query must be an object, got {entry!r}"
                 )
             pattern = entry.get("pattern")
@@ -314,7 +319,7 @@ class WarehouseRequestHandler(BaseHTTPRequestHandler):
                 if isinstance(pattern, str) or not isinstance(
                     pattern, (list, tuple)
                 ):
-                    raise ValueError(
+                    raise BadRequestError(
                         f"pattern must be a list of item ids, "
                         f"got {pattern!r}"
                     )
@@ -338,7 +343,7 @@ class WarehouseRequestHandler(BaseHTTPRequestHandler):
             )
         document = json.loads(body or b"{}")
         if not isinstance(document, dict) or "path" not in document:
-            raise ValueError('body must be an object with a "path" field')
+            raise BadRequestError('body must be an object with a "path" field')
         self._send_json(live.apply_delta(document["path"]))
 
     # ------------------------------------------------------------------

@@ -1,0 +1,49 @@
+"""Helpers for the static-analyzer tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ModuleInfo, Project
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def load_fixture(name: str) -> tuple[ModuleInfo, Project]:
+    """Parse one golden fixture into a single-module project.
+
+    The project root is the real repo root so rules that consult
+    ``src/repro/errors.py`` (taxonomy) resolve against the live tree.
+    """
+    path = FIXTURES / name
+    module = ModuleInfo(path, name, path.read_text(encoding="utf-8"))
+    return module, Project(root=REPO_ROOT, modules=[module])
+
+
+def bad_lines(name: str) -> set[int]:
+    """Line numbers carrying a ``# BAD`` marker in a fixture."""
+    text = (FIXTURES / name).read_text(encoding="utf-8")
+    return {
+        lineno
+        for lineno, line in enumerate(text.splitlines(), start=1)
+        if "# BAD" in line
+    }
+
+
+@pytest.fixture
+def mini_project(tmp_path):
+    """A throwaway project skeleton with a minimal error taxonomy."""
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "errors.py").write_text(
+        "class ReproError(Exception):\n"
+        "    pass\n"
+        "\n"
+        "\n"
+        "class ServeError(ReproError):\n"
+        "    pass\n",
+        encoding="utf-8",
+    )
+    return tmp_path

@@ -1,0 +1,21 @@
+"""Golden fixture for the determinism rule (never imported)."""
+
+# repro-lint: scope=determinism
+
+import time
+
+
+def to_dict(table, tags):
+    ordered = [table[key] for key in sorted(table.keys())]
+    unsorted_rows = [table[key] for key in table.keys()]  # BAD: unsorted view
+    names = {str(tag) for tag in tags}
+    parts = [part for part in names]  # BAD: set-bound name iterated
+    for tag in tags | {"extra"}:  # BAD: set algebra iterated
+        parts.append(tag)
+    stamp = time.time()  # BAD: wall clock in an encoder
+    return {"rows": ordered + unsorted_rows, "parts": parts, "stamp": stamp}
+
+
+def from_dict(document):
+    # Decode side: document order is deterministic given the bytes.
+    return [value for value in document.values()]

@@ -1,0 +1,24 @@
+"""Golden fixture for the error-taxonomy rule (never imported)."""
+
+from repro.errors import MiningError
+
+
+def validate(value):
+    if value is None:
+        raise ValueError("value is required")  # BAD: builtin exception
+    if value < 0:
+        raise MiningError("negative value")
+    try:
+        return int(value)
+    except TypeError as exc:
+        raise RuntimeError("bad type") from exc  # BAD: builtin exception
+    except ValueError:
+        raise
+
+
+def todo():
+    raise NotImplementedError("abstract hook")
+
+
+def waived():
+    raise KeyError("k")  # repro-lint: disable=error-taxonomy

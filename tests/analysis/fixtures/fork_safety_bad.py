@@ -1,0 +1,33 @@
+"""Golden fixture for the fork-safety rule (never imported)."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _module_level_work(x):
+    return x * 2
+
+
+def run(tasks):
+    def local_work(x):
+        return x + 1
+
+    with ProcessPoolExecutor(
+        initializer=lambda: None  # BAD: lambda initializer
+    ) as pool:
+        pool.submit(lambda: 1)  # BAD: lambda submitted
+        pool.map(local_work, tasks)  # BAD: nested function submitted
+        pool.submit(_module_level_work, 3)
+
+
+class HoldsLock:
+    def __init__(self):
+        self._lock = threading.Lock()  # BAD: no __getstate__, not allowlisted
+
+
+class HoldsLockButPickles:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        return {}

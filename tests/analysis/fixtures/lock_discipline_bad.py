@@ -1,0 +1,42 @@
+"""Golden fixture for the lock-discipline rule (never imported)."""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: self._lock
+
+    def bump(self):
+        self._count += 1  # BAD: write outside the lock
+
+    def read_locked(self):
+        with self._lock:
+            return self._count
+
+    def read_unlocked(self):
+        return self._count  # BAD: read outside the lock
+
+    def read_waived(self):
+        return self._count  # repro-lint: disable=lock-discipline
+
+
+_GLOBAL_LOCK = threading.Lock()
+_TOTAL = 0  # guarded-by: _GLOBAL_LOCK
+
+
+def add(amount):
+    global _TOTAL
+    with _GLOBAL_LOCK:
+        _TOTAL += amount
+
+
+def peek():
+    return _TOTAL  # BAD: global read outside the lock
+
+
+def cross_instance(stats):
+    with stats._lock:
+        stats._count += 1
+    stats._count = 0  # BAD: base-substituted access outside the lock

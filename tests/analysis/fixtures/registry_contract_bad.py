@@ -1,0 +1,24 @@
+"""Golden fixture for the registry-contract rule (never imported)."""
+
+from repro.engine.registry import CutoverSpec, resolve_ref
+
+GOOD = CutoverSpec(
+    name="csr_min_edges",
+    sweep="repro.bench.tuning:sweep_csr_min_edges",
+    value_ref="repro.graphs.support:CSR_MIN_EDGES",
+)
+
+BAD_REFS = CutoverSpec(
+    name="broken",
+    sweep="repro.bench.tuning:no_such_sweep",  # BAD: missing attribute
+    value_ref="repro.graphs.nope:CSR_MIN_EDGES",  # BAD: missing module
+)
+
+MALFORMED = CutoverSpec(
+    name="malformed",
+    sweep="not a dotted ref",  # BAD: not pkg.mod:attr
+)
+
+
+def lookup():
+    return resolve_ref("repro.errors:TCIndexError")

@@ -1,0 +1,92 @@
+"""Baseline save/load/apply round-trips."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.errors import AnalysisError
+
+
+def finding(line=1, rule="r", message="m", path="a.py", symbol=""):
+    return Finding(
+        path=path, line=line, col=0, rule=rule, message=message, symbol=symbol
+    )
+
+
+class TestBaselineRoundTrip:
+    def test_save_then_apply_waives_everything(self, tmp_path):
+        findings = [finding(line=1), finding(line=5, rule="s")]
+        path = tmp_path / "baseline.json"
+        save_baseline(findings, path)
+        new, waived, unused = apply_baseline(findings, load_baseline(path))
+        assert new == []
+        assert sorted(waived) == sorted(findings)
+        assert unused == []
+
+    def test_lines_may_drift_without_invalidating(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline([finding(line=10)], path)
+        drifted = [finding(line=42)]
+        new, waived, _ = apply_baseline(drifted, load_baseline(path))
+        assert new == []
+        assert waived == drifted
+
+    def test_extra_occurrence_is_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline([finding(line=1)], path)
+        doubled = [finding(line=1), finding(line=2)]
+        new, waived, _ = apply_baseline(doubled, load_baseline(path))
+        assert len(waived) == 1
+        assert len(new) == 1
+
+    def test_stale_entries_reported_unused(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline([finding(), finding(rule="s")], path)
+        new, waived, unused = apply_baseline(
+            [finding()], load_baseline(path)
+        )
+        assert new == []
+        assert len(waived) == 1
+        assert unused == ["s::a.py::m"]
+
+
+class TestBaselineValidation:
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("{nope")
+        with pytest.raises(AnalysisError, match="invalid JSON"):
+            load_baseline(path)
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"format": "other", "version": 1}))
+        with pytest.raises(AnalysisError, match="format"):
+            load_baseline(path)
+
+    def test_bad_count_raises(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-lint-baseline",
+                    "version": 1,
+                    "findings": {"k": 0},
+                }
+            )
+        )
+        with pytest.raises(AnalysisError, match="positive int"):
+            load_baseline(path)
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps({"format": "repro-lint-baseline", "version": 9})
+        )
+        with pytest.raises(AnalysisError, match="version"):
+            load_baseline(path)

@@ -1,0 +1,132 @@
+"""End-to-end ``repro lint`` CLI behavior."""
+
+import json
+
+from repro.cli import main
+from tests.analysis.conftest import FIXTURES, REPO_ROOT
+
+INJECTED = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "class Box:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._value = 0  # guarded-by: self._lock\n"
+    "\n"
+    "    def __getstate__(self):\n"
+    "        return {}\n"
+    "\n"
+    "    def put(self, value):\n"
+    "        self._value = value\n"
+)
+
+
+def write_module(root, source, name="mod.py"):
+    path = root / "src" / "repro" / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+class TestLintCli:
+    def test_injected_violation_fails_the_gate(self, mini_project, capsys):
+        write_module(mini_project, INJECTED)
+        assert main(["lint", "--root", str(mini_project)]) == 1
+        out = capsys.readouterr().out
+        assert "[lock-discipline]" in out
+        assert "src/repro/mod.py:13" in out
+
+    def test_clean_tree_passes(self, mini_project, capsys):
+        fixed = INJECTED.replace(
+            "        self._value = value\n",
+            "        with self._lock:\n            self._value = value\n",
+        )
+        write_module(mini_project, fixed)
+        assert main(["lint", "--root", str(mini_project)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_suppression_waives_the_gate(self, mini_project):
+        waived = INJECTED.replace(
+            "        self._value = value\n",
+            "        self._value = value"
+            "  # repro-lint: disable=lock-discipline\n",
+        )
+        write_module(mini_project, waived)
+        assert main(["lint", "--root", str(mini_project)]) == 0
+
+    def test_json_report_shape(self, mini_project, capsys):
+        write_module(mini_project, INJECTED)
+        rc = main(["lint", "--root", str(mini_project), "--format", "json"])
+        assert rc == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["format"] == "repro-lint-report"
+        assert report["ok"] is False
+        assert report["summary"] == {"lock-discipline": 1}
+        (finding,) = report["findings"]
+        assert finding["rule"] == "lock-discipline"
+        assert finding["path"] == "src/repro/mod.py"
+        assert finding["line"] == 13
+
+    def test_write_baseline_then_lint_passes(self, mini_project, capsys):
+        write_module(mini_project, INJECTED)
+        assert main(["lint", "--root", str(mini_project),
+                     "--write-baseline"]) == 0
+        assert (mini_project / ".repro-lint-baseline.json").is_file()
+        capsys.readouterr()
+        assert main(["lint", "--root", str(mini_project)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_no_baseline_flag_reopens_findings(self, mini_project):
+        write_module(mini_project, INJECTED)
+        assert main(["lint", "--root", str(mini_project),
+                     "--write-baseline"]) == 0
+        assert main(["lint", "--root", str(mini_project),
+                     "--no-baseline"]) == 1
+
+    def test_stale_baseline_entries_surface_in_json(
+        self, mini_project, capsys
+    ):
+        write_module(mini_project, INJECTED)
+        assert main(["lint", "--root", str(mini_project),
+                     "--write-baseline"]) == 0
+        write_module(mini_project, "VALUE = 1\n")  # debt paid off
+        capsys.readouterr()
+        rc = main(["lint", "--root", str(mini_project), "--format", "json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["unused_baseline"] == [
+            "lock-discipline::src/repro/mod.py::_value"
+        ]
+
+    def test_rule_selection_limits_the_run(self, mini_project):
+        write_module(mini_project, INJECTED)
+        assert main(["lint", "--root", str(mini_project),
+                     "--rule", "error-taxonomy"]) == 0
+        assert main(["lint", "--root", str(mini_project),
+                     "--rule", "lock-discipline"]) == 1
+
+    def test_unknown_rule_is_a_usage_error(self, mini_project, capsys):
+        assert main(["lint", "--root", str(mini_project),
+                     "--rule", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_explicit_baseline_is_a_usage_error(
+        self, mini_project, capsys
+    ):
+        write_module(mini_project, "VALUE = 1\n")
+        rc = main(["lint", "--root", str(mini_project),
+                   "--baseline", "nope.json"])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_explicit_paths_against_live_root(self, capsys):
+        # The acceptance shape: pointing the gate at a file with a
+        # violation fails even though the shipped tree is clean.
+        rc = main([
+            "lint",
+            "--root", str(REPO_ROOT),
+            "--no-baseline",
+            str(FIXTURES / "lock_discipline_bad.py"),
+        ])
+        assert rc == 1
+        assert "[lock-discipline]" in capsys.readouterr().out

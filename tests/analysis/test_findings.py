@@ -1,0 +1,44 @@
+"""Finding value-object semantics."""
+
+from repro.analysis import Finding
+
+
+class TestFinding:
+    def test_render(self):
+        finding = Finding(
+            path="src/repro/x.py",
+            line=10,
+            col=4,
+            rule="error-taxonomy",
+            message="raises builtin ValueError",
+        )
+        assert finding.render() == (
+            "src/repro/x.py:10:4: [error-taxonomy] raises builtin ValueError"
+        )
+
+    def test_dict_round_trip(self):
+        finding = Finding(
+            path="a.py", line=3, col=0, rule="determinism",
+            message="m", symbol="time.time",
+        )
+        assert Finding.from_dict(finding.to_dict()) == finding
+        assert Finding.from_dict(finding.to_dict()).symbol == "time.time"
+
+    def test_ordering_is_by_location(self):
+        first = Finding(path="a.py", line=1, col=0, rule="z", message="m")
+        second = Finding(path="a.py", line=2, col=0, rule="a", message="m")
+        third = Finding(path="b.py", line=1, col=0, rule="a", message="m")
+        assert sorted([third, second, first]) == [first, second, third]
+
+    def test_baseline_key_prefers_symbol(self):
+        with_symbol = Finding(
+            path="a.py", line=1, col=0, rule="r", message="m", symbol="sym",
+        )
+        without = Finding(path="a.py", line=9, col=0, rule="r", message="m")
+        assert with_symbol.baseline_key == "r::a.py::sym"
+        assert without.baseline_key == "r::a.py::m"
+
+    def test_baseline_key_ignores_line(self):
+        a = Finding(path="a.py", line=1, col=0, rule="r", message="m")
+        b = Finding(path="a.py", line=99, col=7, rule="r", message="m")
+        assert a.baseline_key == b.baseline_key

@@ -1,0 +1,55 @@
+"""Meta-test: the shipped tree passes its own lint gate.
+
+This is the test CI's ``lint-invariants`` job mirrors: every rule over
+``src/repro``, modulo the committed baseline. A failure here means a
+change violated a project invariant (or needs an explicit suppression /
+baseline entry with a reviewable rationale).
+"""
+
+from repro.analysis import rule_names, run_lint
+from tests.analysis.conftest import REPO_ROOT
+
+GUARDED_MODULES = (
+    "src/repro/obs/metrics.py",
+    "src/repro/serve/engine.py",
+    "src/repro/serve/live.py",
+    "src/repro/engine/registry.py",
+    "src/repro/index/parallel.py",
+)
+
+
+class TestLiveTree:
+    def test_all_five_rules_are_registered(self):
+        assert rule_names() == [
+            "determinism",
+            "error-taxonomy",
+            "fork-safety",
+            "lock-discipline",
+            "registry-contract",
+        ]
+
+    def test_lint_runs_clean_modulo_baseline(self):
+        baseline = REPO_ROOT / ".repro-lint-baseline.json"
+        report = run_lint(
+            REPO_ROOT,
+            baseline=baseline if baseline.is_file() else None,
+        )
+        assert report.files > 100
+        assert report.ok, "new lint findings:\n" + "\n".join(
+            finding.render() for finding in report.findings
+        )
+
+    def test_baseline_carries_no_stale_debt(self):
+        baseline = REPO_ROOT / ".repro-lint-baseline.json"
+        if not baseline.is_file():
+            return
+        report = run_lint(REPO_ROOT, baseline=baseline)
+        assert report.unused_baseline == []
+
+    def test_concurrent_modules_declare_their_guards(self):
+        # Annotation rot check: the lock-discipline rule only has teeth
+        # where fields are declared. Each concurrent module must keep at
+        # least one guarded-by declaration.
+        for relpath in GUARDED_MODULES:
+            source = (REPO_ROOT / relpath).read_text(encoding="utf-8")
+            assert "# guarded-by:" in source, relpath

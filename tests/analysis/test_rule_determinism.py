@@ -1,0 +1,48 @@
+"""Golden-fixture coverage for the determinism rule."""
+
+from pathlib import Path
+
+from repro.analysis import ModuleInfo, Project, run_lint
+from repro.analysis.rules import DeterminismRule
+from repro.analysis.rules.determinism import SCOPE_SUFFIXES
+from tests.analysis.conftest import FIXTURES, REPO_ROOT, bad_lines
+
+FIXTURE = "determinism_bad.py"
+
+
+def run_fixture():
+    return run_lint(
+        REPO_ROOT,
+        paths=[str(FIXTURES / FIXTURE)],
+        rules=["determinism"],
+    )
+
+
+class TestDeterminism:
+    def test_exactly_the_marked_lines_are_flagged(self):
+        report = run_fixture()
+        assert {f.line for f in report.findings} == bad_lines(FIXTURE)
+
+    def test_entropy_call_flagged_by_symbol(self):
+        report = run_fixture()
+        assert "time.time" in {f.symbol for f in report.findings}
+
+    def test_decode_side_mapping_iteration_passes(self):
+        report = run_fixture()
+        assert not any(
+            "document.values" in f.symbol for f in report.findings
+        )
+
+    def test_out_of_scope_modules_are_ignored(self):
+        source = (FIXTURES / FIXTURE).read_text(encoding="utf-8")
+        source = source.replace("# repro-lint: scope=determinism", "#")
+        module = ModuleInfo(Path("unscoped.py"), "unscoped.py", source)
+        rule = DeterminismRule()
+        project = Project(root=REPO_ROOT, modules=[module])
+        assert rule.check_module(module, project) == []
+
+    def test_live_serialization_files_are_in_scope(self):
+        # The contract files must exist; a rename would silently drop
+        # them out of the rule's reach.
+        for suffix in SCOPE_SUFFIXES:
+            assert (REPO_ROOT / "src" / suffix).is_file(), suffix

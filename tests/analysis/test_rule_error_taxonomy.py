@@ -1,0 +1,38 @@
+"""Golden-fixture coverage for the error-taxonomy rule."""
+
+from repro.analysis import run_lint
+from tests.analysis.conftest import FIXTURES, REPO_ROOT, bad_lines
+
+FIXTURE = "error_taxonomy_bad.py"
+
+
+def run_fixture():
+    return run_lint(
+        REPO_ROOT,
+        paths=[str(FIXTURES / FIXTURE)],
+        rules=["error-taxonomy"],
+    )
+
+
+class TestErrorTaxonomy:
+    def test_exactly_the_marked_lines_are_flagged(self):
+        report = run_fixture()
+        assert {f.line for f in report.findings} == bad_lines(FIXTURE)
+        assert {f.symbol for f in report.findings} == {
+            "ValueError",
+            "RuntimeError",
+        }
+
+    def test_taxonomy_raises_and_reraises_pass(self):
+        # MiningError (taxonomy), bare re-raise, NotImplementedError and
+        # the suppressed KeyError are all present in the fixture and all
+        # absent from the finding set.
+        source = (FIXTURES / FIXTURE).read_text(encoding="utf-8")
+        for allowed in ("MiningError", "raise\n", "NotImplementedError"):
+            assert allowed in source
+
+    def test_messages_point_at_the_taxonomy(self):
+        report = run_fixture()
+        assert all(
+            "ReproError subclass" in f.message for f in report.findings
+        )

@@ -1,0 +1,41 @@
+"""Golden-fixture coverage for the fork-safety rule."""
+
+from repro.analysis import run_lint
+from repro.analysis.rules import PROCESS_LOCAL
+from tests.analysis.conftest import FIXTURES, REPO_ROOT, bad_lines
+
+FIXTURE = "fork_safety_bad.py"
+
+
+def run_fixture():
+    return run_lint(
+        REPO_ROOT,
+        paths=[str(FIXTURES / FIXTURE)],
+        rules=["fork-safety"],
+    )
+
+
+class TestForkSafety:
+    def test_exactly_the_marked_lines_are_flagged(self):
+        report = run_fixture()
+        assert {f.line for f in report.findings} == bad_lines(FIXTURE)
+
+    def test_lambda_and_nested_submissions_flagged(self):
+        report = run_fixture()
+        symbols = {f.symbol for f in report.findings}
+        assert "<lambda>" in symbols
+        assert "local_work" in symbols
+
+    def test_lock_holder_without_getstate_flagged(self):
+        report = run_fixture()
+        classes = [f for f in report.findings if f.symbol == "HoldsLock"]
+        assert len(classes) == 1
+        assert "__getstate__" in classes[0].message
+        assert "PROCESS_LOCAL" in classes[0].message
+
+    def test_allowlist_covers_the_serving_tier(self):
+        # The live tree's lock-holding types must stay enumerated —
+        # removing one from the allowlist without adding __getstate__
+        # should fail the meta-test, not silently pass.
+        for name in ("MetricsRegistry", "IndexedWarehouse", "LiveIndex"):
+            assert name in PROCESS_LOCAL

@@ -1,0 +1,63 @@
+"""Golden-fixture coverage for the registry-contract rule."""
+
+import pytest
+
+from repro.analysis import Project, run_lint
+from repro.analysis.rules import RegistryContractRule
+from tests.analysis.conftest import FIXTURES, REPO_ROOT, bad_lines
+
+FIXTURE = "registry_contract_bad.py"
+
+
+def run_fixture():
+    return run_lint(
+        REPO_ROOT,
+        paths=[str(FIXTURES / FIXTURE)],
+        rules=["registry-contract"],
+    )
+
+
+class TestRegistryContract:
+    def test_exactly_the_marked_lines_are_flagged(self):
+        report = run_fixture()
+        fixture_findings = [
+            f for f in report.findings if f.path.endswith(FIXTURE)
+        ]
+        assert {f.line for f in fixture_findings} == bad_lines(FIXTURE)
+
+    def test_resolvable_refs_pass(self):
+        report = run_fixture()
+        symbols = {f.symbol for f in report.findings}
+        assert "repro.bench.tuning:sweep_csr_min_edges" not in symbols
+        assert "repro.graphs.support:CSR_MIN_EDGES" not in symbols
+        assert "repro.errors:TCIndexError" not in symbols
+
+    def test_each_failure_mode_has_a_distinct_message(self):
+        report = run_fixture()
+        messages = " ".join(f.message for f in report.findings)
+        assert "no attribute" in messages  # missing attr
+        assert "does not import" in messages  # missing module
+        assert "pkg.mod:attr" in messages  # malformed shape
+
+    def test_live_fleet_drivers_resolve(self):
+        pytest.importorskip("yaml")
+        rule = RegistryContractRule()
+        findings = rule.check_project(Project(root=REPO_ROOT))
+        assert findings == []
+
+    def test_bogus_fleet_driver_flagged(self, tmp_path):
+        pytest.importorskip("yaml")
+        bench = tmp_path / "benchmarks"
+        bench.mkdir()
+        (bench / "fleet.yaml").write_text(
+            "experiments:\n"
+            "  broken/exp:\n"
+            "    driver: benchmarks.no_such_driver\n",
+            encoding="utf-8",
+        )
+        rule = RegistryContractRule()
+        findings = rule.check_project(Project(root=tmp_path))
+        assert len(findings) == 1
+        assert findings[0].path == "benchmarks/fleet.yaml"
+        assert findings[0].symbol == "benchmarks.no_such_driver"
+        assert "broken/exp" in findings[0].message

@@ -1,0 +1,48 @@
+"""Suppression-comment parsing on ModuleInfo."""
+
+from pathlib import Path
+
+from repro.analysis import ModuleInfo
+
+
+def module_of(source: str) -> ModuleInfo:
+    return ModuleInfo(Path("m.py"), "m.py", source)
+
+
+class TestSuppression:
+    def test_inline_suppression_scopes_to_its_line(self):
+        module = module_of(
+            "x = 1  # repro-lint: disable=rule-a\n"
+            "y = 2\n"
+        )
+        assert module.suppressed("rule-a", 1)
+        assert not module.suppressed("rule-a", 2)
+        assert not module.suppressed("rule-b", 1)
+
+    def test_multiple_rules_in_one_comment(self):
+        module = module_of("x = 1  # repro-lint: disable=rule-a, rule-b\n")
+        assert module.suppressed("rule-a", 1)
+        assert module.suppressed("rule-b", 1)
+
+    def test_standalone_comment_waives_next_line(self):
+        module = module_of(
+            "# repro-lint: disable=lock-discipline\n"
+            "x = 1\n"
+            "y = 2\n"
+        )
+        assert module.suppressed("lock-discipline", 2)
+        assert not module.suppressed("lock-discipline", 3)
+
+    def test_disable_all(self):
+        module = module_of("x = 1  # repro-lint: disable=all\n")
+        assert module.suppressed("anything", 1)
+
+    def test_string_literal_is_not_a_comment(self):
+        module = module_of("x = '# repro-lint: disable=rule-a'\n")
+        assert not module.suppressed("rule-a", 1)
+
+    def test_trailing_rationale_is_tolerated(self):
+        module = module_of(
+            "x = 1  # repro-lint: disable=lock-discipline (worker-local)\n"
+        )
+        assert module.suppressed("lock-discipline", 1)

@@ -134,7 +134,7 @@ class TestEdgeTCTree:
         with pytest.warns(DeprecationWarning, match="deprecated"):
             pairs = list(answer)
         assert {p for p, _ in pairs} == {(0,), (1,), (9,)}
-        for pattern, graph in answer.legacy_pairs():  # explicit: no warn
+        for _pattern, graph in answer.legacy_pairs():  # explicit: no warn
             assert graph.num_edges > 0
         with pytest.warns(DeprecationWarning):
             first = answer[0]

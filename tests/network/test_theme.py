@@ -64,7 +64,7 @@ class TestInduceThemeNetwork:
             graph, freqs = induce_theme_network(network, (item,))
             for u, v in graph.iter_edges():
                 assert network.graph.has_edge(u, v)
-            for v, f in freqs.items():
+            for _v, f in freqs.items():
                 assert f > 0.0
 
 

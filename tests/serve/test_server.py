@@ -283,7 +283,7 @@ class TestErrorHandling:
         status, payload = self._status_of(base, "/query?alpha=abc")
         assert status == 400
         assert payload["code"] == "bad_request"
-        assert payload["type"] == "ValueError"
+        assert payload["type"] == "BadRequestError"
         assert "alpha" in payload["error"]
 
     def test_500_body_is_structured(self, running_server):
